@@ -1,0 +1,271 @@
+package farron
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section. Each benchmark regenerates its experiment end to end
+// (workload generation, simulation, measurement) and reports the headline
+// quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. Shapes, not absolute numbers, are the
+// contract: who wins, by what factor, where the thresholds sit.
+
+import (
+	"testing"
+	"time"
+
+	"farron/internal/experiments"
+	"farron/internal/model"
+)
+
+// benchSeed keeps all benchmarks on one deterministic world.
+const benchSeed = 987654321
+
+// benchCtx is shared: context construction (suite generation + calibration)
+// is itself measured by BenchmarkContextSetup.
+var benchCtx = experiments.NewContext(benchSeed)
+
+// benchPopulation keeps fleet benchmarks tractable per iteration while
+// preserving rate resolution (the paper's population is 1e6; rates are per
+// 1e4, so 2e5 retains the shape).
+const benchPopulation = 200_000
+
+func BenchmarkContextSetup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(benchSeed)
+		if len(ctx.Study) != 27 {
+			b.Fatal("bad study set")
+		}
+	}
+}
+
+func BenchmarkTable1TestTimings(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(benchCtx, benchPopulation)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res.Total
+	}
+	b.ReportMetric(total*1e4, "rate‱")
+}
+
+func BenchmarkTable2MicroArch(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchCtx, benchPopulation)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = res.Measured["M8"]
+	}
+	b.ReportMetric(worst*1e4, "M8‱")
+}
+
+func BenchmarkTable3Inventory(b *testing.B) {
+	var errs int
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table3(benchCtx)
+		errs = 0
+		for _, row := range res.Rows {
+			errs += row.MeasuredErrs
+		}
+	}
+	b.ReportMetric(float64(errs), "total#err")
+}
+
+func BenchmarkFig2Features(b *testing.B) {
+	var fpu float64
+	for i := 0; i < b.N; i++ {
+		fpu = experiments.Fig2(benchCtx).Proportions[model.FeatureFPU]
+	}
+	b.ReportMetric(fpu, "FPUshare")
+}
+
+func BenchmarkFig3Datatypes(b *testing.B) {
+	var f64 float64
+	for i := 0; i < b.N; i++ {
+		f64 = experiments.Fig3(benchCtx).Proportions[model.DTFloat64]
+	}
+	b.ReportMetric(f64, "f64share")
+}
+
+func BenchmarkFig4Bitflips(b *testing.B) {
+	var z2o float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4(benchCtx, 10_000)
+		z2o = res.Stats[model.DTFloat64].ZeroToOneShare
+	}
+	b.ReportMetric(z2o, "0to1share")
+}
+
+func BenchmarkFig5NonNumeric(b *testing.B) {
+	var records int
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig5(benchCtx, 10_000)
+		records = res.Stats[model.DTBin64].Records
+	}
+	b.ReportMetric(float64(records), "records")
+}
+
+func BenchmarkFig6Patterns(b *testing.B) {
+	var settings int
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig6(benchCtx, 500)
+		settings = len(res.RowLabels) * len(res.ColLabels)
+	}
+	b.ReportMetric(float64(settings), "settings")
+}
+
+func BenchmarkFig7FlipCounts(b *testing.B) {
+	var single float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig7(benchCtx, 1000)
+		single = res.Proportions[model.DTFloat64][0]
+	}
+	b.ReportMetric(single, "1bitShare")
+}
+
+func BenchmarkFig8TempSweep(b *testing.B) {
+	var r float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r = res.Settings[0].Fit.R
+	}
+	b.ReportMetric(r, "pearsonR")
+}
+
+func BenchmarkFig9MinTemp(b *testing.B) {
+	var r float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r = res.PearsonR
+	}
+	b.ReportMetric(r, "pearsonR")
+}
+
+func BenchmarkObs9Reproducibility(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		share = experiments.Obs9(benchCtx, 62).ShareAboveOncePerMin
+	}
+	b.ReportMetric(share, "shareAbove1")
+}
+
+func BenchmarkObs11Ineffective(b *testing.B) {
+	var ineffective int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Obs11(benchCtx, 40_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ineffective = res.Ineffective
+	}
+	b.ReportMetric(float64(ineffective), "ineffective")
+}
+
+func BenchmarkFig11Coverage(b *testing.B) {
+	var farronMean float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig11(benchCtx)
+		farronMean = 0
+		for _, row := range res.Rows {
+			farronMean += row.Farron
+		}
+		farronMean /= float64(len(res.Rows))
+	}
+	b.ReportMetric(farronMean, "coverage")
+}
+
+func BenchmarkObs12Techniques(b *testing.B) {
+	var recall float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Obs12(benchCtx, 4000)
+		recall = res.PredictRecall
+	}
+	b.ReportMetric(recall, "predRecall")
+}
+
+func BenchmarkAblation(b *testing.B) {
+	var full float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Ablation(benchCtx)
+		full = res.CoverageOf("full")
+	}
+	b.ReportMetric(full, "fullCoverage")
+}
+
+func BenchmarkTable4Overhead(b *testing.B) {
+	var worstTotal float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table4(benchCtx, 24*time.Hour)
+		worstTotal = 0
+		for _, row := range res.Rows {
+			if row.Total > worstTotal {
+				worstTotal = row.Total
+			}
+		}
+	}
+	b.ReportMetric(worstTotal*100, "worst%")
+}
+
+func BenchmarkSec5Separation(b *testing.B) {
+	var r float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Separation(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r = res.UtilFreqCorrelation
+	}
+	b.ReportMetric(r, "utilCorr")
+}
+
+func BenchmarkSec41Attribution(b *testing.B) {
+	var hits int
+	for i := 0; i < b.N; i++ {
+		res := experiments.Attribution(benchCtx)
+		hits = 0
+		for _, row := range res.Rows {
+			if row.Hit {
+				hits++
+			}
+		}
+	}
+	b.ReportMetric(float64(hits), "hits")
+}
+
+func BenchmarkLifecycle(b *testing.B) {
+	var saved int
+	for i := 0; i < b.N; i++ {
+		saved = experiments.Lifecycle(benchCtx).TotalCoresSaved()
+	}
+	b.ReportMetric(float64(saved), "coresSaved")
+}
+
+func BenchmarkExposureWindow(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		mean = experiments.Exposure(benchCtx, 6, 14*24*time.Hour, 5000).MeanDays
+	}
+	b.ReportMetric(mean, "meanDays")
+}
+
+func BenchmarkObs10Anomalies(b *testing.B) {
+	var hot int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Anomalies(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hot = res.YAfterX
+	}
+	b.ReportMetric(float64(hot), "yAfterX")
+}

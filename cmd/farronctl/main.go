@@ -1,0 +1,38 @@
+// Command farronctl evaluates the Farron mitigation system against the
+// Alibaba Cloud baseline: one-round regular-testing coverage (Figure 11)
+// and testing + temperature-control overhead (Table 4).
+//
+// Usage:
+//
+//	farronctl [-seed seed] [-online duration]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"farron/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("farronctl: ")
+	var (
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		online = flag.Duration("online", 72*time.Hour, "simulated online operation per processor for Table 4")
+	)
+	flag.Parse()
+
+	ctx := experiments.NewContext(*seed)
+	out := os.Stdout
+
+	fmt.Fprintln(out, experiments.Fig11(ctx).Render())
+	fmt.Fprintln(out, experiments.Table4(ctx, *online).Render())
+	fmt.Fprintln(out, experiments.Obs12(ctx, 4000).Render())
+	fmt.Fprintln(out, experiments.Ablation(ctx).Render())
+	fmt.Fprintln(out, experiments.Lifecycle(ctx).Render())
+	_ = log.Default()
+}

@@ -1,0 +1,52 @@
+// Command sdcfleet runs the fleet-scale SDC study: the test-timing pipeline
+// of Figure 1 over a synthetic CPU population, reproducing Table 1 (failure
+// rate by test timing), Table 2 (failure rate by micro-architecture) and
+// Observation 11 (ineffective testcases).
+//
+// Usage:
+//
+//	sdcfleet [-n population] [-sub subpopulation] [-seed seed]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"farron/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sdcfleet: ")
+	var (
+		n    = flag.Int("n", 1_000_000, "fleet population size")
+		sub  = flag.Int("sub", 40_000, "sub-fleet size for the Observation 11 detailed-log study")
+		seed = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	ctx := experiments.NewContext(*seed)
+
+	t1, err := experiments.Table1(ctx, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stdout, t1.Render())
+
+	t2, err := experiments.Table2(ctx, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stdout, t2.Render())
+
+	o11, err := experiments.Obs11(ctx, *sub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stdout, o11.Render())
+
+	fmt.Fprintln(os.Stdout, experiments.Exposure(ctx, 6, 14*24*time.Hour, 5000).Render())
+}

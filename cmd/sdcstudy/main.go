@@ -1,0 +1,114 @@
+// Command sdcstudy runs the detailed per-processor SDC study on the
+// 27-processor study set: the faulty-processor inventory (Table 3), the
+// software-symptom figures (Figures 2-7) and the reproducibility figures
+// (Figures 8-9, Observation 9).
+//
+// Usage:
+//
+//	sdcstudy [-seed seed] [-records n] [-reftemp degC]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"farron/internal/cpu"
+	"farron/internal/experiments"
+	"farron/internal/model"
+	"farron/internal/simrand"
+	"farron/internal/testkit"
+	"farron/internal/thermal"
+	"farron/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sdcstudy: ")
+	var (
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		records = flag.Int("records", 10_000, "SDC records per datatype for Figures 4-5")
+		refTemp = flag.Float64("reftemp", 62, "reference test temperature for Observation 9")
+		dump    = flag.String("dump", "", "write the raw SDC record corpus (JSON lines) to this file")
+	)
+	flag.Parse()
+
+	ctx := experiments.NewContext(*seed)
+	out := os.Stdout
+
+	fmt.Fprintln(out, experiments.Table3(ctx).Render())
+	fmt.Fprintln(out, experiments.Fig2(ctx).Render())
+	fmt.Fprintln(out, experiments.Fig3(ctx).Render())
+	fmt.Fprintln(out, experiments.Fig4(ctx, *records).Render())
+	fmt.Fprintln(out, experiments.Fig5(ctx, *records).Render())
+	fmt.Fprintln(out, experiments.Fig6(ctx, 500).Render())
+	fmt.Fprintln(out, experiments.Fig7(ctx, 1000).Render())
+
+	fig8, err := experiments.Fig8(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(out, fig8.Render())
+
+	fig9, err := experiments.Fig9(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(out, fig9.Render())
+
+	fmt.Fprintln(out, experiments.Obs9(ctx, *refTemp).Render())
+
+	sep, err := experiments.Separation(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(out, sep.Render())
+
+	fmt.Fprintln(out, experiments.Attribution(ctx).Render())
+
+	anom, err := experiments.Anomalies(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(out, anom.Render())
+
+	if *dump != "" {
+		if err := dumpCorpus(ctx, *dump); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// dumpCorpus runs every named faulty processor's failing testcases hot and
+// long enough to collect a raw record corpus, then writes it as JSON lines
+// (the study's "more than ten thousand SDC records").
+func dumpCorpus(ctx *experiments.Context, path string) error {
+	var records []model.SDCRecord
+	hot := 66.0
+	rng := simrand.New(ctx.Seed)
+	for _, p := range ctx.Library {
+		proc := cpu.FromProfile(p)
+		pkg := thermal.New(thermal.DefaultConfig(), proc.PhysCores, rng.Derive("dump", p.CPUID))
+		runner := testkit.NewRunner(ctx.Suite, proc, pkg)
+		for _, tc := range ctx.Suite.FailingTestcases(p) {
+			for _, core := range proc.DefectiveCores() {
+				res := runner.Run(tc, testkit.RunOpts{
+					Core: core, Duration: 5 * time.Minute, FixedTempC: &hot,
+				})
+				records = append(records, res.Records...)
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Write(f, records); err != nil {
+		return err
+	}
+	fmt.Printf("corpus: %s -> %s\n", trace.Summarize(records), path)
+	return nil
+}

@@ -1,0 +1,155 @@
+// Command sdctrace analyzes a raw SDC record corpus (JSON lines, as written
+// by `sdcstudy -dump`): summary statistics, per-datatype bitflip position
+// histograms and direction split, and per-setting occurrence counts —
+// offline re-analysis of the study's evidence without re-running the
+// simulation.
+//
+// Usage:
+//
+//	sdctrace records.jsonl
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"farron/internal/inject"
+	"farron/internal/model"
+	"farron/internal/report"
+	"farron/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sdctrace: ")
+	if len(os.Args) != 2 {
+		log.Fatal("usage: sdctrace <records.jsonl>")
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	records, err := trace.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	summary := trace.Summarize(records)
+	fmt.Println(summary)
+	fmt.Println()
+
+	// Per-datatype bitflip analysis.
+	type flipStats struct {
+		positions *positionCounter
+		z2o, o2z  int
+	}
+	byDT := map[model.DataType]*flipStats{}
+	for i := range records {
+		r := &records[i]
+		if r.Consistency {
+			continue
+		}
+		st := byDT[r.DataType]
+		if st == nil {
+			st = &flipStats{positions: newPositionCounter(r.DataType.Bits())}
+			byDT[r.DataType] = st
+		}
+		maskLo, maskHi := r.Mask(), r.MaskHi()
+		for pos := 0; pos < r.DataType.Bits(); pos++ {
+			if !inject.BitAt(maskLo, maskHi, pos) {
+				continue
+			}
+			st.positions.add(pos)
+			if inject.BitAt(r.Expected, r.ExpectedHi, pos) {
+				st.o2z++
+			} else {
+				st.z2o++
+			}
+		}
+	}
+	var dts []model.DataType
+	for dt := range byDT {
+		dts = append(dts, dt)
+	}
+	sort.Slice(dts, func(i, j int) bool { return dts[i] < dts[j] })
+	for _, dt := range dts {
+		st := byDT[dt]
+		total := st.z2o + st.o2z
+		if total == 0 {
+			continue
+		}
+		fmt.Print(st.positions.render(fmt.Sprintf(
+			"%s — %d flips, %.1f%% zero-to-one", dt, total,
+			100*float64(st.z2o)/float64(total))))
+		fmt.Println()
+	}
+
+	// Per-setting record counts (top 10).
+	counts := map[model.Setting]int{}
+	for i := range records {
+		r := &records[i]
+		counts[model.Setting{ProcessorID: r.ProcessorID, TestcaseID: r.TestcaseID, Core: r.Core}]++
+	}
+	type kv struct {
+		s model.Setting
+		n int
+	}
+	var all []kv
+	for s, n := range counts {
+		all = append(all, kv{s, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].s.String() < all[j].s.String()
+	})
+	t := report.NewTable("top settings by record count", "setting", "records")
+	for i, e := range all {
+		if i >= 10 {
+			break
+		}
+		t.AddRow(e.s.String(), fmt.Sprintf("%d", e.n))
+	}
+	fmt.Println(t.String())
+}
+
+// positionCounter buckets flip positions into 8 groups for display.
+type positionCounter struct {
+	bits   int
+	counts []int
+}
+
+func newPositionCounter(bits int) *positionCounter {
+	return &positionCounter{bits: bits, counts: make([]int, bits)}
+}
+
+func (p *positionCounter) add(pos int) { p.counts[pos]++ }
+
+func (p *positionCounter) render(title string) string {
+	groups := 8
+	if p.bits < groups {
+		groups = p.bits
+	}
+	labels := make([]string, groups)
+	values := make([]float64, groups)
+	total := 0
+	for _, c := range p.counts {
+		total += c
+	}
+	for g := 0; g < groups; g++ {
+		lo := g * p.bits / groups
+		hi := (g+1)*p.bits/groups - 1
+		labels[g] = fmt.Sprintf("bit %2d-%2d", lo, hi)
+		sum := 0
+		for i := lo; i <= hi; i++ {
+			sum += p.counts[i]
+		}
+		if total > 0 {
+			values[g] = float64(sum) / float64(total)
+		}
+	}
+	return report.Bars(title, labels, values, 40)
+}

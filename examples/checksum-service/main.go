@@ -1,0 +1,88 @@
+// The Section 2.2 storage-application scenario: a faulty processor's
+// checksum-calculation instruction gives wrong results intermittently. The
+// service flags perfectly good data as corrupted, triggering repeated
+// requests — the production incident that motivated the study. Farron then
+// detects the defect, masks the core, and the flood stops.
+//
+// It also demonstrates the coherence and transactional-memory incidents
+// over the MESI and STM substrates.
+//
+// Run with:
+//
+//	go run ./examples/checksum-service
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"farron"
+	"farron/internal/model"
+	"farron/internal/simrand"
+	"farron/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	sim := farron.NewSimulation(7)
+	rng := simrand.New(7)
+
+	// --- Case 1: defective checksum calculation (MIX1-style) -----------
+	profile := sim.Profile("MIX1")
+	defect := profile.Defects[0]
+	// Build the corruption hook from the defect's own corruptor for the
+	// uint32 results the CRC path produces, firing at the defect's
+	// occurrence probability per operation at a working temperature.
+	corruptor := defect.Corruptor(model.DTUint32, rng)
+	frng := rng.Derive("checksum-fault")
+	perOpProb := 0.002 // ~the defect's per-checksum chance at 56 degC
+	hook := func(dt model.DataType, lo uint64, hi uint16) (uint64, uint16, bool) {
+		if dt != model.DTUint32 || !frng.Bool(perOpProb) {
+			return lo, hi, false
+		}
+		nl, nh := corruptor.Corrupt(frng, lo, hi)
+		return nl, nh, true
+	}
+
+	rep := workload.ChecksumService(rng, 20000, 128, hook)
+	fmt.Printf("storage service on faulty CPU: %d requests, %d false invalid-data reports\n",
+		rep.Requests, rep.MismatchReports)
+	if rep.MismatchReports == 0 {
+		log.Fatal("expected checksum mismatch flood")
+	}
+
+	// Farron screens the processor, masks what it can, and the service is
+	// re-placed on reliable cores — the hook disappears with the core.
+	proc := sim.FaultyProcessor("MIX1")
+	runner := sim.Runner(proc)
+	mit := farron.NewFarron(farron.DefaultConfig(), runner, farron.DefectFeatures(profile), nil)
+	pre := mit.PreProduction()
+	fmt.Printf("Farron pre-production: %d failing testcases; state=%v deprecated=%v\n",
+		len(pre.DetectedTestcases), mit.State(), proc.Deprecated())
+
+	clean := workload.ChecksumService(rng, 20000, 128, nil)
+	fmt.Printf("after mitigation (healthy placement): %d false reports\n\n", clean.MismatchReports)
+
+	// --- Case 2: defective cache coherence (CNST1-style) ---------------
+	cohRep := workload.SharedBuffer(rng, 3000, 8, 0.01)
+	fmt.Printf("shared buffer with defective coherence: %d handoffs, %d stale reads, %d checksum errors\n",
+		cohRep.Handoffs, cohRep.StaleReads, cohRep.ChecksumErrors)
+	healthyCoh := workload.SharedBuffer(rng, 3000, 8, 0)
+	fmt.Printf("with healthy coherence: %d checksum errors\n\n", healthyCoh.ChecksumErrors)
+
+	// --- Case 3: defective transactional memory (CNST2/Meta-style) -----
+	metaRep := workload.MetaStore(rng, 5000, 0.03)
+	fmt.Printf("metadata service with torn transactional commits: %d assertion failures, %d phantom zero-size files\n",
+		metaRep.AssertionFailures, metaRep.ZeroSizeFiles)
+	healthyMeta := workload.MetaStore(rng, 5000, 0)
+	fmt.Printf("with healthy transactional memory: %d assertion failures\n\n",
+		healthyMeta.AssertionFailures)
+
+	// --- Case 4: defective hashing (the hash-map metadata case) --------
+	hashHook := workload.HashCorruptHook(rng.Derive("hash-fault"), 0.02, 1<<5)
+	hashRep := workload.HashMapService(rng, 3000, hashHook)
+	fmt.Printf("hash-map metadata service with defective hashing: %d/%d keys unfindable (%d corrupt hashes)\n",
+		hashRep.LostKeys, hashRep.Inserted, hashRep.HashCorruptions)
+	healthyHash := workload.HashMapService(rng, 3000, nil)
+	fmt.Printf("with healthy hashing: %d keys lost\n", healthyHash.LostKeys)
+}

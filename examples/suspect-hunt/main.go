@@ -1,0 +1,72 @@
+// Suspect hunt: the Section 4.1 debugging workflow. A processor fails
+// testcases intermittently; which instruction is broken? The toolchain
+// sometimes preserves context and names the instruction directly (SIMD1's
+// vector multiply-add); otherwise we instrument every testcase Pin-style,
+// count instruction executions, and intersect the failing runs' profiles
+// statistically (FPU1's arctangent).
+//
+// Run with:
+//
+//	go run ./examples/suspect-hunt
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"farron"
+	"farron/internal/testkit"
+)
+
+func main() {
+	log.SetFlags(0)
+	sim := farron.NewSimulation(99)
+
+	// --- Case 1: the toolchain preserved context (SIMD1) ---------------
+	fmt.Println("== SIMD1: context-preserving detection ==")
+	simd1 := sim.FaultyProcessor("SIMD1")
+	runner := sim.Runner(simd1)
+	hot := 64.0
+	var results []farron.RunResult
+	for _, tc := range sim.Suite().ByFeature(farron.FeatureVecUnit) {
+		results = append(results, runner.Run(tc, farron.RunOpts{
+			Core: 5, Duration: 5 * time.Minute, FixedTempC: &hot,
+		}))
+	}
+	ctxSuspects := testkit.ContextSuspects(results)
+	if len(ctxSuspects) == 0 {
+		log.Fatal("no context records; SIMD1 should report its instruction")
+	}
+	fmt.Printf("toolchain reports incorrect instruction(s): %v\n", ctxSuspects)
+	fmt.Printf("ground truth: %v\n\n", sim.Profile("SIMD1").Defects[0].SortedInstrs())
+
+	// --- Case 2: statistical narrowing (FPU1) --------------------------
+	fmt.Println("== FPU1: Pin-style statistical attribution ==")
+	fpu1 := sim.FaultyProcessor("FPU1")
+	runner2 := sim.Runner(fpu1)
+	var results2 []farron.RunResult
+	failing := 0
+	for _, tc := range sim.Suite().ByFeature(farron.FeatureFPU) {
+		res := runner2.Run(tc, farron.RunOpts{
+			Core: 0, Duration: 8 * time.Minute, FixedTempC: &hot,
+		})
+		if res.Failed {
+			failing++
+		}
+		results2 = append(results2, res)
+	}
+	fmt.Printf("%d of %d FPU testcases failed\n", failing, len(results2))
+	for i, s := range testkit.RankSuspects(results2, 5) {
+		fmt.Printf("  suspect #%d: %-14v in %d failing runs, usage failing/passing = %.2g/%.2g\n",
+			i+1, s.ID, s.FailingRuns, s.FailingMean, s.PassingMean)
+	}
+	fmt.Printf("ground truth: %v\n", sim.Profile("FPU1").Defects[0].SortedInstrs())
+	fmt.Println("\nObservation 10: failing testcases use the defective instruction")
+	fmt.Println("orders of magnitude more often than passing testcases that touch it.")
+
+	// Also show the strict-intersection report for comparison.
+	rep := testkit.AttributeSuspects(results2)
+	fmt.Printf("strict intersection: %d strong, %d weak suspects (%d failing / %d passing runs)\n",
+		len(rep.Suspects), len(rep.WeakSuspects), rep.FailingCount, rep.PassingCount)
+}

@@ -1,0 +1,60 @@
+// Thermal guard: the adaptive temperature boundary in action. SIMD2 is a
+// "tricky" defect — it only corrupts above 62 ℃ and fires so rarely that
+// test rounds miss it. Farron learns the protected application's normal
+// operating temperature, then clips the hot bursts that would cross the
+// triggering threshold, trading a fraction of a second of backoff per hour
+// for zero silent corruptions.
+//
+// Run with:
+//
+//	go run ./examples/thermal-guard
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"farron"
+	"farron/internal/simrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	sim := farron.NewSimulation(23)
+	profile := sim.Profile("SIMD2")
+	d := profile.Defects[0]
+	fmt.Printf("SIMD2: tricky defect on core %d — min triggering temp %.0f degC, base freq %.2g/min\n",
+		profile.Defects[0].Cores[0], d.MinTempC, d.BaseFreqPerMin)
+
+	app := farron.DefaultAppProfile()
+	app.Stress = 1.0 // the impacted workload leans on the defective instruction
+	app.BurstProb = 0.002
+	app.BurstTicks = 18
+
+	run := func(protect bool, salt string) farron.OnlineReport {
+		proc := sim.FaultyProcessor("SIMD2")
+		runner := sim.Runner(proc)
+		mit := farron.NewFarron(farron.DefaultConfig(), runner,
+			farron.DefectFeatures(profile), nil)
+		return mit.Online(96*time.Hour, app, protect, simrand.New(23).Derive("guard", salt))
+	}
+
+	unprotected := run(false, "u")
+	fmt.Printf("\nwithout temperature control (96 h):\n")
+	fmt.Printf("  max temp %.1f degC, silent corruptions: %d\n",
+		unprotected.Backoff.MaxTempC, unprotected.SDCs)
+
+	protected := run(true, "p")
+	fmt.Printf("\nwith Farron's adaptive boundary (96 h):\n")
+	fmt.Printf("  boundary learned up to %.1f degC after %d adaptations\n",
+		protected.BoundaryFinalC, protected.BoundaryRaises)
+	fmt.Printf("  max temp %.1f degC, backoff %.3f s/hour (%d activations)\n",
+		protected.Backoff.MaxTempC, protected.Backoff.BackoffSecondsPerHour(),
+		protected.Backoff.Events)
+	fmt.Printf("  silent corruptions: %d\n", protected.SDCs)
+
+	if protected.SDCs >= unprotected.SDCs && unprotected.SDCs > 0 {
+		log.Fatal("temperature control failed to reduce SDC exposure")
+	}
+}

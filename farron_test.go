@@ -1,0 +1,144 @@
+package farron
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulationWorld(t *testing.T) {
+	sim := NewSimulation(5)
+	if sim.Seed() != 5 {
+		t.Errorf("seed = %d", sim.Seed())
+	}
+	if got := len(sim.Suite().Testcases); got != 633 {
+		t.Errorf("suite size = %d", got)
+	}
+	if got := len(sim.StudyProfiles()); got != 27 {
+		t.Errorf("study size = %d", got)
+	}
+	if sim.Profile("MIX1") == nil {
+		t.Error("MIX1 missing")
+	}
+	if sim.Profile("nope") != nil {
+		t.Error("unknown profile resolved")
+	}
+}
+
+func TestFaultyProcessorFactory(t *testing.T) {
+	sim := NewSimulation(6)
+	proc := sim.FaultyProcessor("CNST1")
+	if !proc.Faulty() {
+		t.Error("CNST1 not faulty")
+	}
+	class, ok := proc.DefectClass()
+	if !ok || class != ClassConsistency {
+		t.Errorf("class = %v/%v", class, ok)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown processor id should panic")
+		}
+	}()
+	sim.FaultyProcessor("bogus")
+}
+
+func TestHealthyProcessorFactory(t *testing.T) {
+	sim := NewSimulation(7)
+	proc := sim.HealthyProcessor("h1", "M3", 20, 2)
+	if proc.Faulty() || proc.LogicalCores() != 40 {
+		t.Error("healthy processor wrong")
+	}
+	runner := sim.Runner(proc)
+	res := runner.Run(sim.Suite().Testcases[0], RunOpts{Core: 0, Duration: 30 * time.Second})
+	if res.Failed {
+		t.Error("healthy processor failed a testcase")
+	}
+}
+
+func TestEndToEndMitigation(t *testing.T) {
+	sim := NewSimulation(8)
+	profile := sim.Profile("FPU2")
+	proc := sim.FaultyProcessor("FPU2")
+	runner := sim.Runner(proc)
+	mit := NewFarron(DefaultConfig(), runner, DefectFeatures(profile), nil)
+	rep := mit.PreProduction()
+	if len(rep.DetectedTestcases) == 0 {
+		t.Fatal("pre-production missed FPU2")
+	}
+	if proc.Deprecated() {
+		t.Error("single-core defect deprecated whole processor")
+	}
+	if proc.MaskedCount() != 1 {
+		t.Errorf("masked %d cores, want 1", proc.MaskedCount())
+	}
+}
+
+func TestBaselineFacade(t *testing.T) {
+	sim := NewSimulation(9)
+	proc := sim.FaultyProcessor("SIMD1")
+	runner := sim.Runner(proc)
+	base := NewBaseline(runner, time.Minute)
+	rep := base.RegularRound()
+	if rep.Duration < 10*time.Hour {
+		t.Errorf("baseline round = %v, want ~10.55h", rep.Duration)
+	}
+	if len(rep.DetectedTestcases) > 0 && !proc.Deprecated() {
+		t.Error("baseline detection must deprecate")
+	}
+}
+
+func TestFleetFacade(t *testing.T) {
+	sim := NewSimulation(10)
+	res, err := sim.Fleet(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Population != 100_000 {
+		t.Errorf("population = %d", res.Population)
+	}
+	if res.FaultyTotal == 0 {
+		t.Error("no faulty processors in 100k CPUs")
+	}
+}
+
+func TestExperimentsFacade(t *testing.T) {
+	sim := NewSimulation(11)
+	ctx := sim.Experiments()
+	if len(ctx.Study) != 27 {
+		t.Errorf("experiment study size = %d", len(ctx.Study))
+	}
+}
+
+func TestFrameworkFacade(t *testing.T) {
+	sim := NewSimulation(12)
+	proc := sim.FaultyProcessor("FPU3")
+	fw := NewFramework(sim.Runner(proc))
+	results := fw.Execute(Spec{
+		Select:      func(tc *Testcase) bool { return tc.Feature == FeatureFPU },
+		PerTestcase: 5 * time.Second,
+	}, sim.LifecycleRng("fw"))
+	if len(results) != 150 {
+		t.Errorf("framework ran %d testcases, want 150 FPU ones", len(results))
+	}
+}
+
+func TestLifecycleFacade(t *testing.T) {
+	sim := NewSimulation(13)
+	profile := sim.Profile("FPU1")
+	proc := sim.FaultyProcessor("FPU1")
+	cfg := DefaultConfig()
+	cfg.RegularPeriod = 6 * time.Hour
+	mit := NewFarron(cfg, sim.Runner(proc), DefectFeatures(profile), nil)
+	lc := NewLifecycle(LifecycleConfig{
+		Farron:  cfg,
+		App:     DefaultAppProfile(),
+		Horizon: 12 * time.Hour,
+	}, mit, sim.LifecycleRng("lc"))
+	rep := lc.Run()
+	if rep.FinalState.String() == "" {
+		t.Error("empty final state")
+	}
+	if rep.TestTime <= 0 {
+		t.Error("no test time recorded")
+	}
+}

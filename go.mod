@@ -1,0 +1,3 @@
+module farron
+
+go 1.22

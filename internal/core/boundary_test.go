@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBoundaryLearnsNormalTemperature(t *testing.T) {
+	b := NewBoundary(DefaultBoundaryConfig())
+	start := b.Current()
+	// Application normally runs at 58: most samples above the initial
+	// 50 boundary, so it must rise past 58 and stop adapting.
+	for i := 0; i < 2000; i++ {
+		b.Record(58)
+	}
+	if b.Current() < 58 {
+		t.Errorf("boundary = %v, want learned >= 58", b.Current())
+	}
+	if b.Current() > 62 {
+		t.Errorf("boundary = %v, overshot normal temperature", b.Current())
+	}
+	if b.Raises() == 0 {
+		t.Error("no raises recorded")
+	}
+	if b.Current() <= start {
+		t.Error("boundary did not move")
+	}
+}
+
+func TestBoundaryExcursionTriggersBackoff(t *testing.T) {
+	b := NewBoundary(DefaultBoundaryConfig())
+	// Learn a normal temperature of ~55.
+	for i := 0; i < 2000; i++ {
+		b.Record(55)
+	}
+	learned := b.Current()
+	// A rare excursion above the boundary: backoff, not adaptation.
+	got := b.Record(learned + 5)
+	if got != ActionBackoff {
+		t.Errorf("excursion action = %v, want backoff", got)
+	}
+	// Back under the boundary: no action.
+	if got := b.Record(learned - 3); got != ActionNone {
+		t.Errorf("normal action = %v", got)
+	}
+}
+
+func TestBoundaryDoesNotExceedMax(t *testing.T) {
+	cfg := DefaultBoundaryConfig()
+	cfg.MaxC = 60
+	b := NewBoundary(cfg)
+	for i := 0; i < 5000; i++ {
+		b.Record(80)
+	}
+	if b.Current() > 60 {
+		t.Errorf("boundary %v exceeded max 60", b.Current())
+	}
+	// Above max the controller keeps backing off rather than adapting.
+	if got := b.Record(80); got != ActionBackoff {
+		t.Errorf("action at capped boundary = %v", got)
+	}
+}
+
+func TestBoundaryCoolingAction(t *testing.T) {
+	b := NewBoundary(DefaultBoundaryConfig())
+	if got := b.Record(90); got != ActionCooling {
+		t.Errorf("action at 90 = %v, want cooling", got)
+	}
+}
+
+func TestBoundaryValidation(t *testing.T) {
+	cfg := DefaultBoundaryConfig()
+	cfg.Window = 0
+	assertPanics(t, func() { NewBoundary(cfg) }, "zero window")
+	cfg = DefaultBoundaryConfig()
+	cfg.CoolingC = cfg.InitialC - 1
+	assertPanics(t, func() { NewBoundary(cfg) }, "cooling below backoff")
+}
+
+func assertPanics(t *testing.T, fn func(), name string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestTestDurationScale(t *testing.T) {
+	b := NewBoundary(DefaultBoundaryConfig())
+	if got := b.TestDurationScale(); got != 1 {
+		t.Errorf("initial scale = %v", got)
+	}
+	for i := 0; i < 5000; i++ {
+		b.Record(80) // drive to max
+	}
+	if got := b.TestDurationScale(); got != 2 {
+		t.Errorf("scale at max boundary = %v, want 2", got)
+	}
+}
+
+func TestBackoffStats(t *testing.T) {
+	var s BackoffStats
+	tick := 10 * time.Second
+	s.Observe(ActionNone, tick, 50)
+	s.Observe(ActionBackoff, tick, 62)
+	s.Observe(ActionBackoff, tick, 61)
+	s.Observe(ActionNone, tick, 55)
+	s.Observe(ActionBackoff, tick, 63)
+	if s.Events != 2 {
+		t.Errorf("events = %d, want 2 activations", s.Events)
+	}
+	if s.BackoffTime != 30*time.Second {
+		t.Errorf("backoff time = %v", s.BackoffTime)
+	}
+	if s.MaxTempC != 63 {
+		t.Errorf("max temp = %v", s.MaxTempC)
+	}
+	wantOv := 30.0 / 50.0
+	if got := s.Overhead(); got != wantOv {
+		t.Errorf("overhead = %v, want %v", got, wantOv)
+	}
+	// 30 s of backoff in 50 s → 2160 s/h.
+	if got := s.BackoffSecondsPerHour(); got < 2159 || got > 2161 {
+		t.Errorf("s/h = %v", got)
+	}
+}
+
+func TestBackoffStatsEmpty(t *testing.T) {
+	var s BackoffStats
+	if s.Overhead() != 0 || s.BackoffSecondsPerHour() != 0 {
+		t.Error("empty stats should be zero")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionNone.String() != "none" || ActionBackoff.String() != "backoff" || ActionCooling.String() != "cooling" {
+		t.Error("action strings wrong")
+	}
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"farron/internal/cpu"
+	"farron/internal/defect"
+	"farron/internal/model"
+	"farron/internal/simrand"
+	"farron/internal/testkit"
+	"farron/internal/thermal"
+)
+
+// evalFixture builds the calibrated library plus suite shared by the
+// evaluation tests.
+type evalFixture struct {
+	suite    *testkit.Suite
+	profiles map[string]*defect.Profile
+	rng      *simrand.Source
+}
+
+func newEvalFixture(t *testing.T) *evalFixture {
+	t.Helper()
+	rng := simrand.New(4001)
+	suite := testkit.NewSuite(rng)
+	f := &evalFixture{suite: suite, profiles: map[string]*defect.Profile{}, rng: rng}
+	for _, p := range defect.Library(rng) {
+		suite.CalibrateProfile(p)
+		f.profiles[p.CPUID] = p
+	}
+	return f
+}
+
+func (f *evalFixture) healthyRunner(t *testing.T) *testkit.Runner {
+	t.Helper()
+	proc := cpu.NewHealthy("healthy-lc", "M3", 20, 2)
+	pkg := thermal.New(thermal.DefaultConfig(), proc.PhysCores, f.rng.Derive("th-healthy"))
+	return testkit.NewRunner(f.suite, proc, pkg)
+}
+
+func (f *evalFixture) runner(t *testing.T, id string) *testkit.Runner {
+	t.Helper()
+	p := f.profiles[id]
+	if p == nil {
+		t.Fatalf("no profile %s", id)
+	}
+	proc := cpu.FromProfile(p)
+	pkg := thermal.New(thermal.DefaultConfig(), proc.PhysCores, f.rng.Derive("th", id))
+	return testkit.NewRunner(f.suite, proc, pkg)
+}
+
+// knownErrs returns the processor's calibrated failing-testcase IDs.
+func (f *evalFixture) knownErrs(id string) []string {
+	var out []string
+	for _, tc := range f.suite.FailingTestcases(f.profiles[id]) {
+		out = append(out, tc.ID)
+	}
+	return out
+}
+
+// fleetActive simulates the fleet history feed: every library processor's
+// failing testcases are "testcases with a proven track record".
+func (f *evalFixture) fleetActive() []string {
+	seen := map[string]bool{}
+	var out []string
+	for id := range f.profiles {
+		for _, tc := range f.knownErrs(id) {
+			if !seen[tc] {
+				seen[tc] = true
+				out = append(out, tc)
+			}
+		}
+	}
+	return out
+}
+
+func appFeaturesFor(p *defect.Profile) []model.Feature { return p.Features() }
+
+func TestFarronWorkflowStates(t *testing.T) {
+	f := newEvalFixture(t)
+	r := f.runner(t, "FPU1")
+	fa := New(DefaultConfig(), r, appFeaturesFor(f.profiles["FPU1"]), f.fleetActive())
+	if fa.State() != StatePreProduction {
+		t.Fatalf("initial state = %v", fa.State())
+	}
+	rep := fa.PreProduction()
+	if fa.State() != StateOnline {
+		t.Fatalf("state after pre-production = %v", fa.State())
+	}
+	// FPU1 is an apparent defect: pre-production must catch it.
+	if len(rep.DetectedTestcases) == 0 {
+		t.Fatal("pre-production missed FPU1")
+	}
+	// Its single defective core (0, per the Table 3 library) must now be
+	// masked.
+	if !r.Processor().Masked(0) {
+		t.Error("defective core 0 not masked after pre-production")
+	}
+	if r.Processor().Deprecated() {
+		t.Error("single-core defect deprecated the whole processor")
+	}
+}
+
+func TestFarronDeprecatesManyCoreDefects(t *testing.T) {
+	f := newEvalFixture(t)
+	r := f.runner(t, "MIX1") // all 16 cores defective
+	fa := New(DefaultConfig(), r, appFeaturesFor(f.profiles["MIX1"]), f.fleetActive())
+	fa.PreProduction()
+	if !r.Processor().Deprecated() {
+		t.Error("MIX1 (16 defective cores) not deprecated")
+	}
+	if fa.State() != StateDeprecated {
+		t.Errorf("state = %v", fa.State())
+	}
+}
+
+func TestFarronCoverageBeatsBaseline(t *testing.T) {
+	// Figure 11: one round of regular testing, Farron coverage higher
+	// than baseline on every evaluated processor.
+	f := newEvalFixture(t)
+	for _, id := range []string{"SIMD1", "FPU1", "FPU2", "CNST1"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			known := f.knownErrs(id)
+			if len(known) == 0 {
+				t.Fatal("no known errors")
+			}
+
+			rFar := f.runner(t, id)
+			fa := New(DefaultConfig(), rFar, appFeaturesFor(f.profiles[id]), f.fleetActive())
+			farRound := fa.RegularRound()
+			farCov := farRound.Coverage(known)
+
+			rBase := f.runner(t, id)
+			base := NewBaseline(rBase, time.Minute)
+			baseRound := base.RegularRound()
+			baseCov := baseRound.Coverage(known)
+
+			if farCov < baseCov {
+				t.Errorf("Farron coverage %.2f < baseline %.2f", farCov, baseCov)
+			}
+			if farCov < 0.5 {
+				t.Errorf("Farron coverage only %.2f", farCov)
+			}
+			// And at far lower cost (1.02h vs 10.55h in the paper).
+			if farRound.Duration >= baseRound.Duration/3 {
+				t.Errorf("Farron round %v vs baseline %v: insufficient speedup",
+					farRound.Duration, baseRound.Duration)
+			}
+		})
+	}
+}
+
+func TestBaselineRoundDuration(t *testing.T) {
+	f := newEvalFixture(t)
+	r := f.runner(t, "FPU3")
+	base := NewBaseline(r, time.Minute)
+	rep := base.RegularRound()
+	want := time.Duration(testkit.SuiteSize) * time.Minute // 10.55 h
+	if rep.Duration < want-time.Minute || rep.Duration > want+time.Minute {
+		t.Errorf("baseline round = %v, want ~%v", rep.Duration, want)
+	}
+	// Baseline deprecates whole processors on any detection.
+	if len(rep.DetectedTestcases) > 0 && !r.Processor().Deprecated() {
+		t.Error("baseline detection did not deprecate")
+	}
+}
+
+func TestRegularRoundMovesToSuspected(t *testing.T) {
+	f := newEvalFixture(t)
+	r := f.runner(t, "FPU2")
+	fa := New(DefaultConfig(), r, appFeaturesFor(f.profiles["FPU2"]), f.fleetActive())
+	rep := fa.RegularRound()
+	if len(rep.DetectedTestcases) == 0 {
+		t.Fatal("regular round missed FPU2")
+	}
+	if fa.State() != StateSuspected {
+		t.Fatalf("state = %v, want suspected", fa.State())
+	}
+	// Targeted validation masks the defective core and returns online.
+	val := fa.TargetedValidation()
+	if fa.State() != StateOnline {
+		t.Fatalf("state after validation = %v", fa.State())
+	}
+	if !r.Processor().Masked(8) {
+		t.Error("core 8 not masked after targeted validation")
+	}
+	// The other cores were validated.
+	if len(fa.Entry().ValidatedCores) < r.Processor().PhysCores-2 {
+		t.Errorf("validated %d cores", len(fa.Entry().ValidatedCores))
+	}
+	_ = val
+}
+
+func TestOnlineProtectionAgainstTrickyDefect(t *testing.T) {
+	// The Table-4 scenario: a tricky defect (SIMD2: Tmin 62, passes
+	// tests) in production. With Farron's temperature control the
+	// workload stays under the boundary and absorbs no SDCs; without it,
+	// hot bursts cross the triggering temperature.
+	f := newEvalFixture(t)
+
+	app := DefaultAppProfile()
+	app.Stress = 1.0
+	// An adversarial bursty workload so the unprotected exposure is
+	// statistically solid within the simulated horizon.
+	app.BurstProb = 0.002
+	app.BurstTicks = 18
+
+	run := func(protect bool) OnlineReport {
+		r := f.runner(t, "SIMD2")
+		fa := New(DefaultConfig(), r, appFeaturesFor(f.profiles["SIMD2"]), nil)
+		fa.state = StateOnline
+		return fa.Online(96*time.Hour, app, protect, f.rng.Derive("online", map[bool]string{true: "p", false: "u"}[protect]))
+	}
+
+	protected := run(true)
+	unprotected := run(false)
+
+	if unprotected.SDCs == 0 {
+		t.Fatal("unprotected run absorbed no SDCs; scenario is vacuous")
+	}
+	if protected.SDCs >= unprotected.SDCs {
+		t.Errorf("protected SDCs %d not below unprotected %d", protected.SDCs, unprotected.SDCs)
+	}
+	// Backoff engaged but rarely (paper: 0.864 s/hour).
+	sph := protected.Backoff.BackoffSecondsPerHour()
+	if protected.Backoff.Events == 0 {
+		t.Error("backoff never engaged")
+	}
+	if sph > 120 {
+		t.Errorf("backoff %v s/h too disruptive", sph)
+	}
+	// The boundary learned the workload's normal temperature.
+	if protected.BoundaryRaises == 0 {
+		t.Error("boundary never adapted")
+	}
+}
+
+func TestOnlineUnprotectedNoBackoff(t *testing.T) {
+	f := newEvalFixture(t)
+	r := f.runner(t, "FPU4")
+	fa := New(DefaultConfig(), r, appFeaturesFor(f.profiles["FPU4"]), nil)
+	fa.state = StateOnline
+	rep := fa.Online(6*time.Hour, DefaultAppProfile(), false, f.rng.Derive("u2"))
+	if rep.Backoff.BackoffTime != 0 {
+		t.Error("unprotected run recorded backoff")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	states := map[State]string{
+		StatePreProduction: "pre-production",
+		StateOnline:        "online",
+		StateSuspected:     "suspected",
+		StateDeprecated:    "deprecated",
+	}
+	for s, w := range states {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+}
+
+func TestTestOverhead(t *testing.T) {
+	period := 90 * 24 * time.Hour
+	// Baseline: 10.55 h per 90 d = 0.488%.
+	got := TestOverhead(633*time.Minute, period)
+	if got < 0.0048 || got > 0.0050 {
+		t.Errorf("baseline overhead = %v, want ~0.00488", got)
+	}
+	if TestOverhead(time.Hour, 0) != 0 {
+		t.Error("zero period should be 0")
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"time"
+
+	"farron/internal/sched"
+	"farron/internal/simrand"
+)
+
+// LifecycleConfig parameterizes a long-horizon simulation of the Figure 10
+// workflow: pre-production testing, online operation under temperature
+// control, regular test rounds on a fixed cadence, and suspected-state
+// validation after detections.
+type LifecycleConfig struct {
+	// Farron is the mitigation configuration (its RegularPeriod sets the
+	// test cadence).
+	Farron Config
+	// App is the protected application's profile.
+	App AppProfile
+	// Horizon is total simulated wall time.
+	Horizon time.Duration
+}
+
+// LifecycleReport aggregates a whole lifecycle run.
+type LifecycleReport struct {
+	// Rounds is the number of regular rounds executed.
+	Rounds int
+	// Detections counts rounds that found SDCs.
+	Detections int
+	// Validations counts suspected-state targeted passes.
+	Validations int
+	// TestTime is total time spent testing (pre-production + regular +
+	// targeted).
+	TestTime time.Duration
+	// OnlineTime is total time serving the application.
+	OnlineTime time.Duration
+	// SDCs is corruptions absorbed by the application while online.
+	SDCs int
+	// Backoff aggregates temperature-control activity across the whole
+	// online span.
+	Backoff BackoffStats
+	// FinalState is the workflow state at the horizon.
+	FinalState State
+	// MaskedCores and Deprecated snapshot the decommission outcome.
+	MaskedCores int
+	Deprecated  bool
+	// Transitions logs (virtual time, state) pairs.
+	Transitions []Transition
+}
+
+// Transition is one workflow state change.
+type Transition struct {
+	At    time.Duration
+	State State
+}
+
+// Lifecycle drives a Farron instance through simulated months using the
+// discrete-event clock: regular tests fire on their cadence; the processor
+// serves the application in between; a detection routes through targeted
+// validation before returning online.
+type Lifecycle struct {
+	cfg    LifecycleConfig
+	farron *Farron
+	clock  *sched.Clock
+	rng    *simrand.Source
+	report LifecycleReport
+}
+
+// NewLifecycle wraps a Farron instance.
+func NewLifecycle(cfg LifecycleConfig, f *Farron, rng *simrand.Source) *Lifecycle {
+	if cfg.Horizon <= 0 {
+		panic("core: lifecycle needs a positive horizon")
+	}
+	if cfg.Farron.RegularPeriod <= 0 {
+		panic("core: lifecycle needs a positive regular period")
+	}
+	return &Lifecycle{cfg: cfg, farron: f, clock: sched.NewClock(), rng: rng}
+}
+
+// Clock exposes the virtual clock (read-only use).
+func (l *Lifecycle) Clock() *sched.Clock { return l.clock }
+
+// Run executes the lifecycle and returns the aggregate report.
+func (l *Lifecycle) Run() LifecycleReport {
+	l.transition(StatePreProduction)
+	pre := l.farron.PreProduction()
+	l.report.TestTime += pre.Duration
+	l.clock.Advance(pre.Duration)
+	l.transition(l.farron.State())
+
+	if l.farron.State() == StateDeprecated {
+		l.snapshot()
+		return l.report
+	}
+
+	period := l.cfg.Farron.RegularPeriod
+	deadline := l.cfg.Horizon
+	for l.clock.Now() < deadline && l.farron.State() != StateDeprecated {
+		// Online until the next regular round (or the horizon).
+		span := period
+		if rem := deadline - l.clock.Now(); rem < span {
+			span = rem
+		}
+		if span > 0 {
+			online := l.farron.Online(span, l.cfg.App, true, l.rng.Derive("online", l.clock.Now().String()))
+			l.report.OnlineTime += span
+			l.report.SDCs += online.SDCs
+			l.absorbBackoff(online.Backoff)
+			l.clock.Advance(span)
+		}
+		if l.clock.Now() >= deadline {
+			break
+		}
+
+		// Regular round.
+		round := l.farron.RegularRound()
+		l.report.Rounds++
+		l.report.TestTime += round.Duration
+		l.clock.Advance(round.Duration)
+		if len(round.DetectedTestcases) > 0 {
+			l.report.Detections++
+			l.transition(StateSuspected)
+			val := l.farron.TargetedValidation()
+			l.report.Validations++
+			l.report.TestTime += val.Duration
+			l.clock.Advance(val.Duration)
+		}
+		l.transition(l.farron.State())
+	}
+	l.snapshot()
+	return l.report
+}
+
+func (l *Lifecycle) transition(s State) {
+	n := len(l.report.Transitions)
+	if n > 0 && l.report.Transitions[n-1].State == s {
+		return
+	}
+	l.report.Transitions = append(l.report.Transitions, Transition{At: l.clock.Now(), State: s})
+}
+
+func (l *Lifecycle) absorbBackoff(b BackoffStats) {
+	l.report.Backoff.BackoffTime += b.BackoffTime
+	l.report.Backoff.TotalTime += b.TotalTime
+	l.report.Backoff.Events += b.Events
+	if b.MaxTempC > l.report.Backoff.MaxTempC {
+		l.report.Backoff.MaxTempC = b.MaxTempC
+	}
+}
+
+func (l *Lifecycle) snapshot() {
+	proc := l.farron.runner.Processor()
+	l.report.FinalState = l.farron.State()
+	l.report.MaskedCores = proc.MaskedCount()
+	l.report.Deprecated = proc.Deprecated()
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"time"
+
+	"farron/internal/model"
+	"farron/internal/testkit"
+)
+
+// Priority is a testcase's Farron priority level (Section 7.1).
+type Priority int
+
+const (
+	// PriorityBasic: designed for a feature but never detected a fault
+	// in large-scale tests; run best-effort.
+	PriorityBasic Priority = iota
+	// PriorityActive: a proven track record of identifying defective
+	// features anywhere in the fleet.
+	PriorityActive
+	// PrioritySuspected: has detected errors on the current processor's
+	// cores.
+	PrioritySuspected
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case PriorityBasic:
+		return "basic"
+	case PriorityActive:
+		return "active"
+	case PrioritySuspected:
+		return "suspected"
+	default:
+		return "unknown"
+	}
+}
+
+// PlannerConfig sets the per-priority test durations.
+type PlannerConfig struct {
+	// SuspectedDur and ActiveDur are full test durations for prioritized
+	// testcases; BasicDur is the best-effort slice for everything else.
+	SuspectedDur, ActiveDur, BasicDur time.Duration
+}
+
+// DefaultPlannerConfig matches the evaluation's ~1h rounds against the
+// baseline's 633 × 60 s = 10.55 h.
+func DefaultPlannerConfig() PlannerConfig {
+	return PlannerConfig{
+		SuspectedDur: 90 * time.Second,
+		ActiveDur:    45 * time.Second,
+		BasicDur:     1500 * time.Millisecond,
+	}
+}
+
+// Planner assigns priorities and builds prioritized regular-test plans.
+type Planner struct {
+	cfg        PlannerConfig
+	suite      *testkit.Suite
+	priorities map[string]Priority
+	// appFeatures are the processor features the protected application
+	// uses; Farron mainly allocates resources to matching testcases.
+	appFeatures map[model.Feature]bool
+}
+
+// NewPlanner creates a planner over the suite. appFeatures lists the
+// features the protected application engages (empty = assume all).
+func NewPlanner(cfg PlannerConfig, suite *testkit.Suite, appFeatures []model.Feature) *Planner {
+	p := &Planner{
+		cfg:        cfg,
+		suite:      suite,
+		priorities: map[string]Priority{},
+		appFeatures: func() map[model.Feature]bool {
+			m := map[model.Feature]bool{}
+			for _, f := range appFeatures {
+				m[f] = true
+			}
+			return m
+		}(),
+	}
+	return p
+}
+
+// Priority returns a testcase's current priority (basic by default).
+func (p *Planner) Priority(tcID string) Priority { return p.priorities[tcID] }
+
+// MarkActive promotes a testcase to active (fleet history: it has found
+// SDCs before). Suspected testcases are not demoted.
+func (p *Planner) MarkActive(tcID string) {
+	if p.priorities[tcID] < PriorityActive {
+		p.priorities[tcID] = PriorityActive
+	}
+}
+
+// MarkSuspected promotes a testcase to suspected (it failed on this
+// processor).
+func (p *Planner) MarkSuspected(tcID string) { p.priorities[tcID] = PrioritySuspected }
+
+// SuspectedIDs returns all suspected testcases in suite order.
+func (p *Planner) SuspectedIDs() []string {
+	var out []string
+	for _, tc := range p.suite.Testcases {
+		if p.priorities[tc.ID] == PrioritySuspected {
+			out = append(out, tc.ID)
+		}
+	}
+	return out
+}
+
+// appMatch reports whether the testcase's targeted feature is used by the
+// protected application.
+func (p *Planner) appMatch(tc *testkit.Testcase) bool {
+	if len(p.appFeatures) == 0 {
+		return true
+	}
+	return p.appFeatures[tc.Feature]
+}
+
+// Alloc is one planned testcase execution.
+type Alloc struct {
+	Testcase *testkit.Testcase
+	Duration time.Duration
+	Priority Priority
+}
+
+// Plan builds the regular-round schedule: suspected testcases first, then
+// active testcases whose feature the application uses, then everything else
+// best-effort. durationScale stretches prioritized durations per the
+// adaptive boundary (Section 7.1).
+func (p *Planner) Plan(durationScale float64) []Alloc {
+	if durationScale <= 0 {
+		durationScale = 1
+	}
+	var suspected, active, basic []Alloc
+	for _, tc := range p.suite.Testcases {
+		switch {
+		case p.priorities[tc.ID] == PrioritySuspected:
+			suspected = append(suspected, Alloc{tc,
+				scaleDur(p.cfg.SuspectedDur, durationScale), PrioritySuspected})
+		case p.priorities[tc.ID] == PriorityActive && p.appMatch(tc):
+			active = append(active, Alloc{tc,
+				scaleDur(p.cfg.ActiveDur, durationScale), PriorityActive})
+		default:
+			basic = append(basic, Alloc{tc, p.cfg.BasicDur, PriorityBasic})
+		}
+	}
+	out := make([]Alloc, 0, len(suspected)+len(active)+len(basic))
+	out = append(out, suspected...)
+	out = append(out, active...)
+	out = append(out, basic...)
+	return out
+}
+
+// PlanDuration sums a plan's durations.
+func PlanDuration(plan []Alloc) time.Duration {
+	var d time.Duration
+	for _, a := range plan {
+		d += a.Duration
+	}
+	return d
+}
+
+func scaleDur(d time.Duration, s float64) time.Duration {
+	return time.Duration(float64(d) * s)
+}

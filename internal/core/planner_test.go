@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"farron/internal/model"
+	"farron/internal/simrand"
+	"farron/internal/testkit"
+)
+
+func newTestSuite() *testkit.Suite {
+	return testkit.NewSuite(simrand.New(3001))
+}
+
+func TestPlannerPriorities(t *testing.T) {
+	s := newTestSuite()
+	p := NewPlanner(DefaultPlannerConfig(), s, nil)
+	tc := s.Testcases[0].ID
+	if p.Priority(tc) != PriorityBasic {
+		t.Error("default priority not basic")
+	}
+	p.MarkActive(tc)
+	if p.Priority(tc) != PriorityActive {
+		t.Error("MarkActive failed")
+	}
+	p.MarkSuspected(tc)
+	if p.Priority(tc) != PrioritySuspected {
+		t.Error("MarkSuspected failed")
+	}
+	// Active must not demote suspected.
+	p.MarkActive(tc)
+	if p.Priority(tc) != PrioritySuspected {
+		t.Error("MarkActive demoted a suspected testcase")
+	}
+}
+
+func TestPlanOrderingAndDurations(t *testing.T) {
+	s := newTestSuite()
+	cfg := DefaultPlannerConfig()
+	p := NewPlanner(cfg, s, nil)
+	p.MarkSuspected(s.Testcases[10].ID)
+	p.MarkActive(s.Testcases[20].ID)
+	plan := p.Plan(1)
+	if len(plan) != testkit.SuiteSize {
+		t.Fatalf("plan covers %d testcases", len(plan))
+	}
+	if plan[0].Testcase.ID != s.Testcases[10].ID || plan[0].Priority != PrioritySuspected {
+		t.Errorf("plan head = %v/%v, want suspected first", plan[0].Testcase.ID, plan[0].Priority)
+	}
+	if plan[0].Duration != cfg.SuspectedDur {
+		t.Errorf("suspected duration = %v", plan[0].Duration)
+	}
+	if plan[1].Testcase.ID != s.Testcases[20].ID || plan[1].Priority != PriorityActive {
+		t.Errorf("second slot = %v/%v, want active", plan[1].Testcase.ID, plan[1].Priority)
+	}
+	for _, a := range plan[2:] {
+		if a.Priority != PriorityBasic || a.Duration != cfg.BasicDur {
+			t.Fatalf("tail slot %s priority %v duration %v", a.Testcase.ID, a.Priority, a.Duration)
+		}
+	}
+}
+
+func TestPlanAppFeatureFiltering(t *testing.T) {
+	s := newTestSuite()
+	p := NewPlanner(DefaultPlannerConfig(), s, []model.Feature{model.FeatureFPU})
+	// Mark one FPU and one ALU testcase active.
+	fpu := s.ByFeature(model.FeatureFPU)[0]
+	alu := s.ByFeature(model.FeatureALU)[0]
+	p.MarkActive(fpu.ID)
+	p.MarkActive(alu.ID)
+	plan := p.Plan(1)
+	prio := map[string]Priority{}
+	for _, a := range plan {
+		prio[a.Testcase.ID] = a.Priority
+	}
+	if prio[fpu.ID] != PriorityActive {
+		t.Error("app-matching active testcase not prioritized")
+	}
+	// The ALU testcase is active but its feature is unused by the app:
+	// best-effort slot.
+	for _, a := range plan {
+		if a.Testcase.ID == alu.ID && a.Duration != DefaultPlannerConfig().BasicDur {
+			t.Errorf("non-matching active testcase got %v", a.Duration)
+		}
+	}
+	// Suspected testcases are always prioritized, app match or not.
+	p.MarkSuspected(alu.ID)
+	plan = p.Plan(1)
+	if plan[0].Testcase.ID != alu.ID {
+		t.Error("suspected non-matching testcase not first")
+	}
+}
+
+func TestPlanDurationScale(t *testing.T) {
+	s := newTestSuite()
+	cfg := DefaultPlannerConfig()
+	p := NewPlanner(cfg, s, nil)
+	p.MarkSuspected(s.Testcases[0].ID)
+	plan := p.Plan(2)
+	if plan[0].Duration != 2*cfg.SuspectedDur {
+		t.Errorf("scaled duration = %v", plan[0].Duration)
+	}
+	// Basic slots are not scaled (best-effort stays best-effort).
+	if plan[5].Duration != cfg.BasicDur {
+		t.Errorf("basic duration scaled to %v", plan[5].Duration)
+	}
+	// Non-positive scale falls back to 1.
+	plan = p.Plan(0)
+	if plan[0].Duration != cfg.SuspectedDur {
+		t.Errorf("zero-scale duration = %v", plan[0].Duration)
+	}
+}
+
+func TestFarronRoundMuchShorterThanBaseline(t *testing.T) {
+	// The headline overhead claim: Farron ~1 h vs baseline 10.55 h.
+	s := newTestSuite()
+	p := NewPlanner(DefaultPlannerConfig(), s, []model.Feature{model.FeatureFPU})
+	// A realistic history: ~70 fleet-active testcases, 3 suspected.
+	for i, tc := range s.ByFeature(model.FeatureFPU) {
+		if i >= 70 {
+			break
+		}
+		p.MarkActive(tc.ID)
+	}
+	for i := 0; i < 3; i++ {
+		p.MarkSuspected(s.ByFeature(model.FeatureFPU)[i].ID)
+	}
+	farron := PlanDuration(p.Plan(1))
+	baseline := time.Duration(testkit.SuiteSize) * time.Minute
+	if farron >= baseline/5 {
+		t.Errorf("Farron round %v not ≪ baseline %v", farron, baseline)
+	}
+	if farron < 30*time.Minute || farron > 3*time.Hour {
+		t.Errorf("Farron round %v outside the ~1h regime", farron)
+	}
+}
+
+func TestSuspectedIDsOrdered(t *testing.T) {
+	s := newTestSuite()
+	p := NewPlanner(DefaultPlannerConfig(), s, nil)
+	p.MarkSuspected(s.Testcases[30].ID)
+	p.MarkSuspected(s.Testcases[5].ID)
+	ids := p.SuspectedIDs()
+	if len(ids) != 2 || ids[0] != s.Testcases[5].ID || ids[1] != s.Testcases[30].ID {
+		t.Errorf("SuspectedIDs = %v", ids)
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	if PriorityBasic.String() != "basic" || PriorityActive.String() != "active" || PrioritySuspected.String() != "suspected" {
+		t.Error("priority strings wrong")
+	}
+}

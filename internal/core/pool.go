@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sort"
+
+	"farron/internal/cpu"
+)
+
+// MaxDefectiveCores is Farron's fine-grained decommission threshold: a
+// processor with more than this many defective cores is deprecated whole
+// (Section 7.1, following Observation 4's bimodal one-core/all-cores
+// pattern); otherwise the defective cores are masked and the rest keep
+// serving.
+const MaxDefectiveCores = 2
+
+// PoolEntry tracks one processor's standing in the reliable resource pool.
+type PoolEntry struct {
+	Proc *cpu.Processor
+	// ValidatedCores are cores that passed targeted ("suspected") tests.
+	ValidatedCores map[int]bool
+	// FailedCores are cores confirmed defective.
+	FailedCores map[int]bool
+}
+
+// ReliablePool manages unaffected cores of (possibly faulty) processors —
+// the Hyrax-style fail-in-place substrate Farron uses instead of whole-
+// processor deprecation.
+type ReliablePool struct {
+	entries map[string]*PoolEntry
+}
+
+// NewReliablePool returns an empty pool.
+func NewReliablePool() *ReliablePool {
+	return &ReliablePool{entries: map[string]*PoolEntry{}}
+}
+
+// Admit registers a processor, with all active cores provisionally
+// reliable.
+func (p *ReliablePool) Admit(proc *cpu.Processor) *PoolEntry {
+	e := &PoolEntry{
+		Proc:           proc,
+		ValidatedCores: map[int]bool{},
+		FailedCores:    map[int]bool{},
+	}
+	p.entries[proc.ID] = e
+	return e
+}
+
+// Entry returns a processor's pool entry, or nil.
+func (p *ReliablePool) Entry(id string) *PoolEntry { return p.entries[id] }
+
+// Remove drops a processor from the pool (deprecation).
+func (p *ReliablePool) Remove(id string) { delete(p.entries, id) }
+
+// Size returns the number of pooled processors.
+func (p *ReliablePool) Size() int { return len(p.entries) }
+
+// ReliableCores returns a processor's in-service cores that are not
+// confirmed defective, sorted.
+func (e *PoolEntry) ReliableCores() []int {
+	var out []int
+	for _, c := range e.Proc.ActiveCores() {
+		if !e.FailedCores[c] {
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RecordCoreFailure marks a core defective and applies Farron's
+// decommission policy: mask the core, or deprecate the whole processor once
+// more than MaxDefectiveCores cores have failed. It returns true if the
+// processor was deprecated.
+func (e *PoolEntry) RecordCoreFailure(core int) bool {
+	e.FailedCores[core] = true
+	delete(e.ValidatedCores, core)
+	if len(e.FailedCores) > MaxDefectiveCores {
+		e.Proc.Deprecate()
+		return true
+	}
+	e.Proc.MaskCore(core)
+	return false
+}
+
+// RecordCoreValidated marks a core as having passed targeted tests.
+func (e *PoolEntry) RecordCoreValidated(core int) {
+	if !e.FailedCores[core] {
+		e.ValidatedCores[core] = true
+	}
+}
+
+// Deprecated reports whether the processor is out of service.
+func (e *PoolEntry) Deprecated() bool { return e.Proc.Deprecated() }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"farron/internal/cpu"
+)
+
+func TestPoolAdmitAndReliableCores(t *testing.T) {
+	pool := NewReliablePool()
+	proc := cpu.NewHealthy("p1", "M2", 8, 2)
+	e := pool.Admit(proc)
+	if pool.Size() != 1 || pool.Entry("p1") != e {
+		t.Fatal("admit bookkeeping wrong")
+	}
+	if got := e.ReliableCores(); len(got) != 8 {
+		t.Errorf("reliable cores = %v", got)
+	}
+}
+
+func TestRecordCoreFailureMasks(t *testing.T) {
+	pool := NewReliablePool()
+	proc := cpu.NewHealthy("p2", "M2", 8, 2)
+	e := pool.Admit(proc)
+	if deprecated := e.RecordCoreFailure(3); deprecated {
+		t.Fatal("first failure deprecated the processor")
+	}
+	if !proc.Masked(3) {
+		t.Error("failed core not masked")
+	}
+	cores := e.ReliableCores()
+	if len(cores) != 7 {
+		t.Errorf("reliable cores = %v", cores)
+	}
+	for _, c := range cores {
+		if c == 3 {
+			t.Error("failed core still reliable")
+		}
+	}
+}
+
+func TestThresholdDeprecation(t *testing.T) {
+	pool := NewReliablePool()
+	proc := cpu.NewHealthy("p3", "M2", 8, 2)
+	e := pool.Admit(proc)
+	e.RecordCoreFailure(0)
+	e.RecordCoreFailure(1)
+	if proc.Deprecated() {
+		t.Fatal("deprecated at threshold, want above threshold")
+	}
+	if !e.RecordCoreFailure(2) {
+		t.Fatal("third failure did not deprecate (>2 rule)")
+	}
+	if !proc.Deprecated() {
+		t.Error("processor not deprecated")
+	}
+	if got := e.ReliableCores(); len(got) != 0 {
+		t.Errorf("deprecated processor has reliable cores %v", got)
+	}
+}
+
+func TestValidationBookkeeping(t *testing.T) {
+	pool := NewReliablePool()
+	proc := cpu.NewHealthy("p4", "M2", 8, 2)
+	e := pool.Admit(proc)
+	e.RecordCoreValidated(5)
+	if !e.ValidatedCores[5] {
+		t.Error("validation not recorded")
+	}
+	e.RecordCoreFailure(5)
+	if e.ValidatedCores[5] {
+		t.Error("failed core still validated")
+	}
+	// Validating a failed core is refused.
+	e.RecordCoreValidated(5)
+	if e.ValidatedCores[5] {
+		t.Error("failed core re-validated")
+	}
+}
+
+func TestPoolRemove(t *testing.T) {
+	pool := NewReliablePool()
+	proc := cpu.NewHealthy("p5", "M2", 4, 2)
+	pool.Admit(proc)
+	pool.Remove("p5")
+	if pool.Size() != 0 || pool.Entry("p5") != nil {
+		t.Error("remove failed")
+	}
+}
+
+func TestDuplicateFailureIdempotent(t *testing.T) {
+	pool := NewReliablePool()
+	proc := cpu.NewHealthy("p6", "M2", 8, 2)
+	e := pool.Admit(proc)
+	e.RecordCoreFailure(1)
+	e.FailedCores[1] = true
+	e.RecordCoreFailure(1) // re-recording must not push toward deprecation
+	e.RecordCoreFailure(2)
+	if proc.Deprecated() {
+		t.Error("duplicate failures triggered deprecation")
+	}
+}

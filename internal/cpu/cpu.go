@@ -1,0 +1,182 @@
+// Package cpu models processors: physical cores, SMT logical cores, the
+// micro-architecture identity, and per-core health state (masking and
+// decommission, the "fine-grained processor decommission" substrate of
+// Farron's design, Section 7.1).
+package cpu
+
+import (
+	"fmt"
+	"sort"
+
+	"farron/internal/defect"
+	"farron/internal/model"
+)
+
+// Processor is one CPU package.
+type Processor struct {
+	// ID is the processor serial / anonymized name.
+	ID string
+	// Arch is the micro-architecture.
+	Arch model.MicroArch
+	// PhysCores is the number of physical cores.
+	PhysCores int
+	// ThreadsPerCore is the SMT width.
+	ThreadsPerCore int
+	// AgeYears is the deployment age.
+	AgeYears float64
+
+	defects    []*defect.Defect
+	masked     map[int]bool
+	deprecated bool
+}
+
+// NewHealthy returns a defect-free processor.
+func NewHealthy(id string, arch model.MicroArch, physCores, threadsPerCore int) *Processor {
+	if physCores <= 0 || threadsPerCore <= 0 {
+		panic("cpu: invalid core counts")
+	}
+	return &Processor{
+		ID: id, Arch: arch,
+		PhysCores: physCores, ThreadsPerCore: threadsPerCore,
+		masked: map[int]bool{},
+	}
+}
+
+// FromProfile instantiates a faulty processor from a defect profile.
+func FromProfile(p *defect.Profile) *Processor {
+	proc := NewHealthy(p.CPUID, p.Arch, p.TotalPCores, p.ThreadsPerCore)
+	proc.AgeYears = p.AgeYears
+	proc.defects = append(proc.defects, p.Defects...)
+	return proc
+}
+
+// Defects returns the processor's hardware defects (nil for healthy CPUs).
+func (p *Processor) Defects() []*defect.Defect { return p.defects }
+
+// Faulty reports whether the processor has any defect.
+func (p *Processor) Faulty() bool { return len(p.defects) > 0 }
+
+// LogicalCores returns the total number of hardware threads.
+func (p *Processor) LogicalCores() int { return p.PhysCores * p.ThreadsPerCore }
+
+// PhysicalOf maps a logical core (hardware thread) to its physical core.
+// SMT siblings share every execution resource, which is why "all the
+// logical cores sharing the same defective physical core are affected and
+// fail the same testcases with a similar frequency" (Observation 4): the
+// defect model operates at physical-core granularity and this mapping is
+// how schedulers translate.
+func (p *Processor) PhysicalOf(logical int) int {
+	if logical < 0 || logical >= p.LogicalCores() {
+		panic(fmt.Sprintf("cpu: logical core %d out of range [0,%d) on %s",
+			logical, p.LogicalCores(), p.ID))
+	}
+	return logical % p.PhysCores
+}
+
+// SiblingThreads returns the logical cores backed by physical core idx.
+func (p *Processor) SiblingThreads(idx int) []int {
+	p.checkCore(idx)
+	out := make([]int, 0, p.ThreadsPerCore)
+	for t := 0; t < p.ThreadsPerCore; t++ {
+		out = append(out, t*p.PhysCores+idx)
+	}
+	return out
+}
+
+// DefectClass returns the processor's defect class; ok is false for healthy
+// processors.
+func (p *Processor) DefectClass() (class model.DefectClass, ok bool) {
+	if len(p.defects) == 0 {
+		return 0, false
+	}
+	return p.defects[0].Class, true
+}
+
+// DefectiveCores returns the sorted union of defective physical cores.
+func (p *Processor) DefectiveCores() []int {
+	set := map[int]bool{}
+	for _, d := range p.defects {
+		for _, c := range d.DefectiveCores(p.PhysCores) {
+			set[c] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CoreDefective reports whether physical core idx carries a defect.
+func (p *Processor) CoreDefective(idx int) bool {
+	for _, d := range p.defects {
+		if d.AffectsCore(idx) {
+			return true
+		}
+	}
+	return false
+}
+
+// MaskCore removes physical core idx from service (fine-grained
+// decommission). Masking an out-of-range core panics.
+func (p *Processor) MaskCore(idx int) {
+	p.checkCore(idx)
+	p.masked[idx] = true
+}
+
+// UnmaskCore returns a core to service.
+func (p *Processor) UnmaskCore(idx int) {
+	p.checkCore(idx)
+	delete(p.masked, idx)
+}
+
+// Masked reports whether physical core idx is out of service.
+func (p *Processor) Masked(idx int) bool {
+	p.checkCore(idx)
+	return p.masked[idx]
+}
+
+// MaskedCount returns how many physical cores are masked.
+func (p *Processor) MaskedCount() int { return len(p.masked) }
+
+// ActiveCores returns in-service physical core indices in order. A
+// deprecated processor has none.
+func (p *Processor) ActiveCores() []int {
+	if p.deprecated {
+		return nil
+	}
+	out := make([]int, 0, p.PhysCores-len(p.masked))
+	for c := 0; c < p.PhysCores; c++ {
+		if !p.masked[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Deprecate takes the whole processor out of service (the coarse-grained
+// policy of the baseline, or Farron's >2-defective-core rule).
+func (p *Processor) Deprecate() { p.deprecated = true }
+
+// Deprecated reports whether the processor is fully out of service.
+func (p *Processor) Deprecated() bool { return p.deprecated }
+
+func (p *Processor) checkCore(idx int) {
+	if idx < 0 || idx >= p.PhysCores {
+		panic(fmt.Sprintf("cpu: core %d out of range [0,%d) on %s", idx, p.PhysCores, p.ID))
+	}
+}
+
+// String implements fmt.Stringer.
+func (p *Processor) String() string {
+	state := "healthy"
+	if p.Faulty() {
+		class, _ := p.DefectClass()
+		state = class.String()
+	}
+	if p.deprecated {
+		state += ",deprecated"
+	}
+	return fmt.Sprintf("%s(%s %dc%s)", p.ID, p.Arch, p.PhysCores, "/"+state)
+}

@@ -1,0 +1,180 @@
+package cpu
+
+import (
+	"testing"
+
+	"farron/internal/defect"
+	"farron/internal/model"
+	"farron/internal/simrand"
+)
+
+func TestNewHealthy(t *testing.T) {
+	p := NewHealthy("cpu-1", "M3", 20, 2)
+	if p.Faulty() {
+		t.Error("healthy processor reports faulty")
+	}
+	if p.LogicalCores() != 40 {
+		t.Errorf("logical cores = %d, want 40", p.LogicalCores())
+	}
+	if _, ok := p.DefectClass(); ok {
+		t.Error("healthy processor has defect class")
+	}
+	if got := p.DefectiveCores(); len(got) != 0 {
+		t.Errorf("healthy DefectiveCores = %v", got)
+	}
+	if len(p.ActiveCores()) != 20 {
+		t.Errorf("active cores = %d", len(p.ActiveCores()))
+	}
+}
+
+func TestNewHealthyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid core counts accepted")
+		}
+	}()
+	NewHealthy("x", "M1", 0, 2)
+}
+
+func libProc(t *testing.T, id string) *Processor {
+	t.Helper()
+	for _, p := range defect.Library(simrand.New(1)) {
+		if p.CPUID == id {
+			return FromProfile(p)
+		}
+	}
+	t.Fatalf("profile %s not found", id)
+	return nil
+}
+
+func TestFromProfile(t *testing.T) {
+	p := libProc(t, "FPU2")
+	if !p.Faulty() {
+		t.Fatal("FPU2 not faulty")
+	}
+	if p.Arch != "M5" || p.PhysCores != 24 || p.AgeYears != 1.83 {
+		t.Errorf("FPU2 identity wrong: %v %d %v", p.Arch, p.PhysCores, p.AgeYears)
+	}
+	class, ok := p.DefectClass()
+	if !ok || class != model.ClassComputation {
+		t.Errorf("FPU2 class = %v/%v", class, ok)
+	}
+	cores := p.DefectiveCores()
+	if len(cores) != 1 || cores[0] != 8 {
+		t.Errorf("FPU2 defective cores = %v, want [8]", cores)
+	}
+	if !p.CoreDefective(8) || p.CoreDefective(9) {
+		t.Error("CoreDefective wrong")
+	}
+}
+
+func TestAllCoreProfile(t *testing.T) {
+	p := libProc(t, "MIX1")
+	if got := len(p.DefectiveCores()); got != 16 {
+		t.Errorf("MIX1 defective cores = %d, want 16", got)
+	}
+	for c := 0; c < 16; c++ {
+		if !p.CoreDefective(c) {
+			t.Errorf("core %d not defective", c)
+		}
+	}
+}
+
+func TestMasking(t *testing.T) {
+	p := NewHealthy("cpu-2", "M1", 8, 2)
+	p.MaskCore(3)
+	if !p.Masked(3) || p.Masked(4) {
+		t.Error("mask state wrong")
+	}
+	if p.MaskedCount() != 1 {
+		t.Errorf("MaskedCount = %d", p.MaskedCount())
+	}
+	active := p.ActiveCores()
+	if len(active) != 7 {
+		t.Fatalf("active = %v", active)
+	}
+	for _, c := range active {
+		if c == 3 {
+			t.Error("masked core still active")
+		}
+	}
+	p.UnmaskCore(3)
+	if p.Masked(3) {
+		t.Error("unmask failed")
+	}
+}
+
+func TestMaskOutOfRangePanics(t *testing.T) {
+	p := NewHealthy("cpu-3", "M1", 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("mask out of range accepted")
+		}
+	}()
+	p.MaskCore(4)
+}
+
+func TestDeprecate(t *testing.T) {
+	p := NewHealthy("cpu-4", "M1", 8, 2)
+	if p.Deprecated() {
+		t.Error("fresh processor deprecated")
+	}
+	p.Deprecate()
+	if !p.Deprecated() {
+		t.Error("Deprecate did not stick")
+	}
+	if got := p.ActiveCores(); got != nil {
+		t.Errorf("deprecated processor has active cores: %v", got)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	p := libProc(t, "CNST1")
+	s := p.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+	p.Deprecate()
+	if p.String() == s {
+		t.Error("String does not reflect deprecation")
+	}
+}
+
+func TestLogicalPhysicalMapping(t *testing.T) {
+	p := NewHealthy("smt", "M2", 8, 2)
+	// Round trip: every logical core maps to a physical core whose
+	// sibling list contains it.
+	for l := 0; l < p.LogicalCores(); l++ {
+		phys := p.PhysicalOf(l)
+		if phys < 0 || phys >= p.PhysCores {
+			t.Fatalf("logical %d -> physical %d out of range", l, phys)
+		}
+		found := false
+		for _, sib := range p.SiblingThreads(phys) {
+			if sib == l {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("logical %d missing from siblings of %d", l, phys)
+		}
+	}
+	// Observation 4: SMT siblings share the defective physical core.
+	sibs := p.SiblingThreads(3)
+	if len(sibs) != 2 {
+		t.Fatalf("siblings = %v", sibs)
+	}
+	if p.PhysicalOf(sibs[0]) != 3 || p.PhysicalOf(sibs[1]) != 3 {
+		t.Errorf("siblings %v do not map back to physical 3", sibs)
+	}
+}
+
+func TestPhysicalOfPanics(t *testing.T) {
+	p := NewHealthy("smt2", "M2", 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range logical core accepted")
+		}
+	}()
+	p.PhysicalOf(8)
+}

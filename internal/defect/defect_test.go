@@ -1,0 +1,322 @@
+package defect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"farron/internal/model"
+	"farron/internal/simrand"
+)
+
+func testDefect() *Defect {
+	return &Defect{
+		ID:             "T-d0",
+		Class:          model.ClassComputation,
+		Features:       []model.Feature{model.FeatureFPU},
+		DataTypes:      []model.DataType{model.DTFloat64},
+		AffectedInstrs: instrSet(iid(model.InstrFPTrig, 17)),
+		Cores:          []int{3},
+		BaseFreqPerMin: 2,
+		MinTempC:       50,
+		TempSlope:      0.1,
+		PatternProb:    0.8,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := testDefect().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Defect)
+	}{
+		{"empty id", func(d *Defect) { d.ID = "" }},
+		{"no features", func(d *Defect) { d.Features = nil }},
+		{"class mismatch", func(d *Defect) { d.Features = []model.Feature{model.FeatureCache} }},
+		{"no datatypes", func(d *Defect) { d.DataTypes = nil }},
+		{"no cores", func(d *Defect) { d.Cores = nil }},
+		{"bad freq", func(d *Defect) { d.BaseFreqPerMin = 0 }},
+		{"negative slope", func(d *Defect) { d.TempSlope = -1 }},
+		{"bad pattern prob", func(d *Defect) { d.PatternProb = 1.5 }},
+	}
+	for _, c := range cases {
+		d := testDefect()
+		c.mutate(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid defect", c.name)
+		}
+	}
+}
+
+func TestRateBelowMinTempIsZero(t *testing.T) {
+	d := testDefect()
+	if got := d.RatePerMin(3, 49.9, 1); got != 0 {
+		t.Errorf("rate below MinTemp = %v, want 0", got)
+	}
+	if got := d.RatePerMin(3, 50, 1); got != 2 {
+		t.Errorf("rate at MinTemp = %v, want 2", got)
+	}
+}
+
+func TestRateExponentialInTemp(t *testing.T) {
+	d := testDefect()
+	r60 := d.RatePerMin(3, 60, 1)
+	r50 := d.RatePerMin(3, 50, 1)
+	// slope 0.1 decades/degC: +10 degC = 1 decade.
+	if math.Abs(r60/r50-10) > 1e-9 {
+		t.Errorf("10 degC ratio = %v, want 10", r60/r50)
+	}
+}
+
+func TestRateScalesWithStress(t *testing.T) {
+	d := testDefect()
+	full := d.RatePerMin(3, 55, 1)
+	tiny := d.RatePerMin(3, 55, 1e-4)
+	if math.Abs(full/tiny-1e4) > 1e-6*1e4 {
+		t.Errorf("stress ratio = %v, want 1e4", full/tiny)
+	}
+	if d.RatePerMin(3, 55, 0) != 0 {
+		t.Error("zero stress should give zero rate")
+	}
+}
+
+func TestRateWrongCoreIsZero(t *testing.T) {
+	d := testDefect()
+	if got := d.RatePerMin(4, 90, 1); got != 0 {
+		t.Errorf("non-defective core rate = %v", got)
+	}
+}
+
+func TestAllCoresMultipliers(t *testing.T) {
+	rng := simrand.New(1)
+	d := &Defect{
+		ID: "A-d0", Class: model.ClassComputation,
+		Features:       []model.Feature{model.FeatureALU},
+		DataTypes:      []model.DataType{model.DTInt32},
+		AffectedInstrs: instrSet(iid(model.InstrIntArith, 1)),
+		AllCores:       true,
+		CoreMult:       spreadCoreMult(rng, "A-d0", 16, 0),
+		BaseFreqPerMin: 10, MinTempC: 45, TempSlope: 0.1,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.CoreMultiplier(0) != 1 {
+		t.Errorf("anchor multiplier = %v", d.CoreMultiplier(0))
+	}
+	// Multipliers should span orders of magnitude (Observation 4).
+	minM, maxM := math.Inf(1), 0.0
+	for c := 0; c < 16; c++ {
+		m := d.CoreMultiplier(c)
+		if m <= 0 || m > 1 {
+			t.Fatalf("core %d multiplier %v out of (0,1]", c, m)
+		}
+		minM = math.Min(minM, m)
+		maxM = math.Max(maxM, m)
+	}
+	if maxM/minM < 100 {
+		t.Errorf("core multiplier spread %v, want orders of magnitude", maxM/minM)
+	}
+}
+
+func TestObservedMinTemp(t *testing.T) {
+	d := testDefect()
+	// High stress: observable right at the physical threshold.
+	if got := d.ObservedMinTemp(3, 1); got != 50 {
+		t.Errorf("ObservedMinTemp(stress 1) = %v, want 50", got)
+	}
+	// Low stress raises the observed threshold.
+	low := d.ObservedMinTemp(3, 1e-5)
+	if low <= 50 {
+		t.Errorf("low-stress observed threshold = %v, want > 50", low)
+	}
+	// Rate at that temperature is exactly measurable.
+	rate := d.RatePerMin(3, low, 1e-5)
+	if math.Abs(rate-MeasurableFreqPerMin) > 1e-9 {
+		t.Errorf("rate at observed threshold = %v", rate)
+	}
+	// Non-defective core: never observable.
+	if !math.IsInf(d.ObservedMinTemp(9, 1), 1) {
+		t.Error("non-defective core should have +Inf threshold")
+	}
+}
+
+func TestStress(t *testing.T) {
+	d := testDefect()
+	mix := map[model.InstrID]float64{
+		iid(model.InstrFPTrig, 17): 50,
+		iid(model.InstrFPArith, 3): 500, // unaffected
+	}
+	if got := d.Stress(mix, 200); got != 0.25 {
+		t.Errorf("Stress = %v, want 0.25", got)
+	}
+	if got := d.Stress(nil, 200); got != 0 {
+		t.Errorf("empty mix stress = %v", got)
+	}
+	if got := d.Stress(mix, 0); got != 0 {
+		t.Errorf("zero nominal stress = %v", got)
+	}
+}
+
+func TestCorruptorCachingAndGating(t *testing.T) {
+	d := testDefect()
+	rng := simrand.New(2)
+	c1 := d.Corruptor(model.DTFloat64, rng)
+	if c1 == nil {
+		t.Fatal("nil corruptor for affected datatype")
+	}
+	c2 := d.Corruptor(model.DTFloat64, rng)
+	if c1 != c2 {
+		t.Error("corruptor not cached")
+	}
+	if d.Corruptor(model.DTInt32, rng) != nil {
+		t.Error("corruptor for unaffected datatype should be nil")
+	}
+}
+
+func TestCorruptorMasksDeterministic(t *testing.T) {
+	d1, d2 := testDefect(), testDefect()
+	c1 := d1.Corruptor(model.DTFloat64, simrand.New(5))
+	c2 := d2.Corruptor(model.DTFloat64, simrand.New(5))
+	p1, p2 := c1.Patterns(), c2.Patterns()
+	if len(p1) != len(p2) {
+		t.Fatalf("pattern counts differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i].Lo != p2[i].Lo || p1[i].Hi != p2[i].Hi {
+			t.Errorf("pattern %d differs", i)
+		}
+	}
+}
+
+func TestSettingPatternProb(t *testing.T) {
+	d := testDefect()
+	rng := simrand.New(3)
+	p1 := d.SettingPatternProb("tc-001", rng)
+	p2 := d.SettingPatternProb("tc-001", rng)
+	if p1 != p2 {
+		t.Error("setting pattern prob not deterministic")
+	}
+	zeros, nonzero := 0, 0
+	var lo, hi float64 = 1, 0
+	for i := 0; i < 200; i++ {
+		p := d.SettingPatternProb(model.Setting{TestcaseID: string(rune('a' + i%26)), ProcessorID: string(rune('A' + i/26))}.String(), rng)
+		if p < 0 || p > 0.96 {
+			t.Fatalf("prob %v out of [0,0.96]", p)
+		}
+		if p == 0 {
+			zeros++
+		} else {
+			nonzero++
+			lo = math.Min(lo, p)
+			hi = math.Max(hi, p)
+		}
+	}
+	if zeros == 0 {
+		t.Error("no zero-pattern settings; Figure 6 has zeros")
+	}
+	if hi-lo < 0.3 {
+		t.Errorf("setting prob spread [%v,%v] too narrow", lo, hi)
+	}
+}
+
+func TestSortedInstrsDeterministic(t *testing.T) {
+	d := &Defect{AffectedInstrs: instrSet(
+		iid(model.InstrFPTrig, 5), iid(model.InstrIntArith, 40),
+		iid(model.InstrFPTrig, 2), iid(model.InstrBitOp, 1),
+	)}
+	got := d.SortedInstrs()
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.Class > b.Class || (a.Class == b.Class && a.Variant >= b.Variant) {
+			t.Errorf("not sorted: %v before %v", a, b)
+		}
+	}
+}
+
+func TestDefectiveCores(t *testing.T) {
+	d := testDefect()
+	if got := d.DefectiveCores(8); len(got) != 1 || got[0] != 3 {
+		t.Errorf("DefectiveCores = %v", got)
+	}
+	d.AllCores = true
+	if got := d.DefectiveCores(4); len(got) != 4 || got[3] != 3 {
+		t.Errorf("AllCores DefectiveCores = %v", got)
+	}
+}
+
+func TestRateMonotoneProperty(t *testing.T) {
+	// Property: occurrence rate is non-decreasing in both temperature
+	// and stress (the exponential-with-saturation model).
+	rng := simrand.New(77)
+	f := func(t1Raw, t2Raw, s1Raw, s2Raw uint16) bool {
+		d := &Defect{
+			ID: "P-d0", Class: model.ClassComputation,
+			Features:       []model.Feature{model.FeatureFPU},
+			DataTypes:      []model.DataType{model.DTFloat64},
+			AffectedInstrs: instrSet(iid(model.InstrFPArith, 1)),
+			Cores:          []int{0},
+			BaseFreqPerMin: rng.LogUniform(0.01, 100),
+			MinTempC:       rng.Range(40, 70),
+			TempSlope:      rng.Range(0.05, 0.25),
+			SatDecades:     rng.Range(0.5, 3.5),
+		}
+		t1 := 40 + float64(t1Raw%500)/10
+		t2 := 40 + float64(t2Raw%500)/10
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		s1 := float64(s1Raw%1000)/1000 + 1e-6
+		s2 := float64(s2Raw%1000)/1000 + 1e-6
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		// Monotone in temperature at fixed stress.
+		if d.RatePerMin(0, t1, s1) > d.RatePerMin(0, t2, s1)+1e-12 {
+			return false
+		}
+		// Monotone in stress at fixed temperature.
+		if d.RatePerMin(0, t2, s1) > d.RatePerMin(0, t2, s2)+1e-12 {
+			return false
+		}
+		// Never exceeds the global cap.
+		return d.RatePerMin(0, 100, 1e6) <= MaxFreqPerMin+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaturationCapsRate(t *testing.T) {
+	d := testDefect()
+	d.SatDecades = 1.0
+	// Ten degrees above threshold at slope 0.1 is exactly one decade:
+	// further heating must not raise the rate.
+	at10 := d.RatePerMin(3, 60, 1)
+	at30 := d.RatePerMin(3, 80, 1)
+	if at30 > at10+1e-12 {
+		t.Errorf("rate grew past saturation: %v -> %v", at10, at30)
+	}
+	if math.Abs(at10-d.BaseFreqPerMin*10) > 1e-9 {
+		t.Errorf("rate at saturation = %v, want %v", at10, d.BaseFreqPerMin*10)
+	}
+}
+
+func TestObservedMinTempUnreachableUnderSaturation(t *testing.T) {
+	d := testDefect()
+	d.SatDecades = 1.0
+	// A setting needing more than one decade of boost can never reach
+	// the measurable threshold.
+	s := MeasurableFreqPerMin / d.BaseFreqPerMin / 100 // needs 2 decades
+	if !math.IsInf(d.ObservedMinTemp(3, s), 1) {
+		t.Errorf("threshold reachable despite saturation: %v", d.ObservedMinTemp(3, s))
+	}
+}

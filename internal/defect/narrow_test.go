@@ -1,0 +1,33 @@
+package defect
+
+import (
+	"testing"
+
+	"farron/internal/model"
+	"farron/internal/simrand"
+)
+
+func TestCorruptorNarrowDatatypes(t *testing.T) {
+	// 1-bit and 8-bit datatypes must not panic on multi-bit mask draws.
+	d := &Defect{
+		ID: "N-d0", Class: model.ClassComputation,
+		Features:       []model.Feature{model.FeatureALU},
+		DataTypes:      []model.DataType{model.DTBit, model.DTByte, model.DTBin8},
+		AffectedInstrs: instrSet(iid(model.InstrBitOp, 1)),
+		Cores:          []int{0},
+		BaseFreqPerMin: 1, MinTempC: 45, TempSlope: 0.1, PatternProb: 0.8,
+	}
+	rng := simrand.New(1)
+	for _, dt := range d.DataTypes {
+		// Exercise many defect IDs to hit the multi-bit branches.
+		for i := 0; i < 40; i++ {
+			d2 := *d
+			d2.ID = d.ID + string(rune('a'+i%26)) + string(rune('a'+i/26))
+			d2.corruptors = nil
+			c := d2.Corruptor(dt, rng)
+			if c == nil {
+				t.Fatalf("nil corruptor for %v", dt)
+			}
+		}
+	}
+}

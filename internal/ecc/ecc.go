@@ -1,0 +1,180 @@
+// Package ecc implements a SECDED (single-error-correct, double-error-
+// detect) Hamming code over 64-bit words, the protection scheme of
+// processor caches and ECC memory.
+//
+// It is the substrate for Observation 12's analysis: SECDED corrects one
+// flipped bit and detects two, but the paper's SDC study shows multi-bit
+// corruptions happen (Observation 8) — three or more flips can silently
+// decode to the wrong word or mis-correct. And when a CPU computes a wrong
+// value *before* encoding, the code protects the corruption faithfully.
+package ecc
+
+import "math/bits"
+
+// DataBits is the protected word width.
+const DataBits = 64
+
+// ParityBits is the number of Hamming parity bits for 64 data bits (7)
+// plus the overall parity bit for SECDED (1).
+const ParityBits = 8
+
+// Codeword is a 64-bit word plus its 8 check bits.
+type Codeword struct {
+	Data  uint64
+	Check uint8
+}
+
+// positionMasks[i] is the set of data-bit positions covered by parity bit
+// i (i in 0..6). Built at init from the classic Hamming construction:
+// data bits occupy the non-power-of-two codeword positions 3,5,6,7,9,...
+var positionMasks [7]uint64
+
+func init() {
+	// Map data bit d (0..63) to its Hamming codeword position (1-based,
+	// skipping powers of two), then distribute into parity masks.
+	pos := 1
+	for d := 0; d < DataBits; d++ {
+		pos++
+		for pos&(pos-1) == 0 { // skip power-of-two (parity) positions
+			pos++
+		}
+		for p := 0; p < 7; p++ {
+			if pos&(1<<p) != 0 {
+				positionMasks[p] |= 1 << d
+			}
+		}
+	}
+}
+
+// dataPosition returns the Hamming codeword position of data bit d.
+func dataPosition(d int) int {
+	pos := 1
+	for i := 0; i <= d; i++ {
+		pos++
+		for pos&(pos-1) == 0 {
+			pos++
+		}
+	}
+	return pos
+}
+
+// Encode computes the SECDED codeword of a 64-bit value.
+func Encode(data uint64) Codeword {
+	var check uint8
+	for p := 0; p < 7; p++ {
+		if bits.OnesCount64(data&positionMasks[p])&1 == 1 {
+			check |= 1 << p
+		}
+	}
+	// Overall parity over data plus the 7 Hamming bits.
+	total := bits.OnesCount64(data) + bits.OnesCount8(check&0x7F)
+	if total&1 == 1 {
+		check |= 1 << 7
+	}
+	return Codeword{Data: data, Check: check}
+}
+
+// Result classifies a decode outcome.
+type Result int
+
+const (
+	// OK: no error detected.
+	OK Result = iota
+	// Corrected: a single-bit error was corrected.
+	Corrected
+	// Detected: an uncorrectable (double-bit) error was detected.
+	Detected
+	// Miscorrected is never returned by Decode — it is the silent
+	// failure mode Verify exposes: ≥3 flips that alias to a valid or
+	// single-error syndrome and decode to the wrong data.
+	Miscorrected
+)
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	case Miscorrected:
+		return "miscorrected"
+	default:
+		return "unknown"
+	}
+}
+
+// Decode checks and, if possible, corrects a (possibly corrupted) codeword.
+// It returns the decoded data and the classification. Like real hardware,
+// it cannot distinguish a mis-correcting ≥3-bit error from a genuine
+// single-bit error.
+func Decode(cw Codeword) (data uint64, res Result) {
+	// Syndrome: which parity checks fail.
+	var syndrome int
+	for p := 0; p < 7; p++ {
+		par := bits.OnesCount64(cw.Data&positionMasks[p]) & 1
+		if cw.Check>>p&1 == 1 {
+			par ^= 1
+		}
+		if par == 1 {
+			syndrome |= 1 << p
+		}
+	}
+	total := bits.OnesCount64(cw.Data) + bits.OnesCount8(cw.Check)
+	overallParityError := total&1 == 1
+
+	switch {
+	case syndrome == 0 && !overallParityError:
+		return cw.Data, OK
+	case syndrome == 0 && overallParityError:
+		// The overall parity bit itself flipped.
+		return cw.Data, Corrected
+	case overallParityError:
+		// Odd number of flips with a non-zero syndrome: treat as a
+		// single-bit error at the syndrome position and correct it.
+		if syndrome&(syndrome-1) == 0 {
+			// Error in a Hamming parity bit.
+			return cw.Data, Corrected
+		}
+		for d := 0; d < DataBits; d++ {
+			if dataPosition(d) == syndrome {
+				return cw.Data ^ 1<<d, Corrected
+			}
+		}
+		// Syndrome points outside the codeword: uncorrectable.
+		return cw.Data, Detected
+	default:
+		// Even number of flips (≥2): detectable but not correctable.
+		return cw.Data, Detected
+	}
+}
+
+// Verify runs the full store-corrupt-load cycle: encode original, XOR the
+// flip mask into the stored data bits, decode, and report what actually
+// happened — including the silent Miscorrected case the hardware cannot
+// see.
+func Verify(original, flipMask uint64) (decoded uint64, res Result) {
+	cw := Encode(original)
+	cw.Data ^= flipMask
+	decoded, res = Decode(cw)
+	if decoded != original && (res == OK || res == Corrected) {
+		return decoded, Miscorrected
+	}
+	return decoded, res
+}
+
+// VerifyPreEncoding models the Observation 12 datapath hazard: the CPU
+// computes a wrong value *before* parity is generated. The code then
+// faithfully protects the corrupted value — decode reports OK and returns
+// garbage.
+func VerifyPreEncoding(original, flipMask uint64) (decoded uint64, res Result) {
+	corrupted := original ^ flipMask
+	cw := Encode(corrupted)
+	decoded, res = Decode(cw)
+	if res == OK && decoded != original {
+		return decoded, Miscorrected
+	}
+	return decoded, res
+}

@@ -1,0 +1,159 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"farron/internal/simrand"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	f := func(data uint64) bool {
+		decoded, res := Decode(Encode(data))
+		return res == OK && decoded == data
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleBitCorrected(t *testing.T) {
+	// Property: every single data-bit flip is corrected.
+	rng := simrand.New(1)
+	for trial := 0; trial < 500; trial++ {
+		data := rng.Uint64()
+		bit := rng.Intn(64)
+		decoded, res := Verify(data, 1<<uint(bit))
+		if res != Corrected {
+			t.Fatalf("data %x bit %d: result %v, want corrected", data, bit, res)
+		}
+		if decoded != data {
+			t.Fatalf("data %x bit %d: decoded %x", data, bit, decoded)
+		}
+	}
+}
+
+func TestSingleParityBitFlip(t *testing.T) {
+	rng := simrand.New(2)
+	for trial := 0; trial < 200; trial++ {
+		data := rng.Uint64()
+		cw := Encode(data)
+		cw.Check ^= 1 << uint(rng.Intn(8))
+		decoded, res := Decode(cw)
+		if res != Corrected || decoded != data {
+			t.Fatalf("parity flip: %v, decoded %x want %x", res, decoded, data)
+		}
+	}
+}
+
+func TestDoubleBitDetected(t *testing.T) {
+	// Property: every double data-bit flip is detected (not corrected,
+	// not silent).
+	rng := simrand.New(3)
+	for trial := 0; trial < 500; trial++ {
+		data := rng.Uint64()
+		b1 := rng.Intn(64)
+		b2 := rng.Intn(64)
+		if b1 == b2 {
+			continue
+		}
+		_, res := Verify(data, 1<<uint(b1)|1<<uint(b2))
+		if res != Detected {
+			t.Fatalf("double flip %d,%d: result %v, want detected", b1, b2, res)
+		}
+	}
+}
+
+func TestTripleBitCanMiscorrect(t *testing.T) {
+	// Observation 12: ≥3-bit corruptions (which Observation 8 shows are
+	// real) can silently defeat SECDED — decoded data differs from the
+	// original while the hardware believes it corrected a single error.
+	rng := simrand.New(4)
+	miscorrected := 0
+	trials := 3000
+	for trial := 0; trial < trials; trial++ {
+		data := rng.Uint64()
+		mask := uint64(0)
+		for PopCountNotEqual(mask, 3) {
+			mask |= 1 << uint(rng.Intn(64))
+		}
+		_, res := Verify(data, mask)
+		if res == Miscorrected {
+			miscorrected++
+		}
+		if res == OK {
+			t.Fatalf("3-bit flip decoded as clean OK with matching data?")
+		}
+	}
+	if miscorrected == 0 {
+		t.Error("no 3-bit flip ever mis-corrected; SECDED would be magic")
+	}
+	t.Logf("3-bit flips silently mis-corrected: %d/%d (%.1f%%)",
+		miscorrected, trials, 100*float64(miscorrected)/float64(trials))
+}
+
+// PopCountNotEqual reports whether mask has fewer than n bits set.
+func PopCountNotEqual(mask uint64, n int) bool {
+	c := 0
+	for m := mask; m != 0; m &= m - 1 {
+		c++
+	}
+	return c < n
+}
+
+func TestPreEncodingCorruptionUndetectable(t *testing.T) {
+	// Observation 12: if the CPU computes the wrong value before parity
+	// generation, ECC reports OK on garbage.
+	rng := simrand.New(5)
+	for trial := 0; trial < 200; trial++ {
+		data := rng.Uint64()
+		mask := uint64(1) << uint(rng.Intn(64))
+		decoded, res := VerifyPreEncoding(data, mask)
+		if res != Miscorrected {
+			t.Fatalf("pre-encoding corruption: result %v, want silent miscorrection", res)
+		}
+		if decoded == data {
+			t.Fatal("decoded equals original despite corruption")
+		}
+	}
+}
+
+func TestPositionMasksDisjointCoverage(t *testing.T) {
+	// Every data bit must be covered by at least two parity bits
+	// (otherwise a flip there would alias a parity-bit error).
+	for d := 0; d < DataBits; d++ {
+		cover := 0
+		for p := 0; p < 7; p++ {
+			if positionMasks[p]&(1<<d) != 0 {
+				cover++
+			}
+		}
+		if cover < 2 {
+			t.Errorf("data bit %d covered by %d parity bits", d, cover)
+		}
+	}
+}
+
+func TestDataPositionsUnique(t *testing.T) {
+	seen := map[int]bool{}
+	for d := 0; d < DataBits; d++ {
+		pos := dataPosition(d)
+		if pos&(pos-1) == 0 {
+			t.Errorf("data bit %d at power-of-two position %d", d, pos)
+		}
+		if seen[pos] {
+			t.Errorf("duplicate position %d", pos)
+		}
+		seen[pos] = true
+	}
+}
+
+func TestResultString(t *testing.T) {
+	for r, s := range map[Result]string{
+		OK: "ok", Corrected: "corrected", Detected: "detected", Miscorrected: "miscorrected",
+	} {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q", int(r), r.String())
+		}
+	}
+}

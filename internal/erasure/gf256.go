@@ -1,0 +1,149 @@
+// Package erasure implements systematic Reed-Solomon erasure coding over
+// GF(256) — the storage-durability substrate of Section 6.2's analysis.
+//
+// Erasure coding recovers *lost* shards but cannot detect *corrupted*
+// ones: reconstruction from a silently corrupted shard propagates the
+// corruption into the recovered data (Observation 12: "a corrupted data
+// block may be used to construct a lost data block, causing the corruption
+// to propagate"). The tests and the mitigation-comparison experiment
+// demonstrate exactly that failure mode.
+package erasure
+
+// gfPoly is the AES field polynomial x^8+x^4+x^3+x^2+1 (0x11D with the
+// implicit x^8).
+const gfPoly = 0x11D
+
+var (
+	gfExp [512]byte // exp table doubled to avoid mod in mul
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies in GF(256).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides in GF(256); division by zero panics.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("erasure: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse.
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// gfPow returns a^n.
+func gfPow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[(int(gfLog[a])*n)%255]
+}
+
+// matrix is a dense GF(256) matrix.
+type matrix [][]byte
+
+func newMatrix(rows, cols int) matrix {
+	m := make(matrix, rows)
+	for i := range m {
+		m[i] = make([]byte, cols)
+	}
+	return m
+}
+
+// identity returns the n×n identity matrix.
+func identityMatrix(n int) matrix {
+	m := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m[i][i] = 1
+	}
+	return m
+}
+
+// mul returns m·other.
+func (m matrix) mul(other matrix) matrix {
+	rows, inner, cols := len(m), len(other), len(other[0])
+	out := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			var acc byte
+			for k := 0; k < inner; k++ {
+				acc ^= gfMul(m[r][k], other[k][c])
+			}
+			out[r][c] = acc
+		}
+	}
+	_ = inner
+	return out
+}
+
+// invert returns the inverse via Gauss-Jordan elimination; singular
+// matrices return ok=false.
+func (m matrix) invert() (matrix, bool) {
+	n := len(m)
+	aug := newMatrix(n, 2*n)
+	for i := 0; i < n; i++ {
+		copy(aug[i], m[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if aug[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		// Scale pivot row.
+		inv := gfInv(aug[col][col])
+		for c := 0; c < 2*n; c++ {
+			aug[col][c] = gfMul(aug[col][c], inv)
+		}
+		// Eliminate other rows.
+		for r := 0; r < n; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			f := aug[r][col]
+			for c := 0; c < 2*n; c++ {
+				aug[r][c] ^= gfMul(f, aug[col][c])
+			}
+		}
+	}
+	out := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		copy(out[i], aug[i][n:])
+	}
+	return out, true
+}

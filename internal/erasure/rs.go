@@ -1,0 +1,159 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code is a systematic Reed-Solomon code with K data shards and M parity
+// shards: any K of the K+M shards reconstruct the original data.
+type Code struct {
+	K, M int
+	// encodeMatrix is (K+M)×K with an identity top (systematic).
+	encodeMatrix matrix
+}
+
+// ErrTooFewShards is returned when fewer than K shards survive.
+var ErrTooFewShards = errors.New("erasure: not enough shards to reconstruct")
+
+// New builds a code with k data and m parity shards (k+m <= 255).
+func New(k, m int) (*Code, error) {
+	if k <= 0 || m <= 0 || k+m > 255 {
+		return nil, fmt.Errorf("erasure: invalid shape k=%d m=%d", k, m)
+	}
+	// Build an (k+m)×k Vandermonde matrix, then normalize its top k×k
+	// block to the identity so the code is systematic; any k rows of a
+	// Vandermonde matrix are independent, a property normalization
+	// preserves.
+	vm := newMatrix(k+m, k)
+	for r := 0; r < k+m; r++ {
+		for c := 0; c < k; c++ {
+			vm[r][c] = gfPow(byte(r+1), c)
+		}
+	}
+	top := newMatrix(k, k)
+	for i := 0; i < k; i++ {
+		copy(top[i], vm[i])
+	}
+	topInv, ok := top.invert()
+	if !ok {
+		return nil, errors.New("erasure: vandermonde top block singular")
+	}
+	return &Code{K: k, M: m, encodeMatrix: vm.mul(topInv)}, nil
+}
+
+// Encode produces K+M shards from K equal-length data shards (the first K
+// output shards are the data shards themselves).
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.K {
+		return nil, fmt.Errorf("erasure: got %d data shards, want %d", len(data), c.K)
+	}
+	size := len(data[0])
+	for _, d := range data {
+		if len(d) != size {
+			return nil, errors.New("erasure: unequal shard sizes")
+		}
+	}
+	shards := make([][]byte, c.K+c.M)
+	for i := 0; i < c.K; i++ {
+		shards[i] = append([]byte(nil), data[i]...)
+	}
+	for p := 0; p < c.M; p++ {
+		row := c.encodeMatrix[c.K+p]
+		out := make([]byte, size)
+		for col := 0; col < c.K; col++ {
+			coef := row[col]
+			if coef == 0 {
+				continue
+			}
+			src := data[col]
+			for b := 0; b < size; b++ {
+				out[b] ^= gfMul(coef, src[b])
+			}
+		}
+		shards[c.K+p] = out
+	}
+	return shards, nil
+}
+
+// Reconstruct recovers the original K data shards from any K surviving
+// shards. shards has length K+M with nil entries for lost shards.
+//
+// Reconstruction is oblivious to silent corruption: a wrong byte in any
+// surviving shard propagates into the recovered data (Observation 12).
+func (c *Code) Reconstruct(shards [][]byte) ([][]byte, error) {
+	if len(shards) != c.K+c.M {
+		return nil, fmt.Errorf("erasure: got %d shards, want %d", len(shards), c.K+c.M)
+	}
+	var rows []int
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return nil, errors.New("erasure: unequal shard sizes")
+		}
+		rows = append(rows, i)
+	}
+	if len(rows) < c.K {
+		return nil, ErrTooFewShards
+	}
+	rows = rows[:c.K]
+
+	// Decode matrix: the surviving rows of the encode matrix, inverted.
+	sub := newMatrix(c.K, c.K)
+	for i, r := range rows {
+		copy(sub[i], c.encodeMatrix[r])
+	}
+	dec, ok := sub.invert()
+	if !ok {
+		return nil, errors.New("erasure: surviving shard set not invertible")
+	}
+
+	data := make([][]byte, c.K)
+	for d := 0; d < c.K; d++ {
+		out := make([]byte, size)
+		for i, r := range rows {
+			coef := dec[d][i]
+			if coef == 0 {
+				continue
+			}
+			src := shards[r]
+			for b := 0; b < size; b++ {
+				out[b] ^= gfMul(coef, src[b])
+			}
+		}
+		data[d] = out
+	}
+	return data, nil
+}
+
+// Verify recomputes parity from the data shards and reports whether every
+// shard is consistent. This is the best EC itself can do — and it cannot
+// say *which* shard is corrupt, nor detect corruption that happened before
+// encoding.
+func (c *Code) Verify(shards [][]byte) (bool, error) {
+	if len(shards) != c.K+c.M {
+		return false, fmt.Errorf("erasure: got %d shards, want %d", len(shards), c.K+c.M)
+	}
+	for _, s := range shards {
+		if s == nil {
+			return false, errors.New("erasure: Verify requires all shards")
+		}
+	}
+	re, err := c.Encode(shards[:c.K])
+	if err != nil {
+		return false, err
+	}
+	for i := c.K; i < c.K+c.M; i++ {
+		for b := range re[i] {
+			if re[i][b] != shards[i][b] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,250 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"farron/internal/simrand"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	// Multiplicative inverse property over the whole field.
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a*inv(a) = %d for a=%d", got, a)
+		}
+	}
+	// Distributivity on random triples.
+	f := func(a, b, c byte) bool {
+		return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Commutativity and associativity.
+	g := func(a, b, c byte) bool {
+		return gfMul(a, b) == gfMul(b, a) &&
+			gfMul(gfMul(a, b), c) == gfMul(a, gfMul(b, c))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGFDivPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("division by zero did not panic")
+		}
+	}()
+	gfDiv(5, 0)
+}
+
+func TestMatrixInvertRoundTrip(t *testing.T) {
+	rng := simrand.New(1)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		m := newMatrix(n, n)
+		for i := range m {
+			for j := range m[i] {
+				m[i][j] = byte(rng.Uint64())
+			}
+		}
+		inv, ok := m.invert()
+		if !ok {
+			continue // singular random matrix: skip
+		}
+		prod := m.mul(inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := byte(0)
+				if i == j {
+					want = 1
+				}
+				if prod[i][j] != want {
+					t.Fatalf("m·inv(m)[%d][%d] = %d", i, j, prod[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixSingular(t *testing.T) {
+	m := newMatrix(2, 2) // zero matrix
+	if _, ok := m.invert(); ok {
+		t.Error("zero matrix inverted")
+	}
+}
+
+func makeShards(rng *simrand.Source, k, size int) [][]byte {
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, size)
+		for b := range data[i] {
+			data[i][b] = byte(rng.Uint64())
+		}
+	}
+	return data
+}
+
+func TestEncodeSystematic(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(2)
+	data := makeShards(rng, 4, 64)
+	shards, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(shards[i], data[i]) {
+			t.Errorf("shard %d not systematic", i)
+		}
+	}
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Errorf("fresh shards fail Verify: %v %v", ok, err)
+	}
+}
+
+func TestReconstructAllErasurePatterns(t *testing.T) {
+	// Property: for a (4,2) code, losing any ≤2 shards reconstructs
+	// exactly.
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(3)
+	data := makeShards(rng, 4, 32)
+	shards, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 6; a++ {
+		for b := a; b < 6; b++ {
+			cp := make([][]byte, 6)
+			copy(cp, shards)
+			cp[a] = nil
+			cp[b] = nil
+			got, err := c.Reconstruct(cp)
+			if err != nil {
+				t.Fatalf("lose %d,%d: %v", a, b, err)
+			}
+			for i := range data {
+				if !bytes.Equal(got[i], data[i]) {
+					t.Fatalf("lose %d,%d: shard %d wrong", a, b, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	c, _ := New(4, 2)
+	rng := simrand.New(4)
+	shards, _ := c.Encode(makeShards(rng, 4, 16))
+	shards[0], shards[1], shards[2] = nil, nil, nil
+	if _, err := c.Reconstruct(shards); err != ErrTooFewShards {
+		t.Errorf("err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestCorruptionPropagates(t *testing.T) {
+	// Observation 12: EC recovers erasures, but a silently corrupted
+	// surviving shard poisons the reconstructed data.
+	c, _ := New(6, 3)
+	rng := simrand.New(5)
+	data := makeShards(rng, 6, 64)
+	shards, _ := c.Encode(data)
+
+	// Lose one data shard; flip one bit in a parity shard that will be
+	// used for reconstruction.
+	shards[2] = nil
+	shards[6][10] ^= 0x40
+
+	got, err := c.Reconstruct(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got[2], data[2]) {
+		t.Fatal("reconstruction ignored the corrupted shard? propagation expected")
+	}
+	// The corruption landed in the recovered shard silently: EC gave no
+	// error at all.
+}
+
+func TestVerifyCatchesPostEncodingCorruption(t *testing.T) {
+	c, _ := New(4, 2)
+	rng := simrand.New(6)
+	shards, _ := c.Encode(makeShards(rng, 4, 32))
+	shards[1][3] ^= 1
+	ok, err := c.Verify(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Verify missed a corrupted shard")
+	}
+}
+
+func TestVerifyBlindToPreEncodingCorruption(t *testing.T) {
+	// Observation 12: corruption before parity generation yields
+	// perfectly consistent — and wrong — shards.
+	c, _ := New(4, 2)
+	rng := simrand.New(7)
+	data := makeShards(rng, 4, 32)
+	data[0][0] ^= 0x08 // the CPU computed this byte wrong
+	shards, _ := c.Encode(data)
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Errorf("Verify flagged pre-encoding corruption: parity was computed over corrupt data, it must look consistent (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 2); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(2, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := New(200, 100); err == nil {
+		t.Error("k+m>255 accepted")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c, _ := New(3, 2)
+	if _, err := c.Encode([][]byte{{1}, {2}}); err == nil {
+		t.Error("wrong shard count accepted")
+	}
+	if _, err := c.Encode([][]byte{{1}, {2}, {3, 4}}); err == nil {
+		t.Error("unequal sizes accepted")
+	}
+}
+
+func TestBigShapeReconstruct(t *testing.T) {
+	// A production-like (10,4) layout.
+	c, err := New(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(8)
+	data := makeShards(rng, 10, 128)
+	shards, _ := c.Encode(data)
+	for _, kill := range []int{0, 3, 11, 13} {
+		shards[kill] = nil
+	}
+	got, err := c.Reconstruct(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(got[i], data[i]) {
+			t.Fatalf("shard %d mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"farron/internal/report"
+	"farron/internal/testkit"
+)
+
+// AnomaliesResult reproduces the three "counter-intuitive cases" of
+// Observation 10 that the paper traced back to temperature:
+//
+//  1. other-core behaviour: a defective core only errs when neighbours are
+//     busy (shared cooling);
+//  2. remaining heat: testcase Y fails only when the hot testcase X ran
+//     first;
+//  3. toolchain update: a more efficient framework lowered some occurrence
+//     frequencies.
+type AnomaliesResult struct {
+	// ProcessorID/TestcaseID name the probed setting; MinTempC is its
+	// defect's triggering threshold.
+	ProcessorID, TestcaseID string
+	MinTempC                float64
+	// BusyNeighbours: records observed in a fixed window with 0 vs many
+	// busy neighbour cores (no temperature pinning — the heat coupling
+	// is the mechanism).
+	BusyIdle, BusyLoaded   int
+	BusyIdleT, BusyLoadedT float64
+	// RemainingHeat: records of testcase Y from idle vs right after the
+	// hot testcase X.
+	YFromIdle, YAfterX int
+	// ToolchainUpdate: records and peak temperature under the old
+	// (nominal) and updated (efficient) frameworks.
+	OldRecords, NewRecords int
+	OldMaxT, NewMaxT       float64
+}
+
+// anomalyProbe is the chosen (processor, defect, testcase, core) setting.
+type anomalyProbe struct {
+	id   string
+	core int
+	tc   *testkit.Testcase
+}
+
+// pickAnomalyProbe chooses the study setting that makes the thermal
+// anomalies most measurable: a tricky defect (threshold above single-core
+// operating temperature, so heat is the trigger) with the highest saturated
+// single-threaded occurrence rate.
+func pickAnomalyProbe(ctx *Context) (*anomalyProbe, error) {
+	var best *anomalyProbe
+	bestRate := 0.0
+	for _, p := range ctx.Study {
+		for _, d := range p.Defects {
+			if d.MinTempC < 56 || d.MinTempC > 72 {
+				continue // not heat-gated, or unreachable
+			}
+			core := bestCoreOf(d, p.TotalPCores)
+			for _, tc := range ctx.Suite.FailingTestcases(p) {
+				if tc.MultiThreaded || !testkit.DetectableBy(tc, d) {
+					continue
+				}
+				stress := testkit.SettingStress(tc, d)
+				rate := d.RatePerMin(core, 95, stress) // saturated regime
+				if rate > bestRate {
+					bestRate = rate
+					best = &anomalyProbe{id: p.CPUID, core: core, tc: tc}
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("experiments: no tricky single-threaded setting in the study set")
+	}
+	return best, nil
+}
+
+// Anomalies measures all three effects on the most measurable tricky
+// setting in the study set.
+func Anomalies(ctx *Context) (*AnomaliesResult, error) {
+	probe, err := pickAnomalyProbe(ctx)
+	if err != nil {
+		return nil, err
+	}
+	id, y := probe.id, probe.tc
+	p := ctx.Profile(id)
+	out := &AnomaliesResult{ProcessorID: id, TestcaseID: y.ID, MinTempC: p.Defects[0].MinTempC}
+	const window = 2 * time.Hour
+
+	// 1. Busy neighbours.
+	rIdle := newRunnerFor(ctx, id, "anom-idle")
+	resIdle := rIdle.Run(y, testkit.RunOpts{Core: probe.core, Duration: window})
+	out.BusyIdle, out.BusyIdleT = len(resIdle.Records), resIdle.MeanTempC
+
+	rBusy := newRunnerFor(ctx, id, "anom-busy")
+	resBusy := rBusy.Run(y, testkit.RunOpts{Core: probe.core, Duration: window, ExtraStressCores: p.TotalPCores - 1})
+	out.BusyLoaded, out.BusyLoadedT = len(resBusy.Records), resBusy.MeanTempC
+
+	// 2. Remaining heat: alternate the hot testcase X with short Y slots,
+	// aggregated over cycles (each Y slot rides X's residual heat).
+	var x *testkit.Testcase
+	for _, tc := range ctx.Suite.Testcases {
+		if tc.MultiThreaded && (x == nil || tc.HeatIntensity > x.HeatIntensity) {
+			x = tc
+		}
+	}
+	const cycles = 12
+	rCold := newRunnerFor(ctx, id, "anom-cold")
+	rHot := newRunnerFor(ctx, id, "anom-hot")
+	for c := 0; c < cycles; c++ {
+		// Cold side: idle gap instead of X, then Y.
+		rCold.Thermal().ClearLoads()
+		rCold.Thermal().Step(15 * time.Minute)
+		out.YFromIdle += len(rCold.Run(y, testkit.RunOpts{Core: probe.core, Duration: 3 * time.Minute}).Records)
+		// Hot side: X first, then Y immediately.
+		rHot.Run(x, testkit.RunOpts{Core: probe.core, Duration: 15 * time.Minute, BurnIn: true})
+		out.YAfterX += len(rHot.Run(y, testkit.RunOpts{Core: probe.core, Duration: 3 * time.Minute}).Records)
+	}
+
+	// 3. Toolchain update.
+	sel := func(tc *testkit.Testcase) bool { return tc.ID == y.ID }
+	rOld := newRunnerFor(ctx, id, "anom-old")
+	old := testkit.NewFramework(rOld).Execute(testkit.Spec{
+		Select: sel, PerTestcase: window, BurnIn: true, EfficiencyScale: 1,
+	}, ctx.Rng.Derive("anom-old"))
+	rNew := newRunnerFor(ctx, id, "anom-new")
+	upd := testkit.NewFramework(rNew).Execute(testkit.Spec{
+		Select: sel, PerTestcase: window, BurnIn: true, EfficiencyScale: 0.12,
+	}, ctx.Rng.Derive("anom-new"))
+	out.OldRecords, out.OldMaxT = len(old[0].Records), old[0].MaxTempC
+	out.NewRecords, out.NewMaxT = len(upd[0].Records), upd[0].MaxTempC
+	return out, nil
+}
+
+// Render draws the anomaly table.
+func (r *AnomaliesResult) Render() string {
+	t := report.NewTable(fmt.Sprintf("Observation 10 anomalies — %s %s (tricky, Tmin %.0f degC)",
+		r.ProcessorID, r.TestcaseID, r.MinTempC),
+		"anomaly", "condition A", "condition B")
+	t.AddRow("busy neighbours",
+		fmt.Sprintf("alone: %d SDCs @ %.1f degC", r.BusyIdle, r.BusyIdleT),
+		fmt.Sprintf("23 busy: %d SDCs @ %.1f degC", r.BusyLoaded, r.BusyLoadedT))
+	t.AddRow("remaining heat",
+		fmt.Sprintf("Y from idle: %d SDCs", r.YFromIdle),
+		fmt.Sprintf("Y after hot X: %d SDCs", r.YAfterX))
+	t.AddRow("toolchain update",
+		fmt.Sprintf("old framework: %d SDCs, peak %.1f degC", r.OldRecords, r.OldMaxT),
+		fmt.Sprintf("efficient: %d SDCs, peak %.1f degC", r.NewRecords, r.NewMaxT))
+	return t.String()
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnomalies(t *testing.T) {
+	res, err := Anomalies(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Busy neighbours raise the defective core's temperature and so its
+	// occurrence count (the defect is private; the heatsink is not).
+	if res.BusyLoadedT <= res.BusyIdleT {
+		t.Errorf("busy neighbours did not heat core: %.1f vs %.1f", res.BusyLoadedT, res.BusyIdleT)
+	}
+	if res.BusyLoaded <= res.BusyIdle {
+		t.Errorf("busy neighbours: %d SDCs vs %d alone", res.BusyLoaded, res.BusyIdle)
+	}
+	// Remaining heat: Y after hot X fails more than from idle.
+	if res.YAfterX <= res.YFromIdle {
+		t.Errorf("remaining heat: after X %d vs idle %d", res.YAfterX, res.YFromIdle)
+	}
+	// Toolchain update: cooler framework, fewer SDCs.
+	if res.NewMaxT >= res.OldMaxT {
+		t.Errorf("efficient framework not cooler: %.1f vs %.1f", res.NewMaxT, res.OldMaxT)
+	}
+	if res.NewRecords >= res.OldRecords {
+		t.Errorf("efficient framework records %d >= old %d", res.NewRecords, res.OldRecords)
+	}
+	if !strings.Contains(res.Render(), "remaining heat") {
+		t.Error("render malformed")
+	}
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestDeterministicRenders guards the reproducibility contract: two fresh
+// contexts from the same seed must render byte-identical experiment output.
+// Any accidental dependence on map iteration order, wall-clock time or
+// global state shows up here.
+func TestDeterministicRenders(t *testing.T) {
+	a := NewContext(424242)
+	b := NewContext(424242)
+
+	type render struct {
+		name string
+		fn   func(*Context) string
+	}
+	renders := []render{
+		{"table3", func(c *Context) string { return Table3(c).Render() }},
+		{"fig2", func(c *Context) string { return Fig2(c).Render() }},
+		{"fig3", func(c *Context) string { return Fig3(c).Render() }},
+		{"fig6", func(c *Context) string { return Fig6(c, 120).Render() }},
+		{"fig7", func(c *Context) string { return Fig7(c, 150).Render() }},
+		{"fig9", func(c *Context) string {
+			r, err := Fig9(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.Render()
+		}},
+		{"obs9", func(c *Context) string { return Obs9(c, 62).Render() }},
+	}
+	for _, r := range renders {
+		outA := r.fn(a)
+		outB := r.fn(b)
+		if outA != outB {
+			t.Errorf("%s: renders differ across identical seeds\n--- A ---\n%s\n--- B ---\n%s",
+				r.name, outA, outB)
+		}
+	}
+}
+
+// TestSeedsActuallyMatter is the counterpart: distinct seeds must yield
+// distinct study sets (no accidental constant world).
+func TestSeedsActuallyMatter(t *testing.T) {
+	a := NewContext(1)
+	b := NewContext(2)
+	same := true
+	for i := range a.Study {
+		if a.Study[i].Defects[0].MinTempC != b.Study[i].Defects[0].MinTempC {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical study sets")
+	}
+}

@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"farron/internal/model"
+)
+
+// sharedCtx is built once: context construction calibrates 27 profiles.
+var sharedCtx = NewContext(20250705)
+
+func TestContextComposition(t *testing.T) {
+	if len(sharedCtx.Library) != 10 {
+		t.Errorf("library size = %d", len(sharedCtx.Library))
+	}
+	if len(sharedCtx.Study) != 27 {
+		t.Errorf("study size = %d", len(sharedCtx.Study))
+	}
+	if sharedCtx.Profile("MIX1") == nil || sharedCtx.Profile("nope") != nil {
+		t.Error("Profile lookup broken")
+	}
+	if len(sharedCtx.KnownErrs("FPU1")) < 3 {
+		t.Errorf("FPU1 known errors = %v", sharedCtx.KnownErrs("FPU1"))
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(sharedCtx, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-install must dominate; pre-production share high.
+	if res.Measured[model.StageReinstall] <= res.Measured[model.StageFactory] {
+		t.Errorf("re-install %v not above factory %v",
+			res.Measured[model.StageReinstall], res.Measured[model.StageFactory])
+	}
+	if res.Measured[model.StageReinstall] <= res.Measured[model.StageDatacenter] {
+		t.Error("re-install not above datacenter")
+	}
+	if res.PreProductionShare < 0.75 {
+		t.Errorf("pre-production share = %v (paper 0.90)", res.PreProductionShare)
+	}
+	if res.Total < 2.2e-4 || res.Total > 5e-4 {
+		t.Errorf("total rate = %v, want ~3.61e-4", res.Total)
+	}
+	if !strings.Contains(res.Render(), "re-install") {
+		t.Error("render missing stages")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2(sharedCtx, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured["M8"] <= res.Measured["M4"] {
+		t.Errorf("M8 %v not above M4 %v", res.Measured["M8"], res.Measured["M4"])
+	}
+	if res.Measured["M8"] <= res.Measured["M2"] {
+		t.Error("M8 not above M2")
+	}
+	// Every arch must have been populated.
+	for _, a := range model.AllMicroArchs() {
+		if _, ok := res.Measured[a]; !ok {
+			t.Errorf("missing arch %s", a)
+		}
+	}
+	if !strings.Contains(res.Render(), "M8") {
+		t.Error("render missing archs")
+	}
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	res := Table3(sharedCtx)
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.MeasuredErrs < row.PaperErrs || row.MeasuredErrs > row.PaperErrs+2 {
+			t.Errorf("%s: measured #err %d vs paper %d", row.CPUID, row.MeasuredErrs, row.PaperErrs)
+		}
+	}
+	out := res.Render()
+	for _, id := range []string{"MIX1", "CNST2", "matrix calculation"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("render missing %q", id)
+		}
+	}
+}
+
+func TestFig2Proportions(t *testing.T) {
+	res := Fig2(sharedCtx)
+	sum := 0.0
+	for _, f := range model.AllFeatures() {
+		p := res.Proportions[f]
+		if p < 0 || p > 1 {
+			t.Errorf("%v proportion = %v", f, p)
+		}
+		if p == 0 {
+			t.Errorf("%v has zero faulty processors; every feature appears in the paper", f)
+		}
+		sum += p
+	}
+	// Overlapping features: sum exceeds 1 (Section 4.1).
+	if sum <= 1 {
+		t.Errorf("feature proportions sum %v, want > 1 (shared components)", sum)
+	}
+}
+
+func TestFig3FloatsDominate(t *testing.T) {
+	res := Fig3(sharedCtx)
+	f64 := res.Proportions[model.DTFloat64]
+	for _, dt := range []model.DataType{model.DTInt16, model.DTBit, model.DTBin8, model.DTBin64} {
+		if res.Proportions[dt] >= f64 {
+			t.Errorf("%v proportion %v >= f64 %v (Observation 6 violated)", dt, res.Proportions[dt], f64)
+		}
+	}
+}
+
+func TestFig4BitflipShape(t *testing.T) {
+	res := Fig4(sharedCtx, 4000)
+	for _, dt := range fig4Types() {
+		st := res.Stats[dt]
+		if st == nil || st.Records == 0 {
+			t.Fatalf("%v: no records", dt)
+		}
+		bits := dt.Bits()
+		// MSB region must be rare (Observation 7).
+		msb, total := 0, 0
+		for i := 0; i < bits; i++ {
+			n := st.PosZeroToOne[i] + st.PosOneToZero[i]
+			total += n
+			if i >= bits*9/10 {
+				msb += n
+			}
+		}
+		if total == 0 {
+			t.Fatalf("%v: no flips", dt)
+		}
+		if frac := float64(msb) / float64(total); frac > 0.05 {
+			t.Errorf("%v: MSB flip share %v, want rare", dt, frac)
+		}
+		// Direction near 51% (Observation 7).
+		if math.Abs(st.ZeroToOneShare-0.51) > 0.12 {
+			t.Errorf("%v: 0->1 share %v", dt, st.ZeroToOneShare)
+		}
+	}
+	// Precision losses: float64 overwhelmingly tiny; int32 often huge.
+	f64q := res.LossQuantiles[model.DTFloat64]
+	if f64q == nil || f64q["p999"] > 1e-3 {
+		t.Errorf("f64 p999 loss = %v, paper: 99.9%% under 2e-4", f64q["p999"])
+	}
+	if f64q != nil && f64q["p50"] > 1e-6 {
+		t.Errorf("f64 median loss = %v, want tiny", f64q["p50"])
+	}
+	i32q := res.LossQuantiles[model.DTInt32]
+	if i32q == nil || i32q["p90"] < 0.5 {
+		t.Errorf("i32 p90 loss = %v, paper: 40%% above 1.0", i32q["p90"])
+	}
+	if r := res.Render(); !strings.Contains(r, "f64") {
+		t.Error("render missing datatypes")
+	}
+}
+
+func TestFig5Uniformity(t *testing.T) {
+	res := Fig5(sharedCtx, 4000)
+	for _, dt := range fig5Types() {
+		st := res.Stats[dt]
+		if st == nil || st.Records == 0 {
+			t.Fatalf("%v: no records", dt)
+		}
+		bits := dt.Bits()
+		msb, total := 0, 0
+		for i := 0; i < bits; i++ {
+			n := st.PosZeroToOne[i] + st.PosOneToZero[i]
+			total += n
+			if i >= bits*3/4 {
+				msb += n
+			}
+		}
+		// For non-numerical data all positions are comparable
+		// (Figure 5): the top quarter should hold roughly a quarter.
+		frac := float64(msb) / float64(total)
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("%v: top-quarter share %v, want ~0.25 (uniform)", dt, frac)
+		}
+	}
+}
+
+func TestFig6HeatmapShape(t *testing.T) {
+	res := Fig6(sharedCtx, 400)
+	if len(res.RowLabels) == 0 || len(res.ColLabels) != 5 {
+		t.Fatalf("shape %dx%d", len(res.RowLabels), len(res.ColLabels))
+	}
+	var valid, high int
+	for _, row := range res.Values {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			valid++
+			if v < 0 || v > 1 {
+				t.Fatalf("proportion %v out of range", v)
+			}
+			if v > 0.5 {
+				high++
+			}
+		}
+	}
+	if valid < 10 {
+		t.Errorf("only %d valid settings", valid)
+	}
+	// Many settings show strong patterns (Figure 6's dark cells).
+	if high == 0 {
+		t.Error("no setting has pattern proportion > 0.5")
+	}
+	if !strings.Contains(res.Render(), "MIX1") {
+		t.Error("render missing processors")
+	}
+}
+
+func TestFig7MostlySingleBit(t *testing.T) {
+	res := Fig7(sharedCtx, 600)
+	multiBitTypes := 0
+	for _, dt := range fig7Types() {
+		p := res.Proportions[dt]
+		sum := p[0] + p[1] + p[2]
+		if sum == 0 {
+			t.Errorf("%v: no pattern SDCs", dt)
+			continue
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%v: proportions sum %v", dt, sum)
+		}
+		if p[0] < 0.6 {
+			t.Errorf("%v: single-bit share %v, want dominant (paper 0.72-0.98)", dt, p[0])
+		}
+		if p[1]+p[2] > 0 {
+			multiBitTypes++
+		}
+	}
+	// Observation 8: a considerable number of SDCs flip 2+ bits — at
+	// least some datatypes must show multi-bit patterns.
+	if multiBitTypes < 2 {
+		t.Errorf("multi-bit patterns in %d/5 datatypes, want >= 2", multiBitTypes)
+	}
+}
+
+func TestFig8LogLinear(t *testing.T) {
+	res, err := Fig8(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Settings) != 3 {
+		t.Fatalf("%d settings", len(res.Settings))
+	}
+	for _, s := range res.Settings {
+		if s.Fit.Slope <= 0 {
+			t.Errorf("%s: slope %v, want positive (freq grows with temp)", s.ProcessorID, s.Fit.Slope)
+		}
+		if s.Fit.R < 0.75 {
+			t.Errorf("%s: r = %v, paper panels are 0.79-0.92", s.ProcessorID, s.Fit.R)
+		}
+		if len(s.Points) != 11 {
+			t.Errorf("%s: %d points", s.ProcessorID, len(s.Points))
+		}
+	}
+	if !strings.Contains(res.Render(), "pcore") {
+		t.Error("render missing settings")
+	}
+}
+
+func TestFig9AntiCorrelation(t *testing.T) {
+	res, err := Fig9(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 20 {
+		t.Fatalf("only %d settings", len(res.Points))
+	}
+	if res.PearsonR > -0.5 {
+		t.Errorf("r = %v, want strongly negative (paper %.4f)", res.PearsonR, res.PaperR)
+	}
+	// Range checks: paper spans ~40-75 degC and ~0.001-100 /min.
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	for _, p := range res.Points {
+		minT = math.Min(minT, p.MinTempC)
+		maxT = math.Max(maxT, p.MinTempC)
+	}
+	if maxT-minT < 15 {
+		t.Errorf("Tmin span [%v, %v] too narrow", minT, maxT)
+	}
+}
+
+func TestObs9Reproducibility(t *testing.T) {
+	res := Obs9(sharedCtx, 62)
+	if len(res.Freqs) < 20 {
+		t.Fatalf("%d settings", len(res.Freqs))
+	}
+	if res.ShareAboveOncePerMin < 0.25 || res.ShareAboveOncePerMin > 0.8 {
+		t.Errorf("share above 1/min = %v (paper 0.512)", res.ShareAboveOncePerMin)
+	}
+	if res.Max/res.Min < 1e3 {
+		t.Errorf("frequency range [%v, %v] too narrow (paper: 0.01 to hundreds)", res.Min, res.Max)
+	}
+}
+
+func TestObs11Ineffective(t *testing.T) {
+	res, err := Obs11(sharedCtx, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Effective == 0 {
+		t.Fatal("no effective testcases")
+	}
+	if res.Ineffective < 500 {
+		t.Errorf("ineffective = %d/633, paper 560", res.Ineffective)
+	}
+	if !strings.Contains(res.Render(), "633") {
+		t.Error("render malformed")
+	}
+}
+
+func TestFig11FarronWins(t *testing.T) {
+	res := Fig11(sharedCtx)
+	if len(res.Rows) != 6 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Farron < row.Baseline {
+			t.Errorf("%s: Farron %.2f < baseline %.2f", row.CPUID, row.Farron, row.Baseline)
+		}
+		if row.Farron < 0.5 {
+			t.Errorf("%s: Farron coverage %.2f too low", row.CPUID, row.Farron)
+		}
+	}
+	f, b := res.MeanDurations()
+	if f.Hours() > 3 {
+		t.Errorf("Farron mean round %.2f h, paper 1.02 h", f.Hours())
+	}
+	if b.Hours() < 9 || b.Hours() > 12 {
+		t.Errorf("baseline mean round %.2f h, paper 10.55 h", b.Hours())
+	}
+	if f*3 >= b {
+		t.Errorf("Farron %.2fh not ≪ baseline %.2fh", f.Hours(), b.Hours())
+	}
+}
+
+func TestTable4Overheads(t *testing.T) {
+	res := Table4(sharedCtx, 24*time.Hour)
+	if len(res.Rows) != 6 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if math.Abs(res.BaselineOverhead-0.00488) > 0.0001 {
+		t.Errorf("baseline overhead = %v", res.BaselineOverhead)
+	}
+	for _, row := range res.Rows {
+		if row.Total >= res.BaselineOverhead {
+			t.Errorf("%s: Farron total %.4f%% not below baseline %.4f%%",
+				row.CPUID, row.Total*100, res.BaselineOverhead*100)
+		}
+		if row.TestOverhead <= 0 {
+			t.Errorf("%s: zero test overhead", row.CPUID)
+		}
+		if row.ControlOverhead > 0.02 {
+			t.Errorf("%s: control overhead %.4f%% too high", row.CPUID, row.ControlOverhead*100)
+		}
+	}
+	if !strings.Contains(res.Render(), "baseline") {
+		t.Error("render malformed")
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"farron/internal/fleet"
+	"farron/internal/report"
+	"farron/internal/stats"
+	"farron/internal/testkit"
+)
+
+// ExposureResult quantifies the production exposure window of Section 3.1:
+// "despite all SDC tests, we still encounter SDC issues… This can be
+// attributed to the window between regular SDC tests and the
+// non-determinism of reproducing SDCs." Defects that manifest in production
+// (after pre-production screens) stay live until a group-test round
+// catches them — weeks to months.
+type ExposureResult struct {
+	// Groups and GroupDur describe the schedule.
+	Groups   int
+	GroupDur time.Duration
+	// Samples is the number of simulated defect onsets.
+	Samples int
+	// Detected counts onsets eventually caught within MaxRounds.
+	Detected int
+	// MeanDays / MedianDays / P95Days summarize the exposure
+	// distribution (onset → detection).
+	MeanDays, MedianDays, P95Days float64
+	// MeanDetectProb is the per-round detection probability averaged
+	// over the sampled defects.
+	MeanDetectProb float64
+}
+
+// Exposure simulates nSamples latent defects manifesting at uniform times
+// during a fleet cycle and measures how long each stays undetected under
+// the group-testing schedule.
+func Exposure(ctx *Context, groups int, groupDur time.Duration, nSamples int) *ExposureResult {
+	sched := fleet.NewGroupSchedule(groups, groupDur)
+	rng := ctx.Rng.Derive("exposure")
+	out := &ExposureResult{Groups: groups, GroupDur: groupDur, Samples: nSamples}
+
+	// Per-round detection probability per defect: one regular round at
+	// the regular-stage temperature, aggregated over its failing
+	// testcases (same analytics as the fleet pipeline).
+	stage := fleet.DefaultStages()[3] // regular
+	var probs []float64
+	for _, p := range ctx.Study {
+		pDet := 1.0
+		miss := 1.0
+		for _, d := range p.Defects {
+			core := bestCoreOf(d, p.TotalPCores)
+			for _, tc := range ctx.Suite.FailingTestcases(p) {
+				if !testkit.DetectableBy(tc, d) {
+					continue
+				}
+				stress := testkit.SettingStress(tc, d)
+				rate := d.RatePerMin(core, stage.MeanTempC, stress)
+				miss *= math.Exp(-rate * stage.PerTestcaseMin)
+			}
+		}
+		pDet = 1 - miss
+		probs = append(probs, pDet)
+	}
+	out.MeanDetectProb = stats.Mean(probs)
+
+	var exposures []float64
+	cycle := sched.CycleDur()
+	for i := 0; i < nSamples; i++ {
+		pDet := probs[i%len(probs)]
+		machine := rng.Intn(1_000_000)
+		onset := time.Duration(rng.Float64() * float64(cycle))
+		exp, ok := sched.ExposureUntilDetection(rng, machine, onset, pDet, 40)
+		if !ok {
+			continue
+		}
+		out.Detected++
+		exposures = append(exposures, exp.Hours()/24)
+	}
+	if len(exposures) > 0 {
+		cdf := stats.NewCDF(exposures)
+		out.MeanDays = stats.Mean(exposures)
+		out.MedianDays = cdf.Quantile(0.5)
+		out.P95Days = cdf.Quantile(0.95)
+	}
+	return out
+}
+
+// Render summarizes the exposure study.
+func (r *ExposureResult) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Exposure window — %d groups × %v (fleet cycle %v)",
+			r.Groups, r.GroupDur, time.Duration(r.Groups)*r.GroupDur),
+		"metric", "value")
+	t.AddRow("defect onsets sampled", fmt.Sprintf("%d", r.Samples))
+	t.AddRow("eventually detected", fmt.Sprintf("%d (%.0f%%)", r.Detected,
+		100*float64(r.Detected)/float64(r.Samples)))
+	t.AddRow("mean per-round detect prob", fmt.Sprintf("%.2f", r.MeanDetectProb))
+	t.AddRow("mean exposure", fmt.Sprintf("%.0f days", r.MeanDays))
+	t.AddRow("median exposure", fmt.Sprintf("%.0f days", r.MedianDays))
+	t.AddRow("p95 exposure", fmt.Sprintf("%.0f days", r.P95Days))
+	return t.String() + "services requiring high reliability need SDC tolerance in this window (Observation 2).\n"
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExposureWindow(t *testing.T) {
+	day := 24 * time.Hour
+	res := Exposure(sharedCtx, 6, 14*day, 2000)
+	if res.Detected == 0 {
+		t.Fatal("no defects ever detected")
+	}
+	// Escapes must exist: tricky defects dodge regular rounds — the
+	// Section 2.2 incidents.
+	if res.Detected == res.Samples {
+		t.Error("every defect detected; the paper's escape window requires misses")
+	}
+	// The mean exposure must be weeks-to-months (the cycle is 12 weeks).
+	if res.MeanDays < 14 || res.MeanDays > 400 {
+		t.Errorf("mean exposure = %.0f days, want weeks-to-months", res.MeanDays)
+	}
+	if res.P95Days < res.MedianDays {
+		t.Errorf("p95 %v < median %v", res.P95Days, res.MedianDays)
+	}
+	// More groups (longer fleet cycle) must lengthen exposure.
+	resLong := Exposure(sharedCtx, 12, 14*day, 2000)
+	if resLong.MeanDays <= res.MeanDays {
+		t.Errorf("doubling the cycle shortened exposure: %.0f -> %.0f days",
+			res.MeanDays, resLong.MeanDays)
+	}
+	if !strings.Contains(res.Render(), "exposure") {
+		t.Error("render malformed")
+	}
+}

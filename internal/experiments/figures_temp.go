@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"farron/internal/cpu"
+	"farron/internal/defect"
+	"farron/internal/fleet"
+	"farron/internal/report"
+	"farron/internal/stats"
+	"farron/internal/testkit"
+	"farron/internal/thermal"
+)
+
+// SweepPoint is one temperature measurement of a setting.
+type SweepPoint struct {
+	TempC float64
+	// FreqPerMin is the measured occurrence frequency.
+	FreqPerMin float64
+	// Records and Minutes give the raw evidence.
+	Records int
+	Minutes float64
+}
+
+// Fig8Setting is one Figure 8 panel: a (processor, core, testcase) setting
+// swept across temperatures.
+type Fig8Setting struct {
+	ProcessorID string
+	Core        int
+	TestcaseID  string
+	Points      []SweepPoint
+	// Fit is the least-squares fit of log10(freq) against temperature;
+	// the paper's panels have Pearson r of 0.79, 0.92 and 0.89.
+	Fit stats.LinFit
+}
+
+// Fig8Result is Figure 8: occurrence frequency vs temperature.
+type Fig8Result struct {
+	Settings []Fig8Setting
+}
+
+// fig8Procs are the processors of Figure 8's three panels, with the
+// defective core the paper measured.
+func fig8Procs() []struct {
+	id   string
+	core int
+} {
+	return []struct {
+		id   string
+		core int
+	}{{"MIX1", 0}, {"MIX2", 1}, {"FPU2", 8}}
+}
+
+// Fig8 sweeps each panel's setting across an 11-degree range starting just
+// above the setting's observed minimum triggering temperature, measuring
+// occurrence frequency at each pinned temperature via the stress-preheat
+// methodology of Section 5.
+func Fig8(ctx *Context) (*Fig8Result, error) {
+	out := &Fig8Result{}
+	for _, pc := range fig8Procs() {
+		p := ctx.Profile(pc.id)
+		if p == nil {
+			return nil, fmt.Errorf("experiments: profile %s missing", pc.id)
+		}
+		d := p.Defects[0]
+		tc := pickSweepTestcase(ctx, p, d, pc.core)
+		if tc == nil {
+			return nil, fmt.Errorf("experiments: no sweepable testcase for %s", pc.id)
+		}
+		setting, err := sweepSetting(ctx, p, d, tc, pc.core)
+		if err != nil {
+			return nil, err
+		}
+		out.Settings = append(out.Settings, *setting)
+	}
+	return out, nil
+}
+
+// pickSweepTestcase chooses the failing testcase whose observed threshold
+// is most measurable (a mid-stress setting: not so hot it is unreachable,
+// not so frequent the curve saturates instantly).
+func pickSweepTestcase(ctx *Context, p *defect.Profile, d *defect.Defect, core int) *testkit.Testcase {
+	var best *testkit.Testcase
+	bestScore := math.Inf(1)
+	for _, tc := range ctx.Suite.FailingTestcases(p) {
+		if !testkit.DetectableBy(tc, d) {
+			continue
+		}
+		stress := testkit.SettingStress(tc, d)
+		tmin := d.ObservedMinTemp(core, stress)
+		if math.IsInf(tmin, 0) || tmin > 80 {
+			continue
+		}
+		// Prefer thresholds in the 45-70 band (measurable on a live
+		// package) with moderate starting rates.
+		score := math.Abs(tmin - 55)
+		if score < bestScore {
+			bestScore = score
+			best = tc
+		}
+	}
+	return best
+}
+
+// sweepSetting measures occurrence frequency at pinned temperatures.
+func sweepSetting(ctx *Context, p *defect.Profile, d *defect.Defect, tc *testkit.Testcase, core int) (*Fig8Setting, error) {
+	proc := cpu.FromProfile(p)
+	pkg := thermal.New(thermal.DefaultConfig(), proc.PhysCores, ctx.Rng.Derive("fig8", p.CPUID))
+	runner := testkit.NewRunner(ctx.Suite, proc, pkg)
+	stress := testkit.SettingStress(tc, d)
+	t0 := d.ObservedMinTemp(core, stress) + 1
+	set := &Fig8Setting{ProcessorID: p.CPUID, Core: core, TestcaseID: tc.ID}
+
+	var xs, ys []float64
+	for i := 0; i <= 10; i++ {
+		temp := t0 + float64(i)
+		expected := d.RatePerMin(core, temp, stress)
+		// Enough test time for ≥ ~25 expected events, bounded.
+		dur := 25 * time.Minute
+		if expected > 0 {
+			dur = time.Duration(25 / expected * float64(time.Minute))
+		}
+		if dur < 5*time.Minute {
+			dur = 5 * time.Minute
+		}
+		if dur > 8*time.Hour {
+			dur = 8 * time.Hour
+		}
+		res := runner.Run(tc, testkit.RunOpts{
+			Core: core, Duration: dur, FixedTempC: &temp,
+		})
+		minutes := dur.Minutes()
+		freq := float64(len(res.Records)) / minutes
+		set.Points = append(set.Points, SweepPoint{
+			TempC: temp, FreqPerMin: freq,
+			Records: len(res.Records), Minutes: minutes,
+		})
+		if freq > 0 {
+			xs = append(xs, temp)
+			ys = append(ys, math.Log10(freq))
+		}
+	}
+	if len(xs) >= 3 {
+		fit, err := stats.FitLine(xs, ys)
+		if err != nil {
+			return nil, err
+		}
+		set.Fit = fit
+	}
+	return set, nil
+}
+
+// Render draws the Figure 8 panels.
+func (r *Fig8Result) Render() string {
+	var out string
+	for _, s := range r.Settings {
+		var xs, ys []float64
+		for _, pt := range s.Points {
+			if pt.FreqPerMin > 0 {
+				xs = append(xs, pt.TempC)
+				ys = append(ys, math.Log10(pt.FreqPerMin))
+			}
+		}
+		out += report.Scatter(
+			fmt.Sprintf("Figure 8 — %s pcore%d %s: log10(freq/min) vs temp, r=%.4f",
+				s.ProcessorID, s.Core, s.TestcaseID, s.Fit.R),
+			xs, ys, 12, 50)
+	}
+	return out
+}
+
+// Fig9Point is one setting's (minimum triggering temperature, frequency).
+type Fig9Point struct {
+	ProcessorID string
+	TestcaseID  string
+	Core        int
+	MinTempC    float64
+	FreqPerMin  float64
+}
+
+// Fig9Result is Figure 9: frequency at the minimum triggering temperature
+// across settings (paper fit: Pearson r = −0.8272).
+type Fig9Result struct {
+	Points   []Fig9Point
+	PearsonR float64
+	PaperR   float64
+}
+
+// Fig9 enumerates study settings' observed minimum triggering temperatures
+// and the frequency there. Like the paper's measurement, it covers the
+// settings that reproduce within practical test time — each defect's
+// higher-stress settings; settings orders of magnitude below a defect's
+// strongest never accumulate enough records to be characterized.
+func Fig9(ctx *Context) (*Fig9Result, error) {
+	out := &Fig9Result{PaperR: -0.8272}
+	var xs, ys []float64
+	for _, p := range ctx.Study {
+		for _, d := range p.Defects {
+			core := bestCoreOf(d, p.TotalPCores)
+			failing := ctx.Suite.FailingTestcases(p)
+			maxStress := 0.0
+			for _, tc := range failing {
+				if !testkit.DetectableBy(tc, d) {
+					continue
+				}
+				if s := testkit.SettingStress(tc, d); s > maxStress {
+					maxStress = s
+				}
+			}
+			for _, tc := range failing {
+				if !testkit.DetectableBy(tc, d) {
+					continue
+				}
+				stress := testkit.SettingStress(tc, d)
+				if stress < maxStress/20 {
+					continue // does not reproduce in practical time
+				}
+				tmin := d.ObservedMinTemp(core, stress)
+				if math.IsInf(tmin, 0) || tmin > 78 {
+					continue // unobservable on a live package
+				}
+				freq := d.RatePerMin(core, tmin, stress)
+				if freq <= 0 {
+					continue
+				}
+				out.Points = append(out.Points, Fig9Point{
+					ProcessorID: p.CPUID, TestcaseID: tc.ID, Core: core,
+					MinTempC: tmin, FreqPerMin: freq,
+				})
+				xs = append(xs, tmin)
+				ys = append(ys, math.Log10(freq))
+			}
+		}
+	}
+	r, err := stats.Pearson(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	out.PearsonR = r
+	return out, nil
+}
+
+// Render draws the Figure 9 scatter.
+func (r *Fig9Result) Render() string {
+	var xs, ys []float64
+	for _, p := range r.Points {
+		xs = append(xs, p.MinTempC)
+		ys = append(ys, math.Log10(p.FreqPerMin))
+	}
+	return report.Scatter(
+		fmt.Sprintf("Figure 9 — log10(freq/min) vs min triggering temp, %d settings, r=%.4f (paper %.4f)",
+			len(r.Points), r.PearsonR, r.PaperR),
+		xs, ys, 14, 56)
+}
+
+func bestCoreOf(d *defect.Defect, total int) int {
+	best, bestM := 0, 0.0
+	for _, c := range d.DefectiveCores(total) {
+		if m := d.CoreMultiplier(c); m > bestM {
+			best, bestM = c, m
+		}
+	}
+	return best
+}
+
+// Obs9Result quantifies Observation 9: the distribution of per-setting
+// occurrence frequencies (51.2% of settings above once per minute).
+type Obs9Result struct {
+	// Freqs are per-setting frequencies at the reference burn-in test
+	// temperature.
+	Freqs []float64
+	// ShareAboveOncePerMin is the paper's 51.2% headline.
+	ShareAboveOncePerMin float64
+	// Min and Max bound the observed range (paper: 0.01 to hundreds).
+	Min, Max float64
+	RefTempC float64
+}
+
+// Obs9 evaluates setting frequencies at the testing temperature.
+func Obs9(ctx *Context, refTempC float64) *Obs9Result {
+	out := &Obs9Result{RefTempC: refTempC, Min: math.Inf(1)}
+	above := 0
+	for _, p := range ctx.Study {
+		for _, d := range p.Defects {
+			core := bestCoreOf(d, p.TotalPCores)
+			for _, tc := range ctx.Suite.FailingTestcases(p) {
+				if !testkit.DetectableBy(tc, d) {
+					continue
+				}
+				stress := testkit.SettingStress(tc, d)
+				f := d.RatePerMin(core, refTempC, stress)
+				if f < defect.MeasurableFreqPerMin {
+					continue // not a measurable setting
+				}
+				out.Freqs = append(out.Freqs, f)
+				if f > 1 {
+					above++
+				}
+				out.Min = math.Min(out.Min, f)
+				out.Max = math.Max(out.Max, f)
+			}
+		}
+	}
+	if len(out.Freqs) > 0 {
+		out.ShareAboveOncePerMin = float64(above) / float64(len(out.Freqs))
+	}
+	return out
+}
+
+// Render summarizes Observation 9.
+func (r *Obs9Result) Render() string {
+	return fmt.Sprintf(
+		"Observation 9 — %d settings at %.0f degC: freq range [%.3g, %.3g]/min; %.1f%% above 1/min (paper 51.2%%)\n",
+		len(r.Freqs), r.RefTempC, r.Min, r.Max, r.ShareAboveOncePerMin*100)
+}
+
+// Obs11Result quantifies Observation 11: ineffective testcases in a
+// production environment with tens of thousands of CPUs (paper: 560/633
+// detected nothing).
+type Obs11Result struct {
+	Population       int
+	FaultyCount      int
+	Effective        int
+	Ineffective      int
+	PaperIneffective int
+}
+
+// Obs11 screens a sub-fleet and counts testcases that never fired.
+func Obs11(ctx *Context, population int) (*Obs11Result, error) {
+	cfg := fleet.DefaultConfig()
+	cfg.Processors = population
+	cfg.Seed = ctx.Seed
+	sim, err := fleet.NewSimulator(cfg, ctx.Suite)
+	if err != nil {
+		return nil, err
+	}
+	res := sim.Run()
+	// Detailed logs: replay each detected faulty processor's failing set.
+	effective := map[string]bool{}
+	for _, p := range res.FaultyProfiles {
+		for _, tc := range ctx.Suite.FailingTestcases(p) {
+			effective[tc.ID] = true
+		}
+	}
+	return &Obs11Result{
+		Population:       population,
+		FaultyCount:      len(res.FaultyProfiles),
+		Effective:        len(effective),
+		Ineffective:      testkit.SuiteSize - len(effective),
+		PaperIneffective: 560,
+	}, nil
+}
+
+// Render summarizes Observation 11.
+func (r *Obs11Result) Render() string {
+	return fmt.Sprintf(
+		"Observation 11 — %d CPUs, %d faulty: %d/633 testcases effective, %d ineffective (paper %d)\n",
+		r.Population, r.FaultyCount, r.Effective, r.Ineffective, r.PaperIneffective)
+}

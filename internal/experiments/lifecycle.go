@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"farron/internal/core"
+	"farron/internal/report"
+)
+
+// LifecycleRow is one processor's long-horizon outcome.
+type LifecycleRow struct {
+	CPUID string
+	// Farron outcome.
+	Farron core.LifecycleReport
+	// BaselineDeprecated reports whether the baseline strategy would
+	// have retired the whole processor, and after which round.
+	BaselineDeprecated bool
+	BaselineRounds     int
+	// CoresSaved is how many healthy cores Farron keeps serving that the
+	// baseline would have retired.
+	CoresSaved int
+}
+
+// LifecycleResult is the end-to-end workflow comparison over a simulated
+// operating horizon: Figure 10's state machine exercised round after round.
+type LifecycleResult struct {
+	Rows    []LifecycleRow
+	Horizon time.Duration
+}
+
+// Lifecycle runs a compressed-cadence lifecycle (test rounds every 12
+// simulated hours instead of 90 days, keeping the online tick count
+// tractable) for each evaluated processor under Farron, and the baseline
+// policy alongside.
+func Lifecycle(ctx *Context) *LifecycleResult {
+	cfg := core.DefaultConfig()
+	cfg.RegularPeriod = 12 * time.Hour
+	lcCfg := core.LifecycleConfig{
+		Farron:  cfg,
+		App:     core.DefaultAppProfile(),
+		Horizon: 4 * cfg.RegularPeriod,
+	}
+	out := &LifecycleResult{Horizon: lcCfg.Horizon}
+	active := fleetActiveIDs(ctx)
+	for _, id := range evalProcessors() {
+		p := ctx.Profile(id)
+
+		rF := newRunnerFor(ctx, id, "lc-farron")
+		far := core.New(cfg, rF, p.Features(), active)
+		lc := core.NewLifecycle(lcCfg, far, ctx.Rng.Derive("lc", id))
+		rep := lc.Run()
+
+		// Baseline: one round decides — any detection retires the whole
+		// processor.
+		rB := newRunnerFor(ctx, id, "lc-baseline")
+		base := core.NewBaseline(rB, time.Minute)
+		baseRound := base.RegularRound()
+		baseDep := rB.Processor().Deprecated()
+
+		saved := 0
+		if baseDep && !rep.Deprecated {
+			saved = p.TotalPCores - rep.MaskedCores
+		}
+		out.Rows = append(out.Rows, LifecycleRow{
+			CPUID:              id,
+			Farron:             rep,
+			BaselineDeprecated: baseDep,
+			BaselineRounds:     1,
+			CoresSaved:         saved,
+		})
+		_ = baseRound
+	}
+	return out
+}
+
+// TotalCoresSaved sums the fail-in-place benefit.
+func (r *LifecycleResult) TotalCoresSaved() int {
+	t := 0
+	for _, row := range r.Rows {
+		t += row.CoresSaved
+	}
+	return t
+}
+
+// Render draws the lifecycle comparison.
+func (r *LifecycleResult) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Lifecycle — Figure 10 workflow over %v (compressed cadence)", r.Horizon),
+		"CPU", "final state", "rounds", "masked", "SDCs", "backoff s/h", "baseline", "cores saved")
+	for _, row := range r.Rows {
+		baseline := "kept"
+		if row.BaselineDeprecated {
+			baseline = "retired whole CPU"
+		}
+		t.AddRow(row.CPUID,
+			row.Farron.FinalState.String(),
+			fmt.Sprintf("%d", row.Farron.Rounds),
+			fmt.Sprintf("%d", row.Farron.MaskedCores),
+			fmt.Sprintf("%d", row.Farron.SDCs),
+			fmt.Sprintf("%.3f", row.Farron.Backoff.BackoffSecondsPerHour()),
+			baseline,
+			fmt.Sprintf("%d", row.CoresSaved))
+	}
+	return t.String() + fmt.Sprintf("healthy cores kept in service by fine-grained decommission: %d\n",
+		r.TotalCoresSaved())
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"farron/internal/core"
+)
+
+func TestLifecycleComparison(t *testing.T) {
+	res := Lifecycle(sharedCtx)
+	if len(res.Rows) != 6 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		switch row.CPUID {
+		case "MIX1", "MIX2", "CNST2":
+			// All-core defects: both strategies retire the processor.
+			if row.Farron.FinalState != core.StateDeprecated {
+				t.Errorf("%s: Farron final state = %v, want deprecated", row.CPUID, row.Farron.FinalState)
+			}
+		case "SIMD1", "FPU1", "FPU2", "CNST1":
+			// Single-core defects: Farron masks and keeps serving.
+			if row.Farron.Deprecated {
+				t.Errorf("%s: Farron deprecated a single-core defect", row.CPUID)
+			}
+			if row.Farron.MaskedCores != 1 {
+				t.Errorf("%s: masked %d cores", row.CPUID, row.Farron.MaskedCores)
+			}
+			if row.Farron.SDCs != 0 {
+				t.Errorf("%s: app absorbed %d SDCs after masking", row.CPUID, row.Farron.SDCs)
+			}
+		}
+	}
+	// The baseline retires whole processors whenever it detects (it can
+	// miss a weak defect in its cold 2.5s-per-core slots — exactly the
+	// Figure 11 coverage gap); Farron's fail-in-place dividend must show
+	// on the CPUs the baseline did catch.
+	if res.TotalCoresSaved() < 20 {
+		t.Errorf("total cores saved = %d, want the fail-in-place dividend", res.TotalCoresSaved())
+	}
+	if !strings.Contains(res.Render(), "cores saved") {
+		t.Error("render malformed")
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObs12TechniqueComparison(t *testing.T) {
+	res := Obs12(sharedCtx, 2000)
+	if res.Records < 1000 {
+		t.Fatalf("evidence base too small: %d", res.Records)
+	}
+	// Most study SDCs are single-bit (Figure 7): ECC corrects the
+	// majority.
+	if res.ECCCorrected < 0.6 {
+		t.Errorf("ECC corrected share = %.2f, want majority", res.ECCCorrected)
+	}
+	// But multi-bit patterns exist, and some defeat SECDED silently
+	// (Observation 12's ECC critique) or at least only get detected.
+	if res.ECCDetected+res.ECCMiscorrected == 0 {
+		t.Error("no multi-bit outcomes at all")
+	}
+	// Pre-parity corruption is invisible to ECC — always.
+	if res.ECCPreEncodingBlind < 0.999 {
+		t.Errorf("pre-encoding blindness = %.3f, want 1.0", res.ECCPreEncodingBlind)
+	}
+	// EC propagates corruption into reconstructed data — always, when
+	// the corrupt shard participates.
+	if res.ECPropagation < 0.999 {
+		t.Errorf("EC propagation = %.3f, want 1.0", res.ECPropagation)
+	}
+	// Observation 7: the range detector misses most float SDCs.
+	if res.PredictRecall > 0.35 {
+		t.Errorf("prediction recall = %.2f, want poor", res.PredictRecall)
+	}
+	// Redundancy works (and costs 2x) against independent replicas...
+	if res.RedundancyDetect < 0.99 {
+		t.Errorf("redundancy detect = %.2f", res.RedundancyDetect)
+	}
+	if res.RedundancyCost != 2 {
+		t.Errorf("redundancy cost = %.1fx", res.RedundancyCost)
+	}
+	// ...but is silent when replicas share the deterministic defect.
+	if res.RedundancySharedCoreEscape < 0.99 {
+		t.Errorf("shared-core escape = %.2f, want ~1", res.RedundancySharedCoreEscape)
+	}
+	// The checksum flood: ~1% defective-instruction rate surfaces as
+	// ~1% false alarms.
+	if res.ChecksumFalseAlarm < 0.005 || res.ChecksumFalseAlarm > 0.02 {
+		t.Errorf("checksum false alarms = %.4f", res.ChecksumFalseAlarm)
+	}
+	if !strings.Contains(res.Render(), "Erasure coding") {
+		t.Error("render missing techniques")
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	res := Ablation(sharedCtx)
+	if len(res.Rows) != 9 {
+		t.Fatalf("%d rows, want 3 variants x 3 processors", len(res.Rows))
+	}
+	full := res.CoverageOf("full")
+	noBurn := res.CoverageOf("no-burn-in")
+	noPrio := res.CoverageOf("no-prioritization")
+	if full < noBurn {
+		t.Errorf("full %.2f below no-burn-in %.2f", full, noBurn)
+	}
+	if full < noPrio {
+		t.Errorf("full %.2f below no-prioritization %.2f", full, noPrio)
+	}
+	if full < 0.5 {
+		t.Errorf("full coverage = %.2f", full)
+	}
+	if !strings.Contains(res.Render(), "no-burn-in") {
+		t.Error("render malformed")
+	}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"farron/internal/fleet"
+	"farron/internal/model"
+	"farron/internal/report"
+)
+
+// Table1Result reproduces Table 1: failure rate by test timing.
+type Table1Result struct {
+	// Measured rates (fraction of the population) per stage, plus total.
+	Measured map[model.Stage]float64
+	Total    float64
+	// Paper holds the published values for side-by-side comparison.
+	Paper      map[model.Stage]float64
+	PaperTotal float64
+	// Detected and Population give the raw counts.
+	Detected   int
+	Population int
+	// PreProductionShare is the fraction of detections before
+	// production (paper: 90.36%).
+	PreProductionShare float64
+}
+
+// paperTable1 are the published per-stage rates (fractions).
+func paperTable1() map[model.Stage]float64 {
+	return map[model.Stage]float64{
+		model.StageFactory:    0.776e-4,
+		model.StageDatacenter: 0.180e-4,
+		model.StageReinstall:  2.306e-4,
+		model.StageRegular:    0.348e-4,
+	}
+}
+
+// Table1 runs the fleet pipeline at the given population size and measures
+// the per-stage detection rates.
+func Table1(ctx *Context, population int) (*Table1Result, error) {
+	cfg := fleet.DefaultConfig()
+	cfg.Processors = population
+	cfg.Seed = ctx.Seed
+	sim, err := fleet.NewSimulator(cfg, ctx.Suite)
+	if err != nil {
+		return nil, err
+	}
+	res := sim.Run()
+	out := &Table1Result{
+		Measured:   map[model.Stage]float64{},
+		Paper:      paperTable1(),
+		PaperTotal: 3.61e-4,
+		Detected:   res.DetectedTotal(),
+		Population: res.Population,
+		Total:      res.OverallRate(),
+	}
+	pre := 0
+	for _, s := range model.AllStages() {
+		out.Measured[s] = res.StageRate(s)
+		if s.PreProduction() {
+			pre += res.DetectedByStage[s]
+		}
+	}
+	if res.DetectedTotal() > 0 {
+		out.PreProductionShare = float64(pre) / float64(res.DetectedTotal())
+	}
+	return out, nil
+}
+
+// Render produces the Table 1 text.
+func (r *Table1Result) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Table 1 — failure rate by test timing (%d CPUs, %d detected)", r.Population, r.Detected),
+		"timing", "measured", "paper")
+	for _, s := range model.AllStages() {
+		t.AddRow(s.String(), report.PerTenThousand(r.Measured[s]), report.PerTenThousand(r.Paper[s]))
+	}
+	t.AddRow("total", report.PerTenThousand(r.Total), report.PerTenThousand(r.PaperTotal))
+	return t.String() + fmt.Sprintf("pre-production share: %.2f%% (paper 90.36%%)\n", r.PreProductionShare*100)
+}
+
+// Table2Result reproduces Table 2: failure rate per micro-architecture.
+type Table2Result struct {
+	Measured map[model.MicroArch]float64
+	Paper    map[model.MicroArch]float64
+	// Average is the population-weighted measured mean.
+	Average    float64
+	Population int
+}
+
+// paperTable2 are the published per-arch rates (fractions).
+func paperTable2() map[model.MicroArch]float64 {
+	return map[model.MicroArch]float64{
+		"M1": 4.619e-4, "M2": 0.352e-4, "M3": 2.649e-4,
+		"M4": 0.082e-4, "M5": 0.759e-4, "M6": 3.251e-4,
+		"M7": 1.599e-4, "M8": 9.290e-4, "M9": 4.646e-4,
+	}
+}
+
+// Table2 measures per-architecture detected failure rates.
+func Table2(ctx *Context, population int) (*Table2Result, error) {
+	cfg := fleet.DefaultConfig()
+	cfg.Processors = population
+	cfg.Seed = ctx.Seed
+	sim, err := fleet.NewSimulator(cfg, ctx.Suite)
+	if err != nil {
+		return nil, err
+	}
+	res := sim.Run()
+	out := &Table2Result{
+		Measured:   map[model.MicroArch]float64{},
+		Paper:      paperTable2(),
+		Average:    res.OverallRate(),
+		Population: res.Population,
+	}
+	for arch, ar := range res.ByArch {
+		out.Measured[arch] = ar.FailureRate()
+	}
+	return out, nil
+}
+
+// Render produces the Table 2 text.
+func (r *Table2Result) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Table 2 — failure rate by micro-architecture (%d CPUs)", r.Population),
+		"arch", "measured", "paper")
+	for _, a := range model.AllMicroArchs() {
+		t.AddRow(string(a), report.PerTenThousand(r.Measured[a]), report.PerTenThousand(r.Paper[a]))
+	}
+	t.AddRow("avg", report.PerTenThousand(r.Average), report.PerTenThousand(3.61e-4))
+	return t.String()
+}
+
+// Table3Row is one processor's inventory line.
+type Table3Row struct {
+	CPUID     string
+	Arch      model.MicroArch
+	AgeYears  float64
+	PCores    int // defective physical cores
+	PaperErrs int
+	// MeasuredErrs is the calibrated failing-testcase count re-measured
+	// through the suite.
+	MeasuredErrs int
+	Class        model.DefectClass
+	Workloads    []string
+	DataTypes    []model.DataType
+}
+
+// Table3Result reproduces Table 3's faulty-processor inventory.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 re-derives each library processor's error inventory.
+func Table3(ctx *Context) *Table3Result {
+	var out Table3Result
+	for _, p := range ctx.Library {
+		out.Rows = append(out.Rows, Table3Row{
+			CPUID:        p.CPUID,
+			Arch:         p.Arch,
+			AgeYears:     p.AgeYears,
+			PCores:       p.DefectivePCores,
+			PaperErrs:    p.TargetErrCount,
+			MeasuredErrs: len(ctx.Suite.FailingTestcases(p)),
+			Class:        p.Class(),
+			Workloads:    p.ImpactedWorkloads,
+			DataTypes:    p.DataTypes(),
+		})
+	}
+	return &out
+}
+
+// Render produces the Table 3 text.
+func (r *Table3Result) Render() string {
+	t := report.NewTable("Table 3 — studied faulty processors",
+		"CPU", "arch", "age(Y)", "#pcore", "#err", "#err(paper)", "type", "impacted workloads", "datatypes")
+	for _, row := range r.Rows {
+		dts := make([]string, len(row.DataTypes))
+		for i, d := range row.DataTypes {
+			dts[i] = d.String()
+		}
+		t.AddRow(row.CPUID, string(row.Arch),
+			fmt.Sprintf("%.2f", row.AgeYears),
+			fmt.Sprintf("%d", row.PCores),
+			fmt.Sprintf("%d", row.MeasuredErrs),
+			fmt.Sprintf("%d", row.PaperErrs),
+			row.Class.String(),
+			strings.Join(row.Workloads, "; "),
+			strings.Join(dts, "; "))
+	}
+	return t.String()
+}

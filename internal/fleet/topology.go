@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"farron/internal/simrand"
+)
+
+// Topology models the physical layout of the fleet: Alibaba Cloud operates
+// "hundreds of clusters deployed in 28 data centers across 14 countries"
+// (Section 2.1). Machines host one processor each for the purposes of the
+// SDC study.
+type Topology struct {
+	Datacenters []*Datacenter
+}
+
+// Datacenter is one facility.
+type Datacenter struct {
+	Name     string
+	Country  string
+	Clusters []*Cluster
+}
+
+// Cluster is one deployment unit.
+type Cluster struct {
+	Name     string
+	Machines int
+}
+
+// DefaultTopology distributes totalMachines across 28 datacenters in 14
+// countries with a realistic skew (large regions host several DCs and the
+// biggest clusters).
+func DefaultTopology(rng *simrand.Source, totalMachines int) *Topology {
+	if totalMachines <= 0 {
+		panic("fleet: topology needs machines")
+	}
+	r := rng.Derive("topology")
+	const nDCs = 28
+	const nCountries = 14
+	topo := &Topology{}
+
+	// Zipf-ish weights: a few big regions, a long tail.
+	weights := make([]float64, nDCs)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+		total += weights[i]
+	}
+	assigned := 0
+	for i := 0; i < nDCs; i++ {
+		share := weights[i] / total
+		machines := int(float64(totalMachines) * share)
+		if i == nDCs-1 {
+			machines = totalMachines - assigned
+		}
+		assigned += machines
+		dc := &Datacenter{
+			Name:    fmt.Sprintf("dc-%02d", i+1),
+			Country: fmt.Sprintf("country-%02d", i%nCountries+1),
+		}
+		// Clusters of ~2000-6000 machines.
+		rem := machines
+		c := 0
+		for rem > 0 {
+			size := 2000 + r.Intn(4000)
+			if size > rem {
+				size = rem
+			}
+			dc.Clusters = append(dc.Clusters, &Cluster{
+				Name:     fmt.Sprintf("%s-c%02d", dc.Name, c),
+				Machines: size,
+			})
+			rem -= size
+			c++
+		}
+		topo.Datacenters = append(topo.Datacenters, dc)
+	}
+	return topo
+}
+
+// Machines returns the total machine count.
+func (t *Topology) Machines() int {
+	n := 0
+	for _, dc := range t.Datacenters {
+		for _, c := range dc.Clusters {
+			n += c.Machines
+		}
+	}
+	return n
+}
+
+// ClusterCount returns the number of clusters ("hundreds").
+func (t *Topology) ClusterCount() int {
+	n := 0
+	for _, dc := range t.Datacenters {
+		n += len(dc.Clusters)
+	}
+	return n
+}
+
+// Countries returns the number of distinct countries.
+func (t *Topology) Countries() int {
+	seen := map[string]bool{}
+	for _, dc := range t.Datacenters {
+		seen[dc.Country] = true
+	}
+	return len(seen)
+}
+
+// GroupSchedule staggers regular testing across the fleet: "in production,
+// machines will be regularly tested in groups. Testing for each group lasts
+// about 2 weeks, and testing for the whole fleet needs months"
+// (Section 2.4). The schedule is cyclic: after the last group, the first
+// group's next round begins.
+type GroupSchedule struct {
+	// Groups is the number of test groups.
+	Groups int
+	// GroupDur is how long one group's testing takes (~2 weeks).
+	GroupDur time.Duration
+}
+
+// NewGroupSchedule validates and builds a schedule.
+func NewGroupSchedule(groups int, groupDur time.Duration) *GroupSchedule {
+	if groups <= 0 || groupDur <= 0 {
+		panic("fleet: invalid group schedule")
+	}
+	return &GroupSchedule{Groups: groups, GroupDur: groupDur}
+}
+
+// CycleDur is the full fleet pass (months, per the paper).
+func (s *GroupSchedule) CycleDur() time.Duration {
+	return time.Duration(s.Groups) * s.GroupDur
+}
+
+// GroupOf assigns a machine to its test group (stable hash partition).
+func (s *GroupSchedule) GroupOf(machine int) int {
+	h := uint64(machine) * 0x9E3779B97F4A7C15
+	return int(h % uint64(s.Groups))
+}
+
+// NextTestStart returns when machine's next group-test window opens at or
+// after time t.
+func (s *GroupSchedule) NextTestStart(machine int, t time.Duration) time.Duration {
+	g := time.Duration(s.GroupOf(machine)) * s.GroupDur
+	cycle := s.CycleDur()
+	if t <= g {
+		return g
+	}
+	elapsed := t - g
+	cycles := (elapsed + cycle - 1) / cycle
+	return g + cycles*cycle
+}
+
+// ExposureUntilDetection returns how long a defect manifesting on machine
+// at time onset stays undetected, given that each group-test round detects
+// it independently with probability pDetect. The draw walks successive
+// windows geometrically.
+func (s *GroupSchedule) ExposureUntilDetection(rng *simrand.Source, machine int, onset time.Duration, pDetect float64, maxRounds int) (time.Duration, bool) {
+	if pDetect <= 0 {
+		return 0, false
+	}
+	next := s.NextTestStart(machine, onset)
+	for round := 0; round < maxRounds; round++ {
+		if rng.Bool(pDetect) {
+			// Detected midway through the group's window on average.
+			return next - onset + s.GroupDur/2, true
+		}
+		next += s.CycleDur()
+	}
+	return 0, false
+}

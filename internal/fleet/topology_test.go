@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"farron/internal/simrand"
+)
+
+func TestDefaultTopologyShape(t *testing.T) {
+	topo := DefaultTopology(simrand.New(1), 1_000_000)
+	if got := len(topo.Datacenters); got != 28 {
+		t.Errorf("datacenters = %d, want 28 (Section 2.1)", got)
+	}
+	if got := topo.Countries(); got != 14 {
+		t.Errorf("countries = %d, want 14", got)
+	}
+	if got := topo.Machines(); got != 1_000_000 {
+		t.Errorf("machines = %d, want exact total", got)
+	}
+	if got := topo.ClusterCount(); got < 100 {
+		t.Errorf("clusters = %d, want hundreds", got)
+	}
+	for _, dc := range topo.Datacenters {
+		for _, c := range dc.Clusters {
+			if c.Machines <= 0 || c.Machines > 6000 {
+				t.Fatalf("cluster %s size %d out of range", c.Name, c.Machines)
+			}
+		}
+	}
+}
+
+func TestDefaultTopologyDeterministic(t *testing.T) {
+	a := DefaultTopology(simrand.New(7), 500_000)
+	b := DefaultTopology(simrand.New(7), 500_000)
+	if a.ClusterCount() != b.ClusterCount() {
+		t.Error("topology not deterministic")
+	}
+}
+
+func TestTopologyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero machines accepted")
+		}
+	}()
+	DefaultTopology(simrand.New(1), 0)
+}
+
+func TestGroupScheduleBasics(t *testing.T) {
+	s := NewGroupSchedule(6, 14*24*time.Hour) // 6 groups × 2 weeks = 12-week cycle
+	if s.CycleDur() != 84*24*time.Hour {
+		t.Errorf("cycle = %v", s.CycleDur())
+	}
+	// Stable group assignment within [0, Groups).
+	for m := 0; m < 1000; m++ {
+		g := s.GroupOf(m)
+		if g < 0 || g >= 6 {
+			t.Fatalf("machine %d group %d", m, g)
+		}
+		if g != s.GroupOf(m) {
+			t.Fatal("group assignment unstable")
+		}
+	}
+	// Groups roughly balanced.
+	counts := make([]int, 6)
+	for m := 0; m < 60000; m++ {
+		counts[s.GroupOf(m)]++
+	}
+	for g, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("group %d has %d machines, want ~10000", g, c)
+		}
+	}
+}
+
+func TestNextTestStart(t *testing.T) {
+	day := 24 * time.Hour
+	s := NewGroupSchedule(4, 14*day) // cycle 56 days
+	// Find a machine in group 2 (window opens at day 28).
+	m := 0
+	for s.GroupOf(m) != 2 {
+		m++
+	}
+	if got := s.NextTestStart(m, 0); got != 28*day {
+		t.Errorf("next from 0 = %v, want 28d", got)
+	}
+	if got := s.NextTestStart(m, 28*day); got != 28*day {
+		t.Errorf("next from window start = %v", got)
+	}
+	if got := s.NextTestStart(m, 29*day); got != 84*day {
+		t.Errorf("next from 29d = %v, want 84d (next cycle)", got)
+	}
+}
+
+func TestExposureUntilDetection(t *testing.T) {
+	day := 24 * time.Hour
+	s := NewGroupSchedule(6, 14*day)
+	rng := simrand.New(5)
+	// Certain detection: exposure = wait until the window + half window.
+	exp, ok := s.ExposureUntilDetection(rng, 123, 0, 1, 10)
+	if !ok {
+		t.Fatal("certain detection failed")
+	}
+	want := s.NextTestStart(123, 0) + s.GroupDur/2
+	if exp != want {
+		t.Errorf("exposure = %v, want %v", exp, want)
+	}
+	// Zero probability: never detected.
+	if _, ok := s.ExposureUntilDetection(rng, 1, 0, 0, 10); ok {
+		t.Error("zero probability detected")
+	}
+	// Partial probability: mean exposure grows with 1/p cycles.
+	// (Accumulate in float64 days: a time.Duration sum of 2000 samples
+	// of ~100 days overflows int64 nanoseconds.)
+	var sumDays float64
+	n := 0
+	for i := 0; i < 2000; i++ {
+		if e, ok := s.ExposureUntilDetection(rng, i, 0, 0.5, 50); ok {
+			sumDays += e.Hours() / 24
+			n++
+		}
+	}
+	mean := sumDays / float64(n)
+	// Expected ≈ mean window wait (~½ cycle 42d) + (1/p − 1)·cycle (84d)
+	// + ½ group (7d) ≈ 133d.
+	if mean < 80 || mean > 190 {
+		t.Errorf("mean exposure = %.0f days, want ~133", mean)
+	}
+}
+
+func TestGroupSchedulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid schedule accepted")
+		}
+	}()
+	NewGroupSchedule(0, time.Hour)
+}

@@ -1,0 +1,34 @@
+package inject
+
+import (
+	"testing"
+
+	"farron/internal/model"
+	"farron/internal/simrand"
+)
+
+func BenchmarkSamplePosition(b *testing.B) {
+	rng := simrand.New(1)
+	for i := 0; i < b.N; i++ {
+		SamplePosition(rng, model.DTFloat64)
+	}
+}
+
+func BenchmarkCorrupt(b *testing.B) {
+	rng := simrand.New(2)
+	mrng := simrand.New(3)
+	lo, hi := GenerateMask(mrng, model.DTFloat64, 1)
+	c := NewCorruptor(model.DTFloat64, []Mask{{Lo: lo, Hi: hi, Weight: 1}}, 0.8)
+	for i := 0; i < b.N; i++ {
+		expLo, expHi := RandomValue(rng, model.DTFloat64)
+		c.Corrupt(rng, expLo, expHi)
+	}
+}
+
+func BenchmarkFloat80RoundTrip(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = Float80FromFloat64(float64(i) * 1.7).Float64()
+	}
+	_ = sink
+}

@@ -1,0 +1,99 @@
+package inject
+
+import "math"
+
+// Float80 models the x87 80-bit extended-precision format: 1 sign bit and a
+// 15-bit biased exponent in SE, and a 64-bit significand (with an explicit
+// integer bit, bit 63) in Sig. The paper's float64x datatype (Figure 4d/4h)
+// uses this representation.
+type Float80 struct {
+	// SE packs sign (bit 15) and biased exponent (bits 0-14).
+	SE uint16
+	// Sig is the significand including the explicit integer bit (bit 63).
+	Sig uint64
+}
+
+const (
+	float80Bias    = 16383
+	float80ExpMask = 0x7FFF
+)
+
+// Float80FromFloat64 converts a float64 to its exact Float80 representation
+// (every float64 is representable exactly in the 80-bit format).
+func Float80FromFloat64(f float64) Float80 {
+	bits := math.Float64bits(f)
+	sign := uint16(bits >> 63)
+	exp := int((bits >> 52) & 0x7FF)
+	frac := bits & ((1 << 52) - 1)
+
+	switch {
+	case exp == 0x7FF: // Inf or NaN
+		se := sign<<15 | float80ExpMask
+		if frac == 0 {
+			return Float80{SE: se, Sig: 1 << 63} // infinity
+		}
+		return Float80{SE: se, Sig: 1<<63 | frac<<11} // NaN, payload preserved
+	case exp == 0 && frac == 0: // zero
+		return Float80{SE: sign << 15, Sig: 0}
+	case exp == 0: // subnormal double: normalize
+		e := -1022
+		for frac&(1<<52) == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= (1 << 52) - 1
+		return Float80{
+			SE:  sign<<15 | uint16(e+float80Bias),
+			Sig: 1<<63 | frac<<11,
+		}
+	default:
+		return Float80{
+			SE:  sign<<15 | uint16(exp-1023+float80Bias),
+			Sig: 1<<63 | frac<<11,
+		}
+	}
+}
+
+// Float64 converts back to float64, rounding the significand to nearest-even.
+func (f Float80) Float64() float64 {
+	sign := f.SE >> 15
+	exp := int(f.SE & float80ExpMask)
+
+	if exp == float80ExpMask {
+		if f.Sig<<1 == 0 { // integer bit only => infinity
+			return math.Inf(1 - 2*int(sign))
+		}
+		return math.NaN()
+	}
+	if f.Sig == 0 {
+		if sign == 1 {
+			return math.Copysign(0, -1)
+		}
+		return 0
+	}
+	// Normalize an unnormal (integer bit clear) significand.
+	sig := f.Sig
+	for sig&(1<<63) == 0 {
+		sig <<= 1
+		exp--
+	}
+	// value = sig/2^63 * 2^(exp-bias)
+	mant := float64(sig) / (1 << 63)
+	v := math.Ldexp(mant, exp-float80Bias)
+	if sign == 1 {
+		v = -v
+	}
+	return v
+}
+
+// Bits returns the raw (hi, lo) bit pattern: hi carries bits 64-79 (SE),
+// lo carries bits 0-63 (the significand).
+func (f Float80) Bits() (hi uint16, lo uint64) { return f.SE, f.Sig }
+
+// Float80FromBits reassembles a Float80 from its raw pattern.
+func Float80FromBits(hi uint16, lo uint64) Float80 { return Float80{SE: hi, Sig: lo} }
+
+// IsNaN reports whether f is a NaN.
+func (f Float80) IsNaN() bool {
+	return f.SE&float80ExpMask == float80ExpMask && f.Sig<<1 != 0
+}

@@ -1,0 +1,107 @@
+package inject
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat80RoundTripExact(t *testing.T) {
+	cases := []float64{
+		0, 1, -1, 0.5, 2, 1e10, -3.14159, 1e-300, math.MaxFloat64,
+		math.SmallestNonzeroFloat64, // subnormal
+		-math.SmallestNonzeroFloat64,
+		5e-324 * 7, // subnormal multiple
+	}
+	for _, f := range cases {
+		got := Float80FromFloat64(f).Float64()
+		if got != f && !(f == 0 && got == 0) {
+			t.Errorf("round trip %g -> %g", f, got)
+		}
+	}
+}
+
+func TestFloat80RoundTripProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return Float80FromFloat64(x).IsNaN()
+		}
+		return Float80FromFloat64(x).Float64() == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat80Specials(t *testing.T) {
+	inf := Float80FromFloat64(math.Inf(1))
+	if !math.IsInf(inf.Float64(), 1) {
+		t.Error("+Inf round trip failed")
+	}
+	ninf := Float80FromFloat64(math.Inf(-1))
+	if !math.IsInf(ninf.Float64(), -1) {
+		t.Error("-Inf round trip failed")
+	}
+	nan := Float80FromFloat64(math.NaN())
+	if !nan.IsNaN() || !math.IsNaN(nan.Float64()) {
+		t.Error("NaN round trip failed")
+	}
+	negZero := Float80FromFloat64(math.Copysign(0, -1))
+	if !math.Signbit(negZero.Float64()) {
+		t.Error("-0 sign lost")
+	}
+}
+
+func TestFloat80IntegerBitSet(t *testing.T) {
+	// Every normal value must have the explicit integer bit set.
+	for _, f := range []float64{1, 2, 3, 0.1, 1e100, -42} {
+		f80 := Float80FromFloat64(f)
+		if f80.Sig&(1<<63) == 0 {
+			t.Errorf("integer bit clear for %g", f)
+		}
+	}
+}
+
+func TestFloat80UnnormalNormalization(t *testing.T) {
+	// A pattern with the integer bit flipped off (an "unnormal", which a
+	// bitflip can produce) must still convert to a sensible float64.
+	one := Float80FromFloat64(1.0)
+	corrupted := Float80{SE: one.SE, Sig: one.Sig&^(1<<63) | 1<<62}
+	v := corrupted.Float64()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("unnormal converted to %v", v)
+	}
+	if v != 0.5 {
+		t.Errorf("unnormal 0.1xxx * 2^0 = %v, want 0.5", v)
+	}
+}
+
+func TestFloat80Bits(t *testing.T) {
+	f := Float80FromFloat64(1.0)
+	hi, lo := f.Bits()
+	if hi != 16383 { // sign 0, exponent = bias
+		t.Errorf("SE of 1.0 = %d, want 16383", hi)
+	}
+	if lo != 1<<63 {
+		t.Errorf("Sig of 1.0 = %x, want integer bit only", lo)
+	}
+	back := Float80FromBits(hi, lo)
+	if back.Float64() != 1.0 {
+		t.Error("FromBits round trip failed")
+	}
+}
+
+func TestFloat80FractionFlipSmallLoss(t *testing.T) {
+	// Flipping a mid-fraction bit of an 80-bit float must change the
+	// value by < 2^(pos-63) relatively (Observation 7).
+	orig := 12345.6789
+	f := Float80FromFloat64(orig)
+	for pos := 40; pos < 60; pos++ {
+		c := Float80{SE: f.SE, Sig: f.Sig ^ 1<<uint(pos)}
+		rel := math.Abs(c.Float64()-orig) / math.Abs(orig)
+		bound := math.Ldexp(1, pos-63)
+		if rel > bound {
+			t.Errorf("pos %d: rel loss %g > bound %g", pos, rel, bound)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+// Package inject implements the bitflip engine of the study: which bit
+// positions flip, in which direction, in what multiplicities (the bitflip
+// patterns of Observation 8), and what relative precision loss each flip
+// causes under the datatype's encoding (Observation 7).
+//
+// All flips operate on a (lo uint64, hi uint16) raw pattern: lo carries the
+// low 64 bits of the value right-aligned, hi carries bits 64-79 for the
+// 80-bit extended floats and is zero otherwise.
+package inject
+
+import (
+	"math"
+
+	"farron/internal/model"
+	"farron/internal/simrand"
+)
+
+// ZeroToOneBias is the global probability that a flip goes 0->1. The paper
+// measures 51.08% (Observation 7) — no strong global tendency.
+const ZeroToOneBias = 0.5108
+
+// PositionWeights returns the per-bit flip weight profile of a datatype.
+//
+// Numerical datatypes follow the location-preference model of Observation 7:
+// flips concentrate in the middle of the word and fall off toward both
+// ends, with a much harder cutoff at the most-significant end. For floats
+// the computation logic of the fraction part is the complex (vulnerable)
+// one, so sign and exponent bits are suppressed to near zero — which is why
+// float SDCs cause only minor precision losses. Non-numerical (bin*)
+// datatypes are uniform (Figure 5).
+func PositionWeights(dt model.DataType) []float64 {
+	n := dt.Bits()
+	w := make([]float64, n)
+	if !dt.Numeric() {
+		for i := range w {
+			w[i] = 1
+		}
+		return w
+	}
+	const negligible = 1e-7
+	if dt.Float() {
+		// Bump over the fraction bits only; the top of the fraction,
+		// the exponent and the sign are strongly suppressed.
+		fb := FractionBits(dt)
+		peak := 0.42 * float64(fb)
+		width := 0.20 * float64(fb)
+		for i := 0; i < n; i++ {
+			if i >= fb {
+				w[i] = negligible // exponent/sign/integer bit
+				continue
+			}
+			d := (float64(i) - peak) / width
+			w[i] = math.Exp(-0.5 * d * d)
+			if frac := float64(i) / float64(fb); frac > 0.62 {
+				w[i] *= math.Exp(-80 * (frac - 0.62))
+			}
+			if w[i] < negligible {
+				w[i] = negligible
+			}
+		}
+		return w
+	}
+	// Integers: mid-word bump with hard suppression of the top quarter.
+	peak := 0.45 * float64(n-1)
+	width := 0.28 * float64(n)
+	for i := 0; i < n; i++ {
+		d := (float64(i) - peak) / width
+		w[i] = math.Exp(-0.5 * d * d)
+		if frac := float64(i) / float64(n-1); frac > 0.75 {
+			w[i] *= math.Exp(-40 * (frac - 0.75))
+		}
+		if w[i] < negligible {
+			w[i] = negligible
+		}
+	}
+	return w
+}
+
+// SamplePosition draws a flip position for the datatype from its weight
+// profile.
+func SamplePosition(rng *simrand.Source, dt model.DataType) int {
+	return rng.WeightedChoice(PositionWeights(dt))
+}
+
+// SampleDirectedPosition draws a flip position preferring bits whose current
+// value allows a flip in the desired direction (zeroToOne). It makes a
+// bounded number of attempts and then returns the last sampled position
+// regardless, so it always terminates even for all-ones or all-zero values.
+func SampleDirectedPosition(rng *simrand.Source, dt model.DataType, lo uint64, hi uint16, zeroToOne bool) int {
+	pos := 0
+	for attempt := 0; attempt < 8; attempt++ {
+		pos = SamplePosition(rng, dt)
+		if BitAt(lo, hi, pos) != zeroToOne {
+			// Bit is 0 and we want 0->1 (or 1 and we want 1->0).
+			return pos
+		}
+	}
+	return pos
+}
+
+// BitAt returns bit pos of the (lo, hi) pattern as a bool (true = 1).
+func BitAt(lo uint64, hi uint16, pos int) bool {
+	if pos < 64 {
+		return lo>>uint(pos)&1 == 1
+	}
+	return hi>>uint(pos-64)&1 == 1
+}
+
+// FlipBit returns the pattern with bit pos inverted.
+func FlipBit(lo uint64, hi uint16, pos int) (uint64, uint16) {
+	if pos < 64 {
+		return lo ^ 1<<uint(pos), hi
+	}
+	return lo, hi ^ 1<<uint(pos-64)
+}
+
+// ApplyMask XORs a flip mask into the pattern. Applying the same mask twice
+// restores the original value (masks are involutions).
+func ApplyMask(lo uint64, hi uint16, maskLo uint64, maskHi uint16) (uint64, uint16) {
+	return lo ^ maskLo, hi ^ maskHi
+}
+
+// PopCount returns the number of set bits across the 80-bit pattern.
+func PopCount(lo uint64, hi uint16) int {
+	return popcount64(lo) + popcount64(uint64(hi))
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// GenerateMask builds a fixed bitflip-pattern mask with nbits distinct
+// positions drawn from the datatype's weight profile (Observation 8: a
+// defect flips fixed positions).
+func GenerateMask(rng *simrand.Source, dt model.DataType, nbits int) (lo uint64, hi uint16) {
+	if nbits <= 0 || nbits > dt.Bits() {
+		panic("inject: invalid mask bit count")
+	}
+	chosen := map[int]bool{}
+	for len(chosen) < nbits {
+		p := SamplePosition(rng, dt)
+		if !chosen[p] {
+			chosen[p] = true
+			lo, hi = FlipBit(lo, hi, p)
+		}
+	}
+	return lo, hi
+}
+
+// RandomValue produces a plausible operand value for the datatype, as the
+// expected (golden) result of a corrupted operation. Floats are drawn
+// log-uniformly over several decades with random sign; integers uniformly;
+// blobs uniformly over their width.
+func RandomValue(rng *simrand.Source, dt model.DataType) (lo uint64, hi uint16) {
+	switch dt {
+	case model.DTFloat32:
+		v := rng.LogUniform(1e-3, 1e6)
+		if rng.Bool(0.5) {
+			v = -v
+		}
+		return uint64(math.Float32bits(float32(v))), 0
+	case model.DTFloat64:
+		v := rng.LogUniform(1e-6, 1e9)
+		if rng.Bool(0.5) {
+			v = -v
+		}
+		return math.Float64bits(v), 0
+	case model.DTFloat64x:
+		v := rng.LogUniform(1e-6, 1e9)
+		if rng.Bool(0.5) {
+			v = -v
+		}
+		f := Float80FromFloat64(v)
+		return f.Sig, f.SE
+	case model.DTInt16:
+		// Workload integers are counters, sizes and indices: magnitudes
+		// are log-uniform, which is why integer SDCs often exceed 100%
+		// relative loss (Observation 7 / Figure 4e).
+		v := int64(rng.LogUniform(1, 1<<14))
+		if rng.Bool(0.3) {
+			v = -v
+		}
+		return uint64(uint16(v)), 0
+	case model.DTInt32:
+		v := int64(rng.LogUniform(1, 1<<30))
+		if rng.Bool(0.3) {
+			v = -v
+		}
+		return uint64(uint32(v)), 0
+	case model.DTUint32:
+		return uint64(uint32(rng.LogUniform(1, 1<<31))), 0
+	case model.DTBin32:
+		return uint64(uint32(rng.Uint64())), 0
+	case model.DTBit:
+		return uint64(rng.Intn(2)), 0
+	case model.DTByte, model.DTBin8:
+		return uint64(uint8(rng.Uint64())), 0
+	case model.DTBin16:
+		return uint64(uint16(rng.Uint64())), 0
+	case model.DTBin64:
+		return rng.Uint64(), 0
+	default:
+		return rng.Uint64() & ((1 << uint(dt.Bits())) - 1), 0
+	}
+}
+
+// RelativeLoss computes the relative precision loss |actual-expected| /
+// |expected| under the datatype's interpretation (Observation 7 / Figure 4
+// e-h). For non-numerical datatypes it returns NaN: "loss" is undefined for
+// opaque blobs. A zero expected value with a non-zero actual yields +Inf.
+func RelativeLoss(dt model.DataType, expLo, actLo uint64, expHi, actHi uint16) float64 {
+	switch dt {
+	case model.DTFloat32:
+		e := float64(math.Float32frombits(uint32(expLo)))
+		a := float64(math.Float32frombits(uint32(actLo)))
+		return relLoss(e, a)
+	case model.DTFloat64:
+		return relLoss(math.Float64frombits(expLo), math.Float64frombits(actLo))
+	case model.DTFloat64x:
+		e := Float80FromBits(expHi, expLo).Float64()
+		a := Float80FromBits(actHi, actLo).Float64()
+		return relLoss(e, a)
+	case model.DTInt16:
+		return relLoss(float64(int16(expLo)), float64(int16(actLo)))
+	case model.DTInt32:
+		return relLoss(float64(int32(expLo)), float64(int32(actLo)))
+	case model.DTUint32:
+		return relLoss(float64(uint32(expLo)), float64(uint32(actLo)))
+	default:
+		return math.NaN()
+	}
+}
+
+func relLoss(expected, actual float64) float64 {
+	if math.IsNaN(expected) || math.IsNaN(actual) {
+		return math.NaN()
+	}
+	diff := math.Abs(actual - expected)
+	if diff == 0 {
+		return 0
+	}
+	if expected == 0 {
+		return math.Inf(1)
+	}
+	return diff / math.Abs(expected)
+}
+
+// FractionBitLossBound returns the maximum possible relative loss from
+// flipping fraction bit pos (0 = least significant fraction bit) of the
+// given float datatype, per the IEEE-754 argument of Observation 7: with an
+// implicit (or explicit) leading 1, flipping fraction bit pos changes the
+// value by at most 2^(pos-fracBits) relative to the significand, which is
+// >= 1.
+func FractionBitLossBound(dt model.DataType, pos int) float64 {
+	var fracBits int
+	switch dt {
+	case model.DTFloat32:
+		fracBits = 23
+	case model.DTFloat64:
+		fracBits = 52
+	case model.DTFloat64x:
+		fracBits = 63 // explicit integer bit at 63
+	default:
+		return math.NaN()
+	}
+	if pos < 0 || pos >= fracBits {
+		return math.NaN()
+	}
+	return math.Ldexp(1, pos-fracBits)
+}
+
+// FractionBits returns the index range [0, n) of fraction bits for a float
+// datatype (positions within the raw pattern that belong to the fraction).
+func FractionBits(dt model.DataType) int {
+	switch dt {
+	case model.DTFloat32:
+		return 23
+	case model.DTFloat64:
+		return 52
+	case model.DTFloat64x:
+		return 63
+	default:
+		return 0
+	}
+}
+
+// Corruptor draws corrupted results for a defect's pattern set. Pattern
+// masks fire with their configured probabilities; the remainder of SDCs use
+// a random single-bit (occasionally multi-bit) flip from the positional
+// model.
+type Corruptor struct {
+	dt model.DataType
+	// patterns are fixed masks with selection weights; patternProb is the
+	// total probability that some pattern (rather than a random flip)
+	// is used.
+	patterns    []Mask
+	patternProb float64
+}
+
+// Mask is one fixed bitflip pattern with its relative weight among patterns.
+type Mask struct {
+	Lo     uint64
+	Hi     uint16
+	Weight float64
+}
+
+// NewCorruptor builds a Corruptor. patternProb is the probability an SDC
+// record matches one of the fixed patterns (the per-setting values plotted
+// in Figure 6).
+func NewCorruptor(dt model.DataType, patterns []Mask, patternProb float64) *Corruptor {
+	if patternProb < 0 || patternProb > 1 {
+		panic("inject: patternProb out of range")
+	}
+	if len(patterns) == 0 {
+		patternProb = 0
+	}
+	return &Corruptor{dt: dt, patterns: patterns, patternProb: patternProb}
+}
+
+// DataType returns the corruptor's operand datatype.
+func (c *Corruptor) DataType() model.DataType { return c.dt }
+
+// Patterns returns the fixed masks.
+func (c *Corruptor) Patterns() []Mask { return c.patterns }
+
+// PatternProb returns the probability an SDC matches a fixed pattern.
+func (c *Corruptor) PatternProb() float64 { return c.patternProb }
+
+// Corrupt takes an expected bit pattern and returns the corrupted one.
+func (c *Corruptor) Corrupt(rng *simrand.Source, expLo uint64, expHi uint16) (actLo uint64, actHi uint16) {
+	return c.CorruptWithProb(rng, c.patternProb, expLo, expHi)
+}
+
+// CorruptWithProb is Corrupt with a per-call pattern probability override.
+// The paper's Figure 6 shows the pattern-match proportion varying per
+// (testcase, processor) setting; callers pass the setting-specific value.
+func (c *Corruptor) CorruptWithProb(rng *simrand.Source, patternProb float64, expLo uint64, expHi uint16) (actLo uint64, actHi uint16) {
+	if len(c.patterns) == 0 {
+		patternProb = 0
+	}
+	if patternProb > 0 && rng.Bool(patternProb) {
+		weights := make([]float64, len(c.patterns))
+		for i, p := range c.patterns {
+			weights[i] = p.Weight
+		}
+		m := c.patterns[rng.WeightedChoice(weights)]
+		return ApplyMask(expLo, expHi, m.Lo, m.Hi)
+	}
+	// Off-pattern flip: direction-biased single bit, with a small chance
+	// of a second correlated flip (Observation 8: multi-bit SDCs exist).
+	zeroToOne := rng.Bool(ZeroToOneBias)
+	pos := SampleDirectedPosition(rng, c.dt, expLo, expHi, zeroToOne)
+	actLo, actHi = FlipBit(expLo, expHi, pos)
+	if rng.Bool(0.06) {
+		pos2 := SamplePosition(rng, c.dt)
+		if pos2 != pos {
+			actLo, actHi = FlipBit(actLo, actHi, pos2)
+		}
+	}
+	return actLo, actHi
+}

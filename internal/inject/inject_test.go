@@ -1,0 +1,369 @@
+package inject
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"farron/internal/model"
+	"farron/internal/simrand"
+)
+
+func TestPositionWeightsShape(t *testing.T) {
+	for _, dt := range []model.DataType{model.DTInt32, model.DTFloat32, model.DTFloat64, model.DTFloat64x} {
+		w := PositionWeights(dt)
+		n := dt.Bits()
+		if len(w) != n {
+			t.Fatalf("%v: %d weights, want %d", dt, len(w), n)
+		}
+		// MSB weight must be far below the peak (Observation 7).
+		peak := 0.0
+		for _, x := range w {
+			if x > peak {
+				peak = x
+			}
+		}
+		if w[n-1] > peak/50 {
+			t.Errorf("%v: MSB weight %g not suppressed vs peak %g", dt, w[n-1], peak)
+		}
+		// The bump peaks inside the fraction (floats) / mid-word (ints).
+		var hot int
+		if dt.Float() {
+			hot = int(0.42 * float64(FractionBits(dt)))
+		} else {
+			hot = n / 2
+		}
+		if w[hot] < peak/3 {
+			t.Errorf("%v: bump weight %g at bit %d too low vs peak %g", dt, w[hot], hot, peak)
+		}
+	}
+}
+
+func TestPositionWeightsFloatEncodingAware(t *testing.T) {
+	// Sign and exponent bits of floats are vanishingly unlikely to flip
+	// — the mechanism behind Observation 7's tiny float losses.
+	cases := []struct {
+		dt       model.DataType
+		expStart int
+	}{
+		{model.DTFloat32, 23},
+		{model.DTFloat64, 52},
+		{model.DTFloat64x, 63},
+	}
+	for _, c := range cases {
+		w := PositionWeights(c.dt)
+		peak := 0.0
+		for _, x := range w {
+			if x > peak {
+				peak = x
+			}
+		}
+		for i := c.expStart; i < len(w); i++ {
+			if w[i] > peak*1e-4 {
+				t.Errorf("%v: exponent/sign bit %d weight %g not negligible", c.dt, i, w[i])
+			}
+		}
+	}
+}
+
+func TestPositionWeightsUniformForBlobs(t *testing.T) {
+	for _, dt := range []model.DataType{model.DTBin32, model.DTBin64, model.DTBin16, model.DTByte} {
+		w := PositionWeights(dt)
+		for i, x := range w {
+			if x != 1 {
+				t.Errorf("%v bit %d weight %g, want 1 (uniform)", dt, i, x)
+			}
+		}
+	}
+}
+
+func TestSamplePositionAvoidsMSB(t *testing.T) {
+	rng := simrand.New(1)
+	msbHits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p := SamplePosition(rng, model.DTFloat64)
+		if p < 0 || p >= 64 {
+			t.Fatalf("position out of range: %d", p)
+		}
+		if p >= 60 {
+			msbHits++
+		}
+	}
+	if frac := float64(msbHits) / n; frac > 0.01 {
+		t.Errorf("top-4-bit flips fraction = %v, want rare", frac)
+	}
+}
+
+func TestBitAtFlipBit(t *testing.T) {
+	lo, hi := uint64(0), uint16(0)
+	lo, hi = FlipBit(lo, hi, 5)
+	if !BitAt(lo, hi, 5) || lo != 32 {
+		t.Errorf("FlipBit(5): lo=%x", lo)
+	}
+	lo, hi = FlipBit(lo, hi, 70)
+	if !BitAt(lo, hi, 70) || hi != 1<<6 {
+		t.Errorf("FlipBit(70): hi=%x", hi)
+	}
+	lo, hi = FlipBit(lo, hi, 5)
+	if BitAt(lo, hi, 5) {
+		t.Error("double flip did not restore")
+	}
+}
+
+func TestApplyMaskInvolution(t *testing.T) {
+	f := func(lo uint64, hi uint16, mLo uint64, mHi uint16) bool {
+		l1, h1 := ApplyMask(lo, hi, mLo, mHi)
+		l2, h2 := ApplyMask(l1, h1, mLo, mHi)
+		return l2 == lo && h2 == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPopCount(t *testing.T) {
+	if got := PopCount(0b1011, 0); got != 3 {
+		t.Errorf("PopCount = %d", got)
+	}
+	if got := PopCount(0, 0xFFFF); got != 16 {
+		t.Errorf("PopCount hi = %d", got)
+	}
+	if got := PopCount(math.MaxUint64, 0xFFFF); got != 80 {
+		t.Errorf("PopCount full = %d", got)
+	}
+}
+
+func TestGenerateMask(t *testing.T) {
+	rng := simrand.New(2)
+	for _, nbits := range []int{1, 2, 3} {
+		lo, hi := GenerateMask(rng, model.DTFloat64, nbits)
+		if got := PopCount(lo, hi); got != nbits {
+			t.Errorf("mask with %d bits has popcount %d", nbits, got)
+		}
+	}
+}
+
+func TestGenerateMaskPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("GenerateMask(0 bits) should panic")
+		}
+	}()
+	GenerateMask(simrand.New(1), model.DTFloat64, 0)
+}
+
+func TestRandomValueInRange(t *testing.T) {
+	rng := simrand.New(3)
+	for _, dt := range model.AllDataTypes() {
+		for i := 0; i < 100; i++ {
+			lo, hi := RandomValue(rng, dt)
+			bits := dt.Bits()
+			if bits <= 64 && bits < 64 && lo>>uint(bits) != 0 {
+				t.Errorf("%v value %x exceeds %d bits", dt, lo, bits)
+			}
+			if bits <= 64 && hi != 0 {
+				t.Errorf("%v has non-zero hi bits", dt)
+			}
+		}
+	}
+}
+
+func TestRandomValueFloatsFinite(t *testing.T) {
+	rng := simrand.New(4)
+	for i := 0; i < 1000; i++ {
+		lo, _ := RandomValue(rng, model.DTFloat64)
+		v := math.Float64frombits(lo)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+			t.Fatalf("bad float64 value %v", v)
+		}
+		lo32, _ := RandomValue(rng, model.DTFloat32)
+		v32 := math.Float32frombits(uint32(lo32))
+		if math.IsNaN(float64(v32)) || math.IsInf(float64(v32), 0) || v32 == 0 {
+			t.Fatalf("bad float32 value %v", v32)
+		}
+	}
+}
+
+func TestRelativeLossFloat64FractionSmall(t *testing.T) {
+	// Flipping fraction bits of a float64 gives a loss bounded by
+	// 2^(pos-52) (Observation 7).
+	exp := math.Float64bits(987.654321)
+	for pos := 20; pos < 52; pos++ {
+		act := exp ^ 1<<uint(pos)
+		loss := RelativeLoss(model.DTFloat64, exp, act, 0, 0)
+		bound := FractionBitLossBound(model.DTFloat64, pos)
+		if loss > bound {
+			t.Errorf("pos %d: loss %g > bound %g", pos, loss, bound)
+		}
+	}
+}
+
+func TestRelativeLossInt32CanBeHuge(t *testing.T) {
+	// For a small integer, a mid-position flip is a >100% loss.
+	exp := uint64(uint32(3))
+	act := exp ^ 1<<20
+	loss := RelativeLoss(model.DTInt32, exp, act, 0, 0)
+	if loss < 1 {
+		t.Errorf("int32 small-value loss = %v, want > 100%%", loss)
+	}
+}
+
+func TestRelativeLossZeroExpected(t *testing.T) {
+	loss := RelativeLoss(model.DTInt32, 0, 4, 0, 0)
+	if !math.IsInf(loss, 1) {
+		t.Errorf("loss with zero expected = %v, want +Inf", loss)
+	}
+	if got := RelativeLoss(model.DTInt32, 7, 7, 0, 0); got != 0 {
+		t.Errorf("identical values loss = %v", got)
+	}
+}
+
+func TestRelativeLossNonNumericNaN(t *testing.T) {
+	if !math.IsNaN(RelativeLoss(model.DTBin32, 1, 2, 0, 0)) {
+		t.Error("bin32 loss should be NaN")
+	}
+}
+
+func TestRelativeLossFloat80(t *testing.T) {
+	f := Float80FromFloat64(1234.5)
+	cLo := f.Sig ^ 1<<40
+	loss := RelativeLoss(model.DTFloat64x, f.Sig, cLo, f.SE, f.SE)
+	if loss <= 0 || loss > math.Ldexp(1, 40-63) {
+		t.Errorf("float80 fraction flip loss = %g", loss)
+	}
+}
+
+func TestFractionBitLossBound(t *testing.T) {
+	if got := FractionBitLossBound(model.DTFloat32, 22); got != 0.5 {
+		t.Errorf("f32 bit22 bound = %v, want 0.5", got)
+	}
+	if got := FractionBitLossBound(model.DTFloat64, 0); got != math.Ldexp(1, -52) {
+		t.Errorf("f64 bit0 bound = %v", got)
+	}
+	if !math.IsNaN(FractionBitLossBound(model.DTInt32, 5)) {
+		t.Error("int bound should be NaN")
+	}
+	if !math.IsNaN(FractionBitLossBound(model.DTFloat64, 52)) {
+		t.Error("out-of-fraction bound should be NaN")
+	}
+}
+
+func TestCorruptorPatternsDominate(t *testing.T) {
+	rng := simrand.New(5)
+	mask := Mask{Lo: 1 << 30, Weight: 1}
+	c := NewCorruptor(model.DTFloat64, []Mask{mask}, 0.9)
+	matches := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		expLo, expHi := RandomValue(rng, model.DTFloat64)
+		actLo, actHi := c.Corrupt(rng, expLo, expHi)
+		if actLo == expLo && actHi == expHi {
+			t.Fatal("corruption produced identical value")
+		}
+		if actLo^expLo == mask.Lo && actHi == expHi {
+			matches++
+		}
+	}
+	frac := float64(matches) / n
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("pattern match fraction = %v, want ~0.9", frac)
+	}
+}
+
+func TestCorruptorMultiPattern(t *testing.T) {
+	rng := simrand.New(6)
+	masks := []Mask{
+		{Lo: 1 << 10, Weight: 3},
+		{Lo: 1<<20 | 1<<21, Weight: 1},
+	}
+	c := NewCorruptor(model.DTInt32, masks, 1.0)
+	count := map[uint64]int{}
+	for i := 0; i < 8000; i++ {
+		expLo, _ := RandomValue(rng, model.DTInt32)
+		actLo, _ := c.Corrupt(rng, expLo, 0)
+		count[actLo^expLo]++
+	}
+	if len(count) != 2 {
+		t.Fatalf("saw %d distinct masks, want 2", len(count))
+	}
+	ratio := float64(count[1<<10]) / float64(count[1<<20|1<<21])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("mask weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestCorruptorNoPatterns(t *testing.T) {
+	rng := simrand.New(7)
+	c := NewCorruptor(model.DTFloat32, nil, 0.5) // prob forced to 0
+	if c.PatternProb() != 0 {
+		t.Errorf("patternProb = %v, want 0 with no patterns", c.PatternProb())
+	}
+	oneBit, twoBit := 0, 0
+	for i := 0; i < 3000; i++ {
+		expLo, expHi := RandomValue(rng, model.DTFloat32)
+		actLo, actHi := c.Corrupt(rng, expLo, expHi)
+		switch PopCount(actLo^expLo, actHi^expHi) {
+		case 1:
+			oneBit++
+		case 2:
+			twoBit++
+		}
+	}
+	if oneBit < 2500 {
+		t.Errorf("single-bit flips = %d/3000, want dominant", oneBit)
+	}
+	if twoBit == 0 {
+		t.Error("no multi-bit flips observed; Observation 8 needs some")
+	}
+}
+
+func TestCorruptorDirectionBias(t *testing.T) {
+	rng := simrand.New(8)
+	c := NewCorruptor(model.DTBin64, nil, 0)
+	zeroToOne, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		expLo, expHi := RandomValue(rng, model.DTBin64)
+		actLo, actHi := c.Corrupt(rng, expLo, expHi)
+		mask := actLo ^ expLo
+		for pos := 0; pos < 64; pos++ {
+			if mask>>uint(pos)&1 == 1 {
+				total++
+				if expLo>>uint(pos)&1 == 0 {
+					zeroToOne++
+				}
+			}
+		}
+		_ = actHi
+	}
+	frac := float64(zeroToOne) / float64(total)
+	if math.Abs(frac-ZeroToOneBias) > 0.02 {
+		t.Errorf("0->1 fraction = %v, want ~%v", frac, ZeroToOneBias)
+	}
+}
+
+func TestNewCorruptorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCorruptor with bad prob should panic")
+		}
+	}()
+	NewCorruptor(model.DTInt32, nil, 1.5)
+}
+
+func TestSampleDirectedPosition(t *testing.T) {
+	rng := simrand.New(9)
+	// All-zero value: requesting 0->1 must always find a zero bit.
+	for i := 0; i < 100; i++ {
+		pos := SampleDirectedPosition(rng, model.DTInt32, 0, 0, true)
+		if pos < 0 || pos >= 32 {
+			t.Fatalf("pos = %d", pos)
+		}
+	}
+	// All-ones value with 0->1 requested cannot succeed but must
+	// terminate.
+	pos := SampleDirectedPosition(rng, model.DTInt32, 0xFFFFFFFF, 0, true)
+	if pos < 0 || pos >= 32 {
+		t.Fatalf("pos = %d", pos)
+	}
+}

@@ -1,0 +1,33 @@
+package mesi
+
+import "testing"
+
+func BenchmarkReadHit(b *testing.B) {
+	s := NewSystem(4, 64)
+	s.Write(0, 7, 42)
+	for i := 0; i < b.N; i++ {
+		s.Read(0, 7)
+	}
+}
+
+func BenchmarkWriteInvalidate(b *testing.B) {
+	s := NewSystem(4, 64)
+	for i := 0; i < b.N; i++ {
+		core := i & 3
+		s.Read((core+1)&3, 5) // ensure a sharer exists
+		s.Write(core, 5, uint64(i))
+	}
+}
+
+func BenchmarkMixedTraffic(b *testing.B) {
+	s := NewSystem(8, 32)
+	for i := 0; i < b.N; i++ {
+		core := i & 7
+		addr := uint64(i % 48)
+		if i&3 == 0 {
+			s.Write(core, addr, uint64(i))
+		} else {
+			s.Read(core, addr)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+// Package mesi implements a bus-snooping MESI cache-coherence protocol
+// simulator: per-core caches over a shared memory, with Modified /
+// Exclusive / Shared / Invalid line states and snoop-driven transitions.
+//
+// It is the substrate behind the paper's cache-coherence defect cases
+// (CNST1 and the second production example of Section 2.2, where a daemon
+// thread read inconsistent data from a buffer shared with a client thread).
+// A healthy system satisfies the MESI invariants checked by
+// CheckInvariants; an injected fault — a dropped invalidation — lets a
+// stale Shared copy survive a remote write, which is exactly how a
+// defective coherence implementation silently corrupts readers.
+package mesi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State is a MESI cache-line state.
+type State int
+
+const (
+	// Invalid: the line holds no valid data.
+	Invalid State = iota
+	// Shared: clean copy, other caches may also hold it.
+	Shared
+	// Exclusive: clean copy, no other cache holds it.
+	Exclusive
+	// Modified: dirty copy, no other cache holds it; memory is stale.
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// line is one cache line (word granularity: protocol behaviour, not spatial
+// locality, is what the substrate models).
+type line struct {
+	addr  uint64
+	state State
+	data  uint64
+	// lru is a monotone use stamp for eviction.
+	lru uint64
+	// doomed marks a line whose invalidation was dropped/delayed by the
+	// injected coherence defect: it serves one more (stale) access and
+	// then invalidates when the late message finally lands.
+	doomed bool
+}
+
+// Cache is one core's private cache.
+type Cache struct {
+	id       int
+	capacity int
+	lines    map[uint64]*line
+}
+
+func newCache(id, capacity int) *Cache {
+	return &Cache{id: id, capacity: capacity, lines: map[uint64]*line{}}
+}
+
+// lookup returns the line for addr if present and valid.
+func (c *Cache) lookup(addr uint64) *line {
+	l := c.lines[addr]
+	if l == nil || l.state == Invalid {
+		return nil
+	}
+	return l
+}
+
+// Stats counts protocol events.
+type Stats struct {
+	Hits, Misses        uint64
+	Invalidations       uint64
+	DroppedInvalidation uint64
+	Writebacks          uint64
+	BusReads, BusRdX    uint64
+	Evictions           uint64
+}
+
+// FaultFn decides whether the invalidation sent to cache target for addr is
+// dropped (the injected coherence defect). A nil FaultFn means healthy.
+type FaultFn func(target int, addr uint64) bool
+
+// System is a multi-core coherent memory system.
+type System struct {
+	caches []*Cache
+	mem    map[uint64]uint64
+	stats  Stats
+	fault  FaultFn
+	clock  uint64
+}
+
+// NewSystem creates a system with nCores private caches of capacityLines
+// lines each.
+func NewSystem(nCores, capacityLines int) *System {
+	if nCores <= 0 || capacityLines <= 0 {
+		panic("mesi: invalid system shape")
+	}
+	s := &System{mem: map[uint64]uint64{}}
+	for i := 0; i < nCores; i++ {
+		s.caches = append(s.caches, newCache(i, capacityLines))
+	}
+	return s
+}
+
+// SetFault installs the invalidation-drop fault (nil = healthy).
+func (s *System) SetFault(f FaultFn) { s.fault = f }
+
+// NCores returns the number of caches.
+func (s *System) NCores() int { return len(s.caches) }
+
+// Stats returns a copy of the event counters.
+func (s *System) Stats() Stats { return s.stats }
+
+func (s *System) cache(core int) *Cache {
+	if core < 0 || core >= len(s.caches) {
+		panic(fmt.Sprintf("mesi: core %d out of range", core))
+	}
+	return s.caches[core]
+}
+
+// touch stamps a line for LRU.
+func (s *System) touch(l *line) {
+	s.clock++
+	l.lru = s.clock
+}
+
+// evictIfNeeded makes room in cache c, writing back a dirty victim.
+func (s *System) evictIfNeeded(c *Cache) {
+	valid := 0
+	for _, l := range c.lines {
+		if l.state != Invalid {
+			valid++
+		}
+	}
+	if valid < c.capacity {
+		return
+	}
+	var victim *line
+	for _, l := range c.lines {
+		if l.state == Invalid {
+			continue
+		}
+		if victim == nil || l.lru < victim.lru {
+			victim = l
+		}
+	}
+	if victim == nil {
+		return
+	}
+	if victim.state == Modified {
+		s.mem[victim.addr] = victim.data
+		s.stats.Writebacks++
+	}
+	victim.state = Invalid
+	s.stats.Evictions++
+}
+
+// install places (addr, data, state) into cache c.
+func (s *System) install(c *Cache, addr, data uint64, st State) *line {
+	l := c.lines[addr]
+	if l == nil {
+		s.evictIfNeeded(c)
+		l = &line{addr: addr}
+		c.lines[addr] = l
+	} else if l.state == Invalid {
+		s.evictIfNeeded(c)
+	}
+	l.data = data
+	l.state = st
+	l.doomed = false
+	s.touch(l)
+	return l
+}
+
+// Read performs a coherent load by core from addr.
+func (s *System) Read(core int, addr uint64) uint64 {
+	c := s.cache(core)
+	if l := c.lookup(addr); l != nil {
+		s.stats.Hits++
+		s.touch(l)
+		data := l.data
+		if l.doomed {
+			// The delayed invalidation lands after this stale
+			// access (the injected coherence defect's visible
+			// window).
+			l.state = Invalid
+			l.doomed = false
+			s.stats.Invalidations++
+		}
+		return data
+	}
+	s.stats.Misses++
+	s.stats.BusReads++
+
+	// BusRd: snoop other caches. An M holder supplies data and
+	// writes back, downgrading to S. E holders downgrade to S.
+	data, found := s.mem[addr], false
+	shared := false
+	for _, o := range s.caches {
+		if o == c {
+			continue
+		}
+		ol := o.lookup(addr)
+		if ol == nil {
+			continue
+		}
+		shared = true
+		switch ol.state {
+		case Modified:
+			s.mem[addr] = ol.data
+			s.stats.Writebacks++
+			data, found = ol.data, true
+			ol.state = Shared
+		case Exclusive:
+			ol.state = Shared
+			data, found = ol.data, true
+		case Shared:
+			if !found {
+				data = ol.data
+			}
+		}
+	}
+	st := Exclusive
+	if shared {
+		st = Shared
+	}
+	l := s.install(c, addr, data, st)
+	return l.data
+}
+
+// Write performs a coherent store by core to addr.
+func (s *System) Write(core int, addr, value uint64) {
+	c := s.cache(core)
+	l := c.lookup(addr)
+	if l != nil && (l.state == Modified || l.state == Exclusive) {
+		// Silent upgrade E->M or write hit in M.
+		s.stats.Hits++
+		l.data = value
+		l.state = Modified
+		s.touch(l)
+		return
+	}
+
+	// Need BusRdX (or BusUpgr if we hold S): invalidate all other copies.
+	if l != nil {
+		s.stats.Hits++
+	} else {
+		s.stats.Misses++
+	}
+	s.stats.BusRdX++
+	for _, o := range s.caches {
+		if o == c {
+			continue
+		}
+		ol := o.lookup(addr)
+		if ol == nil {
+			continue
+		}
+		// The injected coherence defect: the invalidation to this
+		// cache is delayed, leaving a stale copy readable for one more
+		// access before the late message lands.
+		if s.fault != nil && s.fault(o.id, addr) {
+			s.stats.DroppedInvalidation++
+			ol.doomed = true
+			// The stale copy is no longer authoritative whatever
+			// its previous state claimed.
+			ol.state = Shared
+			continue
+		}
+		if ol.state == Modified {
+			s.mem[addr] = ol.data
+			s.stats.Writebacks++
+		}
+		ol.state = Invalid
+		s.stats.Invalidations++
+	}
+	s.install(c, addr, value, Modified)
+}
+
+// Flush writes back all dirty lines and invalidates every cache (used at
+// barriers and when checking against memory).
+func (s *System) Flush() {
+	for _, c := range s.caches {
+		for _, l := range c.lines {
+			if l.state == Modified {
+				s.mem[l.addr] = l.data
+				s.stats.Writebacks++
+			}
+			l.state = Invalid
+		}
+	}
+}
+
+// MemValue returns memory's current value for addr (not coherent: dirty
+// cached copies are not consulted).
+func (s *System) MemValue(addr uint64) uint64 { return s.mem[addr] }
+
+// ErrIncoherent is returned by CheckInvariants when a MESI invariant is
+// violated (expected only under fault injection).
+var ErrIncoherent = errors.New("mesi: coherence invariant violated")
+
+// CheckInvariants verifies the MESI single-writer / no-stale-copy
+// invariants:
+//
+//  1. at most one cache holds a line in M or E;
+//  2. if any cache holds M or E, no other cache holds a valid copy;
+//  3. all S copies of a line hold identical data.
+func (s *System) CheckInvariants() error {
+	type holders struct {
+		me     int
+		shared []uint64
+		total  int
+	}
+	byAddr := map[uint64]*holders{}
+	for _, c := range s.caches {
+		for _, l := range c.lines {
+			if l.state == Invalid {
+				continue
+			}
+			h := byAddr[l.addr]
+			if h == nil {
+				h = &holders{}
+				byAddr[l.addr] = h
+			}
+			h.total++
+			switch l.state {
+			case Modified, Exclusive:
+				h.me++
+			case Shared:
+				h.shared = append(h.shared, l.data)
+			}
+		}
+	}
+	for addr, h := range byAddr {
+		if h.me > 1 {
+			return fmt.Errorf("%w: addr %#x has %d M/E holders", ErrIncoherent, addr, h.me)
+		}
+		if h.me == 1 && h.total > 1 {
+			return fmt.Errorf("%w: addr %#x has M/E holder plus %d other copies", ErrIncoherent, addr, h.total-1)
+		}
+		for _, d := range h.shared {
+			if d != h.shared[0] {
+				return fmt.Errorf("%w: addr %#x shared copies disagree", ErrIncoherent, addr)
+			}
+		}
+	}
+	return nil
+}
+
+// LineState reports core's state for addr (Invalid when absent).
+func (s *System) LineState(core int, addr uint64) State {
+	l := s.cache(core).lookup(addr)
+	if l == nil {
+		return Invalid
+	}
+	return l.state
+}

@@ -1,0 +1,236 @@
+package mesi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"farron/internal/simrand"
+)
+
+func TestReadMissThenExclusive(t *testing.T) {
+	s := NewSystem(4, 8)
+	if got := s.Read(0, 100); got != 0 {
+		t.Errorf("cold read = %d", got)
+	}
+	if st := s.LineState(0, 100); st != Exclusive {
+		t.Errorf("state after lone read = %v, want E", st)
+	}
+}
+
+func TestSecondReaderShares(t *testing.T) {
+	s := NewSystem(4, 8)
+	s.Read(0, 100)
+	s.Read(1, 100)
+	if st := s.LineState(0, 100); st != Shared {
+		t.Errorf("first reader state = %v, want S", st)
+	}
+	if st := s.LineState(1, 100); st != Shared {
+		t.Errorf("second reader state = %v, want S", st)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	s := NewSystem(4, 8)
+	s.Read(0, 100)
+	s.Read(1, 100)
+	s.Write(2, 100, 42)
+	if st := s.LineState(0, 100); st != Invalid {
+		t.Errorf("sharer 0 state = %v, want I", st)
+	}
+	if st := s.LineState(1, 100); st != Invalid {
+		t.Errorf("sharer 1 state = %v, want I", st)
+	}
+	if st := s.LineState(2, 100); st != Modified {
+		t.Errorf("writer state = %v, want M", st)
+	}
+	if got := s.Read(0, 100); got != 42 {
+		t.Errorf("reader after write sees %d, want 42", got)
+	}
+	// The M holder supplying data downgrades to S and memory is updated.
+	if st := s.LineState(2, 100); st != Shared {
+		t.Errorf("writer after remote read = %v, want S", st)
+	}
+	if got := s.MemValue(100); got != 42 {
+		t.Errorf("memory after writeback = %d", got)
+	}
+}
+
+func TestSilentEToMUpgrade(t *testing.T) {
+	s := NewSystem(2, 8)
+	s.Read(0, 7)
+	before := s.Stats().BusRdX
+	s.Write(0, 7, 9)
+	if s.Stats().BusRdX != before {
+		t.Error("E->M upgrade should not issue BusRdX")
+	}
+	if st := s.LineState(0, 7); st != Modified {
+		t.Errorf("state = %v, want M", st)
+	}
+}
+
+func TestWritebackOnEviction(t *testing.T) {
+	s := NewSystem(1, 2)
+	s.Write(0, 1, 11)
+	s.Write(0, 2, 22)
+	s.Write(0, 3, 33) // evicts LRU (addr 1)
+	if got := s.Stats().Evictions; got != 1 {
+		t.Errorf("evictions = %d", got)
+	}
+	if got := s.MemValue(1); got != 11 {
+		t.Errorf("evicted dirty line not written back: mem=%d", got)
+	}
+	if got := s.Read(0, 1); got != 11 {
+		t.Errorf("re-read evicted = %d", got)
+	}
+}
+
+func TestSequentialConsistencyHealthy(t *testing.T) {
+	// Single-location coherence: a read always returns the last write,
+	// from any core.
+	s := NewSystem(4, 16)
+	rng := simrand.New(1)
+	var last uint64
+	for i := 0; i < 5000; i++ {
+		core := rng.Intn(4)
+		if rng.Bool(0.4) {
+			last = rng.Uint64()
+			s.Write(core, 55, last)
+		} else if got := s.Read(core, 55); got != last {
+			t.Fatalf("step %d: core %d read %d, want %d", i, core, got, last)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+func TestInvariantsHoldUnderRandomTraffic(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := NewSystem(4, 4)
+		rng := simrand.New(seed)
+		for i := 0; i < 500; i++ {
+			core := rng.Intn(4)
+			addr := uint64(rng.Intn(10))
+			if rng.Bool(0.5) {
+				s.Write(core, addr, rng.Uint64())
+			} else {
+				s.Read(core, addr)
+			}
+		}
+		return s.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDroppedInvalidationCausesStaleRead(t *testing.T) {
+	// The CNST1 scenario: cache 1's invalidation is delayed, so it
+	// serves a stale value after core 0's write, then recovers when the
+	// late message lands.
+	s := NewSystem(2, 8)
+	s.Write(0, 100, 1)
+	s.Read(1, 100) // both now S
+	s.SetFault(func(target int, addr uint64) bool { return target == 1 && addr == 100 })
+
+	s.Write(0, 100, 2)
+	if err := s.CheckInvariants(); err == nil {
+		t.Error("invariants hold while a stale copy is pending")
+	}
+	if got := s.Read(1, 100); got != 1 {
+		t.Fatalf("stale reader got %d, want stale 1", got)
+	}
+	// The delayed invalidation has landed: the next read is coherent.
+	s.SetFault(nil)
+	if got := s.Read(1, 100); got != 2 {
+		t.Fatalf("post-recovery read got %d, want 2", got)
+	}
+	if got := s.Read(0, 100); got != 2 {
+		t.Fatalf("writer reads %d, want 2", got)
+	}
+	if s.Stats().DroppedInvalidation == 0 {
+		t.Error("drop not counted")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Errorf("invariants should hold after recovery: %v", err)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	s := NewSystem(2, 8)
+	s.Write(0, 5, 77)
+	s.Flush()
+	if got := s.MemValue(5); got != 77 {
+		t.Errorf("flush did not write back: %d", got)
+	}
+	if st := s.LineState(0, 5); st != Invalid {
+		t.Errorf("state after flush = %v", st)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	s := NewSystem(2, 8)
+	s.Read(0, 1)     // miss
+	s.Read(0, 1)     // hit
+	s.Write(1, 1, 5) // miss + invalidation of core 0's copy
+	st := s.Stats()
+	if st.Misses != 2 || st.Hits != 1 {
+		t.Errorf("hits/misses = %d/%d", st.Hits, st.Misses)
+	}
+	if st.Invalidations != 1 {
+		t.Errorf("invalidations = %d", st.Invalidations)
+	}
+	if st.BusReads != 1 || st.BusRdX != 1 {
+		t.Errorf("bus = %d/%d", st.BusReads, st.BusRdX)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M"}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+}
+
+func TestNewSystemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid shape accepted")
+		}
+	}()
+	NewSystem(0, 4)
+}
+
+func TestOutOfRangeCorePanics(t *testing.T) {
+	s := NewSystem(2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range core accepted")
+		}
+	}()
+	s.Read(2, 0)
+}
+
+func TestCapacityRespected(t *testing.T) {
+	s := NewSystem(1, 4)
+	for a := uint64(0); a < 100; a++ {
+		s.Write(0, a, a)
+	}
+	valid := 0
+	for a := uint64(0); a < 100; a++ {
+		if s.LineState(0, a) != Invalid {
+			valid++
+		}
+	}
+	if valid > 4 {
+		t.Errorf("%d valid lines exceed capacity 4", valid)
+	}
+	// All evicted dirty data must be in memory.
+	for a := uint64(0); a < 100; a++ {
+		if got := s.Read(0, a); got != a {
+			t.Fatalf("lost write: addr %d = %d", a, got)
+		}
+	}
+}

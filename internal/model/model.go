@@ -1,0 +1,381 @@
+// Package model defines the shared vocabulary of the SDC study: processor
+// features, defect types, operation datatypes, instruction classes, test
+// stages, and the record types exchanged between the simulation substrates.
+//
+// Keeping these definitions in a leaf package lets the defect model, the
+// thermal model, the testcase toolchain and the Farron mitigation engine
+// agree on terminology without import cycles.
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// Feature identifies a processor feature that a testcase targets and a
+// defect may corrupt. The paper identifies five vulnerable features
+// (Observation 5).
+type Feature int
+
+const (
+	// FeatureALU is arithmetic logic computation (integer/bit operations).
+	FeatureALU Feature = iota
+	// FeatureVecUnit is vector (SIMD) computation.
+	FeatureVecUnit
+	// FeatureFPU is scalar floating point calculation.
+	FeatureFPU
+	// FeatureCache is the cache hierarchy including coherence machinery.
+	FeatureCache
+	// FeatureTrxMem is hardware transactional memory.
+	FeatureTrxMem
+
+	// NumFeatures is the number of distinct features.
+	NumFeatures = int(FeatureTrxMem) + 1
+)
+
+// String returns the paper's short name for the feature.
+func (f Feature) String() string {
+	switch f {
+	case FeatureALU:
+		return "ALU"
+	case FeatureVecUnit:
+		return "VecUnit"
+	case FeatureFPU:
+		return "FPU"
+	case FeatureCache:
+		return "Cache"
+	case FeatureTrxMem:
+		return "TrxMem"
+	default:
+		return fmt.Sprintf("Feature(%d)", int(f))
+	}
+}
+
+// AllFeatures lists every feature in display order.
+func AllFeatures() []Feature {
+	return []Feature{FeatureALU, FeatureVecUnit, FeatureFPU, FeatureCache, FeatureTrxMem}
+}
+
+// DefectClass splits defects into the two categories of Section 4.1:
+// computation defects corrupt arithmetic results; consistency defects break
+// coherence or transactional guarantees. A faulty processor's defective
+// features always belong to a single class (Observation 5).
+type DefectClass int
+
+const (
+	// ClassComputation covers ALU, VecUnit and FPU defects.
+	ClassComputation DefectClass = iota
+	// ClassConsistency covers Cache and TrxMem defects.
+	ClassConsistency
+)
+
+// String implements fmt.Stringer.
+func (c DefectClass) String() string {
+	switch c {
+	case ClassComputation:
+		return "computation"
+	case ClassConsistency:
+		return "consistency"
+	default:
+		return fmt.Sprintf("DefectClass(%d)", int(c))
+	}
+}
+
+// ClassOf returns the defect class a feature belongs to.
+func ClassOf(f Feature) DefectClass {
+	switch f {
+	case FeatureCache, FeatureTrxMem:
+		return ClassConsistency
+	default:
+		return ClassComputation
+	}
+}
+
+// DataType identifies the operand datatype of a corrupted operation. The
+// bin* types are opaque non-numerical blobs of the given bit width
+// (Figure 5); the others are numerical (Figure 4).
+type DataType int
+
+const (
+	DTInt16 DataType = iota
+	DTInt32
+	DTUint32
+	DTFloat32
+	DTFloat64
+	DTFloat64x // 80-bit extended double precision
+	DTBit
+	DTByte
+	DTBin8
+	DTBin16
+	DTBin32
+	DTBin64
+
+	// NumDataTypes is the number of distinct datatypes.
+	NumDataTypes = int(DTBin64) + 1
+)
+
+// String returns the paper's abbreviation for the datatype.
+func (d DataType) String() string {
+	switch d {
+	case DTInt16:
+		return "i16"
+	case DTInt32:
+		return "i32"
+	case DTUint32:
+		return "ui32"
+	case DTFloat32:
+		return "f32"
+	case DTFloat64:
+		return "f64"
+	case DTFloat64x:
+		return "f64x"
+	case DTBit:
+		return "bit"
+	case DTByte:
+		return "byte"
+	case DTBin8:
+		return "bin8"
+	case DTBin16:
+		return "bin16"
+	case DTBin32:
+		return "bin32"
+	case DTBin64:
+		return "bin64"
+	default:
+		return fmt.Sprintf("DataType(%d)", int(d))
+	}
+}
+
+// AllDataTypes lists every datatype in the display order of Figure 3.
+func AllDataTypes() []DataType {
+	return []DataType{
+		DTInt16, DTInt32, DTUint32, DTFloat32, DTFloat64, DTFloat64x,
+		DTBit, DTByte, DTBin8, DTBin16, DTBin32, DTBin64,
+	}
+}
+
+// Bits returns the width in bits of the datatype's representation.
+func (d DataType) Bits() int {
+	switch d {
+	case DTBit:
+		return 1
+	case DTByte, DTBin8:
+		return 8
+	case DTInt16, DTBin16:
+		return 16
+	case DTInt32, DTUint32, DTFloat32, DTBin32:
+		return 32
+	case DTFloat64, DTBin64:
+		return 64
+	case DTFloat64x:
+		return 80
+	default:
+		return 0
+	}
+}
+
+// Numeric reports whether the datatype is numerical, i.e. whether the
+// location-preference bitflip model of Observation 7 applies.
+func (d DataType) Numeric() bool {
+	switch d {
+	case DTInt16, DTInt32, DTUint32, DTFloat32, DTFloat64, DTFloat64x:
+		return true
+	default:
+		return false
+	}
+}
+
+// Float reports whether the datatype is an IEEE-754 (or extended) float.
+func (d DataType) Float() bool {
+	switch d {
+	case DTFloat32, DTFloat64, DTFloat64x:
+		return true
+	default:
+		return false
+	}
+}
+
+// InstrClass is a coarse instruction classification used by the Pin-style
+// instrumentation (Section 4.1) to attribute SDCs to suspected instructions.
+type InstrClass int
+
+const (
+	InstrIntArith  InstrClass = iota // integer add/sub/mul/div
+	InstrBitOp                       // shifts, masks, popcount
+	InstrVecMulAdd                   // vector fused multiply-add (SIMD1 suspect)
+	InstrVecMisc                     // other vector operations
+	InstrFPArith                     // scalar FP add/mul/div
+	InstrFPTrig                      // trigonometric/transcendental (FPU1/FPU2 suspect: arctangent)
+	InstrLoadStore                   // memory traffic
+	InstrAtomic                      // locked/atomic operations
+	InstrTrxRegion                   // transactional region begin/end/abort (CNST2 suspect)
+	InstrBranch                      // control flow
+
+	// NumInstrClasses is the number of distinct instruction classes.
+	NumInstrClasses = int(InstrBranch) + 1
+)
+
+// String implements fmt.Stringer.
+func (ic InstrClass) String() string {
+	switch ic {
+	case InstrIntArith:
+		return "int-arith"
+	case InstrBitOp:
+		return "bit-op"
+	case InstrVecMulAdd:
+		return "vec-muladd"
+	case InstrVecMisc:
+		return "vec-misc"
+	case InstrFPArith:
+		return "fp-arith"
+	case InstrFPTrig:
+		return "fp-trig"
+	case InstrLoadStore:
+		return "load-store"
+	case InstrAtomic:
+		return "atomic"
+	case InstrTrxRegion:
+		return "trx-region"
+	case InstrBranch:
+		return "branch"
+	default:
+		return fmt.Sprintf("InstrClass(%d)", int(ic))
+	}
+}
+
+// InstrVariants is the number of virtual instructions modeled per
+// instruction class. A "virtual instruction" stands for one concrete opcode
+// (e.g. a fused multiply-add with a particular width); defects affect a few
+// virtual instructions, and a testcase exercises a subset with a per-loop
+// usage count — this granularity is what lets the Pin-style statistical
+// attribution of Section 4.1 narrow the suspect set.
+const InstrVariants = 48
+
+// InstrID names one virtual instruction: a (class, variant) pair.
+type InstrID struct {
+	Class   InstrClass
+	Variant int
+}
+
+// String implements fmt.Stringer.
+func (id InstrID) String() string {
+	return fmt.Sprintf("%s:%d", id.Class, id.Variant)
+}
+
+// Stage is a point in the fleet test pipeline (Figure 1).
+type Stage int
+
+const (
+	// StageFactory is testing after factory delivery.
+	StageFactory Stage = iota
+	// StageDatacenter is testing after datacenter delivery.
+	StageDatacenter
+	// StageReinstall is testing after system re-installation, the last
+	// gate before production.
+	StageReinstall
+	// StageRegular is periodic testing during production.
+	StageRegular
+
+	// NumStages is the number of pipeline stages.
+	NumStages = int(StageRegular) + 1
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageFactory:
+		return "factory"
+	case StageDatacenter:
+		return "datacenter"
+	case StageReinstall:
+		return "re-install"
+	case StageRegular:
+		return "regular"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// PreProduction reports whether the stage happens before production.
+func (s Stage) PreProduction() bool { return s != StageRegular }
+
+// AllStages lists the pipeline stages in order.
+func AllStages() []Stage {
+	return []Stage{StageFactory, StageDatacenter, StageReinstall, StageRegular}
+}
+
+// MicroArch names a processor micro-architecture. The paper anonymizes the
+// nine architectures in its fleet as M1..M9 (Table 2).
+type MicroArch string
+
+// AllMicroArchs lists the nine micro-architectures of Table 2.
+func AllMicroArchs() []MicroArch {
+	return []MicroArch{"M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8", "M9"}
+}
+
+// SDCRecord is one observed silent data corruption: a mismatch between the
+// expected and actual result of an operation, with its context.
+type SDCRecord struct {
+	// ProcessorID identifies the faulty processor.
+	ProcessorID string
+	// Core is the physical core index the corrupting operation ran on.
+	Core int
+	// TestcaseID identifies the testcase (workload) that caught the SDC.
+	TestcaseID string
+	// DataType is the operand datatype of the corrupted operation.
+	DataType DataType
+	// Expected and Actual are the bit patterns of the correct and the
+	// corrupted result, right-aligned in the low Bits() bits.
+	Expected, Actual uint64
+	// ExpectedHi/ActualHi carry bits 64..79 for 80-bit values; zero
+	// otherwise.
+	ExpectedHi, ActualHi uint16
+	// Temperature is the core temperature (deg C) at corruption time.
+	Temperature float64
+	// When is the simulation time of the corruption.
+	When time.Duration
+	// Consistency marks records produced by consistency (cache/TrxMem)
+	// defects; these carry no deterministic value pattern (Section 4.2).
+	Consistency bool
+	// HasContext reports whether the toolchain preserved execution
+	// context for this SDC and pointed out the incorrect instruction
+	// (Section 4.1: "For some of these errors, the toolchain preserves
+	// the context and points out the incorrect instructions", e.g.
+	// SIMD1's vector multiply-add).
+	HasContext bool
+	// ContextInstr is the incorrect instruction when HasContext is set.
+	ContextInstr InstrID
+}
+
+// Mask returns the XOR of expected and actual low-64 bit patterns: the set
+// of flipped positions (Observation 8 uses this as the bitflip mask).
+func (r *SDCRecord) Mask() uint64 { return r.Expected ^ r.Actual }
+
+// MaskHi returns the XOR of the high 16 bits for 80-bit values.
+func (r *SDCRecord) MaskHi() uint16 { return r.ExpectedHi ^ r.ActualHi }
+
+// TempRecord is one temperature monitoring sample (read, in production, from
+// the kernel cooling-device file; here from the thermal simulator).
+type TempRecord struct {
+	When time.Duration
+	// Celsius is the sampled core/package temperature.
+	Celsius float64
+}
+
+// Setting identifies a (testcase, processor[, core]) combination — the unit
+// at which the paper measures occurrence frequency and bitflip patterns.
+type Setting struct {
+	ProcessorID string
+	TestcaseID  string
+	Core        int
+}
+
+// String implements fmt.Stringer.
+func (s Setting) String() string {
+	return fmt.Sprintf("%s/%s/pcore%d", s.ProcessorID, s.TestcaseID, s.Core)
+}
+
+// PerTenThousand formats a rate as the paper's ‱ (per ten thousand) unit.
+func PerTenThousand(rate float64) string {
+	return fmt.Sprintf("%.3f‱", rate*1e4)
+}

@@ -1,0 +1,184 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFeatureString(t *testing.T) {
+	want := map[Feature]string{
+		FeatureALU:     "ALU",
+		FeatureVecUnit: "VecUnit",
+		FeatureFPU:     "FPU",
+		FeatureCache:   "Cache",
+		FeatureTrxMem:  "TrxMem",
+	}
+	for f, s := range want {
+		if got := f.String(); got != s {
+			t.Errorf("Feature(%d).String() = %q, want %q", int(f), got, s)
+		}
+	}
+	if got := Feature(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown feature string = %q", got)
+	}
+}
+
+func TestAllFeaturesCount(t *testing.T) {
+	fs := AllFeatures()
+	if len(fs) != NumFeatures {
+		t.Fatalf("AllFeatures returned %d features, want %d", len(fs), NumFeatures)
+	}
+	seen := map[Feature]bool{}
+	for _, f := range fs {
+		if seen[f] {
+			t.Errorf("duplicate feature %v", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		f    Feature
+		want DefectClass
+	}{
+		{FeatureALU, ClassComputation},
+		{FeatureVecUnit, ClassComputation},
+		{FeatureFPU, ClassComputation},
+		{FeatureCache, ClassConsistency},
+		{FeatureTrxMem, ClassConsistency},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.f); got != c.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestDefectClassString(t *testing.T) {
+	if ClassComputation.String() != "computation" {
+		t.Errorf("ClassComputation = %q", ClassComputation.String())
+	}
+	if ClassConsistency.String() != "consistency" {
+		t.Errorf("ClassConsistency = %q", ClassConsistency.String())
+	}
+}
+
+func TestDataTypeBits(t *testing.T) {
+	cases := []struct {
+		d    DataType
+		bits int
+	}{
+		{DTBit, 1}, {DTByte, 8}, {DTBin8, 8},
+		{DTInt16, 16}, {DTBin16, 16},
+		{DTInt32, 32}, {DTUint32, 32}, {DTFloat32, 32}, {DTBin32, 32},
+		{DTFloat64, 64}, {DTBin64, 64},
+		{DTFloat64x, 80},
+	}
+	for _, c := range cases {
+		if got := c.d.Bits(); got != c.bits {
+			t.Errorf("%v.Bits() = %d, want %d", c.d, got, c.bits)
+		}
+	}
+}
+
+func TestDataTypeNumericFloat(t *testing.T) {
+	numeric := map[DataType]bool{
+		DTInt16: true, DTInt32: true, DTUint32: true,
+		DTFloat32: true, DTFloat64: true, DTFloat64x: true,
+	}
+	floats := map[DataType]bool{DTFloat32: true, DTFloat64: true, DTFloat64x: true}
+	for _, d := range AllDataTypes() {
+		if got := d.Numeric(); got != numeric[d] {
+			t.Errorf("%v.Numeric() = %v, want %v", d, got, numeric[d])
+		}
+		if got := d.Float(); got != floats[d] {
+			t.Errorf("%v.Float() = %v, want %v", d, got, floats[d])
+		}
+	}
+}
+
+func TestAllDataTypesUnique(t *testing.T) {
+	ds := AllDataTypes()
+	if len(ds) != NumDataTypes {
+		t.Fatalf("AllDataTypes returned %d, want %d", len(ds), NumDataTypes)
+	}
+	seen := map[DataType]bool{}
+	for _, d := range ds {
+		if seen[d] {
+			t.Errorf("duplicate datatype %v", d)
+		}
+		seen[d] = true
+	}
+}
+
+func TestStageString(t *testing.T) {
+	want := map[Stage]string{
+		StageFactory:    "factory",
+		StageDatacenter: "datacenter",
+		StageReinstall:  "re-install",
+		StageRegular:    "regular",
+	}
+	for s, str := range want {
+		if got := s.String(); got != str {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, str)
+		}
+	}
+}
+
+func TestStagePreProduction(t *testing.T) {
+	for _, s := range AllStages() {
+		want := s != StageRegular
+		if got := s.PreProduction(); got != want {
+			t.Errorf("%v.PreProduction() = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestSDCRecordMask(t *testing.T) {
+	r := SDCRecord{Expected: 0b1010, Actual: 0b0110}
+	if got := r.Mask(); got != 0b1100 {
+		t.Errorf("Mask() = %b, want 1100", got)
+	}
+	r80 := SDCRecord{ExpectedHi: 0x8001, ActualHi: 0x0001}
+	if got := r80.MaskHi(); got != 0x8000 {
+		t.Errorf("MaskHi() = %x, want 8000", got)
+	}
+}
+
+func TestSettingString(t *testing.T) {
+	s := Setting{ProcessorID: "MIX1", TestcaseID: "C", Core: 0}
+	if got := s.String(); got != "MIX1/C/pcore0" {
+		t.Errorf("Setting.String() = %q", got)
+	}
+}
+
+func TestPerTenThousand(t *testing.T) {
+	if got := PerTenThousand(3.61e-4); got != "3.610‱" {
+		t.Errorf("PerTenThousand = %q", got)
+	}
+}
+
+func TestInstrClassStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for ic := InstrClass(0); int(ic) < NumInstrClasses; ic++ {
+		s := ic.String()
+		if s == "" || strings.HasPrefix(s, "InstrClass(") {
+			t.Errorf("InstrClass %d has no name", int(ic))
+		}
+		if seen[s] {
+			t.Errorf("duplicate instruction class name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestAllMicroArchs(t *testing.T) {
+	archs := AllMicroArchs()
+	if len(archs) != 9 {
+		t.Fatalf("want 9 micro-architectures, got %d", len(archs))
+	}
+	if archs[0] != "M1" || archs[8] != "M9" {
+		t.Errorf("unexpected arch ordering: %v", archs)
+	}
+}

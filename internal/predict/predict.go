@@ -1,0 +1,123 @@
+// Package predict implements prediction-based SDC detection: a runtime
+// range predictor that flags a result as a silent error when it falls
+// outside the predicted interval (the approach of Bautista-Gomez &
+// Cappello and Di et al., Section 6.2).
+//
+// The substrate exists to demonstrate the paper's critique: real CPU SDCs
+// on floats mostly flip fraction bits, causing *minor* precision losses
+// (Observation 7), which sit comfortably inside any usable prediction
+// interval — so accuracy-based detectors miss them, while tightening the
+// interval to catch them drowns in false positives.
+package predict
+
+import "math"
+
+// RangeDetector predicts the next value of a smooth series from its recent
+// history (linear extrapolation from the last two points, the lightweight
+// scheme of the HPC literature) and flags values outside
+// prediction ± tolerance·scale.
+type RangeDetector struct {
+	// Tolerance is the relative half-width of the acceptance interval.
+	Tolerance float64
+	hist      []float64
+	// counters
+	Observed, Flagged int
+}
+
+// NewRangeDetector creates a detector with the given relative tolerance.
+func NewRangeDetector(tolerance float64) *RangeDetector {
+	if tolerance <= 0 {
+		panic("predict: tolerance must be positive")
+	}
+	return &RangeDetector{Tolerance: tolerance}
+}
+
+// predict returns the extrapolated next value and whether a prediction is
+// available (needs two points of history).
+func (d *RangeDetector) predict() (float64, bool) {
+	n := len(d.hist)
+	if n < 2 {
+		return 0, false
+	}
+	return 2*d.hist[n-1] - d.hist[n-2], true
+}
+
+// Observe feeds the next observed value; it returns true when the value is
+// flagged as a suspected silent error. Flagged values are not added to the
+// history (the application would re-compute them).
+func (d *RangeDetector) Observe(v float64) bool {
+	d.Observed++
+	pred, ok := d.predict()
+	if ok {
+		scale := math.Max(math.Abs(pred), math.SmallestNonzeroFloat64)
+		if math.Abs(v-pred) > d.Tolerance*scale {
+			d.Flagged++
+			return true
+		}
+	}
+	d.push(v)
+	return false
+}
+
+func (d *RangeDetector) push(v float64) {
+	d.hist = append(d.hist, v)
+	if len(d.hist) > 4 {
+		d.hist = d.hist[len(d.hist)-4:]
+	}
+}
+
+// Reset clears history and counters.
+func (d *RangeDetector) Reset() {
+	d.hist = d.hist[:0]
+	d.Observed = 0
+	d.Flagged = 0
+}
+
+// EvalReport summarizes a detector evaluation on a corrupted series.
+type EvalReport struct {
+	// TruePositives: corrupted values flagged. FalseNegatives: corrupted
+	// values accepted (the Observation 7 escape). FalsePositives: clean
+	// values flagged (the cost of tightening the interval).
+	TruePositives, FalseNegatives, FalsePositives, TrueNegatives int
+}
+
+// Recall returns the fraction of corruptions caught.
+func (r EvalReport) Recall() float64 {
+	total := r.TruePositives + r.FalseNegatives
+	if total == 0 {
+		return 0
+	}
+	return float64(r.TruePositives) / float64(total)
+}
+
+// FalsePositiveRate returns clean values flagged over all clean values.
+func (r EvalReport) FalsePositiveRate() float64 {
+	total := r.FalsePositives + r.TrueNegatives
+	if total == 0 {
+		return 0
+	}
+	return float64(r.FalsePositives) / float64(total)
+}
+
+// Evaluate runs the detector over a smooth series where corrupted[i]
+// indicates values carrying an injected relative error.
+func Evaluate(d *RangeDetector, values []float64, corrupted []bool) EvalReport {
+	if len(values) != len(corrupted) {
+		panic("predict: values/corrupted length mismatch")
+	}
+	var rep EvalReport
+	for i, v := range values {
+		flagged := d.Observe(v)
+		switch {
+		case corrupted[i] && flagged:
+			rep.TruePositives++
+		case corrupted[i] && !flagged:
+			rep.FalseNegatives++
+		case !corrupted[i] && flagged:
+			rep.FalsePositives++
+		default:
+			rep.TrueNegatives++
+		}
+	}
+	return rep
+}

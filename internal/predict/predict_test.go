@@ -1,0 +1,126 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"farron/internal/inject"
+	"farron/internal/model"
+	"farron/internal/simrand"
+)
+
+// smoothSeries builds a slowly-varying HPC-style series.
+func smoothSeries(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		x := float64(i) * 0.01
+		out[i] = 100 + 10*math.Sin(x) + 0.5*x
+	}
+	return out
+}
+
+func TestCleanSeriesNotFlagged(t *testing.T) {
+	d := NewRangeDetector(0.05)
+	for _, v := range smoothSeries(500) {
+		if d.Observe(v) {
+			t.Fatal("clean smooth series flagged")
+		}
+	}
+}
+
+func TestLargeCorruptionCaught(t *testing.T) {
+	d := NewRangeDetector(0.05)
+	series := smoothSeries(100)
+	for i, v := range series {
+		if i == 50 {
+			v *= 3 // a gross corruption (e.g. integer-style loss)
+			if !d.Observe(v) {
+				t.Fatal("3x corruption not flagged")
+			}
+			continue
+		}
+		if d.Observe(v) {
+			t.Fatalf("clean value %d flagged", i)
+		}
+	}
+}
+
+func TestObservation7EscapesDetection(t *testing.T) {
+	// Fraction-bit flips cause relative losses far below any usable
+	// tolerance: the detector misses essentially all of them.
+	rng := simrand.New(1)
+	series := smoothSeries(2000)
+	corrupted := make([]bool, len(series))
+	for i := range series {
+		if i > 10 && rng.Bool(0.1) {
+			bits := math.Float64bits(series[i])
+			pos := inject.SamplePosition(rng, model.DTFloat64)
+			series[i] = math.Float64frombits(bits ^ 1<<uint(pos))
+			corrupted[i] = true
+		}
+	}
+	d := NewRangeDetector(0.05) // a realistic 5% interval
+	rep := Evaluate(d, series, corrupted)
+	if rep.TruePositives+rep.FalseNegatives == 0 {
+		t.Fatal("no corruptions injected")
+	}
+	if rep.Recall() > 0.1 {
+		t.Errorf("recall = %.2f; Observation 7 says fraction-bit flips escape range detection", rep.Recall())
+	}
+	if rep.FalsePositiveRate() > 0.02 {
+		t.Errorf("false positive rate = %.3f on a clean smooth series", rep.FalsePositiveRate())
+	}
+}
+
+func TestTighteningToleranceExplodes(t *testing.T) {
+	// Chasing Observation 7's tiny losses with a tiny tolerance floods
+	// the detector with false positives on a noisy-but-healthy series.
+	rng := simrand.New(2)
+	n := 2000
+	series := make([]float64, n)
+	corrupted := make([]bool, n)
+	for i := range series {
+		x := float64(i) * 0.01
+		series[i] = 100 + 10*math.Sin(x) + rng.Norm(0, 0.01) // 0.01% noise
+	}
+	d := NewRangeDetector(1e-6) // tight enough for fraction flips
+	rep := Evaluate(d, series, corrupted)
+	if rep.FalsePositiveRate() < 0.5 {
+		t.Errorf("false positive rate = %.3f; tight tolerance should flood", rep.FalsePositiveRate())
+	}
+}
+
+func TestResetAndCounters(t *testing.T) {
+	d := NewRangeDetector(0.1)
+	for _, v := range smoothSeries(50) {
+		d.Observe(v)
+	}
+	if d.Observed != 50 {
+		t.Errorf("observed = %d", d.Observed)
+	}
+	d.Reset()
+	if d.Observed != 0 || d.Flagged != 0 {
+		t.Error("reset failed")
+	}
+	if _, ok := d.predict(); ok {
+		t.Error("prediction available after reset")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero tolerance accepted")
+		}
+	}()
+	NewRangeDetector(0)
+}
+
+func TestEvaluatePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch accepted")
+		}
+	}()
+	Evaluate(NewRangeDetector(0.1), []float64{1}, []bool{true, false})
+}

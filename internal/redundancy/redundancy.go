@@ -1,0 +1,147 @@
+// Package redundancy implements replica-based SDC detection and tolerance:
+// dual execution with comparison (detect-only, DCLS-style) and triple
+// modular redundancy with majority voting (detect and correct) — the
+// replication techniques of Section 6.2, which work against CPU SDCs but
+// cost full re-execution, "too costly to be applied to every application,
+// though suitable for a small number of critical applications".
+package redundancy
+
+import (
+	"fmt"
+
+	"farron/internal/model"
+	"farron/internal/simrand"
+	"farron/internal/workload"
+)
+
+// Outcome classifies one redundant execution.
+type Outcome int
+
+const (
+	// Agree: all replicas matched.
+	Agree Outcome = iota
+	// DetectedMismatch: replicas disagreed (dual mode stops here).
+	DetectedMismatch
+	// CorrectedByVote: a majority vote masked the corrupt replica.
+	CorrectedByVote
+	// VoteFailed: no majority (two or more replicas corrupted apart).
+	VoteFailed
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Agree:
+		return "agree"
+	case DetectedMismatch:
+		return "mismatch"
+	case CorrectedByVote:
+		return "corrected"
+	case VoteFailed:
+		return "vote-failed"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Stats aggregates a redundant execution run.
+type Stats struct {
+	Executions int
+	// WorkUnits counts total computation performed; redundancy's cost is
+	// WorkUnits / Executions (2× for dual, 3× for TMR).
+	WorkUnits                                       int
+	Agreements, Mismatches, Corrected, VoteFailures int
+	// SilentEscapes counts corrupted results that were accepted (both
+	// replicas corrupted identically — possible when the same defective
+	// core runs both replicas with a fixed bitflip pattern!).
+	SilentEscapes int
+}
+
+// CostFactor returns work performed relative to unprotected execution.
+func (s *Stats) CostFactor() float64 {
+	if s.Executions == 0 {
+		return 0
+	}
+	return float64(s.WorkUnits) / float64(s.Executions)
+}
+
+// Compute is a deterministic unit of work returning a 64-bit result. The
+// corrupt hook models running on a defective core.
+type Compute func(input uint64, corrupt workload.CorruptFn) uint64
+
+// DualExecute runs fn twice and compares — SDC detection by re-execution.
+// replicaCorrupt[i] is the corruption hook of the core replica i runs on
+// (nil = healthy core). It returns the accepted result, ok=false when a
+// mismatch was detected.
+func DualExecute(fn Compute, input uint64, replicaCorrupt [2]workload.CorruptFn, s *Stats) (uint64, bool) {
+	a := fn(input, replicaCorrupt[0])
+	b := fn(input, replicaCorrupt[1])
+	s.Executions++
+	s.WorkUnits += 2
+	if a == b {
+		s.Agreements++
+		// Identical corruption on both replicas escapes silently
+		// (same fixed pattern, same defective core — Observation 8's
+		// deterministic patterns make this real).
+		ref := fn(input, nil)
+		if a != ref {
+			s.SilentEscapes++
+		}
+		return a, true
+	}
+	s.Mismatches++
+	return 0, false
+}
+
+// TMRExecute runs fn three times and votes.
+func TMRExecute(fn Compute, input uint64, replicaCorrupt [3]workload.CorruptFn, s *Stats) (uint64, bool) {
+	r := [3]uint64{
+		fn(input, replicaCorrupt[0]),
+		fn(input, replicaCorrupt[1]),
+		fn(input, replicaCorrupt[2]),
+	}
+	s.Executions++
+	s.WorkUnits += 3
+	switch {
+	case r[0] == r[1] && r[1] == r[2]:
+		s.Agreements++
+		ref := fn(input, nil)
+		if r[0] != ref {
+			s.SilentEscapes++
+		}
+		return r[0], true
+	case r[0] == r[1] || r[0] == r[2]:
+		s.Corrected++
+		return r[0], true
+	case r[1] == r[2]:
+		s.Corrected++
+		return r[1], true
+	default:
+		s.VoteFailures++
+		return 0, false
+	}
+}
+
+// ChecksumWork is a realistic Compute: CRC32 over a buffer derived from the
+// input (the checksum path of the paper's first production case).
+func ChecksumWork(input uint64, corrupt workload.CorruptFn) uint64 {
+	var buf [64]byte
+	x := input
+	for i := range buf {
+		x = x*6364136223846793005 + 1442695040888963407
+		buf[i] = byte(x >> 33)
+	}
+	sum, _ := workload.CRC32Faulty(buf[:], corrupt)
+	return uint64(sum)
+}
+
+// RandomCorrupt builds a corruption hook firing with probability p per
+// operation, flipping a fixed mask (a deterministic defect pattern).
+func RandomCorrupt(rng *simrand.Source, p float64, mask uint64) workload.CorruptFn {
+	return func(dt model.DataType, lo uint64, hi uint16) (uint64, uint16, bool) {
+		if !rng.Bool(p) {
+			return lo, hi, false
+		}
+		return lo ^ mask, hi, true
+	}
+}

@@ -1,0 +1,136 @@
+package redundancy
+
+import (
+	"testing"
+
+	"farron/internal/model"
+	"farron/internal/simrand"
+	"farron/internal/workload"
+)
+
+func alwaysCorrupt(mask uint64) workload.CorruptFn {
+	return func(dt model.DataType, lo uint64, hi uint16) (uint64, uint16, bool) {
+		return lo ^ mask, hi, true
+	}
+}
+
+func TestDualExecuteHealthy(t *testing.T) {
+	var s Stats
+	rng := simrand.New(1)
+	for i := 0; i < 100; i++ {
+		v, ok := DualExecute(ChecksumWork, rng.Uint64(), [2]workload.CorruptFn{nil, nil}, &s)
+		if !ok {
+			t.Fatal("healthy replicas disagreed")
+		}
+		_ = v
+	}
+	if s.Agreements != 100 || s.Mismatches != 0 || s.SilentEscapes != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.CostFactor() != 2 {
+		t.Errorf("dual cost = %v, want 2x", s.CostFactor())
+	}
+}
+
+func TestDualExecuteDetectsOneFaultyReplica(t *testing.T) {
+	var s Stats
+	rng := simrand.New(2)
+	detected := 0
+	for i := 0; i < 200; i++ {
+		_, ok := DualExecute(ChecksumWork, rng.Uint64(),
+			[2]workload.CorruptFn{alwaysCorrupt(1 << 9), nil}, &s)
+		if !ok {
+			detected++
+		}
+	}
+	if detected != 200 {
+		t.Errorf("detected %d/200 corruptions", detected)
+	}
+}
+
+func TestDualExecuteSilentEscapeOnSharedDefect(t *testing.T) {
+	// Both replicas scheduled on the same defective core with a fixed
+	// pattern: they agree on the wrong answer. Observation 8's
+	// deterministic patterns make this a real failure mode.
+	var s Stats
+	rng := simrand.New(3)
+	hook := alwaysCorrupt(1 << 5)
+	for i := 0; i < 50; i++ {
+		_, ok := DualExecute(ChecksumWork, rng.Uint64(), [2]workload.CorruptFn{hook, hook}, &s)
+		if !ok {
+			t.Fatal("identical corruption should agree")
+		}
+	}
+	if s.SilentEscapes != 50 {
+		t.Errorf("silent escapes = %d, want 50", s.SilentEscapes)
+	}
+}
+
+func TestTMRCorrects(t *testing.T) {
+	var s Stats
+	rng := simrand.New(4)
+	for i := 0; i < 100; i++ {
+		input := rng.Uint64()
+		want := ChecksumWork(input, nil)
+		got, ok := TMRExecute(ChecksumWork, input,
+			[3]workload.CorruptFn{alwaysCorrupt(1 << 3), nil, nil}, &s)
+		if !ok || got != want {
+			t.Fatalf("TMR failed to mask a single faulty replica: %v %x vs %x", ok, got, want)
+		}
+	}
+	if s.Corrected != 100 {
+		t.Errorf("corrected = %d", s.Corrected)
+	}
+	if s.CostFactor() != 3 {
+		t.Errorf("TMR cost = %v, want 3x", s.CostFactor())
+	}
+}
+
+func TestTMRVoteFailure(t *testing.T) {
+	var s Stats
+	rng := simrand.New(5)
+	_, ok := TMRExecute(ChecksumWork, rng.Uint64(),
+		[3]workload.CorruptFn{alwaysCorrupt(1), alwaysCorrupt(2), alwaysCorrupt(4)}, &s)
+	if ok {
+		t.Error("three-way disagreement voted successfully")
+	}
+	if s.VoteFailures != 1 {
+		t.Errorf("vote failures = %d", s.VoteFailures)
+	}
+}
+
+func TestRandomCorruptProbability(t *testing.T) {
+	rng := simrand.New(6)
+	hook := RandomCorrupt(rng, 0.25, 1<<7)
+	fired := 0
+	for i := 0; i < 10000; i++ {
+		_, _, ok := hook(model.DTBin64, 0, 0)
+		if ok {
+			fired++
+		}
+	}
+	frac := float64(fired) / 10000
+	if frac < 0.22 || frac > 0.28 {
+		t.Errorf("fire rate = %v, want ~0.25", frac)
+	}
+}
+
+func TestChecksumWorkDeterministic(t *testing.T) {
+	if ChecksumWork(12345, nil) != ChecksumWork(12345, nil) {
+		t.Error("ChecksumWork not deterministic")
+	}
+	if ChecksumWork(1, nil) == ChecksumWork(2, nil) {
+		t.Error("ChecksumWork constant across inputs")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, s := range map[Outcome]string{
+		Agree: "agree", DetectedMismatch: "mismatch",
+		CorrectedByVote: "corrected", VoteFailed: "vote-failed",
+	} {
+		if o.String() != s {
+			t.Errorf("%d = %q", int(o), o.String())
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package report renders experiment results as aligned ASCII tables and
+// simple text charts (histograms, scatter plots, CDFs) so every table and
+// figure of the paper can be regenerated on a terminal and diffed in CI.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned-text table builder.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len([]rune(h))
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if n := len([]rune(c)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	n := len([]rune(s))
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}
+
+// Bars renders a labeled horizontal bar chart with values normalized to the
+// maximum, suitable for Figures 2, 3 and 7.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic("report: labels/values length mismatch")
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if n := len([]rune(labels[i])); n > maxL {
+			maxL = n
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(float64(width) * v / maxV))
+		}
+		fmt.Fprintf(&b, "%s  %s %0.4f\n", pad(labels[i], maxL), strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Scatter renders an x/y scatter plot on a rows×cols character grid with
+// axis ranges annotated — used for Figures 8 and 9.
+func Scatter(title string, xs, ys []float64, rows, cols int) string {
+	if len(xs) != len(ys) {
+		panic("report: xs/ys length mismatch")
+	}
+	if rows <= 0 {
+		rows = 16
+	}
+	if cols <= 0 {
+		cols = 60
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(xs) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	minX, maxX := minMax(xs)
+	minY, maxY := minMax(ys)
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	for i := range xs {
+		c := int(float64(cols-1) * (xs[i] - minX) / (maxX - minX))
+		r := int(float64(rows-1) * (ys[i] - minY) / (maxY - minY))
+		grid[rows-1-r][c] = '*'
+	}
+	fmt.Fprintf(&b, "y: %.3g .. %.3g\n", minY, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "+%s\n", strings.Repeat("-", cols))
+	fmt.Fprintf(&b, " x: %.3g .. %.3g\n", minX, maxX)
+	return b.String()
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// CDFPlot renders (x, P) pairs as two aligned columns plus a coarse curve —
+// used for Figure 4's precision-loss CDFs.
+func CDFPlot(title string, xs, ps []float64, width int) string {
+	if len(xs) != len(ps) {
+		panic("report: xs/ps length mismatch")
+	}
+	if width <= 0 {
+		width = 40
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i := range xs {
+		n := int(math.Round(float64(width) * ps[i]))
+		fmt.Fprintf(&b, "%12.4g  %s %.3f\n", xs[i], strings.Repeat("#", n), ps[i])
+	}
+	return b.String()
+}
+
+// Heatmap renders a matrix with row/column labels, values formatted to 2
+// decimals — used for Figure 6's per-setting pattern proportions.
+func Heatmap(title string, rowLabels, colLabels []string, values [][]float64) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	w := 7
+	maxRL := 0
+	for _, l := range rowLabels {
+		if len(l) > maxRL {
+			maxRL = len(l)
+		}
+	}
+	b.WriteString(pad("", maxRL))
+	for _, c := range colLabels {
+		b.WriteString("  " + pad(c, w))
+	}
+	b.WriteByte('\n')
+	for i, rl := range rowLabels {
+		b.WriteString(pad(rl, maxRL))
+		for j := range colLabels {
+			v := math.NaN()
+			if i < len(values) && j < len(values[i]) {
+				v = values[i][j]
+			}
+			cell := "   -"
+			if !math.IsNaN(v) {
+				cell = fmt.Sprintf("%.3f", v)
+			}
+			b.WriteString("  " + pad(cell, w))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Percent formats a fraction as a percentage.
+func Percent(f float64) string { return fmt.Sprintf("%.3f%%", f*100) }
+
+// PerTenThousand formats a rate in the paper's ‱ unit.
+func PerTenThousand(f float64) string { return fmt.Sprintf("%.3f‱", f*1e4) }

@@ -1,0 +1,124 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("title", "a", "bb", "ccc")
+	tb.AddRow("1", "22", "333")
+	tb.AddRow("longer")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Errorf("first line = %q", lines[0])
+	}
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("line count = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "a") || !strings.Contains(lines[2], "-") {
+		t.Error("header/separator malformed")
+	}
+	// Short row padded without panic; widths consistent.
+	if len([]rune(lines[3])) == 0 {
+		t.Error("row missing")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow("v")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("empty title produced leading newline")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("chart", []string{"aa", "b"}, []float64{0.5, 1.0}, 10)
+	if !strings.Contains(out, "chart") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Full-scale bar has width 10; half-scale 5.
+	if strings.Count(lines[2], "#") != 10 {
+		t.Errorf("max bar = %q", lines[2])
+	}
+	if strings.Count(lines[1], "#") != 5 {
+		t.Errorf("half bar = %q", lines[1])
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars("", []string{"z"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Error("zero value produced bars")
+	}
+}
+
+func TestBarsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths accepted")
+		}
+	}()
+	Bars("", []string{"a"}, []float64{1, 2}, 10)
+}
+
+func TestScatter(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 1, 2, 3}
+	out := Scatter("sc", xs, ys, 4, 8)
+	if !strings.Contains(out, "sc") || strings.Count(out, "*") != 4 {
+		t.Errorf("scatter output:\n%s", out)
+	}
+	if !strings.Contains(out, "x: 0 .. 3") {
+		t.Errorf("x range missing:\n%s", out)
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	out := Scatter("e", nil, nil, 4, 8)
+	if !strings.Contains(out, "no data") {
+		t.Error("empty scatter not handled")
+	}
+}
+
+func TestScatterConstant(t *testing.T) {
+	// Constant series must not divide by zero.
+	out := Scatter("c", []float64{5, 5}, []float64{1, 1}, 4, 8)
+	if !strings.Contains(out, "*") {
+		t.Error("constant scatter lost points")
+	}
+}
+
+func TestCDFPlot(t *testing.T) {
+	out := CDFPlot("cdf", []float64{1, 2}, []float64{0.5, 1}, 10)
+	if !strings.Contains(out, "cdf") || !strings.Contains(out, "1.000") {
+		t.Errorf("cdf output:\n%s", out)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("hm", []string{"r1", "r2"}, []string{"c1"},
+		[][]float64{{0.5}, {math.NaN()}})
+	if !strings.Contains(out, "0.500") {
+		t.Error("value missing")
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("NaN placeholder missing")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Percent(0.00488); got != "0.488%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := PerTenThousand(3.61e-4); got != "3.610‱" {
+		t.Errorf("PerTenThousand = %q", got)
+	}
+}

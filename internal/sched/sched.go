@@ -1,0 +1,176 @@
+// Package sched provides the discrete-event simulation core: a virtual
+// clock, an event queue ordered by time, and periodic tasks. It is the only
+// source of time in the simulation — nothing reads the wall clock — which
+// makes every experiment reproducible.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	// At is the virtual time the event fires.
+	At time.Duration
+	// Name describes the event for tracing.
+	Name string
+	// Fn runs when the event fires. It may schedule further events.
+	Fn func(now time.Duration)
+
+	seq   uint64 // tie-break so equal-time events run FIFO
+	index int    // heap bookkeeping
+}
+
+// eventQueue implements heap.Interface ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Clock is a discrete-event simulation clock. The zero value is not usable;
+// call NewClock.
+type Clock struct {
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+}
+
+// NewClock returns a clock at virtual time zero with an empty queue.
+func NewClock() *Clock {
+	c := &Clock{}
+	heap.Init(&c.queue)
+	return c
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: it would silently reorder causality.
+func (c *Clock) At(at time.Duration, name string, fn func(now time.Duration)) *Event {
+	if at < c.now {
+		panic(fmt.Sprintf("sched: scheduling %q at %v before now %v", name, at, c.now))
+	}
+	e := &Event{At: at, Name: name, Fn: fn, seq: c.seq}
+	c.seq++
+	heap.Push(&c.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (c *Clock) After(d time.Duration, name string, fn func(now time.Duration)) *Event {
+	return c.At(c.now+d, name, fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (c *Clock) Cancel(e *Event) {
+	if e == nil || e.index < 0 || e.index >= len(c.queue) || c.queue[e.index] != e {
+		return
+	}
+	heap.Remove(&c.queue, e.index)
+}
+
+// Pending returns the number of queued events.
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// Step fires the next event, advancing the clock to its time. It returns
+// false if the queue is empty.
+func (c *Clock) Step() bool {
+	if len(c.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&c.queue).(*Event)
+	c.now = e.At
+	e.Fn(c.now)
+	return true
+}
+
+// RunUntil fires events in order until the queue is empty or the next event
+// is after deadline; the clock is then advanced to exactly deadline.
+func (c *Clock) RunUntil(deadline time.Duration) {
+	for len(c.queue) > 0 && c.queue[0].At <= deadline {
+		c.Step()
+	}
+	if deadline > c.now {
+		c.now = deadline
+	}
+}
+
+// Run fires events until the queue is empty.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// Advance moves the clock forward by d without firing any events scheduled
+// in between. Use only when the caller knows no events are pending in the
+// interval (it panics otherwise, to catch causality bugs).
+func (c *Clock) Advance(d time.Duration) {
+	target := c.now + d
+	if len(c.queue) > 0 && c.queue[0].At < target {
+		panic(fmt.Sprintf("sched: Advance(%v) would skip event %q at %v", d, c.queue[0].Name, c.queue[0].At))
+	}
+	c.now = target
+}
+
+// Ticker runs a callback at a fixed period until stopped.
+type Ticker struct {
+	clock  *Clock
+	period time.Duration
+	fn     func(now time.Duration)
+	ev     *Event
+	stop   bool
+}
+
+// Every schedules fn to run every period, first at now+period.
+func (c *Clock) Every(period time.Duration, name string, fn func(now time.Duration)) *Ticker {
+	if period <= 0 {
+		panic("sched: non-positive ticker period")
+	}
+	t := &Ticker{clock: c, period: period, fn: fn}
+	var tick func(now time.Duration)
+	tick = func(now time.Duration) {
+		if t.stop {
+			return
+		}
+		t.fn(now)
+		if !t.stop {
+			t.ev = c.At(now+period, name, tick)
+		}
+	}
+	t.ev = c.At(c.now+period, name, tick)
+	return t
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.clock.Cancel(t.ev)
+}

@@ -1,0 +1,187 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	c := NewClock()
+	var order []string
+	c.At(3*time.Second, "c", func(time.Duration) { order = append(order, "c") })
+	c.At(1*time.Second, "a", func(time.Duration) { order = append(order, "a") })
+	c.At(2*time.Second, "b", func(time.Duration) { order = append(order, "b") })
+	c.Run()
+	if got := order; len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("order = %v", got)
+	}
+	if c.Now() != 3*time.Second {
+		t.Errorf("Now = %v", c.Now())
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(time.Second, "e", func(time.Duration) { order = append(order, i) })
+	}
+	c.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	c := NewClock()
+	c.At(time.Second, "x", func(time.Duration) {})
+	c.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	c.At(500*time.Millisecond, "past", func(time.Duration) {})
+}
+
+func TestAfter(t *testing.T) {
+	c := NewClock()
+	fired := time.Duration(-1)
+	c.At(time.Second, "first", func(now time.Duration) {
+		c.After(2*time.Second, "second", func(now time.Duration) { fired = now })
+	})
+	c.Run()
+	if fired != 3*time.Second {
+		t.Errorf("After fired at %v, want 3s", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	c := NewClock()
+	fired := false
+	e := c.At(time.Second, "x", func(time.Duration) { fired = true })
+	c.Cancel(e)
+	c.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	// Double cancel and cancel-after-fire must be safe.
+	c.Cancel(e)
+	e2 := c.At(c.Now()+time.Second, "y", func(time.Duration) {})
+	c.Run()
+	c.Cancel(e2)
+}
+
+func TestRunUntil(t *testing.T) {
+	c := NewClock()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4} {
+		c.At(d*time.Second, "e", func(now time.Duration) { fired = append(fired, now) })
+	}
+	c.RunUntil(2500 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Errorf("fired %d events, want 2", len(fired))
+	}
+	if c.Now() != 2500*time.Millisecond {
+		t.Errorf("Now = %v, want 2.5s", c.Now())
+	}
+	if c.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", c.Pending())
+	}
+	c.Run()
+	if len(fired) != 4 {
+		t.Errorf("after Run fired %d, want 4", len(fired))
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(5 * time.Second)
+	if c.Now() != 5*time.Second {
+		t.Errorf("Now = %v", c.Now())
+	}
+	c.At(10*time.Second, "x", func(time.Duration) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance skipping an event should panic")
+		}
+	}()
+	c.Advance(20 * time.Second)
+}
+
+func TestTicker(t *testing.T) {
+	c := NewClock()
+	var ticks []time.Duration
+	tk := c.Every(time.Second, "tick", func(now time.Duration) {
+		ticks = append(ticks, now)
+		if len(ticks) == 3 {
+			// Stop from inside the callback.
+			// (The ticker must not reschedule after Stop.)
+		}
+	})
+	c.RunUntil(3500 * time.Millisecond)
+	tk.Stop()
+	c.RunUntil(10 * time.Second)
+	if len(ticks) != 3 {
+		t.Errorf("got %d ticks, want 3: %v", len(ticks), ticks)
+	}
+	for i, tm := range ticks {
+		want := time.Duration(i+1) * time.Second
+		if tm != want {
+			t.Errorf("tick %d at %v, want %v", i, tm, want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	c := NewClock()
+	count := 0
+	var tk *Ticker
+	tk = c.Every(time.Second, "tick", func(now time.Duration) {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	c.RunUntil(10 * time.Second)
+	if count != 2 {
+		t.Errorf("ticker fired %d times after in-callback Stop, want 2", count)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(0) should panic")
+		}
+	}()
+	NewClock().Every(0, "bad", func(time.Duration) {})
+}
+
+func TestStepEmpty(t *testing.T) {
+	c := NewClock()
+	if c.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// Events scheduled during Run at the same time still execute.
+	c := NewClock()
+	depth := 0
+	var recurse func(now time.Duration)
+	recurse = func(now time.Duration) {
+		depth++
+		if depth < 5 {
+			c.At(now, "same-time", recurse)
+		}
+	}
+	c.At(time.Second, "start", recurse)
+	c.Run()
+	if depth != 5 {
+		t.Errorf("depth = %d, want 5", depth)
+	}
+}

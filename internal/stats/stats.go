@@ -1,0 +1,305 @@
+// Package stats provides the small statistical toolkit the study needs:
+// moments, Pearson correlation, least-squares linear fits, empirical CDFs,
+// histograms and binomial confidence intervals. Everything is implemented
+// directly (stdlib math only) so results are fully reproducible.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a statistic needs more samples than
+// were provided.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance, or 0 when fewer than
+// two samples are given.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It returns an error if the slices differ in length, have fewer than two
+// points, or either series is constant.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: Pearson length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0, ErrInsufficientData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: Pearson on constant series")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// LinFit holds a least-squares line y = Intercept + Slope*x along with the
+// fit's Pearson correlation coefficient R.
+type LinFit struct {
+	Slope, Intercept, R float64
+}
+
+// FitLine computes the ordinary least-squares fit of ys against xs.
+func FitLine(xs, ys []float64) (LinFit, error) {
+	if len(xs) != len(ys) {
+		return LinFit{}, errors.New("stats: FitLine length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return LinFit{}, ErrInsufficientData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		sxy += dx * (ys[i] - my)
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		return LinFit{}, errors.New("stats: FitLine on constant x")
+	}
+	slope := sxy / sxx
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		return LinFit{}, err
+	}
+	return LinFit{Slope: slope, Intercept: my - slope*mx, R: r}, nil
+}
+
+// Eval returns the fitted value at x.
+func (f LinFit) Eval(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample (which is copied).
+func NewCDF(xs []float64) *CDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the sample size.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x), the fraction of samples not exceeding x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by nearest-rank.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// Points returns up to n (x, P(X<=x)) pairs evenly spread through the
+// sample, suitable for plotting the CDF.
+func (c *CDF) Points(n int) (xs, ps []float64) {
+	m := len(c.sorted)
+	if m == 0 || n <= 0 {
+		return nil, nil
+	}
+	if n > m {
+		n = m
+	}
+	xs = make([]float64, n)
+	ps = make([]float64, n)
+	for i := 0; i < n; i++ {
+		j := (i*(m-1) + (n-1)/2) / max(n-1, 1)
+		if n == 1 {
+			j = m - 1
+		}
+		xs[i] = c.sorted[j]
+		ps[i] = float64(j+1) / float64(m)
+	}
+	return xs, ps
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Histogram counts samples into equal-width bins over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	// Under and Over count samples falling outside [Lo, Hi).
+	Under, Over int
+	total       int
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // float edge case
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of samples recorded (including out-of-range).
+func (h *Histogram) Total() int { return h.total }
+
+// Proportions returns each bin's share of all recorded samples.
+func (h *Histogram) Proportions() []float64 {
+	ps := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return ps
+	}
+	for i, c := range h.Counts {
+		ps[i] = float64(c) / float64(h.total)
+	}
+	return ps
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Counter tallies integer-keyed occurrences (e.g. bitflips per position).
+type Counter struct {
+	counts map[int]int
+	total  int
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter { return &Counter{counts: map[int]int{}} }
+
+// Add increments key by delta.
+func (c *Counter) Add(key, delta int) {
+	c.counts[key] += delta
+	c.total += delta
+}
+
+// Get returns the count for key.
+func (c *Counter) Get(key int) int { return c.counts[key] }
+
+// Total returns the sum of all counts.
+func (c *Counter) Total() int { return c.total }
+
+// Proportion returns key's share of the total, or 0 when empty.
+func (c *Counter) Proportion(key int) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.counts[key]) / float64(c.total)
+}
+
+// Keys returns all keys in ascending order.
+func (c *Counter) Keys() []int {
+	ks := make([]int, 0, len(c.counts))
+	for k := range c.counts {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// BinomialCI returns the Wilson score interval for a proportion with
+// successes k out of n trials at ~95% confidence (z = 1.96).
+func BinomialCI(k, n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.96
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Log10 returns log10(x), or -inf guarded to a large negative sentinel for
+// x <= 0 so plots of log-frequencies never produce NaN.
+func Log10(x float64) float64 {
+	if x <= 0 {
+		return -300
+	}
+	return math.Log10(x)
+}

@@ -1,0 +1,274 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1: sum sq dev = 32, /7
+	want := 32.0 / 7.0
+	if got := Variance(xs); !almostEq(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); !almostEq(got, math.Sqrt(want), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almostEq(r, 1, 1e-12) {
+		t.Errorf("Pearson = %v, %v; want 1", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil || !almostEq(r, -1, 1e-12) {
+		t.Errorf("Pearson = %v, %v; want -1", r, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("Pearson with one point should error")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("Pearson length mismatch should error")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("Pearson on constant series should error")
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	f, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Slope, 2, 1e-12) || !almostEq(f.Intercept, 1, 1e-12) || !almostEq(f.R, 1, 1e-12) {
+		t.Errorf("FitLine = %+v", f)
+	}
+	if got := f.Eval(10); !almostEq(got, 21, 1e-12) {
+		t.Errorf("Eval(10) = %v", got)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	// A noisy but strongly correlated series should recover slope sign
+	// and a high R.
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i)
+		noise := math.Sin(float64(i) * 12.9898)
+		ys[i] = 3 - 0.5*xs[i] + noise
+	}
+	f, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Slope > -0.4 || f.Slope < -0.6 {
+		t.Errorf("Slope = %v, want ~-0.5", f.Slope)
+	}
+	if f.R > -0.9 {
+		t.Errorf("R = %v, want strongly negative", f.R)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.2}, {2.5, 0.4}, {5, 1}, {100, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if got := c.Quantile(0.5); got != 3 {
+		t.Errorf("median = %v, want 3", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v", got)
+	}
+	if got := c.Quantile(1); got != 5 {
+		t.Errorf("Quantile(1) = %v", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if got := c.At(5); got != 0 {
+		t.Errorf("empty CDF At = %v", got)
+	}
+	if !math.IsNaN(c.Quantile(0.5)) {
+		t.Error("empty CDF Quantile should be NaN")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		c := NewCDF(raw)
+		probe := append([]float64{}, raw...)
+		sort.Float64s(probe)
+		prev := 0.0
+		for _, x := range probe {
+			p := c.At(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	xs, ps := c.Points(5)
+	if len(xs) != 5 || len(ps) != 5 {
+		t.Fatalf("Points returned %d/%d", len(xs), len(ps))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] || ps[i] < ps[i-1] {
+			t.Errorf("Points not monotone: %v %v", xs, ps)
+		}
+	}
+	if ps[len(ps)-1] != 1 {
+		t.Errorf("last point P = %v, want 1", ps[len(ps)-1])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, -1, 10, 11} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("Under/Over = %d/%d", h.Under, h.Over)
+	}
+	wantCounts := []int{2, 1, 1, 0, 1}
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	ps := h.Proportions()
+	if !almostEq(ps[0], 0.25, 1e-12) {
+		t.Errorf("proportion bin0 = %v", ps[0])
+	}
+	if got := h.BinCenter(0); !almostEq(got, 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram with hi<=lo should panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Add(3, 2)
+	c.Add(1, 1)
+	c.Add(3, 1)
+	if c.Total() != 4 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if c.Get(3) != 3 {
+		t.Errorf("Get(3) = %d", c.Get(3))
+	}
+	if !almostEq(c.Proportion(3), 0.75, 1e-12) {
+		t.Errorf("Proportion(3) = %v", c.Proportion(3))
+	}
+	keys := c.Keys()
+	if len(keys) != 2 || keys[0] != 1 || keys[1] != 3 {
+		t.Errorf("Keys = %v", keys)
+	}
+	empty := NewCounter()
+	if empty.Proportion(0) != 0 {
+		t.Error("empty Counter Proportion should be 0")
+	}
+}
+
+func TestBinomialCI(t *testing.T) {
+	lo, hi := BinomialCI(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("CI [%v,%v] should contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("CI width %v too wide for n=100", hi-lo)
+	}
+	lo, hi = BinomialCI(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Errorf("CI with n=0 = [%v,%v]", lo, hi)
+	}
+	lo, hi = BinomialCI(0, 10)
+	if lo != 0 {
+		t.Errorf("CI lower bound for k=0 = %v", lo)
+	}
+	lo, hi = BinomialCI(10, 10)
+	if hi != 1 {
+		t.Errorf("CI upper bound for k=n = %v", hi)
+	}
+}
+
+func TestBinomialCIContainsTruth(t *testing.T) {
+	// Property: interval is within [0,1] and lo <= p̂ <= hi.
+	f := func(kRaw, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		k := int(kRaw) % (n + 1)
+		lo, hi := BinomialCI(k, n)
+		p := float64(k) / float64(n)
+		return lo >= 0 && hi <= 1 && lo <= p+1e-9 && hi >= p-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLog10(t *testing.T) {
+	if got := Log10(100); !almostEq(got, 2, 1e-12) {
+		t.Errorf("Log10(100) = %v", got)
+	}
+	if got := Log10(0); got != -300 {
+		t.Errorf("Log10(0) = %v", got)
+	}
+	if got := Log10(-5); got != -300 {
+		t.Errorf("Log10(-5) = %v", got)
+	}
+}

@@ -1,0 +1,47 @@
+package stm
+
+import "testing"
+
+func BenchmarkAtomicIncrement(b *testing.B) {
+	s := New(16)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = s.Atomically(func(tx *Tx) error {
+				v, err := tx.Load(3)
+				if err != nil {
+					return err
+				}
+				tx.Store(3, v+1)
+				return nil
+			})
+		}
+	})
+}
+
+func BenchmarkTransfer(b *testing.B) {
+	s := New(64)
+	for i := 0; i < 64; i++ {
+		s.WriteDirect(i, 1<<40)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			_ = s.Transfer(i%64, (i+7)%64, 1)
+		}
+	})
+}
+
+func BenchmarkReadOnlyTx(b *testing.B) {
+	s := New(64)
+	for i := 0; i < b.N; i++ {
+		_ = s.Atomically(func(tx *Tx) error {
+			for a := 0; a < 8; a++ {
+				if _, err := tx.Load(a); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}

@@ -1,0 +1,308 @@
+// Package stm implements a TL2-style software transactional memory over a
+// fixed array of 64-bit words: a global version clock, striped versioned
+// write-locks, lazy write buffering, and commit-time read-set validation.
+//
+// It is the substrate behind the paper's transactional-memory defect cases
+// (CNST1, CNST2). A healthy Store guarantees serializability — concurrent
+// bank-transfer transactions conserve the total balance. The injected
+// defect corrupts commit: with SkipValidation the transaction commits
+// despite a stale read set (broken conflict detection), and with TornCommit
+// only a prefix of the write set reaches memory (broken transactional
+// region management, the CNST2 suspect). Both produce silent,
+// application-visible corruption.
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// FaultKind selects the injected commit defect for one transaction.
+type FaultKind int
+
+const (
+	// FaultNone commits correctly.
+	FaultNone FaultKind = iota
+	// FaultSkipValidation commits without validating the read set.
+	FaultSkipValidation
+	// FaultTornCommit writes only part of the write set.
+	FaultTornCommit
+)
+
+// FaultFn is consulted once per commit attempt; nil means healthy.
+type FaultFn func() FaultKind
+
+// ErrStopped is returned by Atomically when the callback returns a non-nil
+// error; the transaction is discarded without committing.
+var errConflict = errors.New("stm: conflict")
+
+// lockWord layout: bit 0 = locked, bits 1.. = version.
+type lockWord struct{ v atomic.Uint64 }
+
+func (l *lockWord) load() (version uint64, locked bool) {
+	w := l.v.Load()
+	return w >> 1, w&1 == 1
+}
+
+func (l *lockWord) tryLock() (version uint64, ok bool) {
+	w := l.v.Load()
+	if w&1 == 1 {
+		return 0, false
+	}
+	if l.v.CompareAndSwap(w, w|1) {
+		return w >> 1, true
+	}
+	return 0, false
+}
+
+func (l *lockWord) unlockTo(version uint64) { l.v.Store(version << 1) }
+
+func (l *lockWord) unlockSame(version uint64) { l.v.Store(version << 1) }
+
+// Store is a transactional memory of Size words.
+type Store struct {
+	clock atomic.Uint64
+	data  []atomic.Uint64
+	locks []lockWord
+	fault atomic.Pointer[FaultFn]
+
+	// Aborts counts commit-time aborts (conflict retries).
+	aborts atomic.Uint64
+	// Commits counts successful commits.
+	commits atomic.Uint64
+	// FaultsInjected counts commits that executed with a fault.
+	faultsInjected atomic.Uint64
+}
+
+// stripes is the lock-striping factor.
+const stripes = 1024
+
+// New creates a Store of size words, all zero.
+func New(size int) *Store {
+	if size <= 0 {
+		panic("stm: non-positive size")
+	}
+	return &Store{
+		data:  make([]atomic.Uint64, size),
+		locks: make([]lockWord, stripes),
+	}
+}
+
+// Size returns the word count.
+func (s *Store) Size() int { return len(s.data) }
+
+// SetFault installs a fault function (nil = healthy). Safe to call
+// concurrently with transactions.
+func (s *Store) SetFault(f FaultFn) {
+	if f == nil {
+		s.fault.Store(nil)
+		return
+	}
+	s.fault.Store(&f)
+}
+
+// Commits returns the number of successful commits.
+func (s *Store) Commits() uint64 { return s.commits.Load() }
+
+// Aborts returns the number of conflict aborts (each triggering a retry).
+func (s *Store) Aborts() uint64 { return s.aborts.Load() }
+
+// FaultsInjected returns how many commits ran with an injected fault.
+func (s *Store) FaultsInjected() uint64 { return s.faultsInjected.Load() }
+
+func (s *Store) lockFor(addr int) *lockWord { return &s.locks[addr%stripes] }
+
+// ReadDirect returns the committed value of addr outside any transaction
+// (for checking results after quiescence).
+func (s *Store) ReadDirect(addr int) uint64 { return s.data[addr].Load() }
+
+// WriteDirect stores a value outside any transaction (initialization only;
+// not safe concurrently with transactions).
+func (s *Store) WriteDirect(addr int, v uint64) { s.data[addr].Store(v) }
+
+// Tx is one transaction attempt. It is created by Atomically and must not
+// escape the callback.
+type Tx struct {
+	s      *Store
+	rv     uint64
+	reads  []int
+	writes map[int]uint64
+}
+
+// Load returns addr's value as of this transaction.
+func (t *Tx) Load(addr int) (uint64, error) {
+	if v, ok := t.writes[addr]; ok {
+		return v, nil
+	}
+	lk := t.s.lockFor(addr)
+	v1, locked := lk.load()
+	if locked || v1 > t.rv {
+		return 0, errConflict
+	}
+	val := t.s.data[addr].Load()
+	v2, locked2 := lk.load()
+	if locked2 || v1 != v2 {
+		return 0, errConflict
+	}
+	t.reads = append(t.reads, addr)
+	return val, nil
+}
+
+// Store buffers a write of v to addr.
+func (t *Tx) Store(addr int, v uint64) {
+	if t.writes == nil {
+		t.writes = map[int]uint64{}
+	}
+	t.writes[addr] = v
+}
+
+// commit attempts the TL2 commit protocol.
+func (t *Tx) commit() error {
+	if len(t.writes) == 0 {
+		// Read-only transactions are already consistent at rv.
+		return nil
+	}
+	kind := FaultNone
+	if fp := t.s.fault.Load(); fp != nil {
+		kind = (*fp)()
+	}
+
+	// Lock the write set in address order (deadlock freedom). Multiple
+	// addresses can share a stripe; lock each stripe once.
+	addrs := make([]int, 0, len(t.writes))
+	for a := range t.writes {
+		addrs = append(addrs, a)
+	}
+	sort.Ints(addrs)
+	lockedStripes := make([]*lockWord, 0, len(addrs))
+	lockedVers := make([]uint64, 0, len(addrs))
+	seen := map[*lockWord]bool{}
+	abort := func() error {
+		for i, lk := range lockedStripes {
+			lk.unlockSame(lockedVers[i])
+		}
+		t.s.aborts.Add(1)
+		return errConflict
+	}
+	for _, a := range addrs {
+		lk := t.s.lockFor(a)
+		if seen[lk] {
+			continue
+		}
+		ver, ok := lk.tryLock()
+		if !ok {
+			return abort()
+		}
+		if ver > t.rv {
+			lockedVers = append(lockedVers, ver)
+			lockedStripes = append(lockedStripes, lk)
+			return abort()
+		}
+		seen[lk] = true
+		lockedStripes = append(lockedStripes, lk)
+		lockedVers = append(lockedVers, ver)
+	}
+
+	wv := t.s.clock.Add(1)
+
+	// Validate the read set — unless the defect skips it.
+	if kind != FaultSkipValidation && wv != t.rv+1 {
+		for _, a := range t.reads {
+			lk := t.s.lockFor(a)
+			ver, locked := lk.load()
+			if locked && !seen[lk] {
+				return abort()
+			}
+			if !locked && ver > t.rv {
+				return abort()
+			}
+			if locked && seen[lk] {
+				// We hold it; recover its pre-lock version.
+				for i, l2 := range lockedStripes {
+					if l2 == lk && lockedVers[i] > t.rv {
+						return abort()
+					}
+				}
+			}
+		}
+	}
+
+	// Write back. A torn commit drops the tail of the write set.
+	writeCount := len(addrs)
+	if kind == FaultTornCommit && writeCount > 1 {
+		writeCount = writeCount / 2
+	}
+	for i, a := range addrs {
+		if i >= writeCount {
+			break
+		}
+		t.s.data[a].Store(t.writes[a])
+	}
+	for _, lk := range lockedStripes {
+		lk.unlockTo(wv)
+	}
+	if kind != FaultNone {
+		t.s.faultsInjected.Add(1)
+	}
+	t.s.commits.Add(1)
+	return nil
+}
+
+// Atomically runs fn transactionally, retrying on conflicts until it
+// commits. If fn returns a non-nil error the transaction is discarded and
+// the error returned. fn may be invoked multiple times and must be
+// side-effect free apart from Tx operations.
+func (s *Store) Atomically(fn func(*Tx) error) error {
+	for {
+		t := &Tx{s: s, rv: s.clock.Load()}
+		err := fn(t)
+		if err != nil {
+			if errors.Is(err, errConflict) {
+				s.aborts.Add(1)
+				continue
+			}
+			return err
+		}
+		if err := t.commit(); err == nil {
+			return nil
+		}
+	}
+}
+
+// Transfer is a convenience transaction moving amount from one word to
+// another, failing with ErrInsufficient when the source is too small. It is
+// the canonical multi-word invariant workload (total is conserved on
+// healthy hardware).
+func (s *Store) Transfer(from, to int, amount uint64) error {
+	return s.Atomically(func(t *Tx) error {
+		src, err := t.Load(from)
+		if err != nil {
+			return err
+		}
+		if src < amount {
+			return ErrInsufficient
+		}
+		dst, err := t.Load(to)
+		if err != nil {
+			return err
+		}
+		t.Store(from, src-amount)
+		t.Store(to, dst+amount)
+		return nil
+	})
+}
+
+// ErrInsufficient reports a transfer from an underfunded word.
+var ErrInsufficient = fmt.Errorf("stm: insufficient balance")
+
+// Sum returns the direct (non-transactional) sum of all words; call only at
+// quiescence.
+func (s *Store) Sum() uint64 {
+	var total uint64
+	for i := range s.data {
+		total += s.data[i].Load()
+	}
+	return total
+}

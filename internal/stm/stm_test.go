@@ -1,0 +1,271 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"farron/internal/simrand"
+)
+
+func TestBasicReadWrite(t *testing.T) {
+	s := New(10)
+	err := s.Atomically(func(tx *Tx) error {
+		tx.Store(3, 42)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ReadDirect(3); got != 42 {
+		t.Errorf("ReadDirect = %d", got)
+	}
+	var read uint64
+	err = s.Atomically(func(tx *Tx) error {
+		v, err := tx.Load(3)
+		read = v
+		return err
+	})
+	if err != nil || read != 42 {
+		t.Errorf("transactional read = %d, %v", read, err)
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	s := New(4)
+	err := s.Atomically(func(tx *Tx) error {
+		tx.Store(0, 7)
+		v, err := tx.Load(0)
+		if err != nil {
+			return err
+		}
+		if v != 7 {
+			t.Errorf("read-own-write = %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserErrorAborts(t *testing.T) {
+	s := New(4)
+	s.WriteDirect(0, 5)
+	sentinel := errors.New("nope")
+	err := s.Atomically(func(tx *Tx) error {
+		tx.Store(0, 99)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := s.ReadDirect(0); got != 5 {
+		t.Errorf("aborted tx leaked write: %d", got)
+	}
+}
+
+func TestTransferConservesTotal(t *testing.T) {
+	const accounts = 16
+	const workers = 8
+	const transfersPerWorker = 2000
+	s := New(accounts)
+	for i := 0; i < accounts; i++ {
+		s.WriteDirect(i, 1000)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := simrand.New(seed)
+			for i := 0; i < transfersPerWorker; i++ {
+				from := rng.Intn(accounts)
+				to := rng.Intn(accounts)
+				if from == to {
+					continue
+				}
+				err := s.Transfer(from, to, uint64(1+rng.Intn(50)))
+				if err != nil && !errors.Is(err, ErrInsufficient) {
+					t.Errorf("transfer error: %v", err)
+					return
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	if got := s.Sum(); got != accounts*1000 {
+		t.Errorf("total = %d, want %d (serializability violated on healthy store)", got, accounts*1000)
+	}
+	if s.Commits() == 0 {
+		t.Error("no commits recorded")
+	}
+}
+
+func TestConcurrentCountersExact(t *testing.T) {
+	// Many goroutines increment the same word; the result must be exact.
+	s := New(1)
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := s.Atomically(func(tx *Tx) error {
+					v, err := tx.Load(0)
+					if err != nil {
+						return err
+					}
+					tx.Store(0, v+1)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.ReadDirect(0); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if s.Aborts() == 0 {
+		t.Log("warning: no conflicts observed (possible but unlikely)")
+	}
+}
+
+func TestSkipValidationFaultBreaksCounter(t *testing.T) {
+	// Observation: a defective conflict check silently loses updates.
+	s := New(1)
+	s.SetFault(func() FaultKind { return FaultSkipValidation })
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				_ = s.Atomically(func(tx *Tx) error {
+					v, err := tx.Load(0)
+					if err != nil {
+						return err
+					}
+					tx.Store(0, v+1)
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	got := s.ReadDirect(0)
+	if got == workers*perWorker {
+		t.Skip("no interleaving hit the fault window; inherently racy check")
+	}
+	if got > workers*perWorker {
+		t.Errorf("counter overshot: %d", got)
+	}
+	if s.FaultsInjected() == 0 {
+		t.Error("fault never injected")
+	}
+}
+
+func TestTornCommitBreaksTransferInvariant(t *testing.T) {
+	s := New(2)
+	s.WriteDirect(0, 1000)
+	s.WriteDirect(1, 1000)
+	s.SetFault(func() FaultKind { return FaultTornCommit })
+	if err := s.Transfer(0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	// A torn commit wrote only the debit, losing the credit.
+	if got := s.Sum(); got == 2000 {
+		t.Errorf("torn commit conserved total %d; expected corruption", got)
+	}
+}
+
+func TestFaultNoneIsHealthy(t *testing.T) {
+	s := New(2)
+	s.WriteDirect(0, 500)
+	s.SetFault(func() FaultKind { return FaultNone })
+	if err := s.Transfer(0, 1, 200); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Sum(); got != 500 {
+		t.Errorf("total = %d", got)
+	}
+	s.SetFault(nil) // clearing must be safe
+	if err := s.Transfer(1, 0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Sum(); got != 500 {
+		t.Errorf("total after clear = %d", got)
+	}
+}
+
+func TestInsufficientBalance(t *testing.T) {
+	s := New(2)
+	s.WriteDirect(0, 10)
+	err := s.Transfer(0, 1, 100)
+	if !errors.Is(err, ErrInsufficient) {
+		t.Errorf("err = %v", err)
+	}
+	if s.ReadDirect(0) != 10 || s.ReadDirect(1) != 0 {
+		t.Error("failed transfer mutated state")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) accepted")
+		}
+	}()
+	New(0)
+}
+
+func TestReadOnlyTransactionsSeeConsistentSnapshot(t *testing.T) {
+	// Two words always updated together; a reader must never observe
+	// them out of sync.
+	s := New(2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.Atomically(func(tx *Tx) error {
+				tx.Store(0, i)
+				tx.Store(1, i)
+				return nil
+			})
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		var a, b uint64
+		err := s.Atomically(func(tx *Tx) error {
+			var err error
+			if a, err = tx.Load(0); err != nil {
+				return err
+			}
+			b, err = tx.Load(1)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("inconsistent snapshot: %d != %d", a, b)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,48 @@
+package testkit
+
+import (
+	"testing"
+	"time"
+
+	"farron/internal/cpu"
+	"farron/internal/defect"
+	"farron/internal/simrand"
+	"farron/internal/thermal"
+)
+
+func BenchmarkSuiteGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewSuite(simrand.New(uint64(i + 1)))
+	}
+}
+
+func BenchmarkCalibrateLibrary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := simrand.New(uint64(i + 1))
+		suite := NewSuite(rng)
+		for _, p := range defect.Library(rng) {
+			suite.CalibrateProfile(p)
+		}
+	}
+}
+
+func BenchmarkRunTestcase(b *testing.B) {
+	rng := simrand.New(9)
+	suite := NewSuite(rng)
+	lib := defect.Library(rng)
+	var prof *defect.Profile
+	for _, p := range lib {
+		suite.CalibrateProfile(p)
+		if p.CPUID == "FPU2" {
+			prof = p
+		}
+	}
+	proc := cpu.FromProfile(prof)
+	pkg := thermal.New(thermal.DefaultConfig(), proc.PhysCores, rng.Derive("b"))
+	r := NewRunner(suite, proc, pkg)
+	tc := suite.FailingTestcases(prof)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(tc, RunOpts{Core: 8, Duration: time.Minute})
+	}
+}

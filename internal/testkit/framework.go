@@ -1,0 +1,107 @@
+package testkit
+
+import (
+	"time"
+
+	"farron/internal/simrand"
+)
+
+// OrderPolicy controls testcase execution order (Section 2.3: the framework
+// "controls their execution order").
+type OrderPolicy int
+
+const (
+	// OrderSuite runs testcases in suite order.
+	OrderSuite OrderPolicy = iota
+	// OrderShuffled runs them in a seeded random order. Order matters on
+	// real hardware: a hot testcase leaves heat behind for its successor
+	// (the remaining-heat anomaly of Observation 10).
+	OrderShuffled
+	// OrderByHeat runs the hottest testcases first — a worst-case
+	// thermal schedule.
+	OrderByHeat
+)
+
+// Spec is a user specification for one framework execution (Section 2.3:
+// "According to a user's specification, the framework selects the testcases
+// to be performed and controls their execution order, resource allocation
+// (such as CPU time and concurrency) during testing").
+type Spec struct {
+	// Select filters testcases (nil = all).
+	Select func(*Testcase) bool
+	// Order is the execution order policy.
+	Order OrderPolicy
+	// PerTestcase is the CPU-time allocation per testcase.
+	PerTestcase time.Duration
+	// Concurrency is how many cores run each testcase simultaneously
+	// (0 = every active core).
+	Concurrency int
+	// BurnIn loads all cores regardless of concurrency.
+	BurnIn bool
+	// EfficiencyScale scales the framework's own power draw (1 =
+	// nominal). The paper's toolchain-update anomaly: "the updated
+	// toolchain uses a more efficient framework, which reduced the heat
+	// generated" — and with it, some SDC occurrence frequencies.
+	EfficiencyScale float64
+}
+
+// Framework drives a runner according to a Spec.
+type Framework struct {
+	runner *Runner
+}
+
+// NewFramework wraps a runner.
+func NewFramework(r *Runner) *Framework { return &Framework{runner: r} }
+
+// Execute runs the spec and returns per-testcase results in execution
+// order.
+func (f *Framework) Execute(spec Spec, rng *simrand.Source) []RunResult {
+	if spec.PerTestcase <= 0 {
+		spec.PerTestcase = time.Minute
+	}
+	if spec.EfficiencyScale > 0 {
+		f.runner.Thermal().SetFrameworkScale(spec.EfficiencyScale)
+		defer f.runner.Thermal().SetFrameworkScale(1)
+	}
+
+	// Selection.
+	var tcs []*Testcase
+	for _, tc := range f.runner.Suite().Testcases {
+		if spec.Select == nil || spec.Select(tc) {
+			tcs = append(tcs, tc)
+		}
+	}
+
+	// Ordering.
+	switch spec.Order {
+	case OrderShuffled:
+		r := rng.Derive("framework-order")
+		r.Shuffle(len(tcs), func(i, j int) { tcs[i], tcs[j] = tcs[j], tcs[i] })
+	case OrderByHeat:
+		// Stable selection sort by heat descending (small n; keeps the
+		// implementation dependency-free and deterministic).
+		for i := 0; i < len(tcs); i++ {
+			best := i
+			for j := i + 1; j < len(tcs); j++ {
+				if tcs[j].HeatIntensity > tcs[best].HeatIntensity {
+					best = j
+				}
+			}
+			tcs[i], tcs[best] = tcs[best], tcs[i]
+		}
+	}
+
+	// Resource allocation and execution.
+	cores := f.runner.Processor().ActiveCores()
+	if spec.Concurrency > 0 && spec.Concurrency < len(cores) {
+		cores = cores[:spec.Concurrency]
+	}
+	results := make([]RunResult, 0, len(tcs))
+	for _, tc := range tcs {
+		results = append(results, f.runner.RunParallel(tc, cores, RunOpts{
+			Duration: spec.PerTestcase,
+			BurnIn:   spec.BurnIn,
+		}))
+	}
+	return results
+}

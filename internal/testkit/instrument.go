@@ -1,0 +1,231 @@
+package testkit
+
+import (
+	"sort"
+
+	"farron/internal/model"
+)
+
+// SuspectReport is the output of the statistical instruction-attribution
+// method of Section 4.1: instrument the toolchain (Pin-style) to count each
+// instruction's executions per testcase, then intersect the failing
+// testcases' instruction sets and subtract the passing ones'.
+type SuspectReport struct {
+	// Suspects are instructions used by every failing testcase and by no
+	// passing testcase — the strongest candidates.
+	Suspects []model.InstrID
+	// WeakSuspects are used by every failing testcase but also by some
+	// passing ones (possible low-stress escapes, Observation 10).
+	WeakSuspects []model.InstrID
+	// FailingCount and PassingCount describe the evidence base.
+	FailingCount, PassingCount int
+}
+
+// AttributeSuspects narrows down suspected instructions from run results:
+// results must cover multiple testcases on one processor (some failed, some
+// passed). Instructions appearing in all failing runs are suspects; those
+// additionally absent from all passing runs are strong suspects.
+//
+// The method mirrors the paper's: "we instrument the toolchain to catch the
+// number of times each type of instruction is executed during each testcase
+// via Pin. This method helps us narrow down the scope of suspected
+// instructions."
+func AttributeSuspects(results []RunResult) SuspectReport {
+	var rep SuspectReport
+	inAllFailing := map[model.InstrID]bool{}
+	inAnyPassing := map[model.InstrID]bool{}
+	first := true
+	for _, res := range results {
+		if res.Failed {
+			rep.FailingCount++
+			present := map[model.InstrID]bool{}
+			for id, n := range res.InstrCounts {
+				if n > 0 {
+					present[id] = true
+				}
+			}
+			if first {
+				for id := range present {
+					inAllFailing[id] = true
+				}
+				first = false
+			} else {
+				for id := range inAllFailing {
+					if !present[id] {
+						delete(inAllFailing, id)
+					}
+				}
+			}
+		} else {
+			rep.PassingCount++
+			for id, n := range res.InstrCounts {
+				if n > 0 {
+					inAnyPassing[id] = true
+				}
+			}
+		}
+	}
+	for id := range inAllFailing {
+		if inAnyPassing[id] {
+			rep.WeakSuspects = append(rep.WeakSuspects, id)
+		} else {
+			rep.Suspects = append(rep.Suspects, id)
+		}
+	}
+	sortInstrs(rep.Suspects)
+	sortInstrs(rep.WeakSuspects)
+	return rep
+}
+
+func sortInstrs(ids []model.InstrID) {
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Class != ids[j].Class {
+			return ids[i].Class < ids[j].Class
+		}
+		return ids[i].Variant < ids[j].Variant
+	})
+}
+
+// SuspectScore ranks one instruction's statistical suspicion.
+type SuspectScore struct {
+	ID model.InstrID
+	// FailingMean and PassingMean are mean per-run usage counts.
+	FailingMean, PassingMean float64
+	// FailingRuns counts failing runs that used the instruction at all.
+	FailingRuns int
+	// Score is FailingMean / (PassingMean + 1): instructions hammered by
+	// failing runs and barely touched by passing ones float to the top.
+	Score float64
+}
+
+// RankSuspects scores every instruction seen in failing runs and returns
+// the topK by score. Unlike the strict intersection of AttributeSuspects,
+// ranking handles defects spanning several instructions where different
+// testcases trigger different variants — the statistical narrowing the
+// paper performs when no instruction is common to all failures.
+func RankSuspects(results []RunResult, topK int) []SuspectScore {
+	type acc struct {
+		fSum, pSum float64
+		fRuns      int
+	}
+	byInstr := map[model.InstrID]*acc{}
+	var fN, pN int
+	for _, res := range results {
+		if res.Failed {
+			fN++
+		} else {
+			pN++
+		}
+		for id, n := range res.InstrCounts {
+			a := byInstr[id]
+			if a == nil {
+				a = &acc{}
+				byInstr[id] = a
+			}
+			if res.Failed {
+				a.fSum += n
+				if n > 0 {
+					a.fRuns++
+				}
+			} else {
+				a.pSum += n
+			}
+		}
+	}
+	if fN == 0 {
+		return nil
+	}
+	var out []SuspectScore
+	for id, a := range byInstr {
+		if a.fRuns == 0 {
+			continue
+		}
+		s := SuspectScore{
+			ID:          id,
+			FailingMean: a.fSum / float64(fN),
+			FailingRuns: a.fRuns,
+		}
+		if pN > 0 {
+			s.PassingMean = a.pSum / float64(pN)
+		}
+		s.Score = s.FailingMean / (s.PassingMean + 1)
+		out = append(out, s)
+	}
+	// Presence across failing runs is the primary evidence: a defect's
+	// instruction appears in every testcase that fails through it, while
+	// a single failing run's private instructions appear once. The usage
+	// ratio breaks ties.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FailingRuns != out[j].FailingRuns {
+			return out[i].FailingRuns > out[j].FailingRuns
+		}
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		a, b := out[i].ID, out[j].ID
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.Variant < b.Variant
+	})
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}
+
+// ContextSuspects extracts the instructions the toolchain pointed at
+// directly via preserved context (the SIMD1 path of Section 4.1), most
+// frequent first.
+func ContextSuspects(results []RunResult) []model.InstrID {
+	counts := map[model.InstrID]int{}
+	for _, res := range results {
+		for _, rec := range res.Records {
+			if rec.HasContext {
+				counts[rec.ContextInstr]++
+			}
+		}
+	}
+	out := make([]model.InstrID, 0, len(counts))
+	for id := range counts {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if counts[out[i]] != counts[out[j]] {
+			return counts[out[i]] > counts[out[j]]
+		}
+		a, b := out[i], out[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.Variant < b.Variant
+	})
+	return out
+}
+
+// UsageRatio compares how heavily failing vs passing testcases used an
+// instruction — the "instruction usage stress" evidence of Observation 10
+// (failed testcases use the defective instruction orders of magnitude more
+// than passing ones that also touch it). It returns the mean per-run usage
+// in failing and passing runs.
+func UsageRatio(results []RunResult, id model.InstrID) (failingMean, passingMean float64) {
+	var fSum, pSum float64
+	var fN, pN int
+	for _, res := range results {
+		n := res.InstrCounts[id]
+		if res.Failed {
+			fSum += n
+			fN++
+		} else {
+			pSum += n
+			pN++
+		}
+	}
+	if fN > 0 {
+		failingMean = fSum / float64(fN)
+	}
+	if pN > 0 {
+		passingMean = pSum / float64(pN)
+	}
+	return failingMean, passingMean
+}

@@ -1,0 +1,364 @@
+package testkit
+
+import (
+	"time"
+
+	"farron/internal/cpu"
+	"farron/internal/defect"
+	"farron/internal/inject"
+	"farron/internal/model"
+	"farron/internal/simrand"
+	"farron/internal/thermal"
+)
+
+// RunOpts controls one testcase execution.
+type RunOpts struct {
+	// Core is the physical core under test.
+	Core int
+	// Duration is the test length.
+	Duration time.Duration
+	// BurnIn loads every core during the test to raise temperature
+	// (Farron's testing-environment emphasis, Section 7.1).
+	BurnIn bool
+	// FixedTempC, when non-nil, pins the core temperature (the
+	// stress-preheat methodology of Section 5 for temperature sweeps).
+	FixedTempC *float64
+	// ExtraStressCores loads this many other cores at full utilization
+	// without testing them (the stress-vs-temperature separation
+	// experiment of Section 5).
+	ExtraStressCores int
+}
+
+// RunResult is the outcome of one testcase execution.
+type RunResult struct {
+	TestcaseID string
+	Core       int
+	Records    []model.SDCRecord
+	// Failed is true when at least one SDC was observed.
+	Failed bool
+	// MeanTempC and MaxTempC summarize the core temperature during the
+	// run.
+	MeanTempC, MaxTempC float64
+	Duration            time.Duration
+	// InstrCounts is the Pin-style instrumentation: executions per
+	// virtual instruction during the run (Section 4.1).
+	InstrCounts map[model.InstrID]float64
+}
+
+// Runner executes testcases on a processor with a thermal model.
+type Runner struct {
+	suite *Suite
+	proc  *cpu.Processor
+	pkg   *thermal.Package
+	now   time.Duration
+}
+
+// NewRunner creates a runner. The thermal package must have at least as
+// many cores as the processor.
+func NewRunner(suite *Suite, proc *cpu.Processor, pkg *thermal.Package) *Runner {
+	if pkg.NCores() < proc.PhysCores {
+		panic("testkit: thermal package smaller than processor")
+	}
+	return &Runner{suite: suite, proc: proc, pkg: pkg}
+}
+
+// Suite returns the runner's testcase suite.
+func (r *Runner) Suite() *Suite { return r.suite }
+
+// Processor returns the processor under test.
+func (r *Runner) Processor() *cpu.Processor { return r.proc }
+
+// Thermal returns the thermal package.
+func (r *Runner) Thermal() *thermal.Package { return r.pkg }
+
+// Now returns accumulated simulated test time.
+func (r *Runner) Now() time.Duration { return r.now }
+
+// stepSlice is the simulation granularity of a test run.
+const stepSlice = 5 * time.Second
+
+// DetectableBy reports whether the defect is in-principle detectable by the
+// testcase: their instruction sets overlap, and — for computation defects —
+// the testcase validates one of the corrupted datatypes, while consistency
+// defects additionally need a multi-threaded testcase (Section 4.1).
+func DetectableBy(tc *Testcase, d *defect.Defect) bool {
+	if d.Class == model.ClassConsistency && !tc.MultiThreaded {
+		return false
+	}
+	overlap := false
+	for id := range d.AffectedInstrs {
+		if tc.UsesInstr(id) {
+			overlap = true
+			break
+		}
+	}
+	if !overlap {
+		return false
+	}
+	if d.Class == model.ClassComputation {
+		for _, dt := range tc.DataTypes {
+			if d.AffectsDataType(dt) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// SettingStress returns the testcase's usage stress for the defect.
+func SettingStress(tc *Testcase, d *defect.Defect) float64 {
+	return d.Stress(tc.Mix, NominalUsage)
+}
+
+// commonDataTypes returns datatypes both the testcase checks and the defect
+// corrupts, in display order.
+func commonDataTypes(tc *Testcase, d *defect.Defect) []model.DataType {
+	var out []model.DataType
+	for _, dt := range tc.DataTypes {
+		if d.AffectsDataType(dt) {
+			out = append(out, dt)
+		}
+	}
+	return out
+}
+
+// Run executes the testcase under the given options and returns the result.
+// The thermal package's state carries over between runs (remaining heat,
+// Observation 10), as it does on real hardware.
+func (r *Runner) Run(tc *Testcase, opts RunOpts) RunResult {
+	if opts.Duration <= 0 {
+		opts.Duration = time.Minute
+	}
+	res := RunResult{
+		TestcaseID:  tc.ID,
+		Core:        opts.Core,
+		Duration:    opts.Duration,
+		InstrCounts: map[model.InstrID]float64{},
+	}
+	rng := r.suite.rng.Derive("run", r.proc.ID, tc.ID,
+		// Distinct runs of the same setting must differ.
+		time.Duration(r.now).String())
+
+	// Configure thermal load: the tested core runs the testcase; a
+	// multi-threaded testcase occupies every core; burn-in loads all
+	// cores regardless.
+	r.pkg.ClearLoads()
+	r.pkg.SetLoad(opts.Core, 1, tc.HeatIntensity)
+	if tc.MultiThreaded || opts.BurnIn {
+		for c := 0; c < r.proc.PhysCores; c++ {
+			r.pkg.SetLoad(c, 1, tc.HeatIntensity)
+		}
+	}
+	for c, loaded := 0, 0; c < r.proc.PhysCores && loaded < opts.ExtraStressCores; c++ {
+		if c == opts.Core {
+			continue
+		}
+		r.pkg.SetLoad(c, 1, 1.3)
+		loaded++
+	}
+
+	var tempSum float64
+	steps := 0
+	for elapsed := time.Duration(0); elapsed < opts.Duration; elapsed += stepSlice {
+		slice := stepSlice
+		if rem := opts.Duration - elapsed; rem < slice {
+			slice = rem
+		}
+		var coreTemp float64
+		if opts.FixedTempC != nil {
+			coreTemp = *opts.FixedTempC
+			r.pkg.ForceTemp(*opts.FixedTempC)
+		} else {
+			r.pkg.Step(slice)
+			coreTemp = r.pkg.CoreTempC(opts.Core)
+		}
+		tempSum += coreTemp
+		steps++
+		if coreTemp > res.MaxTempC {
+			res.MaxTempC = coreTemp
+		}
+
+		// Instrumentation accounting.
+		iters := tc.IterPerSec * slice.Seconds()
+		for id, usage := range tc.Mix {
+			res.InstrCounts[id] += usage * iters
+		}
+
+		// SDC event sampling per defect.
+		minutes := slice.Minutes()
+		for _, d := range r.proc.Defects() {
+			if !DetectableBy(tc, d) {
+				continue
+			}
+			// Instruction-usage stress scaled by package utilization
+			// (the Section 5 separation experiment: frequency rises
+			// with CPU utilization even at constant temperature).
+			stress := SettingStress(tc, d) * (1 + d.UtilGain*r.pkg.MeanUtil())
+			rate := d.RatePerMin(opts.Core, coreTemp, stress)
+			n := rng.Poisson(rate * minutes)
+			for i := 0; i < n; i++ {
+				res.Records = append(res.Records,
+					r.makeRecord(rng, tc, d, opts.Core, coreTemp, r.now+elapsed))
+			}
+		}
+	}
+	r.pkg.ClearLoads()
+	r.now += opts.Duration
+	if steps > 0 {
+		res.MeanTempC = tempSum / float64(steps)
+	}
+	res.Failed = len(res.Records) > 0
+	return res
+}
+
+// makeRecord produces one SDC record for a (testcase, defect) event.
+func (r *Runner) makeRecord(rng *simrand.Source, tc *Testcase, d *defect.Defect, core int, tempC float64, when time.Duration) model.SDCRecord {
+	rec := model.SDCRecord{
+		ProcessorID: r.proc.ID,
+		Core:        core,
+		TestcaseID:  tc.ID,
+		Temperature: tempC,
+		When:        when,
+	}
+	// The toolchain sometimes preserves context and points at the
+	// incorrect instruction (Section 4.1).
+	if d.ContextProb > 0 && rng.Bool(d.ContextProb) {
+		var used []model.InstrID
+		for _, id := range d.SortedInstrs() {
+			if tc.UsesInstr(id) {
+				used = append(used, id)
+			}
+		}
+		if len(used) > 0 {
+			rec.HasContext = true
+			rec.ContextInstr = used[rng.Intn(len(used))]
+		}
+	}
+	if d.Class == model.ClassConsistency {
+		rec.Consistency = true
+		return rec
+	}
+	dts := commonDataTypes(tc, d)
+	dt := dts[rng.Intn(len(dts))]
+	rec.DataType = dt
+
+	corr := d.Corruptor(dt, r.suite.rng)
+	expLo, expHi := inject.RandomValue(rng, dt)
+	prob := d.SettingPatternProb(tc.ID, r.suite.rng)
+	actLo, actHi := corr.CorruptWithProb(rng, prob, expLo, expHi)
+	rec.Expected, rec.ExpectedHi = expLo, expHi
+	rec.Actual, rec.ActualHi = actLo, actHi
+	return rec
+}
+
+// RunParallel executes the testcase simultaneously on every listed core
+// (one thread per core, the way datacenter diagnostics like OpenDCDiag
+// fan a testcase across the machine). All listed cores are loaded for the
+// full duration; SDC events are sampled per core at its own temperature.
+// The result aggregates records across cores; Failed is true when any core
+// failed. Temperatures summarize the hottest listed core.
+func (r *Runner) RunParallel(tc *Testcase, cores []int, opts RunOpts) RunResult {
+	if len(cores) == 0 {
+		panic("testkit: RunParallel with no cores")
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = time.Minute
+	}
+	res := RunResult{
+		TestcaseID:  tc.ID,
+		Core:        cores[0],
+		Duration:    opts.Duration,
+		InstrCounts: map[model.InstrID]float64{},
+	}
+	rng := r.suite.rng.Derive("runp", r.proc.ID, tc.ID, time.Duration(r.now).String())
+
+	r.pkg.ClearLoads()
+	for _, c := range cores {
+		r.pkg.SetLoad(c, 1, tc.HeatIntensity)
+	}
+	if opts.BurnIn {
+		for c := 0; c < r.proc.PhysCores; c++ {
+			r.pkg.SetLoad(c, 1, tc.HeatIntensity)
+		}
+	}
+
+	var tempSum float64
+	steps := 0
+	for elapsed := time.Duration(0); elapsed < opts.Duration; elapsed += stepSlice {
+		slice := stepSlice
+		if rem := opts.Duration - elapsed; rem < slice {
+			slice = rem
+		}
+		if opts.FixedTempC != nil {
+			r.pkg.ForceTemp(*opts.FixedTempC)
+		} else {
+			r.pkg.Step(slice)
+		}
+		var hottest float64
+		minutes := slice.Minutes()
+		for _, c := range cores {
+			coreTemp := r.pkg.CoreTempC(c)
+			if opts.FixedTempC != nil {
+				coreTemp = *opts.FixedTempC
+			}
+			if coreTemp > hottest {
+				hottest = coreTemp
+			}
+			for _, d := range r.proc.Defects() {
+				if !DetectableBy(tc, d) {
+					continue
+				}
+				stress := SettingStress(tc, d) * (1 + d.UtilGain*r.pkg.MeanUtil())
+				rate := d.RatePerMin(c, coreTemp, stress)
+				n := rng.Poisson(rate * minutes)
+				for i := 0; i < n; i++ {
+					res.Records = append(res.Records,
+						r.makeRecord(rng, tc, d, c, coreTemp, r.now+elapsed))
+				}
+			}
+		}
+		tempSum += hottest
+		steps++
+		if hottest > res.MaxTempC {
+			res.MaxTempC = hottest
+		}
+		iters := tc.IterPerSec * slice.Seconds() * float64(len(cores))
+		for id, usage := range tc.Mix {
+			res.InstrCounts[id] += usage * iters
+		}
+	}
+	r.pkg.ClearLoads()
+	r.now += opts.Duration
+	if steps > 0 {
+		res.MeanTempC = tempSum / float64(steps)
+	}
+	res.Failed = len(res.Records) > 0
+	return res
+}
+
+// RunAll executes every testcase in the suite sequentially on the given
+// core with equal duration each — the baseline large-scale test procedure
+// of Section 2.4. It returns all results.
+func (r *Runner) RunAll(core int, perTestcase time.Duration, burnIn bool) []RunResult {
+	results := make([]RunResult, 0, len(r.suite.Testcases))
+	for _, tc := range r.suite.Testcases {
+		results = append(results, r.Run(tc, RunOpts{
+			Core: core, Duration: perTestcase, BurnIn: burnIn,
+		}))
+	}
+	return results
+}
+
+// FailedTestcases extracts the IDs of failed testcases from results.
+func FailedTestcases(results []RunResult) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, res := range results {
+		if res.Failed && !seen[res.TestcaseID] {
+			seen[res.TestcaseID] = true
+			out = append(out, res.TestcaseID)
+		}
+	}
+	return out
+}

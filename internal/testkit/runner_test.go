@@ -1,0 +1,273 @@
+package testkit
+
+import (
+	"testing"
+	"time"
+
+	"farron/internal/cpu"
+	"farron/internal/defect"
+	"farron/internal/model"
+	"farron/internal/simrand"
+	"farron/internal/thermal"
+)
+
+// fixture builds a calibrated library, suite and a runner for one named
+// processor.
+type fixture struct {
+	suite    *Suite
+	profiles map[string]*defect.Profile
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	rng := simrand.New(1001)
+	suite := NewSuite(rng)
+	f := &fixture{suite: suite, profiles: map[string]*defect.Profile{}}
+	for _, p := range defect.Library(rng) {
+		suite.CalibrateProfile(p)
+		f.profiles[p.CPUID] = p
+	}
+	return f
+}
+
+func (f *fixture) runner(t *testing.T, cpuid string) *Runner {
+	t.Helper()
+	p, ok := f.profiles[cpuid]
+	if !ok {
+		t.Fatalf("no profile %s", cpuid)
+	}
+	proc := cpu.FromProfile(p)
+	pkg := thermal.New(thermal.DefaultConfig(), proc.PhysCores, f.suite.Rng().Derive("thermal", cpuid))
+	return NewRunner(f.suite, proc, pkg)
+}
+
+func TestHealthyProcessorNeverFails(t *testing.T) {
+	f := newFixture(t)
+	proc := cpu.NewHealthy("healthy-1", "M3", 20, 2)
+	pkg := thermal.New(thermal.DefaultConfig(), 20, simrand.New(5))
+	r := NewRunner(f.suite, proc, pkg)
+	for i, tc := range f.suite.Testcases[:50] {
+		res := r.Run(tc, RunOpts{Core: i % 20, Duration: 30 * time.Second})
+		if res.Failed {
+			t.Fatalf("healthy processor failed %s", tc.ID)
+		}
+	}
+}
+
+func TestApparentDefectDetected(t *testing.T) {
+	f := newFixture(t)
+	r := f.runner(t, "SIMD1")
+	// SIMD1's defective core is 5 with a high-frequency apparent defect.
+	failing := f.suite.FailingTestcases(f.profiles["SIMD1"])
+	if len(failing) == 0 {
+		t.Fatal("no failing testcases after calibration")
+	}
+	res := r.Run(failing[0], RunOpts{Core: 5, Duration: 10 * time.Minute, BurnIn: true})
+	if !res.Failed {
+		t.Errorf("apparent defect not detected in 10min burn-in run (mean temp %.1f)", res.MeanTempC)
+	}
+	for _, rec := range res.Records {
+		if rec.DataType != model.DTFloat32 {
+			t.Errorf("SIMD1 record datatype = %v, want f32", rec.DataType)
+		}
+		if rec.Expected == rec.Actual && rec.ExpectedHi == rec.ActualHi {
+			t.Error("record has no corruption")
+		}
+		if rec.Core != 5 || rec.ProcessorID != "SIMD1" {
+			t.Errorf("record identity wrong: %+v", rec)
+		}
+	}
+}
+
+func TestWrongCoreNotDetected(t *testing.T) {
+	f := newFixture(t)
+	r := f.runner(t, "SIMD1")
+	failing := f.suite.FailingTestcases(f.profiles["SIMD1"])
+	res := r.Run(failing[0], RunOpts{Core: 6, Duration: 10 * time.Minute, BurnIn: true})
+	if res.Failed {
+		t.Error("defect detected on non-defective core")
+	}
+}
+
+func TestTrickyDefectNeedsHeat(t *testing.T) {
+	f := newFixture(t)
+	r := f.runner(t, "SIMD2")
+	failing := f.suite.FailingTestcases(f.profiles["SIMD2"])
+	if len(failing) == 0 {
+		t.Fatal("SIMD2 has no failing testcases")
+	}
+	// Pick the highest-stress failing testcase so the hot run's expected
+	// event count is meaningful.
+	d := f.profiles["SIMD2"].Defects[0]
+	var tc *Testcase
+	bestStress := 0.0
+	for _, cand := range failing {
+		if s := SettingStress(cand, d); s > bestStress {
+			bestStress = s
+			tc = cand
+		}
+	}
+	// Cold, single-core short test: SIMD2 (Tmin 62) cannot trigger.
+	cold := r.Run(tc, RunOpts{Core: 2, Duration: 5 * time.Minute})
+	if cold.Failed {
+		t.Errorf("tricky defect triggered at %.1f degC mean", cold.MeanTempC)
+	}
+	// Pinned hot temperature, long enough for ~25 expected events
+	// (tricky defects need high temperature AND long-term testing).
+	hot := 75.0
+	rate := d.RatePerMin(2, hot, bestStress)
+	if rate <= 0 {
+		t.Fatal("zero rate at 75 degC on the defective core")
+	}
+	dur := time.Duration(25 / rate * float64(time.Minute))
+	if dur < 30*time.Minute {
+		dur = 30 * time.Minute
+	}
+	if dur > 72*time.Hour {
+		dur = 72 * time.Hour
+	}
+	long := r.Run(tc, RunOpts{Core: 2, Duration: dur, FixedTempC: &hot})
+	if !long.Failed {
+		t.Errorf("tricky defect not triggered at 75 degC pinned over %v (rate %.4g/min)", dur, rate)
+	}
+}
+
+func TestConsistencyDefectNeedsMultithread(t *testing.T) {
+	f := newFixture(t)
+	p := f.profiles["CNST1"]
+	d := p.Defects[0]
+	for _, tc := range f.suite.Testcases {
+		if !tc.MultiThreaded && DetectableBy(tc, d) {
+			t.Errorf("single-threaded %s detects consistency defect", tc.ID)
+		}
+	}
+	// Consistency records carry no value pattern.
+	r := f.runner(t, "CNST1")
+	failing := f.suite.FailingTestcases(p)
+	if len(failing) == 0 {
+		t.Fatal("CNST1 has no failing testcases")
+	}
+	res := r.Run(failing[0], RunOpts{Core: 3, Duration: 10 * time.Minute, BurnIn: true})
+	for _, rec := range res.Records {
+		if !rec.Consistency {
+			t.Error("consistency record not marked")
+		}
+		if rec.Expected != 0 || rec.Actual != 0 {
+			t.Error("consistency record carries value pattern")
+		}
+	}
+}
+
+func TestBurnInRaisesTemperature(t *testing.T) {
+	f := newFixture(t)
+	r := f.runner(t, "FPU1")
+	tc := f.suite.ByFeature(model.FeatureFPU)[0]
+	plain := r.Run(tc, RunOpts{Core: 0, Duration: 5 * time.Minute})
+	r2 := f.runner(t, "FPU1")
+	burn := r2.Run(tc, RunOpts{Core: 0, Duration: 5 * time.Minute, BurnIn: true})
+	if tc.MultiThreaded {
+		t.Skip("testcase is multithreaded; burn-in indistinct")
+	}
+	if burn.MaxTempC <= plain.MaxTempC {
+		t.Errorf("burn-in max temp %.1f not above plain %.1f", burn.MaxTempC, plain.MaxTempC)
+	}
+}
+
+func TestExtraStressCoresHeat(t *testing.T) {
+	f := newFixture(t)
+	r := f.runner(t, "FPU1")
+	var single *Testcase
+	for _, tc := range f.suite.ByFeature(model.FeatureFPU) {
+		if !tc.MultiThreaded {
+			single = tc
+			break
+		}
+	}
+	if single == nil {
+		t.Fatal("no single-threaded FPU testcase")
+	}
+	alone := r.Run(single, RunOpts{Core: 0, Duration: 5 * time.Minute})
+	r2 := f.runner(t, "FPU1")
+	stressed := r2.Run(single, RunOpts{Core: 0, Duration: 5 * time.Minute, ExtraStressCores: 20})
+	if stressed.MeanTempC <= alone.MeanTempC+5 {
+		t.Errorf("stress cores raised temp only %.1f -> %.1f", alone.MeanTempC, stressed.MeanTempC)
+	}
+}
+
+func TestFixedTempPinsTemperature(t *testing.T) {
+	f := newFixture(t)
+	r := f.runner(t, "FPU2")
+	tcs := f.suite.FailingTestcases(f.profiles["FPU2"])
+	temp := 52.0
+	res := r.Run(tcs[0], RunOpts{Core: 8, Duration: 2 * time.Minute, FixedTempC: &temp})
+	if res.MeanTempC != temp || res.MaxTempC != temp {
+		t.Errorf("pinned temps = %.1f/%.1f, want %.1f", res.MeanTempC, res.MaxTempC, temp)
+	}
+	for _, rec := range res.Records {
+		if rec.Temperature != temp {
+			t.Errorf("record temp = %.1f", rec.Temperature)
+		}
+	}
+}
+
+func TestInstrumentationCounts(t *testing.T) {
+	f := newFixture(t)
+	r := f.runner(t, "FPU1")
+	tc := f.suite.Testcases[0]
+	res := r.Run(tc, RunOpts{Core: 0, Duration: time.Minute})
+	if len(res.InstrCounts) != len(tc.Mix) {
+		t.Errorf("instr counts cover %d instrs, mix has %d", len(res.InstrCounts), len(tc.Mix))
+	}
+	for id, usage := range tc.Mix {
+		want := usage * tc.IterPerSec * 60
+		got := res.InstrCounts[id]
+		if got < want*0.99 || got > want*1.01 {
+			t.Errorf("count(%v) = %g, want ~%g", id, got, want)
+		}
+	}
+}
+
+func TestRunAllAndFailedTestcases(t *testing.T) {
+	f := newFixture(t)
+	r := f.runner(t, "MIX2")
+	// Short equal-duration sweep on the anchor core (multiplier 1).
+	results := r.RunAll(1, 10*time.Second, true)
+	if len(results) != SuiteSize {
+		t.Fatalf("RunAll returned %d results", len(results))
+	}
+	failed := FailedTestcases(results)
+	if len(failed) == 0 {
+		t.Error("MIX2 sweep detected nothing")
+	}
+	// Every failed testcase must be in the calibrated failing set.
+	allowed := map[string]bool{}
+	for _, tc := range f.suite.FailingTestcases(f.profiles["MIX2"]) {
+		allowed[tc.ID] = true
+	}
+	for _, id := range failed {
+		if !allowed[id] {
+			t.Errorf("unexpected failing testcase %s", id)
+		}
+	}
+}
+
+func TestRunnerDefaultsDuration(t *testing.T) {
+	f := newFixture(t)
+	r := f.runner(t, "FPU3")
+	res := r.Run(f.suite.Testcases[0], RunOpts{Core: 0})
+	if res.Duration != time.Minute {
+		t.Errorf("default duration = %v", res.Duration)
+	}
+}
+
+func TestNewRunnerPanicsOnSmallThermal(t *testing.T) {
+	f := newFixture(t)
+	proc := cpu.NewHealthy("h", "M3", 20, 2)
+	pkg := thermal.New(thermal.DefaultConfig(), 4, simrand.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("undersized thermal package accepted")
+		}
+	}()
+	NewRunner(f.suite, proc, pkg)
+}

@@ -1,0 +1,178 @@
+package testkit
+
+import (
+	"testing"
+
+	"farron/internal/model"
+	"farron/internal/simrand"
+)
+
+func TestSuiteSize(t *testing.T) {
+	s := NewSuite(simrand.New(1))
+	if len(s.Testcases) != SuiteSize {
+		t.Fatalf("suite size = %d, want %d", len(s.Testcases), SuiteSize)
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a := NewSuite(simrand.New(42))
+	b := NewSuite(simrand.New(42))
+	for i := range a.Testcases {
+		ta, tb := a.Testcases[i], b.Testcases[i]
+		if ta.ID != tb.ID || ta.Feature != tb.Feature || ta.HeatIntensity != tb.HeatIntensity {
+			t.Fatalf("suite not deterministic at %d", i)
+		}
+		if len(ta.Mix) != len(tb.Mix) {
+			t.Fatalf("mix differs at %d", i)
+		}
+		for id, u := range ta.Mix {
+			if tb.Mix[id] != u {
+				t.Fatalf("mix usage differs at %d/%v", i, id)
+			}
+		}
+	}
+}
+
+func TestSuiteFeatureDistribution(t *testing.T) {
+	s := NewSuite(simrand.New(2))
+	counts := map[model.Feature]int{}
+	for _, tc := range s.Testcases {
+		counts[tc.Feature]++
+	}
+	want := map[model.Feature]int{
+		model.FeatureALU: 140, model.FeatureVecUnit: 120,
+		model.FeatureFPU: 150, model.FeatureCache: 120,
+		model.FeatureTrxMem: 103,
+	}
+	for f, w := range want {
+		if counts[f] != w {
+			t.Errorf("%v testcases = %d, want %d", f, counts[f], w)
+		}
+	}
+}
+
+func TestConsistencyTestcasesMultithreaded(t *testing.T) {
+	s := NewSuite(simrand.New(3))
+	for _, tc := range s.Testcases {
+		if (tc.Feature == model.FeatureCache || tc.Feature == model.FeatureTrxMem) && !tc.MultiThreaded {
+			t.Errorf("%s targets %v but is single-threaded", tc.ID, tc.Feature)
+		}
+	}
+}
+
+func TestSuiteIDsUniqueAndResolvable(t *testing.T) {
+	s := NewSuite(simrand.New(4))
+	seen := map[string]bool{}
+	for _, tc := range s.Testcases {
+		if seen[tc.ID] {
+			t.Fatalf("duplicate testcase ID %s", tc.ID)
+		}
+		seen[tc.ID] = true
+		if s.ByID(tc.ID) != tc {
+			t.Fatalf("ByID(%s) broken", tc.ID)
+		}
+	}
+	if s.ByID("nope") != nil {
+		t.Error("ByID of unknown should be nil")
+	}
+}
+
+func TestMixUsageSpreadsOrders(t *testing.T) {
+	// Observation 10 requires usage stress spanning orders of magnitude
+	// across testcases.
+	s := NewSuite(simrand.New(5))
+	minU, maxU := 1e18, 0.0
+	for _, tc := range s.Testcases {
+		for id, u := range tc.Mix {
+			if id.Class == model.InstrBranch {
+				continue
+			}
+			if u < minU {
+				minU = u
+			}
+			if u > maxU {
+				maxU = u
+			}
+		}
+	}
+	if maxU/minU < 1e3 {
+		t.Errorf("usage spread = %g, want orders of magnitude", maxU/minU)
+	}
+}
+
+func TestFPUDatatypesAreFloats(t *testing.T) {
+	s := NewSuite(simrand.New(6))
+	for _, tc := range s.ByFeature(model.FeatureFPU) {
+		if len(tc.DataTypes) == 0 {
+			t.Errorf("%s has no datatypes", tc.ID)
+		}
+		for _, dt := range tc.DataTypes {
+			if !dt.Float() {
+				t.Errorf("%s checks non-float %v", tc.ID, dt)
+			}
+		}
+	}
+}
+
+func TestConsistencyTestcasesHaveNoDatatypes(t *testing.T) {
+	s := NewSuite(simrand.New(7))
+	for _, f := range []model.Feature{model.FeatureCache, model.FeatureTrxMem} {
+		for _, tc := range s.ByFeature(f) {
+			if len(tc.DataTypes) != 0 {
+				t.Errorf("%s (%v) has datatypes %v", tc.ID, f, tc.DataTypes)
+			}
+		}
+	}
+}
+
+func TestInstrUsers(t *testing.T) {
+	s := NewSuite(simrand.New(8))
+	// Pick an instruction from a known testcase and confirm lookup.
+	var probe model.InstrID
+	found := false
+	for id := range s.Testcases[0].Mix {
+		probe = id
+		found = true
+		break
+	}
+	if !found {
+		t.Fatal("testcase 0 has empty mix")
+	}
+	users := s.InstrUsers(probe)
+	hit := false
+	for _, tc := range users {
+		if tc == s.Testcases[0] {
+			hit = true
+		}
+		if !tc.UsesInstr(probe) {
+			t.Errorf("%s listed but does not use %v", tc.ID, probe)
+		}
+	}
+	if !hit {
+		t.Error("InstrUsers missed a known user")
+	}
+}
+
+func TestByFeatureCovers(t *testing.T) {
+	s := NewSuite(simrand.New(9))
+	total := 0
+	for _, f := range model.AllFeatures() {
+		total += len(s.ByFeature(f))
+	}
+	if total != SuiteSize {
+		t.Errorf("ByFeature partitions %d, want %d", total, SuiteSize)
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	s := NewSuite(simrand.New(10))
+	ids := s.SortedIDs()
+	if len(ids) != SuiteSize {
+		t.Fatalf("SortedIDs len = %d", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("not sorted: %s >= %s", ids[i-1], ids[i])
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package trace persists and analyzes SDC records: the study's raw
+// evidence ("we have run tens of millions of tests and collected more than
+// ten thousand SDC records"). Records are stored as JSON lines so the
+// corpus can be re-analyzed, diffed and shared without re-running the
+// simulation.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"farron/internal/model"
+)
+
+// record is the serialized form of one SDC record.
+type record struct {
+	Processor   string  `json:"processor"`
+	Core        int     `json:"core"`
+	Testcase    string  `json:"testcase"`
+	DataType    string  `json:"datatype,omitempty"`
+	Expected    uint64  `json:"expected,omitempty"`
+	Actual      uint64  `json:"actual,omitempty"`
+	ExpectedHi  uint16  `json:"expected_hi,omitempty"`
+	ActualHi    uint16  `json:"actual_hi,omitempty"`
+	TempC       float64 `json:"temp_c"`
+	WhenSeconds float64 `json:"when_s"`
+	Consistency bool    `json:"consistency,omitempty"`
+	Context     string  `json:"context_instr,omitempty"`
+}
+
+// dtByName maps datatype names back to values.
+var dtByName = func() map[string]model.DataType {
+	m := map[string]model.DataType{}
+	for _, dt := range model.AllDataTypes() {
+		m[dt.String()] = dt
+	}
+	return m
+}()
+
+// Write serializes records as JSON lines.
+func Write(w io.Writer, records []model.SDCRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range records {
+		r := &records[i]
+		out := record{
+			Processor:   r.ProcessorID,
+			Core:        r.Core,
+			Testcase:    r.TestcaseID,
+			TempC:       r.Temperature,
+			WhenSeconds: r.When.Seconds(),
+			Consistency: r.Consistency,
+		}
+		if !r.Consistency {
+			out.DataType = r.DataType.String()
+			out.Expected, out.Actual = r.Expected, r.Actual
+			out.ExpectedHi, out.ActualHi = r.ExpectedHi, r.ActualHi
+		}
+		if r.HasContext {
+			out.Context = r.ContextInstr.String()
+		}
+		if err := enc.Encode(&out); err != nil {
+			return fmt.Errorf("trace: encode record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSON-lines record stream.
+func Read(r io.Reader) ([]model.SDCRecord, error) {
+	var out []model.SDCRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		m := model.SDCRecord{
+			ProcessorID: rec.Processor,
+			Core:        rec.Core,
+			TestcaseID:  rec.Testcase,
+			Temperature: rec.TempC,
+			When:        time.Duration(rec.WhenSeconds * float64(time.Second)),
+			Consistency: rec.Consistency,
+		}
+		if !rec.Consistency {
+			dt, ok := dtByName[rec.DataType]
+			if !ok {
+				return nil, fmt.Errorf("trace: line %d: unknown datatype %q", line, rec.DataType)
+			}
+			m.DataType = dt
+			m.Expected, m.Actual = rec.Expected, rec.Actual
+			m.ExpectedHi, m.ActualHi = rec.ExpectedHi, rec.ActualHi
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}
+
+// Summary aggregates a record corpus.
+type Summary struct {
+	Total       int
+	Consistency int
+	// ByProcessor, ByTestcase and ByDataType count records per key.
+	ByProcessor map[string]int
+	ByTestcase  map[string]int
+	ByDataType  map[model.DataType]int
+	// Settings is the number of distinct (processor, testcase, core)
+	// combinations.
+	Settings int
+	// TempMin/TempMax bound the corruption temperatures.
+	TempMin, TempMax float64
+}
+
+// Summarize scans a corpus.
+func Summarize(records []model.SDCRecord) Summary {
+	s := Summary{
+		ByProcessor: map[string]int{},
+		ByTestcase:  map[string]int{},
+		ByDataType:  map[model.DataType]int{},
+		TempMin:     1e9,
+		TempMax:     -1e9,
+	}
+	settings := map[model.Setting]bool{}
+	for i := range records {
+		r := &records[i]
+		s.Total++
+		if r.Consistency {
+			s.Consistency++
+		} else {
+			s.ByDataType[r.DataType]++
+		}
+		s.ByProcessor[r.ProcessorID]++
+		s.ByTestcase[r.TestcaseID]++
+		settings[model.Setting{ProcessorID: r.ProcessorID, TestcaseID: r.TestcaseID, Core: r.Core}] = true
+		if r.Temperature < s.TempMin {
+			s.TempMin = r.Temperature
+		}
+		if r.Temperature > s.TempMax {
+			s.TempMax = r.Temperature
+		}
+	}
+	s.Settings = len(settings)
+	if s.Total == 0 {
+		s.TempMin, s.TempMax = 0, 0
+	}
+	return s
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	procs := make([]string, 0, len(s.ByProcessor))
+	for p := range s.ByProcessor {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	out := fmt.Sprintf("%d records (%d consistency) across %d settings, %d processors, temps %.1f-%.1f degC",
+		s.Total, s.Consistency, s.Settings, len(procs), s.TempMin, s.TempMax)
+	return out
+}

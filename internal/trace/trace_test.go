@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"farron/internal/model"
+)
+
+func sampleRecords() []model.SDCRecord {
+	return []model.SDCRecord{
+		{
+			ProcessorID: "FPU1", Core: 0, TestcaseID: "tc-301",
+			DataType: model.DTFloat64, Expected: 0x4001, Actual: 0x4003,
+			Temperature: 58.5, When: 90 * time.Second,
+		},
+		{
+			ProcessorID: "FPU1", Core: 0, TestcaseID: "tc-301",
+			DataType: model.DTFloat64x, Expected: 7, Actual: 5,
+			ExpectedHi: 0x3FFF, ActualHi: 0x3FFF,
+			Temperature: 61.2, When: 95 * time.Second,
+			HasContext:   true,
+			ContextInstr: model.InstrID{Class: model.InstrFPTrig, Variant: 17},
+		},
+		{
+			ProcessorID: "CNST1", Core: 3, TestcaseID: "tc-500",
+			Consistency: true, Temperature: 55, When: 10 * time.Second,
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		w, g := recs[i], got[i]
+		if g.ProcessorID != w.ProcessorID || g.Core != w.Core || g.TestcaseID != w.TestcaseID {
+			t.Errorf("record %d identity mismatch: %+v vs %+v", i, g, w)
+		}
+		if g.Consistency != w.Consistency {
+			t.Errorf("record %d consistency mismatch", i)
+		}
+		if !w.Consistency {
+			if g.DataType != w.DataType || g.Expected != w.Expected || g.Actual != w.Actual ||
+				g.ExpectedHi != w.ExpectedHi || g.ActualHi != w.ActualHi {
+				t.Errorf("record %d payload mismatch: %+v vs %+v", i, g, w)
+			}
+		}
+		if g.Temperature != w.Temperature || g.When != w.When {
+			t.Errorf("record %d context mismatch", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"processor":"x","datatype":"nope"}` + "\n")); err == nil {
+		t.Error("unknown datatype accepted")
+	}
+}
+
+func TestReadSkipsEmptyLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleRecords()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("\n")
+	got, err := Read(&buf)
+	if err != nil || len(got) != 1 {
+		t.Errorf("got %d, %v", len(got), err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleRecords())
+	if s.Total != 3 || s.Consistency != 1 {
+		t.Errorf("total/consistency = %d/%d", s.Total, s.Consistency)
+	}
+	if s.Settings != 2 {
+		t.Errorf("settings = %d, want 2", s.Settings)
+	}
+	if s.ByProcessor["FPU1"] != 2 || s.ByProcessor["CNST1"] != 1 {
+		t.Errorf("by processor = %v", s.ByProcessor)
+	}
+	if s.ByDataType[model.DTFloat64] != 1 {
+		t.Errorf("by datatype = %v", s.ByDataType)
+	}
+	if s.TempMin != 55 || s.TempMax != 61.2 {
+		t.Errorf("temps = %v-%v", s.TempMin, s.TempMax)
+	}
+	if !strings.Contains(s.String(), "3 records") {
+		t.Errorf("summary string = %q", s.String())
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Total != 0 || s.TempMin != 0 || s.TempMax != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"farron/internal/mesi"
+	"farron/internal/simrand"
+	"farron/internal/stm"
+)
+
+// ChecksumReport summarizes a run of the checksum storage service.
+type ChecksumReport struct {
+	// Requests is the number of client requests processed.
+	Requests int
+	// Corruptions is the number of injected SDCs.
+	Corruptions int
+	// MismatchReports is how many requests the service flagged as
+	// invalid-data errors. On a faulty CPU these are false alarms: the
+	// data is fine, the checksum instruction lied (the paper's first
+	// production case, which triggered repeated requests and hurt
+	// performance).
+	MismatchReports int
+	// SilentAccepts is how many corrupted checksums happened to still
+	// verify (corruption before the parity was recorded, Observation 12).
+	SilentAccepts int
+}
+
+// ChecksumService simulates the Section 2.2 storage application: each
+// request packs a payload, computes its CRC at write time (through the
+// possibly-faulty CPU), then verifies at read time on a healthy path.
+func ChecksumService(rng *simrand.Source, requests, payloadLen int, corrupt CorruptFn) ChecksumReport {
+	var rep ChecksumReport
+	payload := make([]byte, payloadLen)
+	for r := 0; r < requests; r++ {
+		for i := range payload {
+			payload[i] = byte(rng.Uint64())
+		}
+		sum, corrupted := CRC32Faulty(payload, corrupt)
+		rep.Requests++
+		if corrupted {
+			rep.Corruptions++
+		}
+		// Read path (healthy verifier, e.g. the client side).
+		if CRC32(payload) != sum {
+			rep.MismatchReports++
+		} else if corrupted {
+			rep.SilentAccepts++
+		}
+	}
+	return rep
+}
+
+// SharedBufferReport summarizes the cache-coherence scenario.
+type SharedBufferReport struct {
+	Handoffs        int
+	StaleReads      int
+	ChecksumErrors  int
+	DroppedInvalSum uint64
+}
+
+// SharedBuffer simulates the Section 2.2 coherence case: a client thread on
+// one core packs data and its checksum into a ring of shared buffers read
+// by a daemon thread on another core. With a defective coherence
+// implementation (invalidations dropped with probability dropProb) the
+// daemon sometimes reads a mix of old and new words, and the checksum
+// catches the mismatch. The ring rotation means poisoned (stale) lines are
+// eventually evicted, so corruption is intermittent — exactly the
+// hard-to-debug symptom the paper describes.
+func SharedBuffer(rng *simrand.Source, handoffs, words int, dropProb float64) SharedBufferReport {
+	const ringSlots = 4
+	sys := mesi.NewSystem(2, (words+1)*ringSlots*2)
+	if dropProb > 0 {
+		frng := rng.Derive("coherence-fault")
+		sys.SetFault(func(target int, addr uint64) bool {
+			return target == 1 && frng.Bool(dropProb)
+		})
+	}
+	const clientCore, daemonCore = 0, 1
+	var rep SharedBufferReport
+	buf := make([]byte, words*8)
+	written := make([]uint64, words)
+	for h := 0; h < handoffs; h++ {
+		base := uint64(h%ringSlots) * uint64(words+1)
+		// Client writes payload words then the checksum word.
+		for w := 0; w < words; w++ {
+			v := rng.Uint64()
+			written[w] = v
+			sys.Write(clientCore, base+uint64(w), v)
+		}
+		// Compute checksum over what the client wrote (its own coherent
+		// view, which is authoritative).
+		for w := 0; w < words; w++ {
+			v := sys.Read(clientCore, base+uint64(w))
+			putUint64(buf[w*8:], v)
+		}
+		sum := CRC32(buf)
+		sys.Write(clientCore, base+uint64(words), uint64(sum))
+
+		// Daemon reads everything from its own core.
+		stale := false
+		for w := 0; w < words; w++ {
+			v := sys.Read(daemonCore, base+uint64(w))
+			if v != written[w] {
+				stale = true
+			}
+			putUint64(buf[w*8:], v)
+		}
+		gotSum := uint32(sys.Read(daemonCore, base+uint64(words)))
+		rep.Handoffs++
+		if stale {
+			rep.StaleReads++
+		}
+		if CRC32(buf) != gotSum {
+			rep.ChecksumErrors++
+		}
+	}
+	rep.DroppedInvalSum = sys.Stats().DroppedInvalidation
+	return rep
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// MetaStoreReport summarizes the metadata-service scenario.
+type MetaStoreReport struct {
+	Operations        int
+	AssertionFailures int
+	ZeroSizeFiles     int
+}
+
+// MetaStore simulates the Section 2.2 metadata case (and Meta's lost-files
+// case): a file-metadata service keeps (fileID → size) records plus a
+// directory count inside transactional memory. Healthy hardware preserves
+// the invariant "directory count == number of live files and no live file
+// has size zero"; a defective transactional region (torn commits with
+// probability tornProb) breaks it, surfacing as assertion failures and
+// zero-size files.
+func MetaStore(rng *simrand.Source, ops int, tornProb float64) MetaStoreReport {
+	const maxFiles = 64
+	// Layout: word 0 = directory count; words 1..maxFiles = file sizes
+	// (0 = absent).
+	store := stm.New(1 + maxFiles)
+	if tornProb > 0 {
+		frng := rng.Derive("trx-fault")
+		store.SetFault(func() stm.FaultKind {
+			if frng.Bool(tornProb) {
+				return stm.FaultTornCommit
+			}
+			return stm.FaultNone
+		})
+	}
+	var rep MetaStoreReport
+	for op := 0; op < ops; op++ {
+		slot := 1 + rng.Intn(maxFiles)
+		create := rng.Bool(0.6)
+		size := 1 + uint64(rng.Intn(1<<20))
+		_ = store.Atomically(func(tx *stm.Tx) error {
+			cur, err := tx.Load(slot)
+			if err != nil {
+				return err
+			}
+			count, err := tx.Load(0)
+			if err != nil {
+				return err
+			}
+			if create && cur == 0 {
+				tx.Store(slot, size)
+				tx.Store(0, count+1)
+			} else if !create && cur != 0 {
+				tx.Store(slot, 0)
+				tx.Store(0, count-1)
+			}
+			return nil
+		})
+		rep.Operations++
+	}
+	// Post-hoc audit: the service's assertions.
+	live := 0
+	for slot := 1; slot <= maxFiles; slot++ {
+		if store.ReadDirect(slot) != 0 {
+			live++
+		}
+	}
+	count := store.ReadDirect(0)
+	if uint64(live) != count {
+		rep.AssertionFailures++
+	}
+	// "Misjudged file size to be zero": a torn commit can decrement the
+	// count without clearing the slot or vice versa; count-slot skew is
+	// the visible wreckage. Count files the directory believes exist
+	// beyond the live set as zero-size sightings.
+	if count > uint64(live) {
+		rep.ZeroSizeFiles = int(count) - live
+	}
+	return rep
+}

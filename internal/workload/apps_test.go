@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"testing"
+
+	"farron/internal/model"
+	"farron/internal/simrand"
+)
+
+func TestChecksumServiceHealthy(t *testing.T) {
+	rng := simrand.New(1)
+	rep := ChecksumService(rng, 500, 64, nil)
+	if rep.Requests != 500 {
+		t.Errorf("requests = %d", rep.Requests)
+	}
+	if rep.Corruptions != 0 || rep.MismatchReports != 0 || rep.SilentAccepts != 0 {
+		t.Errorf("healthy service reported errors: %+v", rep)
+	}
+}
+
+func TestChecksumServiceFaulty(t *testing.T) {
+	rng := simrand.New(2)
+	frng := rng.Derive("fault")
+	hook := func(dt model.DataType, lo uint64, hi uint16) (uint64, uint16, bool) {
+		if dt == model.DTUint32 && frng.Bool(0.05) {
+			return lo ^ 1<<9, hi, true
+		}
+		return lo, hi, false
+	}
+	rep := ChecksumService(rng, 2000, 64, hook)
+	if rep.Corruptions == 0 {
+		t.Fatal("no corruptions injected")
+	}
+	// Every corrupted checksum is a false invalid-data report — the
+	// production flood of Section 2.2.
+	if rep.MismatchReports != rep.Corruptions {
+		t.Errorf("mismatches = %d, corruptions = %d", rep.MismatchReports, rep.Corruptions)
+	}
+	if rep.SilentAccepts != 0 {
+		t.Errorf("single-bit checksum corruption silently accepted %d times", rep.SilentAccepts)
+	}
+}
+
+func TestSharedBufferHealthy(t *testing.T) {
+	rng := simrand.New(3)
+	rep := SharedBuffer(rng, 200, 8, 0)
+	if rep.StaleReads != 0 || rep.ChecksumErrors != 0 {
+		t.Errorf("healthy coherence produced errors: %+v", rep)
+	}
+	if rep.Handoffs != 200 {
+		t.Errorf("handoffs = %d", rep.Handoffs)
+	}
+}
+
+func TestSharedBufferDefectiveCoherence(t *testing.T) {
+	rng := simrand.New(4)
+	rep := SharedBuffer(rng, 500, 8, 0.02)
+	if rep.DroppedInvalSum == 0 {
+		t.Fatal("no invalidations dropped")
+	}
+	if rep.StaleReads == 0 {
+		t.Error("dropped invalidations produced no stale reads")
+	}
+	if rep.ChecksumErrors == 0 {
+		t.Error("stale reads produced no checksum mismatches (the Section 2.2 symptom)")
+	}
+	// The checksum catches most but not necessarily all stale reads
+	// (a stale checksum word alone also mismatches); sanity-bound it.
+	if rep.ChecksumErrors > rep.Handoffs {
+		t.Errorf("checksum errors %d exceed handoffs", rep.ChecksumErrors)
+	}
+}
+
+func TestMetaStoreHealthy(t *testing.T) {
+	rng := simrand.New(5)
+	rep := MetaStore(rng, 2000, 0)
+	if rep.AssertionFailures != 0 || rep.ZeroSizeFiles != 0 {
+		t.Errorf("healthy metadata service failed audit: %+v", rep)
+	}
+}
+
+func TestMetaStoreTornCommits(t *testing.T) {
+	rng := simrand.New(6)
+	rep := MetaStore(rng, 3000, 0.05)
+	if rep.AssertionFailures == 0 {
+		t.Error("torn commits never broke the directory invariant")
+	}
+}
+
+func TestPutUint64(t *testing.T) {
+	b := make([]byte, 8)
+	putUint64(b, 0x0102030405060708)
+	want := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("byte %d = %d, want %d", i, b[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"testing"
+
+	"farron/internal/simrand"
+)
+
+func BenchmarkCRC32(b *testing.B) {
+	data := make([]byte, 4096)
+	rng := simrand.New(1)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink = CRC32(data)
+	}
+	_ = sink
+}
+
+func BenchmarkFNV64(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(int64(len(data)))
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = FNV64(data)
+	}
+	_ = sink
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	const n = 32
+	rng := simrand.New(2)
+	a := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.Float64()
+		c[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul64(a, c, n, nil)
+	}
+}
+
+func BenchmarkArcTan(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = ArcTan(float64(i%100) * 0.07)
+	}
+	_ = sink
+}
+
+func BenchmarkBigIntMul(b *testing.B) {
+	x := BigFromUint64(0xDEADBEEFCAFEBABE)
+	y := BigFromUint64(0x123456789ABCDEF0)
+	// Grow to ~16 limbs each.
+	for i := 0; i < 3; i++ {
+		x, _ = x.Mul(x, nil)
+		y, _ = y.Mul(y, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(y, nil)
+	}
+}
+
+func BenchmarkHashMapPutGet(b *testing.B) {
+	m := NewHashMap(1<<16, nil)
+	keys := make([][]byte, 1024)
+	rng := simrand.New(3)
+	for i := range keys {
+		keys[i] = make([]byte, 16)
+		for j := range keys[i] {
+			keys[i][j] = byte(rng.Uint64())
+		}
+		m.Put(keys[i], uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(keys[i%len(keys)])
+	}
+}

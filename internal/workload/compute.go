@@ -1,0 +1,417 @@
+// Package workload implements genuine computations — checksums, hashing,
+// matrix algebra, transcendental series, big-integer arithmetic and string
+// manipulation — with an injection hook through which a processor defect
+// corrupts results. The application scenarios of Section 2.2 (checksum
+// mismatch floods, inconsistent shared buffers, metadata assertion
+// failures) are built from these pieces in apps.go.
+//
+// Every computation here verifies its own output the way a production
+// system would (end-to-end checksum, duplicate execution, algebraic check,
+// tolerance test), so the package demonstrates which defenses catch which
+// corruptions — the subject of Observation 12.
+package workload
+
+import (
+	"math"
+
+	"farron/internal/model"
+)
+
+// CorruptFn mutates a result bit pattern of the given datatype; ok reports
+// whether a corruption was applied. A nil CorruptFn models healthy
+// hardware.
+type CorruptFn func(dt model.DataType, lo uint64, hi uint16) (newLo uint64, newHi uint16, ok bool)
+
+// maybeCorrupt applies fn if non-nil.
+func maybeCorrupt(fn CorruptFn, dt model.DataType, lo uint64, hi uint16) (uint64, uint16, bool) {
+	if fn == nil {
+		return lo, hi, false
+	}
+	return fn(dt, lo, hi)
+}
+
+// --- CRC32 (our own table-driven implementation, IEEE polynomial) ---
+
+// crcTable is the IEEE CRC-32 lookup table, built at init.
+var crcTable [256]uint32
+
+func init() {
+	const poly = 0xEDB88320
+	for i := range crcTable {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 == 1 {
+				c = poly ^ c>>1
+			} else {
+				c >>= 1
+			}
+		}
+		crcTable[i] = c
+	}
+}
+
+// CRC32 computes the IEEE CRC-32 of data (reflected, init/final 0xFFFFFFFF),
+// matching the standard Ethernet/zlib checksum.
+func CRC32(data []byte) uint32 {
+	c := ^uint32(0)
+	for _, b := range data {
+		c = crcTable[byte(c)^b] ^ c>>8
+	}
+	return ^c
+}
+
+// CRC32Faulty computes CRC32 but passes the final value through the
+// corruption hook — modeling the paper's first production case, where a
+// checksum-calculation instruction gave wrong results intermittently.
+func CRC32Faulty(data []byte, corrupt CorruptFn) (sum uint32, corrupted bool) {
+	good := CRC32(data)
+	lo, _, ok := maybeCorrupt(corrupt, model.DTUint32, uint64(good), 0)
+	return uint32(lo), ok
+}
+
+// --- FNV-1a hashing (our own implementation) ---
+
+// FNV64 computes the 64-bit FNV-1a hash of data.
+func FNV64(data []byte) uint64 {
+	const offset = 14695981039346656037
+	const prime = 1099511628211
+	h := uint64(offset)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// FNV64Faulty hashes with the corruption hook applied to the result (the
+// defective-hashing production case: a hash map's bucket choice goes wrong).
+func FNV64Faulty(data []byte, corrupt CorruptFn) (h uint64, corrupted bool) {
+	good := FNV64(data)
+	lo, _, ok := maybeCorrupt(corrupt, model.DTBin64, good, 0)
+	return lo, ok
+}
+
+// --- Matrix multiplication ---
+
+// MatMul64 multiplies two n×n float64 matrices (row-major), passing each
+// output element through the corruption hook. It returns the product and
+// the number of corrupted elements.
+func MatMul64(a, b []float64, n int, corrupt CorruptFn) (c []float64, corrupted int) {
+	if len(a) != n*n || len(b) != n*n {
+		panic("workload: matrix size mismatch")
+	}
+	c = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += a[i*n+k] * b[k*n+j]
+			}
+			lo, _, ok := maybeCorrupt(corrupt, model.DTFloat64, math.Float64bits(sum), 0)
+			if ok {
+				corrupted++
+				sum = math.Float64frombits(lo)
+			}
+			c[i*n+j] = sum
+		}
+	}
+	return c, corrupted
+}
+
+// MatMulVerify re-executes the multiplication (redundancy-based detection,
+// Section 6.2) and returns the number of mismatching elements.
+func MatMulVerify(a, b, c []float64, n int) (mismatches int) {
+	ref, _ := MatMul64(a, b, n, nil)
+	for i := range ref {
+		if ref[i] != c[i] && !(math.IsNaN(ref[i]) && math.IsNaN(c[i])) {
+			mismatches++
+		}
+	}
+	return mismatches
+}
+
+// --- Arctangent via series (the FPU1/FPU2 defective math function) ---
+
+// ArcTan approximates atan(x) with an argument-reduced Euler series,
+// accurate to ~1e-15 over the real line. It is the "complex math function"
+// computed by the defective floating-point instruction in FPU1/FPU2.
+func ArcTan(x float64) float64 {
+	if math.IsNaN(x) {
+		return x
+	}
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	invert := x > 1
+	if invert {
+		x = 1 / x
+	}
+	// Further reduce via atan(x) = atan(y) + atan((x-y)/(1+x*y)) with
+	// y = 0.5 when x > 0.5, keeping the series argument small.
+	var base float64
+	if x > 0.5 {
+		const y = 0.5
+		base = atanSeries(y)
+		x = (x - y) / (1 + x*y)
+	}
+	r := base + atanSeries(x)
+	if invert {
+		r = math.Pi/2 - r
+	}
+	if neg {
+		r = -r
+	}
+	return r
+}
+
+// atanSeries is the Euler transform of the arctangent series, converging
+// fast for |x| <= ~0.6.
+func atanSeries(x float64) float64 {
+	x2 := x * x
+	w := x2 / (1 + x2)
+	term := x / (1 + x2)
+	sum := term
+	for n := 1; n < 40; n++ {
+		term *= w * 2 * float64(n) / (2*float64(n) + 1)
+		sum += term
+		if math.Abs(term) < 1e-18*math.Abs(sum) {
+			break
+		}
+	}
+	return sum
+}
+
+// ArcTanFaulty evaluates ArcTan through the corruption hook (datatype
+// float64x: the x87 extended-precision path of the defective instruction).
+func ArcTanFaulty(x float64, corrupt CorruptFn) (v float64, corrupted bool) {
+	good := ArcTan(x)
+	// The extended-precision intermediate is what the defect flips.
+	// Convert through the 80-bit representation, corrupt, convert back.
+	f80lo, f80hi, ok := func() (uint64, uint16, bool) {
+		if corrupt == nil {
+			return 0, 0, false
+		}
+		f := float80Bits(good)
+		return maybeCorrupt(corrupt, model.DTFloat64x, f.lo, f.hi)
+	}()
+	if !ok {
+		return good, false
+	}
+	return float80Value(f80lo, f80hi), true
+}
+
+// float80 conversion helpers (duplicated minimally from inject to keep the
+// workload substrate dependency-light; inject owns the authoritative
+// implementation and the tests cross-check the two).
+type f80 struct {
+	lo uint64
+	hi uint16
+}
+
+func float80Bits(f float64) f80 {
+	bits := math.Float64bits(f)
+	sign := uint16(bits >> 63)
+	exp := int((bits >> 52) & 0x7FF)
+	frac := bits & ((1 << 52) - 1)
+	switch {
+	case exp == 0x7FF:
+		return f80{lo: 1<<63 | frac<<11, hi: sign<<15 | 0x7FFF}
+	case exp == 0 && frac == 0:
+		return f80{hi: sign << 15}
+	case exp == 0:
+		e := -1022
+		for frac&(1<<52) == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= (1 << 52) - 1
+		return f80{lo: 1<<63 | frac<<11, hi: sign<<15 | uint16(e+16383)}
+	default:
+		return f80{lo: 1<<63 | frac<<11, hi: sign<<15 | uint16(exp-1023+16383)}
+	}
+}
+
+func float80Value(lo uint64, hi uint16) float64 {
+	sign := hi >> 15
+	exp := int(hi & 0x7FFF)
+	if exp == 0x7FFF {
+		if lo<<1 == 0 {
+			return math.Inf(1 - 2*int(sign))
+		}
+		return math.NaN()
+	}
+	if lo == 0 {
+		if sign == 1 {
+			return math.Copysign(0, -1)
+		}
+		return 0
+	}
+	for lo&(1<<63) == 0 {
+		lo <<= 1
+		exp--
+	}
+	v := math.Ldexp(float64(lo)/(1<<63), exp-16383)
+	if sign == 1 {
+		v = -v
+	}
+	return v
+}
+
+// --- Big-integer arithmetic (large integer workload of MIX1) ---
+
+// BigInt is an arbitrary-precision unsigned integer as little-endian
+// 32-bit limbs.
+type BigInt []uint32
+
+// BigFromUint64 builds a BigInt from a uint64.
+func BigFromUint64(v uint64) BigInt {
+	if v == 0 {
+		return BigInt{}
+	}
+	if v>>32 == 0 {
+		return BigInt{uint32(v)}
+	}
+	return BigInt{uint32(v), uint32(v >> 32)}
+}
+
+// norm strips leading zero limbs.
+func (a BigInt) norm() BigInt {
+	n := len(a)
+	for n > 0 && a[n-1] == 0 {
+		n--
+	}
+	return a[:n]
+}
+
+// Add returns a+b.
+func (a BigInt) Add(b BigInt) BigInt {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	out := make(BigInt, len(a)+1)
+	var carry uint64
+	for i := range a {
+		s := uint64(a[i]) + carry
+		if i < len(b) {
+			s += uint64(b[i])
+		}
+		out[i] = uint32(s)
+		carry = s >> 32
+	}
+	out[len(a)] = uint32(carry)
+	return out.norm()
+}
+
+// Mul returns a*b (schoolbook), passing each output limb through the
+// corruption hook.
+func (a BigInt) Mul(b BigInt, corrupt CorruptFn) (BigInt, int) {
+	if len(a) == 0 || len(b) == 0 {
+		return BigInt{}, 0
+	}
+	out := make(BigInt, len(a)+len(b))
+	for i := range a {
+		var carry uint64
+		for j := range b {
+			t := uint64(a[i])*uint64(b[j]) + uint64(out[i+j]) + carry
+			out[i+j] = uint32(t)
+			carry = t >> 32
+		}
+		out[i+len(b)] += uint32(carry)
+	}
+	corrupted := 0
+	for i := range out {
+		lo, _, ok := maybeCorrupt(corrupt, model.DTUint32, uint64(out[i]), 0)
+		if ok {
+			out[i] = uint32(lo)
+			corrupted++
+		}
+	}
+	return out.norm(), corrupted
+}
+
+// Mod returns a mod m for small m (algebraic residue check: the classic
+// "casting out nines" corruption detector).
+func (a BigInt) Mod(m uint64) uint64 {
+	if m == 0 {
+		panic("workload: mod by zero")
+	}
+	var r uint64
+	for i := len(a) - 1; i >= 0; i-- {
+		// r = (r·2^32 + limb) mod m without 64-bit overflow.
+		r = (mulmod(r, 1<<32, m) + uint64(a[i])%m) % m
+	}
+	return r
+}
+
+// Equal reports limb-wise equality after normalization.
+func (a BigInt) Equal(b BigInt) bool {
+	a, b = a.norm(), b.norm()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckMulResidue verifies c == a*b via residues mod a 61-bit prime. It
+// catches most corruptions but — like any checksum computed after the fact
+// (Observation 12) — passes if the corruption hit before residues were
+// taken.
+func CheckMulResidue(a, b, c BigInt) bool {
+	const p = (1 << 61) - 1
+	ra, rb, rc := a.Mod(p), b.Mod(p), c.Mod(p)
+	return mulmod(ra, rb, p) == rc
+}
+
+// mulmod computes (a*b) mod m via binary decomposition (m < 2^62).
+func mulmod(a, b, m uint64) uint64 {
+	a %= m
+	b %= m
+	var r uint64
+	for b > 0 {
+		if b&1 == 1 {
+			r = (r + a) % m
+		}
+		a = (a << 1) % m
+		b >>= 1
+	}
+	return r
+}
+
+// --- String manipulation (MIX1's string workload) ---
+
+// ReverseString returns s reversed bytewise, passing each byte through the
+// corruption hook.
+func ReverseString(s []byte, corrupt CorruptFn) (out []byte, corrupted int) {
+	out = make([]byte, len(s))
+	for i, b := range s {
+		lo, _, ok := maybeCorrupt(corrupt, model.DTByte, uint64(b), 0)
+		if ok {
+			b = byte(lo)
+			corrupted++
+		}
+		out[len(s)-1-i] = b
+	}
+	return out, corrupted
+}
+
+// StringRoundTripOK reverses twice and compares: duplicate-execution
+// detection for the string workload.
+func StringRoundTripOK(s []byte, corrupt CorruptFn) bool {
+	once, _ := ReverseString(s, corrupt)
+	twice, _ := ReverseString(once, nil)
+	if len(twice) != len(s) {
+		return false
+	}
+	for i := range s {
+		if twice[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,299 @@
+package workload
+
+import (
+	"hash/crc32"
+	"hash/fnv"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"farron/internal/model"
+	"farron/internal/simrand"
+)
+
+// flipBit0 is a corruption hook flipping the lowest bit, always.
+func flipBit0(dt model.DataType, lo uint64, hi uint16) (uint64, uint16, bool) {
+	return lo ^ 1, hi, true
+}
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	cases := [][]byte{
+		nil, {}, []byte("a"), []byte("hello, world"),
+		[]byte("123456789"), make([]byte, 1000),
+	}
+	rng := simrand.New(1)
+	big := make([]byte, 4096)
+	for i := range big {
+		big[i] = byte(rng.Uint64())
+	}
+	cases = append(cases, big)
+	for _, c := range cases {
+		if got, want := CRC32(c), crc32.ChecksumIEEE(c); got != want {
+			t.Errorf("CRC32(%d bytes) = %08x, want %08x", len(c), got, want)
+		}
+	}
+}
+
+func TestCRC32CheckValue(t *testing.T) {
+	// The canonical CRC-32/IEEE check value.
+	if got := CRC32([]byte("123456789")); got != 0xCBF43926 {
+		t.Errorf("check value = %08x, want CBF43926", got)
+	}
+}
+
+func TestCRC32Property(t *testing.T) {
+	f := func(data []byte) bool {
+		return CRC32(data) == crc32.ChecksumIEEE(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC32Faulty(t *testing.T) {
+	data := []byte("payload")
+	sum, corrupted := CRC32Faulty(data, nil)
+	if corrupted || sum != CRC32(data) {
+		t.Error("healthy CRC32Faulty differs")
+	}
+	sum, corrupted = CRC32Faulty(data, flipBit0)
+	if !corrupted || sum == CRC32(data) {
+		t.Error("corruption hook not applied")
+	}
+}
+
+func TestFNV64MatchesStdlib(t *testing.T) {
+	for _, s := range []string{"", "a", "metadata-key", "longer input with spaces"} {
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		if got := FNV64([]byte(s)); got != h.Sum64() {
+			t.Errorf("FNV64(%q) = %x, want %x", s, got, h.Sum64())
+		}
+	}
+}
+
+func TestMatMulCorrectness(t *testing.T) {
+	// 2x2 known product.
+	a := []float64{1, 2, 3, 4}
+	b := []float64{5, 6, 7, 8}
+	c, corrupted := MatMul64(a, b, 2, nil)
+	want := []float64{19, 22, 43, 50}
+	if corrupted != 0 {
+		t.Errorf("healthy run corrupted %d", corrupted)
+	}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Errorf("c[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+	if m := MatMulVerify(a, b, c, 2); m != 0 {
+		t.Errorf("verify mismatches = %d", m)
+	}
+}
+
+func TestMatMulCorruptionDetectedByRedundancy(t *testing.T) {
+	rng := simrand.New(2)
+	n := 8
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.Float64()
+		b[i] = rng.Float64()
+	}
+	hook := func(dt model.DataType, lo uint64, hi uint16) (uint64, uint16, bool) {
+		if rng.Bool(0.1) {
+			return lo ^ 1<<30, hi, true
+		}
+		return lo, hi, false
+	}
+	c, corrupted := MatMul64(a, b, n, hook)
+	if corrupted == 0 {
+		t.Fatal("no corruption injected")
+	}
+	if m := MatMulVerify(a, b, c, n); m != corrupted {
+		t.Errorf("redundancy detected %d of %d corruptions", m, corrupted)
+	}
+}
+
+func TestMatMulPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch accepted")
+		}
+	}()
+	MatMul64([]float64{1}, []float64{1, 2}, 2, nil)
+}
+
+func TestArcTanAccuracy(t *testing.T) {
+	for _, x := range []float64{0, 0.1, 0.5, 0.99, 1, 2, 10, 1e6, -0.3, -5, 0.7} {
+		got := ArcTan(x)
+		want := math.Atan(x)
+		if math.Abs(got-want) > 1e-14*(1+math.Abs(want)) {
+			t.Errorf("ArcTan(%v) = %.17g, want %.17g", x, got, want)
+		}
+	}
+	if !math.IsNaN(ArcTan(math.NaN())) {
+		t.Error("ArcTan(NaN) not NaN")
+	}
+}
+
+func TestArcTanProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		got := ArcTan(x)
+		want := math.Atan(x)
+		return math.Abs(got-want) <= 1e-13*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArcTanFaultySmallLoss(t *testing.T) {
+	// A mid-fraction flip in the 80-bit intermediate barely moves the
+	// result (Observation 7): accuracy-based detection would miss it.
+	hook := func(dt model.DataType, lo uint64, hi uint16) (uint64, uint16, bool) {
+		if dt != model.DTFloat64x {
+			return lo, hi, false
+		}
+		return lo ^ 1<<30, hi, true
+	}
+	v, corrupted := ArcTanFaulty(0.8, hook)
+	if !corrupted {
+		t.Fatal("hook not applied")
+	}
+	rel := math.Abs(v-math.Atan(0.8)) / math.Atan(0.8)
+	if rel == 0 || rel > 1e-6 {
+		t.Errorf("relative loss = %g, want tiny but non-zero", rel)
+	}
+	healthy, corrupted := ArcTanFaulty(0.8, nil)
+	if corrupted || math.Abs(healthy-math.Atan(0.8)) > 1e-14 {
+		t.Error("healthy path wrong")
+	}
+}
+
+func TestFloat80HelpersRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return math.IsNaN(float80Value(float80Bits(x).lo, float80Bits(x).hi))
+		}
+		b := float80Bits(x)
+		return float80Value(b.lo, b.hi) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBigIntAddMul(t *testing.T) {
+	a := BigFromUint64(0xFFFFFFFFFFFFFFFF)
+	b := BigFromUint64(2)
+	sum := a.Add(b)
+	// 2^64-1 + 2 = 2^64+1 = limbs [1, 0, 1]
+	if len(sum) != 3 || sum[0] != 1 || sum[1] != 0 || sum[2] != 1 {
+		t.Errorf("sum limbs = %v", sum)
+	}
+	prod, corrupted := a.Mul(b, nil)
+	if corrupted != 0 {
+		t.Error("healthy mul corrupted")
+	}
+	// (2^64-1)*2 = 2^65-2 = limbs [0xFFFFFFFE, 0xFFFFFFFF, 1]
+	if len(prod) != 3 || prod[0] != 0xFFFFFFFE || prod[1] != 0xFFFFFFFF || prod[2] != 1 {
+		t.Errorf("prod limbs = %v", prod)
+	}
+}
+
+func TestBigIntMulCommutes(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := BigFromUint64(x), BigFromUint64(y)
+		p1, _ := a.Mul(b, nil)
+		p2, _ := b.Mul(a, nil)
+		return p1.Equal(p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBigIntResidueCheck(t *testing.T) {
+	rng := simrand.New(3)
+	for i := 0; i < 50; i++ {
+		a := BigFromUint64(rng.Uint64())
+		b := BigFromUint64(rng.Uint64())
+		c, _ := a.Mul(b, nil)
+		if !CheckMulResidue(a, b, c) {
+			t.Fatalf("residue check failed on healthy product")
+		}
+		// Corrupt one limb: residue check must catch it.
+		if len(c) > 0 {
+			bad := append(BigInt{}, c...)
+			bad[rng.Intn(len(bad))] ^= 1 << 7
+			if CheckMulResidue(a, b, bad) {
+				t.Errorf("residue check missed corruption")
+			}
+		}
+	}
+}
+
+func TestBigIntMulCorruption(t *testing.T) {
+	a, b := BigFromUint64(1<<40|12345), BigFromUint64(987654321)
+	c, corrupted := a.Mul(b, flipBit0)
+	if corrupted == 0 {
+		t.Fatal("no corruption applied")
+	}
+	ref, _ := a.Mul(b, nil)
+	if c.Equal(ref) {
+		t.Error("corrupted product equals reference")
+	}
+}
+
+func TestBigIntModPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Mod(0) accepted")
+		}
+	}()
+	BigFromUint64(5).Mod(0)
+}
+
+func TestBigIntZero(t *testing.T) {
+	z := BigFromUint64(0)
+	if len(z) != 0 {
+		t.Errorf("zero = %v", z)
+	}
+	p, _ := z.Mul(BigFromUint64(99), nil)
+	if len(p) != 0 {
+		t.Errorf("0*99 = %v", p)
+	}
+	if z.Mod(7) != 0 {
+		t.Error("0 mod 7 != 0")
+	}
+}
+
+func TestReverseString(t *testing.T) {
+	out, corrupted := ReverseString([]byte("abc"), nil)
+	if string(out) != "cba" || corrupted != 0 {
+		t.Errorf("reverse = %q (%d)", out, corrupted)
+	}
+	if !StringRoundTripOK([]byte("hello"), nil) {
+		t.Error("healthy round trip failed")
+	}
+	if StringRoundTripOK([]byte("hello"), flipBit0) {
+		t.Error("corrupted round trip passed")
+	}
+}
+
+func TestMulmod(t *testing.T) {
+	cases := []struct{ a, b, m, want uint64 }{
+		{3, 4, 5, 2},
+		{1 << 60, 1 << 60, (1 << 61) - 1, 1 << 59},
+		{0, 99, 7, 0},
+	}
+	for _, c := range cases {
+		if got := mulmod(c.a, c.b, c.m); got != c.want {
+			t.Errorf("mulmod(%d,%d,%d) = %d, want %d", c.a, c.b, c.m, got, c.want)
+		}
+	}
+}

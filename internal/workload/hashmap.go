@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"farron/internal/model"
+	"farron/internal/simrand"
+)
+
+// HashMap is an open-addressing (linear probing) hash table keyed by byte
+// strings, hashing through the possibly-faulty CPU. It is the substrate of
+// the paper's third production case: "the application used a hash map to
+// manage its metadata, and defective hashing calculation in a faulty
+// processor affected its metadata service", surfacing as assertion
+// failures.
+type HashMap struct {
+	keys    [][]byte
+	values  []uint64
+	used    []bool
+	n       int
+	corrupt CorruptFn
+	// HashCorruptions counts hook firings.
+	HashCorruptions int
+}
+
+// NewHashMap creates a table with the given bucket count (rounded up to a
+// power of two) and corruption hook (nil = healthy).
+func NewHashMap(buckets int, corrupt CorruptFn) *HashMap {
+	size := 16
+	for size < buckets {
+		size <<= 1
+	}
+	return &HashMap{
+		keys:    make([][]byte, size),
+		values:  make([]uint64, size),
+		used:    make([]bool, size),
+		corrupt: corrupt,
+	}
+}
+
+// hash computes the bucket index through the (possibly faulty) CPU.
+func (m *HashMap) hash(key []byte) int {
+	h, corrupted := FNV64Faulty(key, m.corrupt)
+	if corrupted {
+		m.HashCorruptions++
+	}
+	return int(h & uint64(len(m.keys)-1))
+}
+
+// Put inserts or updates a key. It returns false when the table is full.
+func (m *HashMap) Put(key []byte, value uint64) bool {
+	if m.n >= len(m.keys)*3/4 {
+		return false
+	}
+	i := m.hash(key)
+	for m.used[i] {
+		if bytesEq(m.keys[i], key) {
+			m.values[i] = value
+			return true
+		}
+		i = (i + 1) & (len(m.keys) - 1)
+	}
+	m.keys[i] = append([]byte(nil), key...)
+	m.values[i] = value
+	m.used[i] = true
+	m.n++
+	return true
+}
+
+// Get looks a key up. With a defective hash, a key inserted under one
+// (corrupt) hash may be unfindable under the correct one — and vice versa:
+// the silent metadata loss of the production case.
+func (m *HashMap) Get(key []byte) (uint64, bool) {
+	i := m.hash(key)
+	for probes := 0; probes < len(m.keys); probes++ {
+		if !m.used[i] {
+			return 0, false
+		}
+		if bytesEq(m.keys[i], key) {
+			return m.values[i], true
+		}
+		i = (i + 1) & (len(m.keys) - 1)
+	}
+	return 0, false
+}
+
+// Len returns the number of live entries.
+func (m *HashMap) Len() int { return m.n }
+
+func bytesEq(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HashMapReport summarizes the metadata-service scenario.
+type HashMapReport struct {
+	Inserted int
+	// LostKeys are keys the service inserted but can no longer find —
+	// the assertion failures of the production incident.
+	LostKeys int
+	// HashCorruptions counts defective hash computations.
+	HashCorruptions int
+}
+
+// HashMapService inserts n metadata keys and then audits every one of them,
+// counting lookups that fail despite a successful insert.
+func HashMapService(rng *simrand.Source, n int, corrupt CorruptFn) HashMapReport {
+	m := NewHashMap(n*2, corrupt)
+	keys := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		key := make([]byte, 16)
+		for b := range key {
+			key[b] = byte(rng.Uint64())
+		}
+		if m.Put(key, uint64(i)) {
+			keys = append(keys, key)
+		}
+	}
+	rep := HashMapReport{Inserted: len(keys)}
+	for _, key := range keys {
+		if _, ok := m.Get(key); !ok {
+			rep.LostKeys++
+		}
+	}
+	rep.HashCorruptions = m.HashCorruptions
+	return rep
+}
+
+// HashCorruptHook builds the standard defective-hashing hook: flips a fixed
+// mask in bin64 hash results with probability p.
+func HashCorruptHook(rng *simrand.Source, p float64, mask uint64) CorruptFn {
+	return func(dt model.DataType, lo uint64, hi uint16) (uint64, uint16, bool) {
+		if dt != model.DTBin64 || !rng.Bool(p) {
+			return lo, hi, false
+		}
+		return lo ^ mask, hi, true
+	}
+}

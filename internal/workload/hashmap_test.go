@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"farron/internal/simrand"
+)
+
+func TestHashMapBasics(t *testing.T) {
+	m := NewHashMap(64, nil)
+	for i := 0; i < 40; i++ {
+		key := []byte(fmt.Sprintf("key-%03d", i))
+		if !m.Put(key, uint64(i)) {
+			t.Fatalf("Put %d failed", i)
+		}
+	}
+	if m.Len() != 40 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	for i := 0; i < 40; i++ {
+		v, ok := m.Get([]byte(fmt.Sprintf("key-%03d", i)))
+		if !ok || v != uint64(i) {
+			t.Fatalf("Get %d = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := m.Get([]byte("absent")); ok {
+		t.Error("absent key found")
+	}
+}
+
+func TestHashMapUpdate(t *testing.T) {
+	m := NewHashMap(16, nil)
+	m.Put([]byte("k"), 1)
+	m.Put([]byte("k"), 2)
+	if m.Len() != 1 {
+		t.Errorf("Len = %d after update", m.Len())
+	}
+	if v, _ := m.Get([]byte("k")); v != 2 {
+		t.Errorf("value = %d", v)
+	}
+}
+
+func TestHashMapFull(t *testing.T) {
+	m := NewHashMap(16, nil) // size 16, capacity 12
+	inserted := 0
+	for i := 0; i < 20; i++ {
+		if m.Put([]byte(fmt.Sprintf("k%d", i)), 1) {
+			inserted++
+		}
+	}
+	if inserted >= 20 {
+		t.Error("load-factor guard never triggered")
+	}
+}
+
+func TestHashMapServiceHealthy(t *testing.T) {
+	rep := HashMapService(simrand.New(1), 500, nil)
+	if rep.LostKeys != 0 || rep.HashCorruptions != 0 {
+		t.Errorf("healthy service lost keys: %+v", rep)
+	}
+	if rep.Inserted != 500 {
+		t.Errorf("inserted = %d", rep.Inserted)
+	}
+}
+
+func TestHashMapServiceDefectiveHashing(t *testing.T) {
+	// The Section 2.2 metadata case: defective hashing makes inserted
+	// keys unfindable — the assertion failures the application saw.
+	rng := simrand.New(2)
+	// The flipped bit must land inside the bucket-index bits (table of
+	// 4096 buckets → bits 0-11) for the corruption to change placement.
+	hook := HashCorruptHook(rng.Derive("fault"), 0.02, 1<<5)
+	rep := HashMapService(rng, 2000, hook)
+	if rep.HashCorruptions == 0 {
+		t.Fatal("no hash corruptions injected")
+	}
+	if rep.LostKeys == 0 {
+		t.Error("defective hashing lost no keys")
+	}
+	// Losses bounded by corruption count: each corrupt hash affects at
+	// most one key's insert or audit lookup.
+	if rep.LostKeys > rep.HashCorruptions {
+		t.Errorf("lost %d > corruptions %d", rep.LostKeys, rep.HashCorruptions)
+	}
+}

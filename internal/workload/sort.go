@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"farron/internal/model"
+	"farron/internal/simrand"
+)
+
+// Sorting under corruption: the related-work line of fault-injection
+// studies on sorting algorithms ([32] in the paper). A defective comparison
+// (the ALU producing a wrong flag) silently reorders output; unlike a
+// checksum workload the result is *plausible* — every element survives —
+// so only an explicit sortedness audit catches it.
+
+// corruptLess wraps an int64 comparison through the corruption hook: the
+// hook flips the comparison outcome (a corrupted ALU flag) when it fires.
+func corruptLess(corrupt CorruptFn, a, b int64) bool {
+	less := a < b
+	if corrupt == nil {
+		return less
+	}
+	v := uint64(0)
+	if less {
+		v = 1
+	}
+	nv, _, ok := corrupt(model.DTBit, v, 0)
+	if !ok {
+		return less
+	}
+	return nv&1 == 1
+}
+
+// MergeSort sorts data (copied) with the possibly-corrupted comparator and
+// returns the result plus the number of comparisons performed.
+func MergeSort(data []int64, corrupt CorruptFn) (out []int64, comparisons int) {
+	out = append([]int64(nil), data...)
+	buf := make([]int64, len(out))
+	var sortRange func(lo, hi int)
+	sortRange = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		mid := (lo + hi) / 2
+		sortRange(lo, mid)
+		sortRange(mid, hi)
+		i, j, k := lo, mid, lo
+		for i < mid && j < hi {
+			comparisons++
+			if corruptLess(corrupt, out[j], out[i]) {
+				buf[k] = out[j]
+				j++
+			} else {
+				buf[k] = out[i]
+				i++
+			}
+			k++
+		}
+		for i < mid {
+			buf[k] = out[i]
+			i++
+			k++
+		}
+		for j < hi {
+			buf[k] = out[j]
+			j++
+			k++
+		}
+		copy(out[lo:hi], buf[lo:hi])
+	}
+	sortRange(0, len(out))
+	return out, comparisons
+}
+
+// QuickSort sorts data (copied) with the possibly-corrupted comparator.
+func QuickSort(data []int64, corrupt CorruptFn) (out []int64, comparisons int) {
+	out = append([]int64(nil), data...)
+	var sortRange func(lo, hi int)
+	sortRange = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		pivot := out[(lo+hi)/2]
+		i, j := lo, hi-1
+		for i <= j {
+			// Bounds guards keep the scans safe even when a corrupted
+			// comparator lies about the pivot relation.
+			for i < hi {
+				comparisons++
+				if !corruptLess(corrupt, out[i], pivot) {
+					break
+				}
+				i++
+			}
+			for j >= lo {
+				comparisons++
+				if !corruptLess(corrupt, pivot, out[j]) {
+					break
+				}
+				j--
+			}
+			if i <= j {
+				out[i], out[j] = out[j], out[i]
+				i++
+				j--
+			}
+		}
+		sortRange(lo, j+1)
+		sortRange(i, hi)
+	}
+	sortRange(0, len(out))
+	return out, comparisons
+}
+
+// SortAudit checks the two post-conditions a sorting service can assert:
+// output is ordered, and output is a permutation of the input (multiset
+// equality via a commutative accumulator plus length).
+type SortAudit struct {
+	Ordered     bool
+	Permutation bool
+}
+
+// AuditSort verifies output against input.
+func AuditSort(input, output []int64) SortAudit {
+	a := SortAudit{Ordered: true, Permutation: len(input) == len(output)}
+	for i := 1; i < len(output); i++ {
+		if output[i-1] > output[i] {
+			a.Ordered = false
+			break
+		}
+	}
+	if a.Permutation {
+		var sumIn, sumOut, xorIn, xorOut uint64
+		for _, v := range input {
+			sumIn += uint64(v)
+			xorIn ^= uint64(v)
+		}
+		for _, v := range output {
+			sumOut += uint64(v)
+			xorOut ^= uint64(v)
+		}
+		a.Permutation = sumIn == sumOut && xorIn == xorOut
+	}
+	return a
+}
+
+// SortReport summarizes the sorting-service scenario.
+type SortReport struct {
+	Runs int
+	// Disordered counts runs whose output failed the ordering audit;
+	// LostElements counts runs failing the permutation audit.
+	Disordered, LostElements int
+	// CorruptComparisons counts hook firings.
+	CorruptComparisons int
+}
+
+// SortService sorts random arrays through a possibly-defective comparator
+// and audits every result. Comparison corruption reorders output (caught
+// only by the ordering audit); merge sort never loses elements even under
+// corruption — a property the tests pin down.
+func SortService(rng *simrand.Source, runs, size int, flipProb float64) SortReport {
+	var rep SortReport
+	frng := rng.Derive("sort-fault")
+	var hook CorruptFn
+	if flipProb > 0 {
+		hook = func(dt model.DataType, lo uint64, hi uint16) (uint64, uint16, bool) {
+			if dt == model.DTBit && frng.Bool(flipProb) {
+				return lo ^ 1, hi, true
+			}
+			return lo, hi, false
+		}
+	}
+	for r := 0; r < runs; r++ {
+		data := make([]int64, size)
+		for i := range data {
+			data[i] = int64(rng.Uint64() % 100000)
+		}
+		before := rep.CorruptComparisons
+		out, _ := MergeSort(data, countingHook(hook, &rep.CorruptComparisons))
+		_ = before
+		audit := AuditSort(data, out)
+		rep.Runs++
+		if !audit.Ordered {
+			rep.Disordered++
+		}
+		if !audit.Permutation {
+			rep.LostElements++
+		}
+	}
+	return rep
+}
+
+// countingHook wraps a hook to count firings.
+func countingHook(h CorruptFn, counter *int) CorruptFn {
+	if h == nil {
+		return nil
+	}
+	return func(dt model.DataType, lo uint64, hi uint16) (uint64, uint16, bool) {
+		nl, nh, ok := h(dt, lo, hi)
+		if ok {
+			*counter++
+		}
+		return nl, nh, ok
+	}
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"farron/internal/model"
+	"farron/internal/simrand"
+)
+
+func randomData(rng *simrand.Source, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(rng.Uint64() % 10000)
+	}
+	return out
+}
+
+func TestMergeSortHealthy(t *testing.T) {
+	rng := simrand.New(1)
+	for trial := 0; trial < 20; trial++ {
+		data := randomData(rng, 200)
+		out, comps := MergeSort(data, nil)
+		if comps == 0 {
+			t.Fatal("no comparisons")
+		}
+		audit := AuditSort(data, out)
+		if !audit.Ordered || !audit.Permutation {
+			t.Fatalf("healthy merge sort failed audit: %+v", audit)
+		}
+	}
+}
+
+func TestQuickSortHealthy(t *testing.T) {
+	rng := simrand.New(2)
+	for trial := 0; trial < 20; trial++ {
+		data := randomData(rng, 200)
+		out, _ := QuickSort(data, nil)
+		audit := AuditSort(data, out)
+		if !audit.Ordered || !audit.Permutation {
+			t.Fatalf("healthy quick sort failed audit: %+v", audit)
+		}
+	}
+}
+
+func TestSortMatchesStdlibProperty(t *testing.T) {
+	f := func(raw []int64) bool {
+		m, _ := MergeSort(raw, nil)
+		q, _ := QuickSort(raw, nil)
+		want := append([]int64(nil), raw...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if m[i] != want[i] || q[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorruptComparatorDisorders(t *testing.T) {
+	rng := simrand.New(3)
+	frng := rng.Derive("f")
+	hook := func(dt model.DataType, lo uint64, hi uint16) (uint64, uint16, bool) {
+		if dt == model.DTBit && frng.Bool(0.01) {
+			return lo ^ 1, hi, true
+		}
+		return lo, hi, false
+	}
+	data := randomData(rng, 500)
+	out, _ := MergeSort(data, hook)
+	audit := AuditSort(data, out)
+	if audit.Ordered {
+		t.Error("1% comparison corruption left output ordered")
+	}
+	// Merge sort's structure never drops elements, even with a lying
+	// comparator — the corruption is purely a reordering (plausible
+	// output, the dangerous kind).
+	if !audit.Permutation {
+		t.Error("merge sort lost elements under comparison corruption")
+	}
+}
+
+func TestSortService(t *testing.T) {
+	rep := SortService(simrand.New(4), 100, 300, 0.005)
+	if rep.CorruptComparisons == 0 {
+		t.Fatal("no corruptions fired")
+	}
+	if rep.Disordered == 0 {
+		t.Error("no disordered runs despite corruption")
+	}
+	if rep.LostElements != 0 {
+		t.Errorf("merge sort lost elements in %d runs", rep.LostElements)
+	}
+	healthy := SortService(simrand.New(5), 50, 300, 0)
+	if healthy.Disordered != 0 || healthy.CorruptComparisons != 0 {
+		t.Errorf("healthy service: %+v", healthy)
+	}
+}
+
+func TestAuditSortDetectsLoss(t *testing.T) {
+	in := []int64{1, 2, 3}
+	a := AuditSort(in, []int64{1, 2})
+	if a.Permutation {
+		t.Error("length mismatch passed permutation audit")
+	}
+	a = AuditSort(in, []int64{1, 2, 4})
+	if a.Permutation {
+		t.Error("element substitution passed permutation audit")
+	}
+	a = AuditSort(in, []int64{3, 2, 1})
+	if a.Ordered {
+		t.Error("reversed output passed ordering audit")
+	}
+	if !a.Permutation {
+		t.Error("reversal failed permutation audit")
+	}
+}
+
+func TestQuickSortSafeUnderCorruption(t *testing.T) {
+	// A lying comparator must never crash or hang quicksort, whatever it
+	// returns (the output may be disordered — that is the point).
+	rng := simrand.New(6)
+	frng := rng.Derive("f")
+	hook := func(dt model.DataType, lo uint64, hi uint16) (uint64, uint16, bool) {
+		if dt == model.DTBit && frng.Bool(0.05) {
+			return lo ^ 1, hi, true
+		}
+		return lo, hi, false
+	}
+	for trial := 0; trial < 30; trial++ {
+		data := randomData(rng, 300)
+		out, _ := QuickSort(data, hook)
+		if len(out) != len(data) {
+			t.Fatalf("quicksort changed length: %d", len(out))
+		}
+	}
+}
