@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test race vet fmt lint check
+
+## build: compile every package
+build:
+	$(GO) build ./...
+
+## test: tier-1 test suite
+test:
+	$(GO) test ./...
+
+## race: test suite under the race detector
+race:
+	$(GO) test -race ./...
+
+## vet: go vet over the module
+vet:
+	$(GO) vet ./...
+
+## fmt: fail if any file needs gofmt
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+## lint: sdclint determinism & safety pass (see DESIGN.md)
+lint:
+	$(GO) run ./cmd/sdclint ./...
+
+## check: everything CI runs — the one-command tier-1 verify
+check: build vet fmt test race lint

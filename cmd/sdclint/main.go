@@ -1,0 +1,18 @@
+// Command sdclint runs the repo's determinism & safety static-analysis
+// pass (see internal/lint and the "Determinism contract" section of
+// DESIGN.md). It exits 0 when clean, 1 on findings, 2 on load errors.
+//
+// Usage:
+//
+//	go run ./cmd/sdclint ./...
+package main
+
+import (
+	"os"
+
+	"farron/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

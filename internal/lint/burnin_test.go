@@ -1,0 +1,31 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestBurnInWholeModule runs every analyzer over the entire module and
+// requires zero findings: the determinism contract is part of tier-1
+// verification, not an optional extra. A new violation anywhere in the tree
+// fails this test with the offending position.
+func TestBurnInWholeModule(t *testing.T) {
+	abs, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _, err := findModule(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("burn-in loaded only %d packages; pattern expansion is broken", len(pkgs))
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("%s", d)
+	}
+}

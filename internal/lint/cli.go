@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Exit codes returned by Main.
+const (
+	ExitClean    = 0 // no findings (including "no packages matched")
+	ExitFindings = 1 // at least one finding
+	ExitError    = 2 // usage, load or type-check failure
+)
+
+// Main is the sdclint command: it loads the packages matching the argument
+// patterns (default "./..." from the current directory), runs every
+// analyzer, prints findings to stdout, and returns the process exit code.
+// It lives here, rather than in cmd/sdclint, so the full CLI contract —
+// including the "no Go packages found" exit-0 path — is testable in-process.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sdclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	analyzerList := fs.String("analyzers", "", "comma-separated analyzers to run (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: sdclint [flags] [packages]\n\n"+
+			"sdclint checks the repo's determinism contract (see DESIGN.md).\n"+
+			"Suppress a finding with a trailing or preceding comment:\n"+
+			"\t//sdclint:ignore <analyzer>[,<analyzer>] <reason>\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+	if *list {
+		for _, a := range All() {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return ExitClean
+	}
+	analyzers := All()
+	if *analyzerList != "" {
+		var err error
+		if analyzers, err = ByName(*analyzerList); err != nil {
+			fmt.Fprintf(stderr, "sdclint: %v\n", err)
+			return ExitError
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := Load(".", patterns...)
+	if errors.Is(err, ErrNoPackages) {
+		fmt.Fprintf(stdout, "sdclint: no Go packages found matching %s\n", strings.Join(patterns, " "))
+		return ExitClean
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "sdclint: %v\n", err)
+		return ExitError
+	}
+
+	diags := Run(pkgs, analyzers)
+	for _, d := range diags {
+		d.Pos.Filename = relativize(d.Pos.Filename)
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "sdclint: %d finding(s)\n", len(diags))
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+// relativize shortens an absolute diagnostic path to be relative to the
+// current directory when the file lies under it.
+func relativize(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	if rel, err := filepath.Rel(wd, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMainNoPackages: a pattern matching no Go packages is a clean exit
+// with a clear message, not a panic or an error.
+func TestMainNoPackages(t *testing.T) {
+	var out, errOut strings.Builder
+	code := Main([]string{"./testdata/empty/..."}, &out, &errOut)
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitClean, errOut.String())
+	}
+	if !strings.Contains(out.String(), "no Go packages found") {
+		t.Fatalf("stdout = %q, want a 'no Go packages found' message", out.String())
+	}
+}
+
+// TestMainFindings: pointing the CLI at dirty testdata yields exit 1 and
+// positioned diagnostics.
+func TestMainFindings(t *testing.T) {
+	var out, errOut strings.Builder
+	code := Main([]string{"-analyzers", "globalmut", "./testdata/src/globalmut"}, &out, &errOut)
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitFindings, errOut.String())
+	}
+	if !strings.Contains(out.String(), "globalmut.go:") || !strings.Contains(out.String(), "counter") {
+		t.Fatalf("stdout = %q, want positioned globalmut findings", out.String())
+	}
+}
+
+// TestMainCleanTarget: a clean package exits 0 with no output.
+func TestMainCleanTarget(t *testing.T) {
+	var out, errOut strings.Builder
+	code := Main([]string{"../simrand"}, &out, &errOut)
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, ExitClean, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Fatalf("stdout = %q, want empty", out.String())
+	}
+}
+
+func TestMainUnknownAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := Main([]string{"-analyzers", "nope", "./..."}, &out, &errOut); code != ExitError {
+		t.Fatalf("exit = %d, want %d", code, ExitError)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Fatalf("stderr = %q, want unknown-analyzer error", errOut.String())
+	}
+}
+
+func TestMainList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := Main([]string{"-list"}, &out, &errOut); code != ExitClean {
+		t.Fatalf("exit = %d, want %d", code, ExitClean)
+	}
+	for _, name := range []string{"detrand", "maporder", "globalmut", "srcshare"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}

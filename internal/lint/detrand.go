@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Detrand forbids ambient randomness and wall-clock reads. Every random
+// decision in the simulation must flow through a seeded simrand.Source, and
+// every timestamp through the discrete-event clock (internal/sched);
+// math/rand, crypto/rand, time.Now and time.Since all smuggle in state that
+// is not a function of the experiment seed, so a single call silently makes
+// a "reproducible" result unreproducible — the repo's own flavour of a
+// silent data corruption.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid math/rand, crypto/rand and wall-clock reads; randomness must flow through simrand.Source",
+	Run:  runDetrand,
+}
+
+// detrandForbiddenImports maps forbidden import paths to remediation hints.
+var detrandForbiddenImports = map[string]string{
+	"math/rand":    "derive randomness from a seeded simrand.Source",
+	"math/rand/v2": "derive randomness from a seeded simrand.Source",
+	"crypto/rand":  "derive randomness from a seeded simrand.Source",
+}
+
+// detrandForbiddenTimeFuncs lists time-package functions that read the wall
+// clock. (time.Until is included: it is time.Now in disguise.)
+var detrandForbiddenTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runDetrand(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if hint, ok := detrandForbiddenImports[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %s is forbidden in simulation code: %s", path, hint)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if detrandForbiddenTimeFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock and breaks determinism; use the simulation clock (internal/sched)", fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalMut flags writes to package-level variables outside package
+// initialization. Mutable package state couples otherwise-independent
+// simulation runs executed in one process (tests, the experiment harness,
+// future sharded execution), so a result stops being a pure function of its
+// seed. Lookup tables built in init and sentinel errors are naturally
+// exempt — they are never written after initialization. Intentional mutable
+// globals (there is an allowlist of synchronization types, and a
+// //sdclint:ignore globalmut escape hatch) must justify themselves
+// explicitly.
+var GlobalMut = &Analyzer{
+	Name: "globalmut",
+	Doc:  "flag writes to package-level variables outside init; package state must be immutable across runs",
+	Run:  runGlobalMut,
+}
+
+// globalMutAllowedTypes are named types whose package-level instances exist
+// to be mutated and are concurrency-safe by design.
+var globalMutAllowedTypes = map[string]bool{
+	"sync.Once":      true,
+	"sync.Mutex":     true,
+	"sync.RWMutex":   true,
+	"sync.Pool":      true,
+	"sync.WaitGroup": true,
+}
+
+func runGlobalMut(pass *Pass) {
+	info := pass.Pkg.Info
+	report := func(id *ast.Ident, verb string) {
+		obj, ok := info.ObjectOf(id).(*types.Var)
+		if !ok || obj.IsField() || obj.Pkg() == nil {
+			return
+		}
+		if obj.Parent() != obj.Pkg().Scope() {
+			return // not package-level
+		}
+		if named, ok := obj.Type().(*types.Named); ok {
+			key := ""
+			if p := named.Obj().Pkg(); p != nil {
+				key = p.Path() + "." + named.Obj().Name()
+			}
+			if globalMutAllowedTypes[key] {
+				return
+			}
+		}
+		pass.Reportf(id.Pos(), "%s package-level variable %s outside init breaks cross-run reproducibility; pass state explicitly or justify with //sdclint:ignore globalmut", verb, obj.Name())
+	}
+	for _, f := range pass.Pkg.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if inInitContext(stack) {
+					return true
+				}
+				for _, lhs := range st.Lhs {
+					if id := rootIdent(lhs, info); id != nil {
+						report(id, "write to")
+					}
+				}
+			case *ast.IncDecStmt:
+				if inInitContext(stack) {
+					return true
+				}
+				if id := rootIdent(st.X, info); id != nil {
+					report(id, "mutation of")
+				}
+			case *ast.RangeStmt:
+				if st.Tok.String() == "=" && !inInitContext(stack) {
+					for _, e := range []ast.Expr{st.Key, st.Value} {
+						if e == nil {
+							continue
+						}
+						if id := rootIdent(e, info); id != nil {
+							report(id, "write to")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// inInitContext reports whether the ancestor stack passes through a
+// top-level func init() — where one-time writes to package state (table
+// construction) are the accepted idiom.
+func inInitContext(stack []ast.Node) bool {
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			return fd.Recv == nil && fd.Name.Name == "init"
+		}
+	}
+	return false
+}
+
+// rootIdent unwraps index, selector, star and paren expressions to the
+// identifier at the base of an lvalue ("x" in x[i].f), so element and field
+// writes count as writes to the variable itself. A package-qualified name
+// (pkg.Var) resolves to the selected variable, not the package name.
+func rootIdent(e ast.Expr, info *types.Info) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.ObjectOf(id).(*types.PkgName); isPkg {
+					return x.Sel
+				}
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite analyzer golden files")
+
+// runGolden loads testdata/src/<name>, runs a single analyzer, and compares
+// the (suppression-filtered, sorted) diagnostics against the package's
+// expect.golden file. Each testdata package mixes true positives with clean
+// negatives, so an exact match demonstrates both detection and restraint.
+func runGolden(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkgs, err := Load(".", dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags := Run(pkgs, []*Analyzer{a})
+	var buf bytes.Buffer
+	for _, d := range diags {
+		fmt.Fprintf(&buf, "%s:%d:%d: %s: %s\n",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	golden := filepath.Join(dir, "expect.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/lint -run Golden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("%s diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", name, buf.Bytes(), want)
+	}
+	if len(diags) == 0 {
+		t.Errorf("%s testdata produced no findings; want at least one true positive", name)
+	}
+}
+
+func TestDetrandGolden(t *testing.T)   { runGolden(t, Detrand, "detrand") }
+func TestMapOrderGolden(t *testing.T)  { runGolden(t, MapOrder, "maporder") }
+func TestGlobalMutGolden(t *testing.T) { runGolden(t, GlobalMut, "globalmut") }
+func TestSrcShareGolden(t *testing.T)  { runGolden(t, SrcShare, "srcshare") }

@@ -1,0 +1,221 @@
+// Package lint implements sdclint, the repo's determinism and safety
+// static-analysis pass. Every number this project reproduces from the paper
+// is only trustworthy because a simulation run is bit-for-bit reproducible
+// from its seed; lint machine-checks the conventions that keep it so (no
+// ambient randomness or wall-clock reads, no order-dependent map iteration,
+// no mutable package state, no simrand.Source shared across goroutines).
+//
+// The engine is deliberately stdlib-only: packages are enumerated, parsed
+// and type-checked with go/parser, go/types and go/importer (see load.go),
+// so the linter adds no module dependencies to the reproduction.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is a single finding, positioned at file:line:column.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// An Analyzer is one named determinism rule. Run inspects a fully
+// type-checked package and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns every analyzer sdclint ships, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Detrand, MapOrder, GlobalMut, SrcShare}
+}
+
+// ByName resolves a comma-separated analyzer list ("detrand,maporder").
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to every package, drops findings suppressed by
+// //sdclint:ignore directives, and returns the rest sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		}
+	}
+	diags = suppress(pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreDirective is the comment prefix that suppresses findings:
+//
+//	//sdclint:ignore <analyzer>[,<analyzer>...] [reason]
+//
+// A directive suppresses the named analyzers on its own line and on the
+// line directly below it (so it works both as a trailing comment and as a
+// standalone comment above the offending line).
+const ignoreDirective = "//sdclint:ignore"
+
+// suppress filters out diagnostics covered by ignore directives.
+func suppress(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	// ignores maps filename -> line -> analyzer names suppressed there.
+	ignores := make(map[string]map[int]map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, ok := parseIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					byLine := ignores[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]map[string]bool)
+						ignores[pos.Filename] = byLine
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						set := byLine[line]
+						if set == nil {
+							set = make(map[string]bool)
+							byLine[line] = set
+						}
+						for _, n := range names {
+							set[n] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if ignores[d.Pos.Filename][d.Pos.Line][d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// parseIgnore extracts the analyzer names from an ignore directive comment.
+// It returns ok=false for comments that are not (well-formed) directives; a
+// bare "//sdclint:ignore" with no analyzer names suppresses nothing, so a
+// typo never silently widens the suppression.
+func parseIgnore(text string) (names []string, ok bool) {
+	if !strings.HasPrefix(text, ignoreDirective) {
+		return nil, false
+	}
+	rest := text[len(ignoreDirective):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false // e.g. //sdclint:ignoreXXX
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}
+
+// isSimrandSource reports whether t is simrand.Source or *simrand.Source.
+// The match is by package-path suffix so it also holds inside the
+// analyzer's own testdata packages, whose synthetic import paths merely end
+// in "/simrand".
+func isSimrandSource(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Source" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "simrand" || strings.HasSuffix(path, "/simrand")
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal in stack (a path of ancestor nodes, outermost first).
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+		ok    bool
+	}{
+		{"//sdclint:ignore detrand", []string{"detrand"}, true},
+		{"//sdclint:ignore detrand wall clock is display-only", []string{"detrand"}, true},
+		{"//sdclint:ignore detrand,maporder reason", []string{"detrand", "maporder"}, true},
+		{"//sdclint:ignore", nil, false},            // bare directive suppresses nothing
+		{"//sdclint:ignorexyz detrand", nil, false}, // not a directive
+		{"// plain comment", nil, false},
+		{"//sdclint:ignore ,", nil, false},
+	}
+	for _, c := range cases {
+		names, ok := parseIgnore(c.text)
+		if ok != c.ok || !reflect.DeepEqual(names, c.names) {
+			t.Errorf("parseIgnore(%q) = %v, %v; want %v, %v", c.text, names, ok, c.names, c.ok)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("detrand, srcshare")
+	if err != nil || len(as) != 2 || as[0].Name != "detrand" || as[1].Name != "srcshare" {
+		t.Fatalf("ByName = %v, %v", as, err)
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("ByName(bogus) succeeded, want error")
+	}
+	if _, err := ByName(""); err == nil {
+		t.Fatal("ByName(empty) succeeded, want error")
+	}
+}
+
+func TestAllAnalyzersHaveDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,334 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ErrNoPackages is returned by Load when the patterns match no Go packages.
+// The CLI treats it as a clean (exit 0) outcome rather than a failure.
+var ErrNoPackages = errors.New("no Go packages found")
+
+// Package is one parsed and type-checked package of the module under
+// analysis. Test files (_test.go) are not loaded: the determinism contract
+// governs simulation code, and tests legitimately exercise concurrency
+// patterns (e.g. racing a shared Source on purpose) that the analyzers
+// forbid elsewhere.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Load enumerates, parses and type-checks the packages matching patterns.
+// Relative patterns resolve against baseDir, which must lie inside a Go
+// module (a go.mod is found by walking up from it). A pattern is either a
+// directory ("./internal/simrand") or a recursive form ("./..."); recursive
+// walks skip testdata, vendor and hidden directories, while a direct
+// directory pattern may name anything — including a testdata package, which
+// is how the analyzer tests load their fixtures.
+func Load(baseDir string, patterns ...string) ([]*Package, error) {
+	absBase, err := filepath.Abs(baseDir)
+	if err != nil {
+		return nil, err
+	}
+	modRoot, modPath, err := findModule(absBase)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(absBase, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, ErrNoPackages
+	}
+
+	l := &loader{
+		fset:    token.NewFileSet(),
+		modRoot: modRoot,
+		modPath: modPath,
+		byDir:   make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(l.fset, "gc", nil)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		p, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// expandPatterns resolves CLI-style package patterns to package directories
+// (directories containing at least one non-test .go file).
+func expandPatterns(baseDir string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			pat, recursive = rest, true
+			if pat == "" {
+				pat = "/"
+			}
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(baseDir, dir)
+		}
+		fi, err := os.Stat(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: pattern %q: %w", pat, err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q is not a directory", pat)
+		}
+		if !recursive {
+			if has, err := hasGoFiles(dir); err != nil {
+				return nil, err
+			} else if has {
+				add(dir)
+			}
+			continue
+		}
+		err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if has, err := hasGoFiles(path); err != nil {
+				return err
+			} else if has {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a loadable Go file.
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && loadableGoFile(e.Name()) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func loadableGoFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// loader type-checks module packages on demand, serving as the
+// types.Importer for intra-module imports and delegating the standard
+// library to the toolchain's export-data importer.
+type loader struct {
+	fset    *token.FileSet
+	modRoot string
+	modPath string
+	std     types.Importer
+	byDir   map[string]*Package
+	loading map[string]bool
+}
+
+func (l *loader) loadDir(dir string) (*Package, error) {
+	if p, ok := l.byDir[dir]; ok {
+		return p, nil
+	}
+	if l.loading[dir] {
+		return nil, fmt.Errorf("lint: import cycle through %s", dir)
+	}
+	l.loading[dir] = true
+	defer delete(l.loading, dir)
+
+	importPath, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !loadableGoFile(e.Name()) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if buildIgnored(f) {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no loadable Go files in %s", dir)
+	}
+	name := files[0].Name.Name
+	for _, f := range files[1:] {
+		if f.Name.Name != name {
+			return nil, fmt.Errorf("lint: %s: found packages %s and %s", dir, name, f.Name.Name)
+		}
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		const max = 10
+		if len(typeErrs) > max {
+			typeErrs = append(typeErrs[:max], fmt.Sprintf("... and %d more", len(typeErrs)-max))
+		}
+		return nil, fmt.Errorf("lint: type errors in %s:\n\t%s", importPath, strings.Join(typeErrs, "\n\t"))
+	}
+
+	p := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.byDir[dir] = p
+	return p, nil
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (l *loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.modPath)
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// Import implements types.Importer: module-local paths are type-checked
+// from source; everything else (the standard library) comes from the
+// toolchain importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if rel, ok := modRelative(l.modPath, path); ok {
+		p, err := l.loadDir(filepath.Join(l.modRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// modRelative returns the module-relative part of an import path, if the
+// path belongs to the module.
+func modRelative(modPath, importPath string) (string, bool) {
+	if importPath == modPath {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(importPath, modPath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// buildIgnored reports whether the file carries a "//go:build ignore"
+// constraint (the only build-tag form this repo uses, on generator-style
+// helper files, if any).
+func buildIgnored(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if text == "//go:build ignore" || strings.HasPrefix(text, "// +build ignore") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags range-over-map loops whose bodies are sensitive to
+// iteration order: Go randomizes map order per run, so a body that appends
+// to a slice, writes output, or consumes randomness produces a different
+// result (or drains a simrand stream in a different order) on every
+// execution. The deterministic idiom is to collect the keys, sort them, and
+// iterate over the sorted slice — MapOrder recognizes that key-collection
+// idiom and leaves it alone as long as the collected slice really is sorted
+// in the same function.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-dependent effects (append, output, randomness) inside range-over-map loops",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, ok := tv.Type.Underlying().(*types.Map); !ok {
+				return true
+			}
+
+			// The sanctioned idiom: a loop that only collects keys (or
+			// key-derived values) into a slice which the enclosing function
+			// then sorts.
+			if slice, ok := keyCollectionTarget(rng, info); ok {
+				if body := enclosingFuncBody(stack); body != nil && sortsSlice(body, slice, info) {
+					return true
+				}
+				pass.Reportf(rng.Pos(), "values collected from map iteration into %q are never sorted; sort them before use", slice.Name())
+				return true
+			}
+
+			if node, what := orderDependentEffect(rng.Body, info); node != nil {
+				pass.Reportf(node.Pos(), "%s inside range over map %s depends on map iteration order; iterate over sorted keys instead",
+					what, types.ExprString(rng.X))
+			}
+			return true
+		})
+	}
+}
+
+// keyCollectionTarget reports whether the range body is exactly one
+// append-to-slice assignment ("ks = append(ks, ...)") and returns the
+// slice's object.
+func keyCollectionTarget(rng *ast.RangeStmt, info *types.Info) (*types.Var, bool) {
+	if len(rng.Body.List) != 1 {
+		return nil, false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return nil, false
+	}
+	lhs, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltinAppend(call, info) || len(call.Args) < 2 {
+		return nil, false
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	lhsObj, _ := info.ObjectOf(lhs).(*types.Var)
+	dstObj, _ := info.ObjectOf(dst).(*types.Var)
+	if lhsObj == nil || lhsObj != dstObj {
+		return nil, false
+	}
+	// Appended values must be pure projections of the iteration variables:
+	// no calls (which could print or consume randomness on the side).
+	for _, arg := range call.Args[1:] {
+		pure := true
+		ast.Inspect(arg, func(m ast.Node) bool {
+			if c, ok := m.(*ast.CallExpr); ok && !isBuiltinAppend(c, info) {
+				if _, isConv := info.Types[c.Fun]; !isConv || !info.Types[c.Fun].IsType() {
+					pure = false
+					return false
+				}
+			}
+			return true
+		})
+		if !pure {
+			return nil, false
+		}
+	}
+	return lhsObj, true
+}
+
+// sortsSlice reports whether body contains a sorting call that mentions
+// obj among its arguments — either a call into package sort or slices, or a
+// local helper whose name starts with "sort"/"Sort" (the repo idiom, e.g.
+// testkit's sortInstrs).
+func sortsSlice(body *ast.BlockStmt, obj *types.Var, info *types.Info) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortingFunc(call.Fun, info) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return true
+	})
+	return found
+}
+
+func isSortingFunc(fun ast.Expr, info *types.Info) bool {
+	switch f := fun.(type) {
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[f.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		p := fn.Pkg().Path()
+		return p == "sort" || p == "slices"
+	case *ast.Ident:
+		fn, ok := info.Uses[f].(*types.Func)
+		return ok && (strings.HasPrefix(fn.Name(), "sort") || strings.HasPrefix(fn.Name(), "Sort"))
+	}
+	return false
+}
+
+// orderDependentEffect returns the first node in body whose effect depends
+// on iteration order, with a short description of what it does.
+func orderDependentEffect(body *ast.BlockStmt, info *types.Info) (ast.Node, string) {
+	var node ast.Node
+	var what string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if node != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isBuiltinAppend(call, info):
+			node, what = call, "append"
+		case isOutputCall(call, info):
+			node, what = call, "output write"
+		case isSimrandCall(call, info):
+			node, what = call, "randomness consumption"
+		}
+		return node == nil
+	})
+	return node, what
+}
+
+func isBuiltinAppend(call *ast.CallExpr, info *types.Info) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isOutputCall matches fmt print functions and Write-family methods
+// (io.Writer, strings.Builder, bytes.Buffer, ...).
+func isOutputCall(call *ast.CallExpr, info *types.Info) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	if info.Selections[sel] != nil { // method call
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return true
+		}
+	}
+	return false
+}
+
+// isSimrandCall matches method calls on a simrand.Source receiver.
+func isSimrandCall(call *ast.CallExpr, info *types.Info) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s := info.Selections[sel]
+	return s != nil && s.Kind() == types.MethodVal && isSimrandSource(s.Recv())
+}
+
+// inspectStack is ast.Inspect with an ancestor stack (outermost first,
+// excluding n itself).
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

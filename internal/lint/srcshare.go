@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SrcShare enforces the Source-per-goroutine rule documented on
+// simrand.Source: a Source is not safe for concurrent use, so a goroutine
+// must own a Derived substream rather than share its creator's stream. The
+// analyzer flags a simrand.Source captured by the closure of a go
+// statement — the sharing pattern that becomes a data race (and a
+// nondeterministic draw order even if externally synchronized) the moment
+// the ROADMAP's sharded/concurrent execution lands. Passing a Source into
+// the goroutine as an argument is the sanctioned ownership handoff and is
+// not flagged.
+var SrcShare = &Analyzer{
+	Name: "srcshare",
+	Doc:  "flag *simrand.Source captured by go-statement closures; each goroutine must Derive its own substream",
+	Run:  runSrcShare,
+}
+
+func runSrcShare(pass *Pass) {
+	info := pass.Pkg.Info
+	seen := make(map[token.Pos]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				switch x := m.(type) {
+				case *ast.Ident:
+					obj, ok := info.Uses[x].(*types.Var)
+					if !ok || obj.IsField() || !isSimrandSource(obj.Type()) {
+						return true
+					}
+					if capturedBy(obj, lit) && !seen[x.Pos()] {
+						seen[x.Pos()] = true
+						pass.Reportf(x.Pos(), "goroutine closure captures %s (%s), sharing it with its creator; a Source is not concurrency-safe — give the goroutine its own Derived substream", obj.Name(), obj.Type())
+					}
+				case *ast.SelectorExpr:
+					// A Source reached through a captured struct (w.src).
+					tv, ok := info.Types[x]
+					if !ok || !isSimrandSource(tv.Type) {
+						return true
+					}
+					root := rootIdent(x, info)
+					if root == nil {
+						return true
+					}
+					obj, ok := info.Uses[root].(*types.Var)
+					if !ok || obj.IsField() {
+						return true
+					}
+					if capturedBy(obj, lit) && !seen[x.Pos()] {
+						seen[x.Pos()] = true
+						pass.Reportf(x.Pos(), "goroutine closure reaches %s through captured %s, sharing the Source with its creator; give the goroutine its own Derived substream", types.ExprString(x), root.Name)
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// capturedBy reports whether obj is declared outside lit, i.e. the closure
+// captures it (package-level Sources count: they are shared with everyone).
+func capturedBy(obj *types.Var, lit *ast.FuncLit) bool {
+	return obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()
+}

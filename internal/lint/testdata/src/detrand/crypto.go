@@ -1,0 +1,10 @@
+package detrand
+
+import (
+	crand "crypto/rand"
+)
+
+// ReadEntropy shows an aliased forbidden import is still caught.
+func ReadEntropy(b []byte) {
+	_, _ = crand.Read(b)
+}

@@ -1,0 +1,34 @@
+// Package detrand is analyzer test data: ambient randomness and wall-clock
+// reads versus the sanctioned simrand path.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+
+	"farron/internal/simrand"
+)
+
+// Bad draws from ambient randomness and reads the wall clock.
+func Bad(seed uint64) float64 {
+	r := rand.New(rand.NewSource(int64(seed)))
+	start := time.Now()
+	_ = time.Since(start)
+	return r.Float64()
+}
+
+// Clean draws from a seeded Source — the sanctioned path.
+func Clean(seed uint64) float64 {
+	src := simrand.New(seed)
+	return src.Float64()
+}
+
+// CleanDuration shows that time *types* are fine; only clock reads are not.
+func CleanDuration(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// Suppressed demonstrates the escape hatch.
+func Suppressed() time.Time {
+	return time.Now() //sdclint:ignore detrand demonstrating the escape hatch
+}

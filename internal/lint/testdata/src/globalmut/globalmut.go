@@ -1,0 +1,55 @@
+// Package globalmut is analyzer test data: mutable package state versus
+// init-built tables, sentinel errors and justified globals.
+package globalmut
+
+import "errors"
+
+// ErrBoom is a sentinel error: declared once, never written — clean.
+var ErrBoom = errors.New("boom")
+
+// table is built in init and read-only afterwards — clean.
+var table [16]int
+
+func init() {
+	for i := range table {
+		table[i] = i * i
+	}
+}
+
+// counter is mutable package state.
+var counter int
+
+// Bump mutates a package-level variable.
+func Bump() int {
+	counter++
+	return counter
+}
+
+// cache is mutable package state written through an element.
+var cache = map[string]int{}
+
+// Memoize writes an element of a package-level map.
+func Memoize(k string, v int) {
+	cache[k] = v
+}
+
+// registry is intentionally mutable; its writer justifies itself.
+var registry []string
+
+// Register demonstrates the escape hatch.
+func Register(name string) {
+	//sdclint:ignore globalmut demonstrating a justified mutable global
+	registry = append(registry, name)
+}
+
+// Local shows that local mutation is, of course, fine.
+func Local() int {
+	n := 0
+	n++
+	return n
+}
+
+// Table reads the init-built table — clean.
+func Table(i int) int {
+	return table[i&15]
+}

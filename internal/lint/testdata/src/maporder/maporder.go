@@ -1,0 +1,68 @@
+// Package maporder is analyzer test data: order-dependent effects inside
+// range-over-map loops versus the sorted-keys idiom.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"farron/internal/simrand"
+)
+
+// BadCollect gathers map values into a slice that is never sorted.
+func BadCollect(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// BadPrint writes output in map iteration order.
+func BadPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// BadRand drains a simrand stream in map iteration order.
+func BadRand(m map[string]int, src *simrand.Source) int {
+	total := 0
+	for range m {
+		total += src.Intn(10)
+	}
+	return total
+}
+
+// CleanSortedKeys is the sanctioned idiom: collect keys, sort, iterate.
+func CleanSortedKeys(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// CleanAggregate accumulates an order-independent integer reduction.
+func CleanAggregate(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Suppressed demonstrates the escape hatch on a deliberate violation.
+func Suppressed(m map[string]bool) []string {
+	var out []string
+	//sdclint:ignore maporder demonstrating the escape hatch
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+// Package srcshare is analyzer test data: simrand.Source ownership across
+// goroutine boundaries.
+package srcshare
+
+import "farron/internal/simrand"
+
+// Shared leaks the parent's Source into a goroutine: a data race, and a
+// nondeterministic draw order even when externally synchronized.
+func Shared(seed uint64) {
+	src := simrand.New(seed)
+	done := make(chan struct{})
+	go func() {
+		_ = src.Uint64()
+		close(done)
+	}()
+	_ = src.Uint64()
+	<-done
+}
+
+type worker struct {
+	src *simrand.Source
+}
+
+// SharedField reaches a Source through a captured struct.
+func SharedField(w *worker) {
+	done := make(chan struct{})
+	go func() {
+		_ = w.src.Uint64()
+		close(done)
+	}()
+	_ = w.src.Uint64()
+	<-done
+}
+
+// Derived hands each goroutine its own substream — the sanctioned pattern.
+func Derived(seed uint64) {
+	parent := simrand.New(seed)
+	done := make(chan struct{}, 2)
+	for _, key := range []string{"a", "b"} {
+		sub := parent.Derive("worker", key)
+		go func(s *simrand.Source) {
+			_ = s.Uint64()
+			done <- struct{}{}
+		}(sub)
+	}
+	<-done
+	<-done
+}
+
+// OwnSource creates the Source inside the goroutine — no sharing.
+func OwnSource(seed uint64) {
+	done := make(chan struct{})
+	go func() {
+		local := simrand.New(seed)
+		_ = local.Uint64()
+		close(done)
+	}()
+	<-done
+}
+
+// Suppressed demonstrates the escape hatch: the caller guarantees the
+// parent never draws again.
+func Suppressed(seed uint64) {
+	src := simrand.New(seed)
+	done := make(chan struct{})
+	go func() {
+		_ = src.Uint64() //sdclint:ignore srcshare demonstrating the escape hatch
+		close(done)
+	}()
+	<-done
+}

@@ -14,6 +14,7 @@ package mesi
 import (
 	"errors"
 	"fmt"
+	"slices"
 )
 
 // State is a MESI cache-line state.
@@ -154,7 +155,10 @@ func (s *System) evictIfNeeded(c *Cache) {
 		if l.state == Invalid {
 			continue
 		}
-		if victim == nil || l.lru < victim.lru {
+		// Tie-break equal LRU stamps by address so the evicted victim does
+		// not depend on map iteration order.
+		if victim == nil || l.lru < victim.lru ||
+			(l.lru == victim.lru && l.addr < victim.addr) {
 			victim = l
 		}
 	}
@@ -313,6 +317,21 @@ func (s *System) MemValue(addr uint64) uint64 { return s.mem[addr] }
 // violated (expected only under fault injection).
 var ErrIncoherent = errors.New("mesi: coherence invariant violated")
 
+// sortedLines returns a cache's lines in ascending address order, for
+// deterministic iteration where the visit order is observable.
+func sortedLines(lines map[uint64]*line) []*line {
+	addrs := make([]uint64, 0, len(lines))
+	for a := range lines {
+		addrs = append(addrs, a)
+	}
+	slices.Sort(addrs)
+	out := make([]*line, len(addrs))
+	for i, a := range addrs {
+		out[i] = lines[a]
+	}
+	return out
+}
+
 // CheckInvariants verifies the MESI single-writer / no-stale-copy
 // invariants:
 //
@@ -326,8 +345,9 @@ func (s *System) CheckInvariants() error {
 		total  int
 	}
 	byAddr := map[uint64]*holders{}
+	var addrs []uint64
 	for _, c := range s.caches {
-		for _, l := range c.lines {
+		for _, l := range sortedLines(c.lines) {
 			if l.state == Invalid {
 				continue
 			}
@@ -335,6 +355,7 @@ func (s *System) CheckInvariants() error {
 			if h == nil {
 				h = &holders{}
 				byAddr[l.addr] = h
+				addrs = append(addrs, l.addr)
 			}
 			h.total++
 			switch l.state {
@@ -345,7 +366,11 @@ func (s *System) CheckInvariants() error {
 			}
 		}
 	}
-	for addr, h := range byAddr {
+	// Sorted order makes the reported violation stable when several
+	// addresses are incoherent at once.
+	slices.Sort(addrs)
+	for _, addr := range addrs {
+		h := byAddr[addr]
 		if h.me > 1 {
 			return fmt.Errorf("%w: addr %#x has %d M/E holders", ErrIncoherent, addr, h.me)
 		}

@@ -65,15 +65,18 @@ func AttributeSuspects(results []RunResult) SuspectReport {
 			}
 		}
 	}
+	ids := make([]model.InstrID, 0, len(inAllFailing))
 	for id := range inAllFailing {
+		ids = append(ids, id)
+	}
+	sortInstrs(ids)
+	for _, id := range ids {
 		if inAnyPassing[id] {
 			rep.WeakSuspects = append(rep.WeakSuspects, id)
 		} else {
 			rep.Suspects = append(rep.Suspects, id)
 		}
 	}
-	sortInstrs(rep.Suspects)
-	sortInstrs(rep.WeakSuspects)
 	return rep
 }
 
@@ -135,8 +138,14 @@ func RankSuspects(results []RunResult, topK int) []SuspectScore {
 	if fN == 0 {
 		return nil
 	}
+	ids := make([]model.InstrID, 0, len(byInstr))
+	for id := range byInstr {
+		ids = append(ids, id)
+	}
+	sortInstrs(ids)
 	var out []SuspectScore
-	for id, a := range byInstr {
+	for _, id := range ids {
+		a := byInstr[id]
 		if a.fRuns == 0 {
 			continue
 		}
