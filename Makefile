@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint check
+.PHONY: build test race vet fmt lint bench check
 
 ## build: compile every package
 build:
@@ -26,6 +26,10 @@ fmt:
 ## lint: sdclint determinism & safety pass (see DESIGN.md)
 lint:
 	$(GO) run ./cmd/sdclint ./...
+
+## bench: paper-scale sdcbench run with a timing/allocs JSON report
+bench:
+	$(GO) run ./cmd/sdcbench -n 1000000 -o bench_report.txt -json
 
 ## check: everything CI runs — the one-command tier-1 verify
 check: build vet fmt test race lint

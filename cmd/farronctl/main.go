@@ -1,10 +1,12 @@
 // Command farronctl evaluates the Farron mitigation system against the
-// Alibaba Cloud baseline: one-round regular-testing coverage (Figure 11)
-// and testing + temperature-control overhead (Table 4).
+// Alibaba Cloud baseline: one-round regular-testing coverage (Figure 11),
+// testing + temperature-control overhead (Table 4), the fault-tolerance
+// comparison (Observation 12), the design-choice ablation and the
+// long-horizon lifecycle. It runs the engine registry's "mitigation" group.
 //
 // Usage:
 //
-//	farronctl [-seed seed] [-online duration]
+//	farronctl [-seed seed] [-workers n] [-quick] [-online duration]
 package main
 
 import (
@@ -12,8 +14,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"time"
 
+	"farron/internal/engine"
+	"farron/internal/engine/cliflags"
 	"farron/internal/experiments"
 )
 
@@ -21,18 +24,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("farronctl: ")
 	var (
-		seed   = flag.Uint64("seed", 1, "simulation seed")
-		online = flag.Duration("online", 72*time.Hour, "simulated online operation per processor for Table 4")
+		common = cliflags.Register(flag.CommandLine)
+		online = flag.Duration("online", 0, "simulated online operation per processor for Table 4 (default: the scale's)")
 	)
 	flag.Parse()
 
-	ctx := experiments.NewContext(*seed)
-	out := os.Stdout
+	ctx := common.Context()
+	sc := common.Scale()
+	if *online > 0 {
+		sc.Online = *online
+	}
 
-	fmt.Fprintln(out, experiments.Fig11(ctx).Render())
-	fmt.Fprintln(out, experiments.Table4(ctx, *online).Render())
-	fmt.Fprintln(out, experiments.Obs12(ctx, 4000).Render())
-	fmt.Fprintln(out, experiments.Ablation(ctx).Render())
-	fmt.Fprintln(out, experiments.Lifecycle(ctx).Render())
-	_ = log.Default()
+	exps := engine.Filter(experiments.Registry(), engine.GroupMitigation)
+	sections, _, err := engine.RunExperiments(ctx, exps, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range sections {
+		fmt.Fprintln(os.Stdout, s.Body)
+	}
 }

@@ -1,10 +1,11 @@
 // Command sdcbench regenerates every table and figure of the paper's
 // evaluation in one run and writes the full report — the data source for
-// EXPERIMENTS.md.
+// EXPERIMENTS.md. Experiments run concurrently on the engine's sharded
+// pool; the rendered report is byte-identical at any -workers value.
 //
 // Usage:
 //
-//	sdcbench [-seed seed] [-n population] [-o output]
+//	sdcbench [-seed seed] [-workers n] [-quick] [-n population] [-o output] [-json]
 package main
 
 import (
@@ -13,8 +14,10 @@ import (
 	"io"
 	"log"
 	"os"
-	"time"
 
+	"farron/internal/engine"
+	"farron/internal/engine/cliflags"
+	"farron/internal/engine/wallclock"
 	"farron/internal/experiments"
 )
 
@@ -22,9 +25,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sdcbench: ")
 	var (
-		seed = flag.Uint64("seed", 1, "simulation seed")
-		n    = flag.Int("n", 1_000_000, "fleet population size")
-		out  = flag.String("o", "", "output file (default stdout)")
+		common   = cliflags.Register(flag.CommandLine)
+		n        = flag.Int("n", 0, "fleet population size (default: the scale's)")
+		out      = flag.String("o", "", "output file (default stdout)")
+		jsonOut  = flag.Bool("json", false, "write the run's timing/allocs report to BENCH_<date>.json")
+		jsonPath = flag.String("jsonpath", "", "override the -json report path")
 	)
 	flag.Parse()
 
@@ -42,60 +47,36 @@ func main() {
 		w = f
 	}
 
-	ctx := experiments.NewContext(*seed)
-	section := func(name string, body string) {
-		fmt.Fprintf(w, "== %s ==\n%s\n", name, body)
+	ctx := common.Context()
+	sc := common.Scale()
+	if *n > 0 {
+		sc.Population = *n
 	}
 
-	t1, err := experiments.Table1(ctx, *n)
-	check(err)
-	section("Table 1", t1.Render())
-
-	t2, err := experiments.Table2(ctx, *n)
-	check(err)
-	section("Table 2", t2.Render())
-
-	section("Table 3", experiments.Table3(ctx).Render())
-	section("Figure 2", experiments.Fig2(ctx).Render())
-	section("Figure 3", experiments.Fig3(ctx).Render())
-	section("Figure 4", experiments.Fig4(ctx, 10_000).Render())
-	section("Figure 5", experiments.Fig5(ctx, 10_000).Render())
-	section("Figure 6", experiments.Fig6(ctx, 500).Render())
-	section("Figure 7", experiments.Fig7(ctx, 1000).Render())
-
-	f8, err := experiments.Fig8(ctx)
-	check(err)
-	section("Figure 8", f8.Render())
-
-	f9, err := experiments.Fig9(ctx)
-	check(err)
-	section("Figure 9", f9.Render())
-
-	section("Observation 9", experiments.Obs9(ctx, 62).Render())
-
-	o11, err := experiments.Obs11(ctx, 40_000)
-	check(err)
-	section("Observation 11", o11.Render())
-
-	section("Figure 11", experiments.Fig11(ctx).Render())
-	section("Table 4", experiments.Table4(ctx, 72*time.Hour).Render())
-	section("Observation 12", experiments.Obs12(ctx, 10_000).Render())
-	section("Ablation", experiments.Ablation(ctx).Render())
-
-	sep, err := experiments.Separation(ctx)
-	check(err)
-	section("Section 5 separation", sep.Render())
-	section("Section 4.1 attribution", experiments.Attribution(ctx).Render())
-
-	anom, err := experiments.Anomalies(ctx)
-	check(err)
-	section("Observation 10 anomalies", anom.Render())
-	section("Lifecycle", experiments.Lifecycle(ctx).Render())
-	section("Exposure window", experiments.Exposure(ctx, 6, 14*24*time.Hour, 5000).Render())
-}
-
-func check(err error) {
+	sections, rep, err := engine.RunExperiments(ctx, experiments.Registry(), sc)
 	if err != nil {
 		log.Fatal(err)
+	}
+	for _, s := range sections {
+		fmt.Fprintf(w, "== %s ==\n%s\n", s.Name, s.Body)
+	}
+
+	if *jsonOut || *jsonPath != "" {
+		rep.Quick = common.Quick
+		path := *jsonPath
+		if path == "" {
+			path = "BENCH_" + wallclock.Date() + ".json"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("bench report: %s (wall %.2fs, workers %d)", path, rep.WallSeconds, rep.Workers)
 	}
 }

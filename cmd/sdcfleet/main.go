@@ -1,11 +1,12 @@
 // Command sdcfleet runs the fleet-scale SDC study: the test-timing pipeline
 // of Figure 1 over a synthetic CPU population, reproducing Table 1 (failure
-// rate by test timing), Table 2 (failure rate by micro-architecture) and
-// Observation 11 (ineffective testcases).
+// rate by test timing), Table 2 (failure rate by micro-architecture),
+// Observation 11 (ineffective testcases) and the production exposure
+// window. It runs the engine registry's "fleet" group.
 //
 // Usage:
 //
-//	sdcfleet [-n population] [-sub subpopulation] [-seed seed]
+//	sdcfleet [-seed seed] [-workers n] [-quick] [-n population] [-sub subpopulation]
 package main
 
 import (
@@ -13,8 +14,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"time"
 
+	"farron/internal/engine"
+	"farron/internal/engine/cliflags"
 	"farron/internal/experiments"
 )
 
@@ -22,31 +24,27 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sdcfleet: ")
 	var (
-		n    = flag.Int("n", 1_000_000, "fleet population size")
-		sub  = flag.Int("sub", 40_000, "sub-fleet size for the Observation 11 detailed-log study")
-		seed = flag.Uint64("seed", 1, "simulation seed")
+		common = cliflags.Register(flag.CommandLine)
+		n      = flag.Int("n", 0, "fleet population size (default: the scale's)")
+		sub    = flag.Int("sub", 0, "Observation 11 sub-fleet size (default: the scale's)")
 	)
 	flag.Parse()
 
-	ctx := experiments.NewContext(*seed)
+	ctx := common.Context()
+	sc := common.Scale()
+	if *n > 0 {
+		sc.Population = *n
+	}
+	if *sub > 0 {
+		sc.SubPopulation = *sub
+	}
 
-	t1, err := experiments.Table1(ctx, *n)
+	exps := engine.Filter(experiments.Registry(), engine.GroupFleet)
+	sections, _, err := engine.RunExperiments(ctx, exps, sc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintln(os.Stdout, t1.Render())
-
-	t2, err := experiments.Table2(ctx, *n)
-	if err != nil {
-		log.Fatal(err)
+	for _, s := range sections {
+		fmt.Fprintln(os.Stdout, s.Body)
 	}
-	fmt.Fprintln(os.Stdout, t2.Render())
-
-	o11, err := experiments.Obs11(ctx, *sub)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintln(os.Stdout, o11.Render())
-
-	fmt.Fprintln(os.Stdout, experiments.Exposure(ctx, 6, 14*24*time.Hour, 5000).Render())
 }

@@ -1,11 +1,12 @@
 // Command sdcstudy runs the detailed per-processor SDC study on the
 // 27-processor study set: the faulty-processor inventory (Table 3), the
-// software-symptom figures (Figures 2-7) and the reproducibility figures
-// (Figures 8-9, Observation 9).
+// software-symptom figures (Figures 2-7), the reproducibility figures
+// (Figures 8-9, Observation 9) and the Section 4/5 analyses. It runs the
+// engine registry's "study" group.
 //
 // Usage:
 //
-//	sdcstudy [-seed seed] [-records n] [-reftemp degC]
+//	sdcstudy [-seed seed] [-workers n] [-quick] [-records n] [-reftemp degC] [-dump file]
 package main
 
 import (
@@ -16,6 +17,8 @@ import (
 	"time"
 
 	"farron/internal/cpu"
+	"farron/internal/engine"
+	"farron/internal/engine/cliflags"
 	"farron/internal/experiments"
 	"farron/internal/model"
 	"farron/internal/simrand"
@@ -28,51 +31,30 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sdcstudy: ")
 	var (
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		records = flag.Int("records", 10_000, "SDC records per datatype for Figures 4-5")
-		refTemp = flag.Float64("reftemp", 62, "reference test temperature for Observation 9")
+		common  = cliflags.Register(flag.CommandLine)
+		records = flag.Int("records", 0, "SDC records per datatype for Figures 4-5 (default: the scale's)")
+		refTemp = flag.Float64("reftemp", 0, "reference test temperature for Observation 9 (default: the scale's)")
 		dump    = flag.String("dump", "", "write the raw SDC record corpus (JSON lines) to this file")
 	)
 	flag.Parse()
 
-	ctx := experiments.NewContext(*seed)
-	out := os.Stdout
+	ctx := common.Context()
+	sc := common.Scale()
+	if *records > 0 {
+		sc.Records = *records
+	}
+	if *refTemp > 0 {
+		sc.RefTempC = *refTemp
+	}
 
-	fmt.Fprintln(out, experiments.Table3(ctx).Render())
-	fmt.Fprintln(out, experiments.Fig2(ctx).Render())
-	fmt.Fprintln(out, experiments.Fig3(ctx).Render())
-	fmt.Fprintln(out, experiments.Fig4(ctx, *records).Render())
-	fmt.Fprintln(out, experiments.Fig5(ctx, *records).Render())
-	fmt.Fprintln(out, experiments.Fig6(ctx, 500).Render())
-	fmt.Fprintln(out, experiments.Fig7(ctx, 1000).Render())
-
-	fig8, err := experiments.Fig8(ctx)
+	exps := engine.Filter(experiments.Registry(), engine.GroupStudy)
+	sections, _, err := engine.RunExperiments(ctx, exps, sc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintln(out, fig8.Render())
-
-	fig9, err := experiments.Fig9(ctx)
-	if err != nil {
-		log.Fatal(err)
+	for _, s := range sections {
+		fmt.Fprintln(os.Stdout, s.Body)
 	}
-	fmt.Fprintln(out, fig9.Render())
-
-	fmt.Fprintln(out, experiments.Obs9(ctx, *refTemp).Render())
-
-	sep, err := experiments.Separation(ctx)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintln(out, sep.Render())
-
-	fmt.Fprintln(out, experiments.Attribution(ctx).Render())
-
-	anom, err := experiments.Anomalies(ctx)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintln(out, anom.Render())
 
 	if *dump != "" {
 		if err := dumpCorpus(ctx, *dump); err != nil {
@@ -92,7 +74,7 @@ func dumpCorpus(ctx *experiments.Context, path string) error {
 		proc := cpu.FromProfile(p)
 		pkg := thermal.New(thermal.DefaultConfig(), proc.PhysCores, rng.Derive("dump", p.CPUID))
 		runner := testkit.NewRunner(ctx.Suite, proc, pkg)
-		for _, tc := range ctx.Suite.FailingTestcases(p) {
+		for _, tc := range ctx.Failing(p) {
 			for _, core := range proc.DefectiveCores() {
 				res := runner.Run(tc, testkit.RunOpts{
 					Core: core, Duration: 5 * time.Minute, FixedTempC: &hot,

@@ -1,0 +1,47 @@
+// Package cliflags hoists the flag surface shared by the experiment
+// commands (seed, worker budget, run scale) so engine-wide flags are
+// declared once instead of per command.
+package cliflags
+
+import (
+	"flag"
+	"runtime"
+
+	"farron/internal/engine"
+)
+
+// Common is the shared experiment flag set: every experiment CLI gets the
+// same -seed, -workers and -quick flags with identical semantics.
+type Common struct {
+	Seed    uint64
+	Workers int
+	Quick   bool
+}
+
+// Register installs the shared flags on fs and returns the destination
+// struct (valid after fs.Parse).
+func Register(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.Uint64Var(&c.Seed, "seed", 1, "simulation seed")
+	fs.IntVar(&c.Workers, "workers", runtime.GOMAXPROCS(0),
+		"parallel worker count; results are identical at any value")
+	fs.BoolVar(&c.Quick, "quick", false,
+		"run at smoke scale (smaller populations and record counts)")
+	return c
+}
+
+// Context builds the engine context at the flagged seed and worker budget.
+func (c *Common) Context() *engine.Ctx {
+	ctx := engine.NewCtx(c.Seed)
+	ctx.Workers = c.Workers
+	return ctx
+}
+
+// Scale returns the run scale selected by the flags: QuickScale under
+// -quick, DefaultScale otherwise.
+func (c *Common) Scale() engine.Scale {
+	if c.Quick {
+		return engine.QuickScale()
+	}
+	return engine.DefaultScale()
+}

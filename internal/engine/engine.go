@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"runtime"
+
+	"farron/internal/defect"
+	"farron/internal/model"
+	"farron/internal/simrand"
+	"farron/internal/testkit"
+)
+
+// Ctx carries the shared simulation state every experiment runs against:
+// the deterministic seed, the 633-testcase suite, and the calibrated
+// faulty-processor sets, plus the indexes that make per-record lookups O(1)
+// and the worker budget of the parallel engine.
+//
+// Construction is the only mutating phase. NewCtx generates the suite,
+// calibrates every study profile against its Table 3 target and freezes the
+// profiles' lazily-derived state (corruptor pattern tables); from then on
+// the whole context is immutable and may be shared by every shard of a
+// parallel run without copies or locks (see the immutability test in
+// internal/testkit and DESIGN.md "Execution engine & parallelism").
+type Ctx struct {
+	Seed uint64
+	Rng  *simrand.Source
+	// Suite is the toolchain testcase suite, immutable after NewSuite.
+	Suite *testkit.Suite
+	// Library is the ten named Table 3 processors, calibrated.
+	Library []*defect.Profile
+	// Study is the full 27-processor study set, calibrated.
+	Study []*defect.Profile
+	// Workers is the worker budget parallel drivers run under; NewCtx
+	// defaults it to GOMAXPROCS. It affects wall time, never results.
+	Workers int
+
+	profiles map[string]*defect.Profile
+	failing  map[string][]*testkit.Testcase
+	known    map[string][]string
+}
+
+// libraryIDs are the named Table 3 processors, in study-set order.
+var libraryIDs = map[string]bool{
+	"MIX1": true, "MIX2": true, "SIMD1": true, "SIMD2": true,
+	"FPU1": true, "FPU2": true, "FPU3": true, "FPU4": true,
+	"CNST1": true, "CNST2": true,
+}
+
+// NewCtx builds the shared state for a seed. Calibration aligns every
+// profile's failing-testcase count with its Table 3 target; profiles are
+// calibrated in parallel (each calibration touches only its own profile and
+// reads the immutable suite, so the result is identical at any worker
+// count).
+func NewCtx(seed uint64) *Ctx {
+	rng := simrand.New(seed)
+	suite := testkit.NewSuite(rng)
+	c := &Ctx{
+		Seed:    seed,
+		Rng:     rng,
+		Suite:   suite,
+		Workers: runtime.GOMAXPROCS(0),
+	}
+	c.Study = defect.StudySet(rng)
+	pool := c.Pool()
+	pool.Run(len(c.Study), func(i int) {
+		suite.CalibrateProfile(c.Study[i])
+	})
+	// The named library is the leading slice of the study set.
+	for _, p := range c.Study {
+		if libraryIDs[p.CPUID] {
+			c.Library = append(c.Library, p)
+		}
+	}
+	c.freeze(pool)
+	return c
+}
+
+// freeze finalizes the calibrated profiles for shared-read use: it forces
+// every lazily-derived corruptor pattern table into existence (keyed off
+// the root Rng, so the tables match what any serial caller would have
+// derived) and builds the CPUID indexes. After freeze, no code path mutates
+// a study profile or the suite.
+func (c *Ctx) freeze(pool *Pool) {
+	pool.Run(len(c.Study), func(i int) {
+		p := c.Study[i]
+		for _, d := range p.Defects {
+			for _, dt := range model.AllDataTypes() {
+				if d.AffectsDataType(dt) {
+					d.Corruptor(dt, c.Rng)
+				}
+			}
+		}
+	})
+	c.profiles = make(map[string]*defect.Profile, len(c.Study))
+	c.failing = make(map[string][]*testkit.Testcase, len(c.Study))
+	c.known = make(map[string][]string, len(c.Study))
+	for _, p := range c.Study {
+		c.profiles[p.CPUID] = p
+		failing := c.Suite.FailingTestcases(p)
+		c.failing[p.CPUID] = failing
+		ids := make([]string, len(failing))
+		for i, tc := range failing {
+			ids[i] = tc.ID
+		}
+		c.known[p.CPUID] = ids
+	}
+}
+
+// Pool returns an executor sized to the context's worker budget.
+func (c *Ctx) Pool() *Pool { return NewPool(c.Workers) }
+
+// Profile returns a study profile by CPUID, or nil. O(1).
+func (c *Ctx) Profile(id string) *defect.Profile { return c.profiles[id] }
+
+// KnownErrs returns the calibrated failing-testcase IDs of a study
+// processor, in suite order. The returned slice is shared and must not be
+// mutated. O(1).
+func (c *Ctx) KnownErrs(id string) []string { return c.known[id] }
+
+// Failing returns the testcases that detect at least one of the profile's
+// defects, in suite order. For study profiles this is an O(1) index lookup;
+// foreign profiles (e.g. fleet-generated ones) fall back to a suite scan.
+// The returned slice is shared and must not be mutated.
+func (c *Ctx) Failing(p *defect.Profile) []*testkit.Testcase {
+	if cached, ok := c.failing[p.CPUID]; ok {
+		return cached
+	}
+	return c.Suite.FailingTestcases(p)
+}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"farron/internal/engine/wallclock"
+)
+
+// stampStart captures a wall-clock stamp for run accounting. Wall time is
+// operational metadata about a run, never an input to it; all clock access
+// goes through the quarantined wallclock package (see its doc).
+func stampStart() wallclock.Stamp { return wallclock.Start() }
+
+// ExperimentTiming is the accounting of one registry entry in a run.
+type ExperimentTiming struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	OutputBytes int     `json:"output_bytes"`
+}
+
+// RunReport is the machine-readable accounting of one RunExperiments call:
+// what ran, at what seed and worker budget, how long it took and how much it
+// allocated. sdcbench -json writes it to BENCH_<date>.json so the perf
+// trajectory of the engine accumulates data points in-tree.
+type RunReport struct {
+	Schema      string             `json:"schema"`
+	Date        string             `json:"date"`
+	Seed        uint64             `json:"seed"`
+	Workers     int                `json:"workers"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	NumCPU      int                `json:"num_cpu"`
+	Quick       bool               `json:"quick"`
+	WallSeconds float64            `json:"wall_seconds"`
+	AllocBytes  uint64             `json:"alloc_bytes"`
+	Mallocs     uint64             `json:"mallocs"`
+	Experiments []ExperimentTiming `json:"experiments"`
+
+	start        wallclock.Stamp
+	startMemised bool
+	startMallocs uint64
+	startAlloc   uint64
+}
+
+// newRunReport opens the accounting for a run of n experiments.
+func newRunReport(ctx *Ctx, n int) *RunReport {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &RunReport{
+		Schema:       "farron-bench/v1",
+		Date:         wallclock.Date(),
+		Seed:         ctx.Seed,
+		Workers:      ctx.Workers,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Experiments:  make([]ExperimentTiming, n),
+		start:        wallclock.Start(),
+		startMemised: true,
+		startMallocs: ms.Mallocs,
+		startAlloc:   ms.TotalAlloc,
+	}
+}
+
+// finish closes the accounting: total wall time and allocation deltas over
+// the whole run (cumulative counters, so concurrent experiments are summed,
+// not sampled).
+func (r *RunReport) finish() {
+	r.WallSeconds = r.start.Seconds()
+	if r.startMemised {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		r.AllocBytes = ms.TotalAlloc - r.startAlloc
+		r.Mallocs = ms.Mallocs - r.startMallocs
+	}
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}

@@ -1,0 +1,153 @@
+// Package engine is the deterministic parallel execution engine: a sharded
+// worker pool, an experiment registry, and per-run accounting. It exists so
+// fleet-scale simulation can use every core the way the paper's production
+// toolchain tests >1M CPUs concurrently (§3) — without giving up the
+// repository's bit-for-bit reproducibility contract.
+//
+// Determinism under parallelism rests on two rules, both machine-enforced
+// by sdclint (srcshare) and exercised by the tier-1 determinism tests:
+//
+//  1. Shard-substream ownership. Work is split into shards whose count is a
+//     function of the problem, never of the worker count. Each shard draws
+//     its randomness from its own simrand substream, derived as
+//     Derive(purpose, shardKey) from an immutable parent seed — so the
+//     values a shard sees do not depend on which worker ran it, or when.
+//  2. Deterministic merge. Shard results land in a slot indexed by shard
+//     ID and are reduced in shard order after the barrier, so aggregation
+//     never observes scheduling order.
+//
+// Under these rules a run with -workers=N is byte-identical to -workers=1;
+// the worker count changes wall time and nothing else.
+package engine
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"farron/internal/simrand"
+)
+
+// Pool is a bounded executor for shard-granular work. The zero value is not
+// usable; construct with NewPool. A Pool carries no state between calls and
+// is safe for concurrent use.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool running at most workers goroutines per call.
+// workers < 1 is clamped to 1 (strictly serial execution on the caller's
+// goroutine — the reference against which parallel runs must be identical).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(0) … fn(n-1), each exactly once, using at most
+// p.workers goroutines, and returns once all calls complete. With one
+// worker (or one shard) it runs serially on the caller's goroutine.
+// fn must not depend on execution order across indices.
+func (p *Pool) Run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ShardKey is the canonical substream key of shard i: shard substreams are
+// derived as parent.Derive(purpose, ShardKey(i)), which ties the stream to
+// the shard's identity rather than to any scheduling accident.
+func ShardKey(i int) string { return "shard#" + strconv.Itoa(i) }
+
+// Map applies fn to shards 0 … n-1 on the pool and returns the results in
+// shard order. Each shard owns the substream parent.Derive(purpose,
+// ShardKey(i)); fn must take all randomness from that substream (never from
+// parent directly) so the output is independent of the worker count.
+func Map[T any](p *Pool, parent *simrand.Source, purpose string, n int, fn func(rng *simrand.Source, i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	p.Run(n, func(i int) {
+		out[i] = fn(parent.Derive(purpose, ShardKey(i)), i)
+	})
+	return out
+}
+
+// MapKeyed is Map with caller-chosen shard keys (e.g. a CPU serial or a
+// datatype name): shard i owns parent.Derive(purpose, keys[i]). Stable
+// domain keys keep a shard's substream identical even when the shard set
+// grows or shrinks between runs.
+func MapKeyed[T any](p *Pool, parent *simrand.Source, purpose string, keys []string, fn func(rng *simrand.Source, i int) T) []T {
+	if len(keys) == 0 {
+		return nil
+	}
+	out := make([]T, len(keys))
+	p.Run(len(keys), func(i int) {
+		out[i] = fn(parent.Derive(purpose, keys[i]), i)
+	})
+	return out
+}
+
+// MapPlain is Map for shards that consume no randomness.
+func MapPlain[T any](p *Pool, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	p.Run(n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// MapErr is MapPlain for fallible shards. All shards run to completion;
+// if any failed, the error of the lowest-indexed failing shard is returned
+// (lowest-index, not first-observed, so the reported error is
+// deterministic) together with the partial results.
+func MapErr[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	p.Run(n, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

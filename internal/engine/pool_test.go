@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"farron/internal/simrand"
+)
+
+// TestPoolRunEachIndexOnce checks the executor's contract under real
+// concurrency: every index runs exactly once, at any worker count. Run this
+// package under -race (make check, CI) to validate the synchronization.
+func TestPoolRunEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		const n = 500
+		var calls [n]atomic.Int32
+		NewPool(workers).Run(n, func(i int) {
+			calls[i].Add(1)
+		})
+		for i := range calls {
+			if got := calls[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestMapWorkerCountInvariance is the engine's core determinism property:
+// shard substreams are a function of (parent, purpose, shard ID), so Map
+// yields identical values at any worker count.
+func TestMapWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) []float64 {
+		parent := simrand.New(11)
+		return Map(NewPool(workers), parent, "invariance", 64, func(rng *simrand.Source, i int) float64 {
+			// Consume several draws so divergence would compound.
+			v := 0.0
+			for k := 0; k < 10; k++ {
+				v += rng.Float64()
+			}
+			return v
+		})
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d: Map results differ from serial run", workers)
+		}
+	}
+}
+
+// TestMapDoesNotAdvanceParent pins the property the whole scheme rests on:
+// deriving shard substreams never mutates the parent source, so a Map call
+// is invisible to subsequent draws from the parent.
+func TestMapDoesNotAdvanceParent(t *testing.T) {
+	a := simrand.New(7)
+	b := simrand.New(7)
+	Map(NewPool(8), a, "probe", 32, func(rng *simrand.Source, i int) float64 {
+		return rng.Float64()
+	})
+	for k := 0; k < 8; k++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: parent advanced by Map (%d vs %d)", k, av, bv)
+		}
+	}
+}
+
+// TestMapErrLowestIndexWins: the reported error must be the lowest-indexed
+// failure, not the first one a worker happened to observe.
+func TestMapErrLowestIndexWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	out, err := MapErr(NewPool(8), 16, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, errLow
+		case 11:
+			return 0, errHigh
+		default:
+			return i * i, nil
+		}
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want the lowest-indexed failure", err)
+	}
+	// All shards still ran to completion.
+	if out[15] != 225 {
+		t.Fatalf("shard 15 result = %d, want 225", out[15])
+	}
+}
+
+func TestNewPoolClampsWorkers(t *testing.T) {
+	for _, w := range []int{-3, 0, 1} {
+		if got := NewPool(w).Workers(); got != 1 {
+			t.Errorf("NewPool(%d).Workers() = %d, want 1", w, got)
+		}
+	}
+	if got := NewPool(6).Workers(); got != 6 {
+		t.Errorf("NewPool(6).Workers() = %d", got)
+	}
+}
+
+func TestShardKeyStable(t *testing.T) {
+	if ShardKey(0) != "shard#0" || ShardKey(42) != "shard#42" {
+		t.Errorf("ShardKey changed: %q, %q — shard substreams depend on this exact format",
+			ShardKey(0), ShardKey(42))
+	}
+}
+
+// TestMapKeyedUsesDomainKeys: a shard keyed by a stable domain key keeps its
+// substream when the shard set is reordered or grows.
+func TestMapKeyedUsesDomainKeys(t *testing.T) {
+	parent := simrand.New(5)
+	draw := func(keys []string) map[string]uint64 {
+		out := map[string]uint64{}
+		vals := MapKeyed(NewPool(4), parent, "keyed", keys, func(rng *simrand.Source, i int) uint64 {
+			return rng.Uint64()
+		})
+		for i, k := range keys {
+			out[k] = vals[i]
+		}
+		return out
+	}
+	small := draw([]string{"b", "a"})
+	big := draw([]string{"a", "b", "c"})
+	if small["a"] != big["a"] || small["b"] != big["b"] {
+		t.Error("per-key substreams changed when the shard set changed")
+	}
+}

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+// Result is what an experiment driver returns: structured values plus a
+// terminal rendering. Every driver result in internal/experiments satisfies
+// it.
+type Result interface {
+	Render() string
+}
+
+// Scale bundles every experiment's size knobs so one registry entry can be
+// driven at paper scale, CLI-flag scale or quick smoke scale.
+type Scale struct {
+	// Population is the fleet size for Table 1 / Table 2 (paper: >1e6).
+	Population int
+	// SubPopulation is the Observation 11 detailed-log sub-fleet.
+	SubPopulation int
+	// Records is the SDC record count per datatype for Figures 4-5.
+	Records int
+	// Fig6Records / Fig7Records are the per-setting sample counts.
+	Fig6Records int
+	Fig7Records int
+	// RefTempC is the Observation 9 reference test temperature.
+	RefTempC float64
+	// Online is the simulated online time per processor for Table 4.
+	Online time.Duration
+	// Obs12Records sizes the fault-tolerance evidence base.
+	Obs12Records int
+	// ExposureGroups / ExposureGroupDur / ExposureSamples configure the
+	// exposure-window study.
+	ExposureGroups   int
+	ExposureGroupDur time.Duration
+	ExposureSamples  int
+}
+
+// DefaultScale is the paper-scale configuration sdcbench runs.
+func DefaultScale() Scale {
+	return Scale{
+		Population:       1_000_000,
+		SubPopulation:    40_000,
+		Records:          10_000,
+		Fig6Records:      500,
+		Fig7Records:      1000,
+		RefTempC:         62,
+		Online:           72 * time.Hour,
+		Obs12Records:     10_000,
+		ExposureGroups:   6,
+		ExposureGroupDur: 14 * 24 * time.Hour,
+		ExposureSamples:  5000,
+	}
+}
+
+// QuickScale shrinks every knob for smoke runs (CI's parallel smoke and the
+// determinism tests): every experiment still executes end to end, just over
+// less evidence.
+func QuickScale() Scale {
+	return Scale{
+		Population:       60_000,
+		SubPopulation:    20_000,
+		Records:          1500,
+		Fig6Records:      120,
+		Fig7Records:      150,
+		RefTempC:         62,
+		Online:           6 * time.Hour,
+		Obs12Records:     800,
+		ExposureGroups:   6,
+		ExposureGroupDur: 14 * 24 * time.Hour,
+		ExposureSamples:  500,
+	}
+}
+
+// Experiment groups: which CLI surfaces run which registry entries.
+const (
+	// GroupFleet is the fleet-scale pipeline study (sdcfleet).
+	GroupFleet = "fleet"
+	// GroupStudy is the detailed per-processor study (sdcstudy).
+	GroupStudy = "study"
+	// GroupMitigation is the Farron evaluation (farronctl).
+	GroupMitigation = "mitigation"
+)
+
+// Experiment is one registry entry: a named driver for one table, figure or
+// observation of the paper's evaluation. Run must be a pure function of
+// (ctx, scale) — all randomness via substreams of ctx.Rng — so entries can
+// execute concurrently against one shared frozen Ctx.
+type Experiment struct {
+	// Name is the section heading ("Table 1", "Figure 8", …).
+	Name string
+	// Desc is a one-line description for registry listings.
+	Desc string
+	// Groups are the CLI surfaces that include this experiment.
+	Groups []string
+	// Run executes the driver at the given scale.
+	Run func(ctx *Ctx, sc Scale) (Result, error)
+}
+
+// InGroup reports whether the experiment belongs to the group.
+func (e *Experiment) InGroup(group string) bool {
+	for _, g := range e.Groups {
+		if g == group {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter returns the registry entries belonging to group, in registry
+// order. An empty group selects everything.
+func Filter(exps []Experiment, group string) []Experiment {
+	if group == "" {
+		return exps
+	}
+	var out []Experiment
+	for _, e := range exps {
+		if e.InGroup(group) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Section is one rendered experiment of a run.
+type Section struct {
+	Name string
+	Body string
+}
+
+// RunExperiments executes the registry entries concurrently (bounded by
+// ctx.Workers) against the shared frozen context and returns the rendered
+// sections in registry order, together with the run's accounting. Rendered
+// output is byte-identical at any worker count; only the timings in the
+// report vary. If any experiment fails, the error of the earliest failing
+// registry entry is returned (deterministic regardless of scheduling).
+func RunExperiments(ctx *Ctx, exps []Experiment, sc Scale) ([]Section, *RunReport, error) {
+	rep := newRunReport(ctx, len(exps))
+	pool := ctx.Pool()
+	sections, err := MapErr(pool, len(exps), func(i int) (Section, error) {
+		e := exps[i]
+		start := stampStart()
+		res, err := e.Run(ctx, sc)
+		if err != nil {
+			return Section{}, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		body := res.Render()
+		rep.Experiments[i] = ExperimentTiming{
+			Name:        e.Name,
+			WallSeconds: start.Seconds(),
+			OutputBytes: len(body),
+		}
+		return Section{Name: e.Name, Body: body}, nil
+	})
+	rep.finish()
+	if err != nil {
+		return nil, rep, err
+	}
+	return sections, rep, nil
+}

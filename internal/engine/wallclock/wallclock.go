@@ -1,0 +1,33 @@
+// Package wallclock is the repository's only sanctioned wall-clock access.
+//
+// The determinism contract (DESIGN.md §5, machine-enforced by sdclint's
+// detrand analyzer) bans time.Now throughout the simulation: a result that
+// depends on the wall clock is not a function of its seed. Measuring how
+// long a run took, however, is not simulation — it is accounting about the
+// run, and the perf trajectory of the engine needs real timings. This
+// package quarantines that one legitimate use. detrand permits time.Now
+// here and nowhere else, and separately forbids importing this package from
+// simulation code: only the orchestration layer (internal/engine and the
+// cmd/ binaries) may consume it, so a measurement can never leak back into
+// simulated behaviour.
+package wallclock
+
+import "time"
+
+// Stamp is an opaque instant captured at Start. It deliberately exposes no
+// absolute time — only distances between stamps — so callers cannot branch
+// simulation logic on the clock.
+type Stamp struct {
+	t time.Time
+}
+
+// Start captures the current instant.
+func Start() Stamp { return Stamp{t: time.Now()} }
+
+// Seconds returns the wall time elapsed since the stamp was taken.
+func (s Stamp) Seconds() float64 { return time.Since(s.t).Seconds() }
+
+// Date returns the current date as YYYY-MM-DD, for naming run artifacts
+// (e.g. BENCH_<date>.json). Artifact names are operational metadata, not
+// simulation inputs.
+func Date() string { return time.Now().Format("2006-01-02") }

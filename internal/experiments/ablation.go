@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"farron/internal/core"
+	"farron/internal/engine"
 	"farron/internal/report"
 	"farron/internal/testkit"
 )
@@ -31,16 +32,20 @@ type AblationResult struct {
 // defect.
 func ablationProcessors() []string { return []string{"MIX1", "FPU2", "CNST1"} }
 
-// Ablation measures one regular round per variant per processor.
+// Ablation measures one regular round per variant per processor. The three
+// processors are independent shards (per-(id, salt) runner substreams),
+// merged in processor order.
 func Ablation(ctx *Context) *AblationResult {
-	out := &AblationResult{}
 	active := fleetActiveIDs(ctx)
-	for _, id := range ablationProcessors() {
+	ids := ablationProcessors()
+	perProc := engine.MapPlain(ctx.Pool(), len(ids), func(i int) []AblationRow {
+		id := ids[i]
 		known := ctx.KnownErrs(id)
 		p := ctx.Profile(id)
 
+		var rows []AblationRow
 		record := func(variant string, rep *core.RoundReport) {
-			out.Rows = append(out.Rows, AblationRow{
+			rows = append(rows, AblationRow{
 				Variant:  variant,
 				CPUID:    id,
 				Coverage: rep.Coverage(known),
@@ -60,6 +65,11 @@ func Ablation(ctx *Context) *AblationResult {
 
 		rEq := newRunnerFor(ctx, id, "abl-eq")
 		record("no-prioritization", equalDurationRound(rEq, core.DefaultConfig()))
+		return rows
+	})
+	out := &AblationResult{}
+	for _, rows := range perProc {
+		out.Rows = append(out.Rows, rows...)
 	}
 	return out
 }

@@ -56,7 +56,7 @@ func pickAnomalyProbe(ctx *Context) (*anomalyProbe, error) {
 				continue // not heat-gated, or unreachable
 			}
 			core := bestCoreOf(d, p.TotalPCores)
-			for _, tc := range ctx.Suite.FailingTestcases(p) {
+			for _, tc := range ctx.Failing(p) {
 				if tc.MultiThreaded || !testkit.DetectableBy(tc, d) {
 					continue
 				}

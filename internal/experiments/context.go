@@ -1,69 +1,17 @@
 // Package experiments contains one driver per table and figure of the
 // paper's evaluation. Each driver returns a structured result carrying both
 // the measured values and the paper's reference values, plus a Render
-// method producing the terminal figure. The bench harness at the repository
-// root wraps these drivers one-to-one.
+// method producing the terminal figure. The engine registry (registry.go)
+// exposes the drivers to the CLIs; drivers take all randomness from
+// substreams of ctx.Rng so the registry can run them concurrently.
 package experiments
 
-import (
-	"farron/internal/defect"
-	"farron/internal/simrand"
-	"farron/internal/testkit"
-)
+import "farron/internal/engine"
 
-// Context carries the shared simulation state every experiment runs
-// against: the deterministic seed, the 633-testcase suite, and the
-// calibrated faulty-processor sets.
-type Context struct {
-	Seed uint64
-	Rng  *simrand.Source
-	// Suite is the toolchain testcase suite.
-	Suite *testkit.Suite
-	// Library is the ten named Table 3 processors, calibrated.
-	Library []*defect.Profile
-	// Study is the full 27-processor study set, calibrated.
-	Study []*defect.Profile
-}
+// Context is the shared simulation state every experiment runs against. It
+// is the engine's frozen context: immutable after construction, indexed by
+// CPUID, safe to share across shards (see internal/engine).
+type Context = engine.Ctx
 
-// NewContext builds the shared state for a seed. Calibration aligns every
-// profile's failing-testcase count with its Table 3 target.
-func NewContext(seed uint64) *Context {
-	rng := simrand.New(seed)
-	suite := testkit.NewSuite(rng)
-	ctx := &Context{Seed: seed, Rng: rng, Suite: suite}
-	ctx.Study = defect.StudySet(rng)
-	for _, p := range ctx.Study {
-		suite.CalibrateProfile(p)
-	}
-	// The named library is the leading slice of the study set.
-	for _, p := range ctx.Study {
-		switch p.CPUID {
-		case "MIX1", "MIX2", "SIMD1", "SIMD2", "FPU1", "FPU2", "FPU3", "FPU4", "CNST1", "CNST2":
-			ctx.Library = append(ctx.Library, p)
-		}
-	}
-	return ctx
-}
-
-// Profile returns a study profile by CPUID, or nil.
-func (c *Context) Profile(id string) *defect.Profile {
-	for _, p := range c.Study {
-		if p.CPUID == id {
-			return p
-		}
-	}
-	return nil
-}
-
-// KnownErrs returns the calibrated failing-testcase IDs of a processor.
-func (c *Context) KnownErrs(id string) []string {
-	p := c.Profile(id)
-	if p == nil {
-		return nil
-	}
-	var out []string
-	for _, tc := range c.Suite.FailingTestcases(p) {
-		out = append(out, tc.ID)
-	}
-	return out
-}
+// NewContext builds the shared state for a seed.
+func NewContext(seed uint64) *Context { return engine.NewCtx(seed) }

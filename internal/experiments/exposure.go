@@ -51,7 +51,7 @@ func Exposure(ctx *Context, groups int, groupDur time.Duration, nSamples int) *E
 		miss := 1.0
 		for _, d := range p.Defects {
 			core := bestCoreOf(d, p.TotalPCores)
-			for _, tc := range ctx.Suite.FailingTestcases(p) {
+			for _, tc := range ctx.Failing(p) {
 				if !testkit.DetectableBy(tc, d) {
 					continue
 				}

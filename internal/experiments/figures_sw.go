@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"farron/internal/defect"
+	"farron/internal/engine"
 	"farron/internal/inject"
 	"farron/internal/model"
 	"farron/internal/report"
@@ -112,7 +113,7 @@ func collectRecords(ctx *Context, dt model.DataType, n int) *BitflipStats {
 				continue
 			}
 			c := d.Corruptor(dt, ctx.Rng)
-			for i, tc := range ctx.Suite.FailingTestcases(p) {
+			for i, tc := range ctx.Failing(p) {
 				if i >= 3 {
 					break
 				}
@@ -170,14 +171,20 @@ func fig4Types() []model.DataType {
 	return []model.DataType{model.DTInt32, model.DTFloat32, model.DTFloat64, model.DTFloat64x}
 }
 
-// Fig4 gathers per-position flip histograms and loss CDFs.
+// Fig4 gathers per-position flip histograms and loss CDFs. The datatypes
+// are independent shards: each collectRecords call derives its own
+// per-datatype substream, so they run in parallel.
 func Fig4(ctx *Context, recordsPerType int) *Fig4Result {
 	out := &Fig4Result{
 		Stats:         map[model.DataType]*BitflipStats{},
 		LossQuantiles: map[model.DataType]map[string]float64{},
 	}
-	for _, dt := range fig4Types() {
-		st := collectRecords(ctx, dt, recordsPerType)
+	types := fig4Types()
+	sts := engine.MapPlain(ctx.Pool(), len(types), func(i int) *BitflipStats {
+		return collectRecords(ctx, types[i], recordsPerType)
+	})
+	for i, dt := range types {
+		st := sts[i]
 		out.Stats[dt] = st
 		if len(st.Losses) > 0 {
 			cdf := stats.NewCDF(st.Losses)
@@ -252,11 +259,16 @@ func fig5Types() []model.DataType {
 	return []model.DataType{model.DTBin32, model.DTBin64}
 }
 
-// Fig5 gathers flip-position statistics for binary blobs.
+// Fig5 gathers flip-position statistics for binary blobs, one parallel
+// shard per datatype like Fig4.
 func Fig5(ctx *Context, recordsPerType int) *Fig5Result {
 	out := &Fig5Result{Stats: map[model.DataType]*BitflipStats{}}
-	for _, dt := range fig5Types() {
-		out.Stats[dt] = collectRecords(ctx, dt, recordsPerType)
+	types := fig5Types()
+	sts := engine.MapPlain(ctx.Pool(), len(types), func(i int) *BitflipStats {
+		return collectRecords(ctx, types[i], recordsPerType)
+	})
+	for i, dt := range types {
+		out.Stats[dt] = sts[i]
 	}
 	return out
 }
@@ -308,9 +320,14 @@ func Fig6(ctx *Context, recordsPerSetting int) *Fig6Result {
 		rowIDs = rowIDs[:17]
 	}
 	out := &Fig6Result{ColLabels: procs}
-	rng := ctx.Rng.Derive("fig6")
 	for i, tcID := range rowIDs {
 		out.RowLabels = append(out.RowLabels, fmt.Sprintf("%c(%s)", 'A'+i, tcID))
+	}
+	// Each (testcase, processor) setting is an independent shard with its
+	// own substream, so rows fill in parallel and the heatmap is identical
+	// at any worker count.
+	out.Values = engine.MapPlain(ctx.Pool(), len(rowIDs), func(i int) []float64 {
+		tcID := rowIDs[i]
 		row := make([]float64, len(procs))
 		for j, procID := range procs {
 			row[j] = math.NaN()
@@ -325,6 +342,7 @@ func Fig6(ctx *Context, recordsPerSetting int) *Fig6Result {
 			}
 			c := d.Corruptor(dt, ctx.Rng)
 			prob := d.SettingPatternProb(tcID, ctx.Rng)
+			rng := ctx.Rng.Derive("fig6", tcID, procID)
 			match := 0
 			for k := 0; k < recordsPerSetting; k++ {
 				expLo, expHi := inject.RandomValue(rng, dt)
@@ -335,8 +353,8 @@ func Fig6(ctx *Context, recordsPerSetting int) *Fig6Result {
 			}
 			row[j] = float64(match) / float64(recordsPerSetting)
 		}
-		out.Values = append(out.Values, row)
-	}
+		return row
+	})
 	return out
 }
 
@@ -403,8 +421,11 @@ func fig7Types() []model.DataType {
 // patterns, weighted by pattern selection probability.
 func Fig7(ctx *Context, recordsPerType int) *Fig7Result {
 	out := &Fig7Result{Proportions: map[model.DataType][3]float64{}}
-	rng := ctx.Rng.Derive("fig7")
-	for _, dt := range fig7Types() {
+	types := fig7Types()
+	// One shard per datatype, each with its own substream.
+	props := engine.MapPlain(ctx.Pool(), len(types), func(i int) [3]float64 {
+		dt := types[i]
+		rng := ctx.Rng.Derive("fig7", dt.String())
 		counts := [3]int{}
 		total := 0
 		for _, p := range ctx.Study {
@@ -430,13 +451,17 @@ func Fig7(ctx *Context, recordsPerType int) *Fig7Result {
 				}
 			}
 		}
-		if total > 0 {
-			out.Proportions[dt] = [3]float64{
-				float64(counts[0]) / float64(total),
-				float64(counts[1]) / float64(total),
-				float64(counts[2]) / float64(total),
-			}
+		if total == 0 {
+			return [3]float64{}
 		}
+		return [3]float64{
+			float64(counts[0]) / float64(total),
+			float64(counts[1]) / float64(total),
+			float64(counts[2]) / float64(total),
+		}
+	})
+	for i, dt := range types {
+		out.Proportions[dt] = props[i]
 	}
 	return out
 }

@@ -7,6 +7,7 @@ import (
 
 	"farron/internal/cpu"
 	"farron/internal/defect"
+	"farron/internal/engine"
 	"farron/internal/fleet"
 	"farron/internal/report"
 	"farron/internal/stats"
@@ -58,8 +59,11 @@ func fig8Procs() []struct {
 // occurrence frequency at each pinned temperature via the stress-preheat
 // methodology of Section 5.
 func Fig8(ctx *Context) (*Fig8Result, error) {
-	out := &Fig8Result{}
-	for _, pc := range fig8Procs() {
+	procs := fig8Procs()
+	// Each panel owns its thermal package and a per-CPUID substream, so the
+	// three sweeps are independent shards.
+	settings, err := engine.MapErr(ctx.Pool(), len(procs), func(i int) (*Fig8Setting, error) {
+		pc := procs[i]
 		p := ctx.Profile(pc.id)
 		if p == nil {
 			return nil, fmt.Errorf("experiments: profile %s missing", pc.id)
@@ -69,11 +73,14 @@ func Fig8(ctx *Context) (*Fig8Result, error) {
 		if tc == nil {
 			return nil, fmt.Errorf("experiments: no sweepable testcase for %s", pc.id)
 		}
-		setting, err := sweepSetting(ctx, p, d, tc, pc.core)
-		if err != nil {
-			return nil, err
-		}
-		out.Settings = append(out.Settings, *setting)
+		return sweepSetting(ctx, p, d, tc, pc.core)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig8Result{}
+	for _, s := range settings {
+		out.Settings = append(out.Settings, *s)
 	}
 	return out, nil
 }
@@ -84,7 +91,7 @@ func Fig8(ctx *Context) (*Fig8Result, error) {
 func pickSweepTestcase(ctx *Context, p *defect.Profile, d *defect.Defect, core int) *testkit.Testcase {
 	var best *testkit.Testcase
 	bestScore := math.Inf(1)
-	for _, tc := range ctx.Suite.FailingTestcases(p) {
+	for _, tc := range ctx.Failing(p) {
 		if !testkit.DetectableBy(tc, d) {
 			continue
 		}
@@ -195,11 +202,13 @@ type Fig9Result struct {
 // strongest never accumulate enough records to be characterized.
 func Fig9(ctx *Context) (*Fig9Result, error) {
 	out := &Fig9Result{PaperR: -0.8272}
-	var xs, ys []float64
-	for _, p := range ctx.Study {
+	// Profiles are independent analytic shards; merge in study order.
+	perProfile := engine.MapPlain(ctx.Pool(), len(ctx.Study), func(i int) []Fig9Point {
+		p := ctx.Study[i]
+		var pts []Fig9Point
 		for _, d := range p.Defects {
 			core := bestCoreOf(d, p.TotalPCores)
-			failing := ctx.Suite.FailingTestcases(p)
+			failing := ctx.Failing(p)
 			maxStress := 0.0
 			for _, tc := range failing {
 				if !testkit.DetectableBy(tc, d) {
@@ -225,13 +234,20 @@ func Fig9(ctx *Context) (*Fig9Result, error) {
 				if freq <= 0 {
 					continue
 				}
-				out.Points = append(out.Points, Fig9Point{
+				pts = append(pts, Fig9Point{
 					ProcessorID: p.CPUID, TestcaseID: tc.ID, Core: core,
 					MinTempC: tmin, FreqPerMin: freq,
 				})
-				xs = append(xs, tmin)
-				ys = append(ys, math.Log10(freq))
 			}
+		}
+		return pts
+	})
+	var xs, ys []float64
+	for _, pts := range perProfile {
+		for _, pt := range pts {
+			out.Points = append(out.Points, pt)
+			xs = append(xs, pt.MinTempC)
+			ys = append(ys, math.Log10(pt.FreqPerMin))
 		}
 	}
 	r, err := stats.Pearson(xs, ys)
@@ -282,10 +298,13 @@ type Obs9Result struct {
 func Obs9(ctx *Context, refTempC float64) *Obs9Result {
 	out := &Obs9Result{RefTempC: refTempC, Min: math.Inf(1)}
 	above := 0
-	for _, p := range ctx.Study {
+	// Per-profile analytic shards, merged in study order.
+	perProfile := engine.MapPlain(ctx.Pool(), len(ctx.Study), func(i int) []float64 {
+		p := ctx.Study[i]
+		var freqs []float64
 		for _, d := range p.Defects {
 			core := bestCoreOf(d, p.TotalPCores)
-			for _, tc := range ctx.Suite.FailingTestcases(p) {
+			for _, tc := range ctx.Failing(p) {
 				if !testkit.DetectableBy(tc, d) {
 					continue
 				}
@@ -294,13 +313,19 @@ func Obs9(ctx *Context, refTempC float64) *Obs9Result {
 				if f < defect.MeasurableFreqPerMin {
 					continue // not a measurable setting
 				}
-				out.Freqs = append(out.Freqs, f)
-				if f > 1 {
-					above++
-				}
-				out.Min = math.Min(out.Min, f)
-				out.Max = math.Max(out.Max, f)
+				freqs = append(freqs, f)
 			}
+		}
+		return freqs
+	})
+	for _, freqs := range perProfile {
+		for _, f := range freqs {
+			out.Freqs = append(out.Freqs, f)
+			if f > 1 {
+				above++
+			}
+			out.Min = math.Min(out.Min, f)
+			out.Max = math.Max(out.Max, f)
 		}
 	}
 	if len(out.Freqs) > 0 {
@@ -332,15 +357,20 @@ func Obs11(ctx *Context, population int) (*Obs11Result, error) {
 	cfg := fleet.DefaultConfig()
 	cfg.Processors = population
 	cfg.Seed = ctx.Seed
+	cfg.Workers = ctx.Workers
 	sim, err := fleet.NewSimulator(cfg, ctx.Suite)
 	if err != nil {
 		return nil, err
 	}
 	res := sim.Run()
 	// Detailed logs: replay each detected faulty processor's failing set.
+	// The replays are read-only suite scans, one shard per faulty CPU.
+	perCPU := engine.MapPlain(ctx.Pool(), len(res.FaultyProfiles), func(i int) []*testkit.Testcase {
+		return ctx.Failing(res.FaultyProfiles[i])
+	})
 	effective := map[string]bool{}
-	for _, p := range res.FaultyProfiles {
-		for _, tc := range ctx.Suite.FailingTestcases(p) {
+	for _, failing := range perCPU {
+		for _, tc := range failing {
 			effective[tc.ID] = true
 		}
 	}

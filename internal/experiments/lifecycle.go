@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"farron/internal/core"
+	"farron/internal/engine"
 	"farron/internal/report"
 )
 
@@ -43,7 +44,11 @@ func Lifecycle(ctx *Context) *LifecycleResult {
 	}
 	out := &LifecycleResult{Horizon: lcCfg.Horizon}
 	active := fleetActiveIDs(ctx)
-	for _, id := range evalProcessors() {
+	ids := evalProcessors()
+	// Per-processor shards: runners and the lifecycle stream all derive
+	// from (id, salt) keys, merged in table order.
+	out.Rows = engine.MapPlain(ctx.Pool(), len(ids), func(i int) LifecycleRow {
+		id := ids[i]
 		p := ctx.Profile(id)
 
 		rF := newRunnerFor(ctx, id, "lc-farron")
@@ -62,15 +67,15 @@ func Lifecycle(ctx *Context) *LifecycleResult {
 		if baseDep && !rep.Deprecated {
 			saved = p.TotalPCores - rep.MaskedCores
 		}
-		out.Rows = append(out.Rows, LifecycleRow{
+		_ = baseRound
+		return LifecycleRow{
 			CPUID:              id,
 			Farron:             rep,
 			BaselineDeprecated: baseDep,
 			BaselineRounds:     1,
 			CoresSaved:         saved,
-		})
-		_ = baseRound
-	}
+		}
+	})
 	return out
 }
 

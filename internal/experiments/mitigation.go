@@ -7,6 +7,7 @@ import (
 
 	"farron/internal/core"
 	"farron/internal/cpu"
+	"farron/internal/engine"
 	"farron/internal/report"
 	"farron/internal/testkit"
 	"farron/internal/thermal"
@@ -45,7 +46,7 @@ func fleetActiveIDs(ctx *Context) []string {
 	seen := map[string]bool{}
 	var out []string
 	for _, p := range ctx.Study {
-		for _, tc := range ctx.Suite.FailingTestcases(p) {
+		for _, tc := range ctx.Failing(p) {
 			if !seen[tc.ID] {
 				seen[tc.ID] = true
 				out = append(out, tc.ID)
@@ -58,9 +59,12 @@ func fleetActiveIDs(ctx *Context) []string {
 // Fig11 runs one regular round under Farron and under the baseline for each
 // evaluated processor and compares coverage.
 func Fig11(ctx *Context) *Fig11Result {
-	out := &Fig11Result{}
 	active := fleetActiveIDs(ctx)
-	for _, id := range evalProcessors() {
+	ids := evalProcessors()
+	// Each processor's pair of rounds owns per-(id, salt) substreams, so
+	// the six evaluations are independent shards merged in table order.
+	rows := engine.MapPlain(ctx.Pool(), len(ids), func(i int) CoverageRow {
+		id := ids[i]
 		known := ctx.KnownErrs(id)
 		p := ctx.Profile(id)
 
@@ -72,15 +76,15 @@ func Fig11(ctx *Context) *Fig11Result {
 		base := core.NewBaseline(rB, time.Minute)
 		baseRound := base.RegularRound()
 
-		out.Rows = append(out.Rows, CoverageRow{
+		return CoverageRow{
 			CPUID:       id,
 			Farron:      farRound.Coverage(known),
 			Baseline:    baseRound.Coverage(known),
 			FarronDur:   farRound.Duration,
 			BaselineDur: baseRound.Duration,
-		})
-	}
-	return out
+		}
+	})
+	return &Fig11Result{Rows: rows}
 }
 
 // MeanDurations returns the average Farron and baseline round durations
@@ -154,7 +158,7 @@ func trickiestStress(ctx *Context, id string) float64 {
 	bestT := -1.0
 	for _, d := range p.Defects {
 		core := bestCoreOf(d, p.TotalPCores)
-		for _, tc := range ctx.Suite.FailingTestcases(p) {
+		for _, tc := range ctx.Failing(p) {
 			if !testkit.DetectableBy(tc, d) {
 				continue
 			}
@@ -180,7 +184,11 @@ func Table4(ctx *Context, onlineDur time.Duration) *Table4Result {
 		PaperBaseline:    0.00488,
 	}
 	active := fleetActiveIDs(ctx)
-	for _, id := range evalProcessors() {
+	ids := evalProcessors()
+	// Six independent per-processor shards: all randomness comes from
+	// per-(id, salt) substreams, merged in table order.
+	out.Rows = engine.MapPlain(ctx.Pool(), len(ids), func(i int) OverheadRow {
+		id := ids[i]
 		p := ctx.Profile(id)
 
 		// Regular-round testing overhead.
@@ -203,7 +211,7 @@ func Table4(ctx *Context, onlineDur time.Duration) *Table4Result {
 		unprot := farU.Online(onlineDur, app, false, ctx.Rng.Derive("t4", id, "u"))
 
 		ctrl := online.Backoff.Overhead()
-		out.Rows = append(out.Rows, OverheadRow{
+		return OverheadRow{
 			CPUID:                 id,
 			TestOverhead:          testOv,
 			ControlOverhead:       ctrl,
@@ -212,8 +220,8 @@ func Table4(ctx *Context, onlineDur time.Duration) *Table4Result {
 			MaxOnlineTempC:        online.Backoff.MaxTempC,
 			OnlineSDCs:            online.SDCs,
 			UnprotectedSDCs:       unprot.SDCs,
-		})
-	}
+		}
+	})
 	return out
 }
 

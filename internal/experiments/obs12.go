@@ -51,84 +51,96 @@ func Obs12(ctx *Context, records int) *Obs12Result {
 	out := &Obs12Result{}
 	rng := ctx.Rng.Derive("obs12")
 
-	// --- ECC against study bitflip masks (64-bit words) ---------------
-	var corrected, detected, miscorrected, total int
-	erng := rng.Derive("ecc")
-	masks := sampleMasks(ctx, model.DTBin64, records, erng)
-	for _, mask := range masks {
-		if mask == 0 {
-			continue
-		}
-		data := erng.Uint64()
-		_, res := ecc.Verify(data, mask)
-		total++
-		switch res {
-		case ecc.Corrected:
-			corrected++
-		case ecc.Detected:
-			detected++
-		case ecc.Miscorrected:
-			miscorrected++
-		}
-	}
-	if total > 0 {
-		out.ECCCorrected = float64(corrected) / float64(total)
-		out.ECCDetected = float64(detected) / float64(total)
-		out.ECCMiscorrected = float64(miscorrected) / float64(total)
-	}
-	out.Records = total
+	// The five technique evaluations each own a named substream of the
+	// obs12 stream and write disjoint result fields, so they run as
+	// independent shards on the pool.
+	techniques := []func(){
+		func() {
+			// --- ECC against study bitflip masks (64-bit words) -------
+			var corrected, detected, miscorrected, total int
+			erng := rng.Derive("ecc")
+			masks := sampleMasks(ctx, model.DTBin64, records, erng)
+			for _, mask := range masks {
+				if mask == 0 {
+					continue
+				}
+				data := erng.Uint64()
+				_, res := ecc.Verify(data, mask)
+				total++
+				switch res {
+				case ecc.Corrected:
+					corrected++
+				case ecc.Detected:
+					detected++
+				case ecc.Miscorrected:
+					miscorrected++
+				}
+			}
+			if total > 0 {
+				out.ECCCorrected = float64(corrected) / float64(total)
+				out.ECCDetected = float64(detected) / float64(total)
+				out.ECCMiscorrected = float64(miscorrected) / float64(total)
+			}
+			out.Records = total
 
-	// Pre-encoding corruption: ECC is blind by construction; measure to
-	// confirm.
-	blind := 0
-	const preTrials = 500
-	for i := 0; i < preTrials; i++ {
-		_, res := ecc.VerifyPreEncoding(erng.Uint64(), 1<<uint(erng.Intn(64)))
-		if res == ecc.Miscorrected {
-			blind++
-		}
+			// Pre-encoding corruption: ECC is blind by construction;
+			// measure to confirm.
+			blind := 0
+			const preTrials = 500
+			for i := 0; i < preTrials; i++ {
+				_, res := ecc.VerifyPreEncoding(erng.Uint64(), 1<<uint(erng.Intn(64)))
+				if res == ecc.Miscorrected {
+					blind++
+				}
+			}
+			out.ECCPreEncodingBlind = float64(blind) / preTrials
+		},
+		func() {
+			// --- EC propagation ---------------------------------------
+			out.ECPropagation = ecPropagationRate(rng.Derive("ec"), 200)
+		},
+		func() {
+			// --- Prediction-based detection on float64 SDCs -----------
+			out.PredictRecall = predictRecall(ctx, rng.Derive("predict"), records)
+		},
+		func() {
+			// --- Redundancy -------------------------------------------
+			var sIndep, sShared redundancy.Stats
+			rrng := rng.Derive("redundancy")
+			hookA := redundancy.RandomCorrupt(rrng.Derive("a"), 0.3, 1<<9)
+			hookShared := redundancy.RandomCorrupt(rrng.Derive("s"), 1, 1<<9)
+			detectedRuns, corruptedRuns := 0, 0
+			for i := 0; i < 500; i++ {
+				in := rrng.Uint64()
+				_, ok := redundancy.DualExecute(redundancy.ChecksumWork, in,
+					[2]workload.CorruptFn{hookA, nil}, &sIndep)
+				if !ok {
+					detectedRuns++
+					corruptedRuns++
+				}
+				_, _ = redundancy.DualExecute(redundancy.ChecksumWork, in,
+					[2]workload.CorruptFn{hookShared, hookShared}, &sShared)
+			}
+			if corruptedRuns+sIndep.SilentEscapes > 0 {
+				out.RedundancyDetect = float64(detectedRuns) / float64(detectedRuns+sIndep.SilentEscapes)
+			}
+			out.RedundancyCost = sIndep.CostFactor()
+			out.RedundancySharedCoreEscape = float64(sShared.SilentEscapes) / float64(sShared.Executions)
+		},
+		func() {
+			// --- Checksum self-corruption (the Section 2.2 flood) -----
+			crng := rng.Derive("crc")
+			hook := func(dt model.DataType, lo uint64, hi uint16) (uint64, uint16, bool) {
+				if dt == model.DTUint32 && crng.Bool(0.01) {
+					return lo ^ 1<<7, hi, true
+				}
+				return lo, hi, false
+			}
+			rep := workload.ChecksumService(crng, 5000, 64, hook)
+			out.ChecksumFalseAlarm = float64(rep.MismatchReports) / float64(rep.Requests)
+		},
 	}
-	out.ECCPreEncodingBlind = float64(blind) / preTrials
-
-	// --- EC propagation ------------------------------------------------
-	out.ECPropagation = ecPropagationRate(rng.Derive("ec"), 200)
-
-	// --- Prediction-based detection on float64 SDCs --------------------
-	out.PredictRecall = predictRecall(ctx, rng.Derive("predict"), records)
-
-	// --- Redundancy ----------------------------------------------------
-	var sIndep, sShared redundancy.Stats
-	rrng := rng.Derive("redundancy")
-	hookA := redundancy.RandomCorrupt(rrng.Derive("a"), 0.3, 1<<9)
-	hookShared := redundancy.RandomCorrupt(rrng.Derive("s"), 1, 1<<9)
-	detectedRuns, corruptedRuns := 0, 0
-	for i := 0; i < 500; i++ {
-		in := rrng.Uint64()
-		_, ok := redundancy.DualExecute(redundancy.ChecksumWork, in,
-			[2]workload.CorruptFn{hookA, nil}, &sIndep)
-		if !ok {
-			detectedRuns++
-			corruptedRuns++
-		}
-		_, _ = redundancy.DualExecute(redundancy.ChecksumWork, in,
-			[2]workload.CorruptFn{hookShared, hookShared}, &sShared)
-	}
-	if corruptedRuns+sIndep.SilentEscapes > 0 {
-		out.RedundancyDetect = float64(detectedRuns) / float64(detectedRuns+sIndep.SilentEscapes)
-	}
-	out.RedundancyCost = sIndep.CostFactor()
-	out.RedundancySharedCoreEscape = float64(sShared.SilentEscapes) / float64(sShared.Executions)
-
-	// --- Checksum self-corruption (the Section 2.2 flood) --------------
-	crng := rng.Derive("crc")
-	hook := func(dt model.DataType, lo uint64, hi uint16) (uint64, uint16, bool) {
-		if dt == model.DTUint32 && crng.Bool(0.01) {
-			return lo ^ 1<<7, hi, true
-		}
-		return lo, hi, false
-	}
-	rep := workload.ChecksumService(crng, 5000, 64, hook)
-	out.ChecksumFalseAlarm = float64(rep.MismatchReports) / float64(rep.Requests)
+	ctx.Pool().Run(len(techniques), func(i int) { techniques[i]() })
 
 	return out
 }
@@ -146,7 +158,7 @@ func sampleMasks(ctx *Context, dt model.DataType, n int, rng *simrand.Source) []
 				continue
 			}
 			c := d.Corruptor(dt, ctx.Rng)
-			for i, tc := range ctx.Suite.FailingTestcases(p) {
+			for i, tc := range ctx.Failing(p) {
 				if i >= 3 {
 					break
 				}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+
+	"farron/internal/engine"
+)
+
+// parallelTestScale shrinks the quick scale further so the tier-1 suite can
+// afford to run the full pipeline twice (serial and parallel).
+func parallelTestScale() engine.Scale {
+	sc := engine.QuickScale()
+	sc.Population = 20_000
+	sc.Records = 600
+	sc.Obs12Records = 300
+	return sc
+}
+
+// TestWorkerCountDoesNotChangeResults is the engine's acceptance test: the
+// rendered output of a run must be byte-identical at -workers=1 and
+// -workers=8. It covers one experiment per layer the refactor touched — the
+// fleet pipeline (Table 1), an experiment sweep (Figure 4) and the
+// mitigation evaluation (Observation 12) — and, through RunExperiments,
+// the registry's own concurrent dispatch.
+func TestWorkerCountDoesNotChangeResults(t *testing.T) {
+	names := map[string]bool{"Table 1": true, "Figure 4": true, "Observation 12": true}
+	var exps []engine.Experiment
+	for _, e := range Registry() {
+		if names[e.Name] {
+			exps = append(exps, e)
+		}
+	}
+	if len(exps) != len(names) {
+		t.Fatalf("registry matched %d of %d experiments", len(exps), len(names))
+	}
+
+	run := func(workers int) map[string]string {
+		ctx := NewContext(7)
+		ctx.Workers = workers
+		sections, _, err := engine.RunExperiments(ctx, exps, parallelTestScale())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out := make(map[string]string, len(sections))
+		for _, s := range sections {
+			out[s.Name] = s.Body
+		}
+		return out
+	}
+
+	serial := run(1)
+	parallel := run(8)
+	for name, want := range serial {
+		if got := parallel[name]; got != want {
+			t.Errorf("%s: workers=8 output differs from workers=1\n--- serial ---\n%s\n--- parallel ---\n%s",
+				name, want, got)
+		}
+	}
+}
+
+// TestRegistryGroupsCoverEveryExperiment: every entry belongs to exactly one
+// CLI group, so the three commands partition the registry without overlap
+// or gaps.
+func TestRegistryGroupsCoverEveryExperiment(t *testing.T) {
+	groups := []string{engine.GroupFleet, engine.GroupStudy, engine.GroupMitigation}
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if seen[e.Name] {
+			t.Errorf("duplicate registry entry %q", e.Name)
+		}
+		seen[e.Name] = true
+		n := 0
+		for _, g := range groups {
+			if e.InGroup(g) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("%s belongs to %d groups, want exactly 1", e.Name, n)
+		}
+	}
+	if len(seen) < 20 {
+		t.Errorf("registry has only %d entries", len(seen))
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"farron/internal/engine"
+)
+
+// Registry returns every experiment of the paper's evaluation as engine
+// registry entries, in report order. Section names match the bench report
+// headings. Each Run is a pure function of (ctx, scale) — drivers take all
+// randomness from substreams of ctx.Rng — so the engine may execute entries
+// concurrently against one shared frozen context.
+func Registry() []engine.Experiment {
+	study := []string{engine.GroupStudy}
+	fl := []string{engine.GroupFleet}
+	mit := []string{engine.GroupMitigation}
+	return []engine.Experiment{
+		{
+			Name: "Table 1", Desc: "failure rate by test timing", Groups: fl,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Table1(ctx, sc.Population)
+			},
+		},
+		{
+			Name: "Table 2", Desc: "failure rate by micro-architecture", Groups: fl,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Table2(ctx, sc.Population)
+			},
+		},
+		{
+			Name: "Table 3", Desc: "studied faulty-processor inventory", Groups: study,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Table3(ctx), nil
+			},
+		},
+		{
+			Name: "Figure 2", Desc: "faulty-feature proportions", Groups: study,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Fig2(ctx), nil
+			},
+		},
+		{
+			Name: "Figure 3", Desc: "affected-datatype proportions", Groups: study,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Fig3(ctx), nil
+			},
+		},
+		{
+			Name: "Figure 4", Desc: "bitflip positions and precision losses", Groups: study,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Fig4(ctx, sc.Records), nil
+			},
+		},
+		{
+			Name: "Figure 5", Desc: "bitflips of non-numerical datatypes", Groups: study,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Fig5(ctx, sc.Records), nil
+			},
+		},
+		{
+			Name: "Figure 6", Desc: "bitflip-pattern proportions per setting", Groups: study,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Fig6(ctx, sc.Fig6Records), nil
+			},
+		},
+		{
+			Name: "Figure 7", Desc: "flipped-bit counts among pattern SDCs", Groups: study,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Fig7(ctx, sc.Fig7Records), nil
+			},
+		},
+		{
+			Name: "Figure 8", Desc: "occurrence frequency vs temperature", Groups: study,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Fig8(ctx)
+			},
+		},
+		{
+			Name: "Figure 9", Desc: "frequency at minimum triggering temperature", Groups: study,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Fig9(ctx)
+			},
+		},
+		{
+			Name: "Observation 9", Desc: "per-setting frequency distribution", Groups: study,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Obs9(ctx, sc.RefTempC), nil
+			},
+		},
+		{
+			Name: "Observation 11", Desc: "ineffective testcases in production", Groups: fl,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Obs11(ctx, sc.SubPopulation)
+			},
+		},
+		{
+			Name: "Figure 11", Desc: "regular-testing coverage Farron vs baseline", Groups: mit,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Fig11(ctx), nil
+			},
+		},
+		{
+			Name: "Table 4", Desc: "Farron overhead vs baseline", Groups: mit,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Table4(ctx, sc.Online), nil
+			},
+		},
+		{
+			Name: "Observation 12", Desc: "fault-tolerance techniques vs SDCs", Groups: mit,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Obs12(ctx, sc.Obs12Records), nil
+			},
+		},
+		{
+			Name: "Ablation", Desc: "contribution of Farron's design choices", Groups: mit,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Ablation(ctx), nil
+			},
+		},
+		{
+			Name: "Section 5 separation", Desc: "stress/temperature separation", Groups: study,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Separation(ctx)
+			},
+		},
+		{
+			Name: "Section 4.1 attribution", Desc: "statistical instruction attribution", Groups: study,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Attribution(ctx), nil
+			},
+		},
+		{
+			Name: "Observation 10 anomalies", Desc: "counter-intuitive thermal cases", Groups: study,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Anomalies(ctx)
+			},
+		},
+		{
+			Name: "Lifecycle", Desc: "Figure 10 workflow over an operating horizon", Groups: mit,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Lifecycle(ctx), nil
+			},
+		},
+		{
+			Name: "Exposure window", Desc: "production exposure between test rounds", Groups: fl,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return Exposure(ctx, sc.ExposureGroups, sc.ExposureGroupDur, sc.ExposureSamples), nil
+			},
+		},
+	}
+}

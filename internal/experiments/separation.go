@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"farron/internal/engine"
 	"farron/internal/model"
 	"farron/internal/report"
 	"farron/internal/stats"
@@ -46,7 +47,7 @@ func Separation(ctx *Context) (*SeparationResult, error) {
 	// occupies every core itself, leaving no utilization contrast.
 	var tc *testkit.Testcase
 	bestScore := math.Inf(1)
-	for _, cand := range ctx.Suite.FailingTestcases(p) {
+	for _, cand := range ctx.Failing(p) {
 		if cand.MultiThreaded || !testkit.DetectableBy(cand, d) {
 			continue
 		}
@@ -147,9 +148,8 @@ type AttributionResult struct {
 // processors: FPU1 and CNST2 via statistical ranking, SIMD1 via the
 // toolchain's preserved context (Section 4.1 reports exactly this split).
 func Attribution(ctx *Context) *AttributionResult {
-	out := &AttributionResult{}
 	hot := 68.0
-	for _, probe := range []struct {
+	probes := []struct {
 		id      string
 		core    int
 		feature model.Feature
@@ -158,7 +158,11 @@ func Attribution(ctx *Context) *AttributionResult {
 		{"FPU1", 0, model.FeatureFPU, false},
 		{"SIMD1", 5, model.FeatureVecUnit, true},
 		{"CNST2", 2, model.FeatureTrxMem, false},
-	} {
+	}
+	// The probes run against separate runners with per-id substreams —
+	// three independent shards merged in probe order.
+	rows := engine.MapPlain(ctx.Pool(), len(probes), func(i int) AttributionRow {
+		probe := probes[i]
 		p := ctx.Profile(probe.id)
 		d := p.Defects[0]
 		runner := newRunnerFor(ctx, probe.id, "attrib")
@@ -196,9 +200,9 @@ func Attribution(ctx *Context) *AttributionResult {
 				}
 			}
 		}
-		out.Rows = append(out.Rows, row)
-	}
-	return out
+		return row
+	})
+	return &AttributionResult{Rows: rows}
 }
 
 // Render draws the attribution table.

@@ -41,6 +41,7 @@ func Table1(ctx *Context, population int) (*Table1Result, error) {
 	cfg := fleet.DefaultConfig()
 	cfg.Processors = population
 	cfg.Seed = ctx.Seed
+	cfg.Workers = ctx.Workers
 	sim, err := fleet.NewSimulator(cfg, ctx.Suite)
 	if err != nil {
 		return nil, err
@@ -102,6 +103,7 @@ func Table2(ctx *Context, population int) (*Table2Result, error) {
 	cfg := fleet.DefaultConfig()
 	cfg.Processors = population
 	cfg.Seed = ctx.Seed
+	cfg.Workers = ctx.Workers
 	sim, err := fleet.NewSimulator(cfg, ctx.Suite)
 	if err != nil {
 		return nil, err
@@ -161,7 +163,7 @@ func Table3(ctx *Context) *Table3Result {
 			AgeYears:     p.AgeYears,
 			PCores:       p.DefectivePCores,
 			PaperErrs:    p.TargetErrCount,
-			MeasuredErrs: len(ctx.Suite.FailingTestcases(p)),
+			MeasuredErrs: len(ctx.Failing(p)),
 			Class:        p.Class(),
 			Workloads:    p.ImpactedWorkloads,
 			DataTypes:    p.DataTypes(),

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"farron/internal/defect"
+	"farron/internal/engine"
 	"farron/internal/model"
 	"farron/internal/simrand"
 	"farron/internal/testkit"
@@ -102,6 +103,10 @@ type Config struct {
 	TrueFaultScale float64
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds the screening goroutines. Results are identical at
+	// any worker count: each faulty CPU owns a serial-keyed substream and
+	// outcomes merge in serial order. Values < 1 mean serial.
+	Workers int
 }
 
 // DefaultConfig returns the paper-scale configuration.
@@ -205,7 +210,19 @@ func NewSimulator(cfg Config, suite *testkit.Suite) (*Simulator, error) {
 	return &Simulator{cfg: cfg, suite: suite, rng: simrand.New(cfg.Seed).Derive("fleet")}, nil
 }
 
-// Run executes the simulation.
+// screening is one faulty CPU's pipeline outcome.
+type screening struct {
+	archIdx  int
+	profile  *defect.Profile
+	stage    model.Stage
+	tcID     string
+	detected bool
+}
+
+// Run executes the simulation. Faulty-CPU screening is sharded per CPU:
+// each processor's profile and pipeline randomness derive from its serial,
+// so the result is identical at any Workers value. Healthy processors are
+// counted, never executed.
 func (s *Simulator) Run() *Result {
 	res := &Result{
 		Population:         s.cfg.Processors,
@@ -219,6 +236,13 @@ func (s *Simulator) Run() *Result {
 	// Allocate population counts per arch (largest-remainder rounding).
 	counts := apportion(s.cfg.Processors, s.cfg.Mix)
 
+	// Serial prologue: per-arch faulty-CPU counts (one cheap Poisson draw
+	// per arch), then the flat shard list of every faulty CPU.
+	type job struct {
+		archIdx int
+		serial  string
+	}
+	var jobs []job
 	for i, m := range s.cfg.Mix {
 		ar := res.ByArch[m.Arch]
 		ar.Population = counts[i]
@@ -232,21 +256,33 @@ func (s *Simulator) Run() *Result {
 		nFaulty := arng.Poisson(float64(counts[i]) * m.FaultyRate * scale)
 		ar.Faulty = nFaulty
 		res.FaultyTotal += nFaulty
-
 		for f := 0; f < nFaulty; f++ {
-			serial := fmt.Sprintf("%s-flt-%05d", m.Arch, f)
-			p := defect.FleetFaulty(s.rng, serial, m.Arch)
-			stage, tcID, detected := s.screen(arng, p)
-			if !detected {
-				res.Escaped++
-				continue
-			}
-			res.DetectedByStage[stage]++
-			ar.Detected++
-			res.FaultyProfiles = append(res.FaultyProfiles, p)
-			if tcID != "" {
-				res.EffectiveTestcases[tcID] = true
-			}
+			jobs = append(jobs, job{i, fmt.Sprintf("%s-flt-%05d", m.Arch, f)})
+		}
+	}
+
+	// Parallel screening: the CPU's serial keys both its generated profile
+	// and its pipeline substream.
+	pool := engine.NewPool(s.cfg.Workers)
+	outcomes := engine.MapPlain(pool, len(jobs), func(j int) screening {
+		jb := jobs[j]
+		p := defect.FleetFaulty(s.rng, jb.serial, s.cfg.Mix[jb.archIdx].Arch)
+		crng := s.rng.Derive("screen", jb.serial)
+		stage, tcID, detected := s.screen(crng, p)
+		return screening{jb.archIdx, p, stage, tcID, detected}
+	})
+
+	// Deterministic merge in serial order (arch order, then serial).
+	for _, o := range outcomes {
+		if !o.detected {
+			res.Escaped++
+			continue
+		}
+		res.DetectedByStage[o.stage]++
+		res.ByArch[s.cfg.Mix[o.archIdx].Arch].Detected++
+		res.FaultyProfiles = append(res.FaultyProfiles, o.profile)
+		if o.tcID != "" {
+			res.EffectiveTestcases[o.tcID] = true
 		}
 	}
 	return res
@@ -255,13 +291,16 @@ func (s *Simulator) Run() *Result {
 // screen pushes one faulty processor through the pipeline and returns the
 // first detecting stage and testcase.
 func (s *Simulator) screen(rng *simrand.Source, p *defect.Profile) (model.Stage, string, bool) {
+	// The failing set is a pure function of the profile; scan the suite
+	// once per CPU instead of once per stage round.
+	failing := s.suite.FailingTestcases(p)
 	for _, sp := range s.cfg.Stages {
 		rounds := 1
 		if sp.Stage == model.StageRegular {
 			rounds = s.cfg.RegularRounds
 		}
 		for round := 0; round < rounds; round++ {
-			if tcID, hit := s.stageDetect(rng, p, sp); hit {
+			if tcID, hit := s.stageDetect(rng, p, failing, sp); hit {
 				return sp.Stage, tcID, true
 			}
 		}
@@ -273,11 +312,11 @@ func (s *Simulator) screen(rng *simrand.Source, p *defect.Profile) (model.Stage,
 // processor: for each (testcase, defect) setting it evaluates the analytic
 // detection probability 1−exp(−λ·t) at the stage's achieved temperature,
 // using the defect's most detectable core.
-func (s *Simulator) stageDetect(rng *simrand.Source, p *defect.Profile, sp StageProfile) (string, bool) {
+func (s *Simulator) stageDetect(rng *simrand.Source, p *defect.Profile, failing []*testkit.Testcase, sp StageProfile) (string, bool) {
 	temp := rng.Norm(sp.MeanTempC, sp.TempSpreadC)
 	for _, d := range p.Defects {
 		core := bestCore(d, p.TotalPCores)
-		for _, tc := range s.suite.FailingTestcases(p) {
+		for _, tc := range failing {
 			if !testkit.DetectableBy(tc, d) {
 				continue
 			}

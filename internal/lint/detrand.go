@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/types"
 	"strconv"
+	"strings"
 )
 
 // Detrand forbids ambient randomness and wall-clock reads. Every random
@@ -13,6 +14,13 @@ import (
 // is not a function of the experiment seed, so a single call silently makes
 // a "reproducible" result unreproducible — the repo's own flavour of a
 // silent data corruption.
+//
+// One quarantine exists: internal/engine/wallclock wraps time.Now for
+// run-duration accounting (bench reports measure real elapsed time by
+// definition), so the wall-clock rules are waived inside that package.
+// In exchange, importing it is itself policed: only the engine layer and
+// the commands may depend on wallclock, so a stray timestamp can never
+// steer a simulation result.
 var Detrand = &Analyzer{
 	Name: "detrand",
 	Doc:  "forbid math/rand, crypto/rand and wall-clock reads; randomness must flow through simrand.Source",
@@ -34,7 +42,33 @@ var detrandForbiddenTimeFuncs = map[string]bool{
 	"Until": true,
 }
 
+// wallclockPkgSuffix identifies the sanctioned wall-clock quarantine
+// package. Matching is by path suffix, like isSimrandSource, so the policy
+// also holds for the analyzer's synthetic testdata packages.
+const wallclockPkgSuffix = "internal/engine/wallclock"
+
+// isWallclockPkg reports whether path is the quarantine package itself.
+func isWallclockPkg(path string) bool {
+	return path == wallclockPkgSuffix || strings.HasSuffix(path, "/"+wallclockPkgSuffix)
+}
+
+// mayImportWallclock reports whether a package at path sits in a layer
+// allowed to measure real elapsed time: the engine (orchestration) subtree
+// or a command. Simulation packages must stay off the wall clock entirely.
+func mayImportWallclock(path string) bool {
+	for _, layer := range []string{"internal/engine", "cmd"} {
+		if path == layer || strings.HasSuffix(path, "/"+layer) {
+			return true
+		}
+		if i := strings.Index(path+"/", "/"+layer+"/"); i >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func runDetrand(pass *Pass) {
+	inWallclock := isWallclockPkg(pass.Pkg.ImportPath)
 	for _, f := range pass.Pkg.Files {
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
@@ -44,6 +78,12 @@ func runDetrand(pass *Pass) {
 			if hint, ok := detrandForbiddenImports[path]; ok {
 				pass.Reportf(imp.Pos(), "import of %s is forbidden in simulation code: %s", path, hint)
 			}
+			if isWallclockPkg(path) && !mayImportWallclock(pass.Pkg.ImportPath) {
+				pass.Reportf(imp.Pos(), "import of %s is restricted to the engine and cmd layers; simulation code must not observe real elapsed time", path)
+			}
+		}
+		if inWallclock {
+			continue // the quarantine package wraps time.Now by design
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)

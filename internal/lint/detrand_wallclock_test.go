@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDetrandWallclockPolicy checks both halves of the quarantine bargain:
+// the wallclock package itself may read the real clock without findings,
+// while only the engine and cmd layers may import it.
+func TestDetrandWallclockPolicy(t *testing.T) {
+	base := filepath.Join("testdata", "src", "wallclock")
+	cases := []struct {
+		dir  string
+		want []string // substrings of expected messages, in order
+	}{
+		{filepath.Join(base, "internal", "engine", "wallclock"), nil},
+		{filepath.Join(base, "internal", "engine", "runner"), nil},
+		{filepath.Join(base, "cmd", "tool"), nil},
+		{filepath.Join(base, "internal", "sim"), []string{"restricted to the engine and cmd layers"}},
+	}
+	for _, c := range cases {
+		pkgs, err := Load(".", c.dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", c.dir, err)
+		}
+		diags := Run(pkgs, []*Analyzer{Detrand})
+		if len(diags) != len(c.want) {
+			t.Errorf("%s: got %d findings (%v), want %d", c.dir, len(diags), diags, len(c.want))
+			continue
+		}
+		for i, sub := range c.want {
+			if !strings.Contains(diags[i].Message, sub) {
+				t.Errorf("%s: finding %q does not mention %q", c.dir, diags[i].Message, sub)
+			}
+		}
+	}
+}
+
+func TestMayImportWallclock(t *testing.T) {
+	cases := map[string]bool{
+		"farron/internal/engine":           true,
+		"farron/internal/engine/wallclock": true,
+		"farron/internal/engine/cliflags":  true,
+		"farron/cmd/sdcbench":              true,
+		"farron/internal/experiments":      false,
+		"farron/internal/testkit":          false,
+		"farron":                           false,
+	}
+	for path, want := range cases {
+		if got := mayImportWallclock(path); got != want {
+			t.Errorf("mayImportWallclock(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

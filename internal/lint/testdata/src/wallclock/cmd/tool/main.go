@@ -1,0 +1,8 @@
+// Command tool is in the cmd layer, which may report real run time.
+package main
+
+import "farron/internal/lint/testdata/src/wallclock/internal/engine/wallclock"
+
+func main() {
+	_ = wallclock.Start()
+}

@@ -1,0 +1,12 @@
+// Package runner sits in the engine layer, which may measure how long a
+// run takes on the wall clock.
+package runner
+
+import "farron/internal/lint/testdata/src/wallclock/internal/engine/wallclock"
+
+// Time measures fn's real elapsed time.
+func Time(fn func()) float64 {
+	s := wallclock.Start()
+	fn()
+	return s.Seconds()
+}

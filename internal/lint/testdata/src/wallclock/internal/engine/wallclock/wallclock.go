@@ -1,0 +1,14 @@
+// Package wallclock mirrors the real quarantine package: the one place
+// where detrand waives the wall-clock rules.
+package wallclock
+
+import "time"
+
+// Stamp is an opaque wall-clock reading.
+type Stamp struct{ t time.Time }
+
+// Start reads the real clock — sanctioned here, and only here.
+func Start() Stamp { return Stamp{t: time.Now()} }
+
+// Seconds returns the real time elapsed since s.
+func (s Stamp) Seconds() float64 { return time.Since(s.t).Seconds() }

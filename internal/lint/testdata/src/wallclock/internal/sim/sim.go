@@ -1,0 +1,8 @@
+// Package sim is simulation code: importing the wall-clock quarantine
+// from here is forbidden, even without calling a clock function.
+package sim
+
+import "farron/internal/lint/testdata/src/wallclock/internal/engine/wallclock"
+
+// Elapsed would leak real elapsed time into a simulation result.
+func Elapsed(s wallclock.Stamp) float64 { return s.Seconds() }

@@ -1,0 +1,64 @@
+package testkit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"farron/internal/defect"
+	"farron/internal/model"
+	"farron/internal/simrand"
+)
+
+// suiteFingerprint renders every field of every testcase deterministically
+// (map keys sorted), so any mutation of the suite shows up as a diff.
+func suiteFingerprint(s *Suite) string {
+	var b strings.Builder
+	for _, tc := range s.Testcases {
+		fmt.Fprintf(&b, "%s|%s|%v|%v|%.17g|%v|%d|%.17g|",
+			tc.ID, tc.Name, tc.Feature, tc.DataTypes, tc.HeatIntensity,
+			tc.MultiThreaded, tc.Complexity, tc.IterPerSec)
+		ids := make([]model.InstrID, 0, len(tc.Mix))
+		for id := range tc.Mix {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			if ids[i].Class != ids[j].Class {
+				return ids[i].Class < ids[j].Class
+			}
+			return ids[i].Variant < ids[j].Variant
+		})
+		for _, id := range ids {
+			fmt.Fprintf(&b, "%v=%.17g,", id, tc.Mix[id])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestSuiteImmutableAfterGeneration pins the contract the parallel engine
+// relies on: calibration and failing-set queries mutate profiles, never the
+// suite, so one Suite can be shared read-only by every shard of a parallel
+// run (see DESIGN.md "Execution engine & parallelism").
+func TestSuiteImmutableAfterGeneration(t *testing.T) {
+	rng := simrand.New(99)
+	s := NewSuite(rng)
+	before := suiteFingerprint(s)
+
+	for _, p := range defect.StudySet(rng) {
+		s.CalibrateProfile(p)
+		s.FailingTestcases(p)
+		for _, d := range p.Defects {
+			for _, dt := range model.AllDataTypes() {
+				if d.AffectsDataType(dt) {
+					d.Corruptor(dt, rng)
+				}
+			}
+		}
+	}
+
+	if after := suiteFingerprint(s); after != before {
+		t.Error("suite testcases changed during calibration; the engine shares the suite across shards read-only")
+	}
+}

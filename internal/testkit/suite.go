@@ -75,6 +75,14 @@ func (tc *Testcase) ChecksDataType(dt model.DataType) bool {
 }
 
 // Suite is the full toolchain testcase collection.
+//
+// A Suite is immutable once NewSuite returns: generation is the only phase
+// that writes Testcases, byID or the testcases' fields. Calibration
+// (CalibrateProfile) and queries (FailingTestcases, ByFeature, InstrUsers)
+// mutate profiles or allocate fresh slices, never the suite — the parallel
+// engine shares one Suite across every shard of a run without copies or
+// locks on the strength of this contract, and the immutability test
+// (immutability_test.go) pins it.
 type Suite struct {
 	Testcases []*Testcase
 	byID      map[string]*Testcase
