@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint bench check
+.PHONY: build test race vet fmt lint bench bench-cached check
 
 ## build: compile every package
 build:
@@ -30,6 +30,11 @@ lint:
 ## bench: paper-scale sdcbench run with a timing/allocs JSON report
 bench:
 	$(GO) run ./cmd/sdcbench -n 1000000 -o bench_report.txt -json
+
+## bench-cached: bench reusing the content-addressed result cache; warm
+## reruns serve unchanged entries from .farron-cache and report hit counts
+bench-cached:
+	$(GO) run ./cmd/sdcbench -n 1000000 -o bench_report.txt -json -cache
 
 ## check: everything CI runs — the one-command tier-1 verify
 check: build vet fmt test race lint

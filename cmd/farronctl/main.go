@@ -6,14 +6,14 @@
 //
 // Usage:
 //
-//	farronctl [-seed seed] [-workers n] [-quick] [-online duration]
+//	farronctl [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-online duration]
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"farron/internal/engine"
 	"farron/internal/engine/cliflags"
@@ -29,18 +29,26 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := run(common, *online); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(common *cliflags.Common, online time.Duration) error {
+	rc, err := common.ResultCache()
+	if err != nil {
+		return err
+	}
 	ctx := common.Context()
 	sc := common.Scale()
-	if *online > 0 {
-		sc.Online = *online
+	if online > 0 {
+		sc.Online = online
 	}
 
 	exps := engine.Filter(experiments.Registry(), engine.GroupMitigation)
-	sections, _, err := engine.RunExperiments(ctx, exps, sc)
+	sections, _, err := engine.RunExperimentsCached(ctx, exps, sc, rc)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	for _, s := range sections {
-		fmt.Fprintln(os.Stdout, s.Body)
-	}
+	return engine.WriteSections(os.Stdout, sections, false)
 }

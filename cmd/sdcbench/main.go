@@ -1,17 +1,18 @@
 // Command sdcbench regenerates every table and figure of the paper's
 // evaluation in one run and writes the full report — the data source for
 // EXPERIMENTS.md. Experiments run concurrently on the engine's sharded
-// pool; the rendered report is byte-identical at any -workers value.
+// pool; the rendered report is byte-identical at any -workers value, and
+// -cache reuses content-addressed results from previous runs (warm output
+// is byte-identical to cold).
 //
 // Usage:
 //
-//	sdcbench [-seed seed] [-workers n] [-quick] [-n population] [-o output] [-json]
+//	sdcbench [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-n population] [-o output] [-json]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
 
@@ -33,50 +34,84 @@ func main() {
 	)
 	flag.Parse()
 
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-		}()
-		w = f
-	}
-
-	ctx := common.Context()
-	sc := common.Scale()
-	if *n > 0 {
-		sc.Population = *n
-	}
-
-	sections, rep, err := engine.RunExperiments(ctx, experiments.Registry(), sc)
-	if err != nil {
+	// All failures route through run so file closes are not skipped by
+	// log.Fatal's os.Exit.
+	if err := run(common, *n, *out, *jsonOut, *jsonPath); err != nil {
 		log.Fatal(err)
 	}
-	for _, s := range sections {
-		fmt.Fprintf(w, "== %s ==\n%s\n", s.Name, s.Body)
+}
+
+func run(common *cliflags.Common, n int, out string, jsonOut bool, jsonPath string) error {
+	rc, err := common.ResultCache()
+	if err != nil {
+		return err
+	}
+	ctx := common.Context()
+	sc := common.Scale()
+	if n > 0 {
+		sc.Population = n
 	}
 
-	if *jsonOut || *jsonPath != "" {
+	sections, rep, err := engine.RunExperimentsCached(ctx, experiments.Registry(), sc, rc)
+	if err != nil {
+		return err
+	}
+	if err := writeReport(out, sections); err != nil {
+		return err
+	}
+
+	if jsonOut || jsonPath != "" {
 		rep.Quick = common.Quick
-		path := *jsonPath
+		path := jsonPath
 		if path == "" {
 			path = "BENCH_" + wallclock.Date() + ".json"
 		}
-		f, err := os.Create(path)
-		if err != nil {
-			log.Fatal(err)
+		if err := writeJSON(path, rep); err != nil {
+			return err
 		}
-		if err := rep.WriteJSON(f); err != nil {
-			log.Fatal(err)
+		msg := fmt.Sprintf("bench report: %s (wall %.2fs, workers %d", path, rep.WallSeconds, rep.Workers)
+		if rc != nil {
+			msg += fmt.Sprintf(", cache %d hits / %d misses", rep.CacheHits, rep.CacheMisses)
 		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("bench report: %s (wall %.2fs, workers %d)", path, rep.WallSeconds, rep.Workers)
+		log.Print(msg + ")")
 	}
+	return nil
+}
+
+// writeReport writes the rendered sections to path (stdout when empty),
+// checking every write and closing explicitly on the success path so a
+// full disk surfaces as an error instead of a silently truncated report.
+func writeReport(path string, sections []engine.Section) error {
+	if path == "" {
+		return engine.WriteSections(os.Stdout, sections, true)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // backstop for error returns; success path closes below
+	if err := engine.WriteSections(f, sections, true); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeJSON writes the run report to path with the same write/close
+// discipline as writeReport.
+func writeJSON(path string, rep *engine.RunReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	return nil
 }

@@ -6,12 +6,11 @@
 //
 // Usage:
 //
-//	sdcfleet [-seed seed] [-workers n] [-quick] [-n population] [-sub subpopulation]
+//	sdcfleet [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-n population] [-sub subpopulation]
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
 
@@ -30,21 +29,29 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := run(common, *n, *sub); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(common *cliflags.Common, n, sub int) error {
+	rc, err := common.ResultCache()
+	if err != nil {
+		return err
+	}
 	ctx := common.Context()
 	sc := common.Scale()
-	if *n > 0 {
-		sc.Population = *n
+	if n > 0 {
+		sc.Population = n
 	}
-	if *sub > 0 {
-		sc.SubPopulation = *sub
+	if sub > 0 {
+		sc.SubPopulation = sub
 	}
 
 	exps := engine.Filter(experiments.Registry(), engine.GroupFleet)
-	sections, _, err := engine.RunExperiments(ctx, exps, sc)
+	sections, _, err := engine.RunExperimentsCached(ctx, exps, sc, rc)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	for _, s := range sections {
-		fmt.Fprintln(os.Stdout, s.Body)
-	}
+	return engine.WriteSections(os.Stdout, sections, false)
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sdcstudy [-seed seed] [-workers n] [-quick] [-records n] [-reftemp degC] [-dump file]
+//	sdcstudy [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-records n] [-reftemp degC] [-dump file]
 package main
 
 import (
@@ -38,34 +38,44 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := run(common, *records, *refTemp, *dump); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(common *cliflags.Common, records int, refTemp float64, dump string) error {
+	rc, err := common.ResultCache()
+	if err != nil {
+		return err
+	}
 	ctx := common.Context()
 	sc := common.Scale()
-	if *records > 0 {
-		sc.Records = *records
+	if records > 0 {
+		sc.Records = records
 	}
-	if *refTemp > 0 {
-		sc.RefTempC = *refTemp
+	if refTemp > 0 {
+		sc.RefTempC = refTemp
 	}
 
 	exps := engine.Filter(experiments.Registry(), engine.GroupStudy)
-	sections, _, err := engine.RunExperiments(ctx, exps, sc)
+	sections, _, err := engine.RunExperimentsCached(ctx, exps, sc, rc)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	for _, s := range sections {
-		fmt.Fprintln(os.Stdout, s.Body)
+	if err := engine.WriteSections(os.Stdout, sections, false); err != nil {
+		return err
 	}
 
-	if *dump != "" {
-		if err := dumpCorpus(ctx, *dump); err != nil {
-			log.Fatal(err)
-		}
+	if dump != "" {
+		return dumpCorpus(ctx, dump)
 	}
+	return nil
 }
 
 // dumpCorpus runs every named faulty processor's failing testcases hot and
 // long enough to collect a raw record corpus, then writes it as JSON lines
-// (the study's "more than ten thousand SDC records").
+// (the study's "more than ten thousand SDC records"). Writes and the close
+// are checked so a full disk cannot silently truncate the corpus.
 func dumpCorpus(ctx *experiments.Context, path string) error {
 	var records []model.SDCRecord
 	hot := 66.0
@@ -87,9 +97,12 @@ func dumpCorpus(ctx *experiments.Context, path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer f.Close() // backstop for error returns; success path closes below
 	if err := trace.Write(f, records); err != nil {
-		return err
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
 	}
 	fmt.Printf("corpus: %s -> %s\n", trace.Summarize(records), path)
 	return nil

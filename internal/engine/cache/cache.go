@@ -1,0 +1,168 @@
+// Package cache is a content-addressed, on-disk result cache for the
+// experiment engine. The paper's production workflow re-runs the same
+// 633-testcase evaluation over the whole fleet on every policy change (§3,
+// §7); the reproduction's equivalent is regenerating every table and figure
+// on every sdcbench run even though each registry entry is a pure function
+// of (seed, scale). The cache keys a rendered experiment result on a
+// SHA-256 over everything that result is a function of — experiment name,
+// seed, a canonical hash of the Scale struct, and a code/suite fingerprint
+// — so any change to the inputs misses cleanly and the warm path can never
+// serve stale bytes.
+//
+// Two properties are load-bearing for the determinism contract:
+//
+//   - The worker budget is not key material and cached values carry no
+//     trace of it: a warm run is byte-identical to a cold run at any
+//     -workers value, exactly like two cold runs.
+//   - The cache is advisory. A corrupt, truncated or unreadable entry is a
+//     miss (the result is recomputed and the entry overwritten), and a
+//     failed store is ignored; no cache state ever turns into a run error
+//     or leaks into rendered output. File paths and mtimes are never read
+//     into results — only the verified payload bytes.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// entrySchema versions the on-disk format; bump on any layout change so old
+// files read as misses instead of mis-parsing.
+const entrySchema = "farron-cache/v1"
+
+// Entry is one cached experiment result: the rendered section body plus the
+// accounting of the run that produced it. WallSeconds is the original
+// compute cost, preserved so warm-run reports still show what the entry
+// costs to regenerate (and therefore what the hit saved).
+type Entry struct {
+	// Name is the registry entry name ("Table 1", "Figure 8", …).
+	Name string `json:"name"`
+	// Body is the rendered Section body, byte-exact.
+	Body string `json:"body"`
+	// WallSeconds is the wall time of the original computation.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// file is the on-disk envelope around Entry. Schema, key echo and body
+// digest exist purely for validation: any mismatch demotes the file to a
+// miss.
+type file struct {
+	Schema string `json:"schema"`
+	Key    string `json:"key"`
+	Entry  Entry  `json:"entry"`
+	// BodySHA256 is the hex digest of Entry.Body. JSON that truncates at a
+	// token boundary can still unmarshal; the digest catches every partial
+	// or bit-flipped body regardless of where the damage landed.
+	BodySHA256 string `json:"body_sha256"`
+}
+
+// Cache is a directory of content-addressed entries, one file per key. It
+// carries no in-memory state, so one Cache may be shared by every shard of
+// a parallel run; distinct keys never collide and same-key writers each
+// stage into a private temp file before an atomic rename, so the last
+// writer wins whole.
+type Cache struct {
+	dir string
+}
+
+// Open returns a cache rooted at dir, creating the directory if needed.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("result cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Key derives a content address from its identifying parts. Each part is
+// length-prefixed before hashing so field boundaries cannot alias
+// ("ab"+"c" vs "a"+"bc") and the digest is a pure function of the part
+// sequence. Callers supply everything the cached value depends on — for
+// experiment results that is (name, seed, canonical scale hash, code/suite
+// fingerprint) and deliberately not the worker count.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// path maps a key to its entry file.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Load returns the entry stored under key, or ok=false on any miss:
+// absent, unreadable, wrong schema, wrong key echo, or a body that fails
+// its digest. Damage is indistinguishable from absence by design — the
+// caller recomputes and Store overwrites the bad file.
+func (c *Cache) Load(key string) (Entry, bool) {
+	if c == nil {
+		return Entry{}, false
+	}
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return Entry{}, false
+	}
+	var f file
+	if err := json.Unmarshal(b, &f); err != nil {
+		return Entry{}, false
+	}
+	if f.Schema != entrySchema || f.Key != key {
+		return Entry{}, false
+	}
+	sum := sha256.Sum256([]byte(f.Entry.Body))
+	if hex.EncodeToString(sum[:]) != f.BodySHA256 {
+		return Entry{}, false
+	}
+	return f.Entry, true
+}
+
+// Store writes the entry under key. The write goes to a same-directory
+// temp file first and is renamed into place, so a reader never observes a
+// half-written entry — at worst it observes the old file or none. Errors
+// are returned for the caller to ignore or count; a failed store must
+// never fail the run that produced the result.
+func (c *Cache) Store(key string, e Entry) error {
+	if c == nil {
+		return nil
+	}
+	sum := sha256.Sum256([]byte(e.Body))
+	b, err := json.MarshalIndent(file{
+		Schema:     entrySchema,
+		Key:        key,
+		Entry:      e,
+		BodySHA256: hex.EncodeToString(sum[:]),
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("result cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("result cache: %w", err)
+	}
+	_, werr := tmp.Write(append(b, '\n'))
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), c.path(key))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("result cache: %w", werr)
+	}
+	return nil
+}

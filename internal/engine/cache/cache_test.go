@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestKeyLengthPrefixPreventsAliasing(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Error("Key aliases across part boundaries")
+	}
+	if Key("x") == Key("x", "") {
+		t.Error("Key ignores empty trailing parts")
+	}
+	if Key("x") != Key("x") {
+		t.Error("Key is not deterministic")
+	}
+}
+
+func TestStoreLoadRoundtrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("Table 1", "7", "scale", "fp")
+	want := Entry{Name: "Table 1", Body: "rendered body\nline 2\n", WallSeconds: 1.25}
+	if err := c.Store(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Load(key)
+	if !ok {
+		t.Fatal("stored entry did not load")
+	}
+	if got != want {
+		t.Errorf("roundtrip mismatch: got %+v want %+v", got, want)
+	}
+	if _, ok := c.Load(Key("Table 1", "8", "scale", "fp")); ok {
+		t.Error("different key loaded a stored entry")
+	}
+}
+
+// TestCorruptEntriesAreMisses pins the degradation policy: damaged files
+// must read as misses, never as errors or as wrong bytes.
+func TestCorruptEntriesAreMisses(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("Figure 4", "7", "scale", "fp")
+	ent := Entry{Name: "Figure 4", Body: strings.Repeat("the rendered figure\n", 20), WallSeconds: 0.5}
+	if err := c.Store(key, ent); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".json")
+
+	corruptions := []struct {
+		name string
+		do   func(t *testing.T)
+	}{
+		{"truncated", func(t *testing.T) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"not json", func(t *testing.T) {
+			if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"body bitflip", func(t *testing.T) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Flip a byte inside the body region; the digest must catch it
+			// even though the JSON still parses.
+			i := strings.Index(string(b), "rendered")
+			if i < 0 {
+				t.Fatal("body text not found in entry file")
+			}
+			b[i] = 'R'
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"wrong key echo", func(t *testing.T) {
+			other := Key("Figure 5", "7", "scale", "fp")
+			if err := c.Store(other, ent); err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(filepath.Join(dir, other+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := c.Store(key, ent); err != nil {
+				t.Fatal(err)
+			}
+			tc.do(t)
+			if _, ok := c.Load(key); ok {
+				t.Fatal("corrupt entry loaded as a hit")
+			}
+			// Recompute-and-overwrite restores the entry.
+			if err := c.Store(key, ent); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := c.Load(key); !ok || got != ent {
+				t.Fatal("overwritten entry did not load back")
+			}
+		})
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Load("deadbeef"); ok {
+		t.Error("nil cache reported a hit")
+	}
+	if err := c.Store("deadbeef", Entry{}); err != nil {
+		t.Error("nil cache store errored")
+	}
+}

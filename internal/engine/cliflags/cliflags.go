@@ -1,6 +1,6 @@
 // Package cliflags hoists the flag surface shared by the experiment
-// commands (seed, worker budget, run scale) so engine-wide flags are
-// declared once instead of per command.
+// commands (seed, worker budget, run scale, result cache) so engine-wide
+// flags are declared once instead of per command.
 package cliflags
 
 import (
@@ -8,15 +8,23 @@ import (
 	"runtime"
 
 	"farron/internal/engine"
+	"farron/internal/engine/cache"
 )
 
 // Common is the shared experiment flag set: every experiment CLI gets the
-// same -seed, -workers and -quick flags with identical semantics.
+// same -seed, -workers, -quick, -cache and -cache-dir flags with identical
+// semantics.
 type Common struct {
-	Seed    uint64
-	Workers int
-	Quick   bool
+	Seed     uint64
+	Workers  int
+	Quick    bool
+	Cache    bool
+	CacheDir string
 }
+
+// DefaultCacheDir is where -cache keeps entries unless -cache-dir says
+// otherwise.
+const DefaultCacheDir = ".farron-cache"
 
 // Register installs the shared flags on fs and returns the destination
 // struct (valid after fs.Parse).
@@ -27,14 +35,19 @@ func Register(fs *flag.FlagSet) *Common {
 		"parallel worker count; results are identical at any value")
 	fs.BoolVar(&c.Quick, "quick", false,
 		"run at smoke scale (smaller populations and record counts)")
+	fs.BoolVar(&c.Cache, "cache", false,
+		"reuse experiment results from the content-addressed result cache; warm output is byte-identical to cold")
+	fs.StringVar(&c.CacheDir, "cache-dir", DefaultCacheDir,
+		"result cache directory used by -cache")
 	return c
 }
 
 // Context builds the engine context at the flagged seed and worker budget.
+// The budget is passed into construction, so calibration and freeze honor
+// -workers too (construction output is identical at any budget; only wall
+// time varies).
 func (c *Common) Context() *engine.Ctx {
-	ctx := engine.NewCtx(c.Seed)
-	ctx.Workers = c.Workers
-	return ctx
+	return engine.NewCtxWorkers(c.Seed, c.Workers)
 }
 
 // Scale returns the run scale selected by the flags: QuickScale under
@@ -44,4 +57,13 @@ func (c *Common) Scale() engine.Scale {
 		return engine.QuickScale()
 	}
 	return engine.DefaultScale()
+}
+
+// ResultCache opens the result cache selected by the flags, or returns nil
+// (caching disabled) when -cache is off.
+func (c *Common) ResultCache() (*cache.Cache, error) {
+	if !c.Cache {
+		return nil, nil
+	}
+	return cache.Open(c.CacheDir)
 }

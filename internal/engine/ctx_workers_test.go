@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// ctxFingerprint renders everything construction derives — the suite, the
+// study-set calibration and the failing-set indexes — so two contexts can
+// be compared byte-for-byte.
+func ctxFingerprint(c *Ctx) string {
+	var b strings.Builder
+	b.WriteString(c.Suite.Fingerprint())
+	for _, p := range c.Study {
+		b.WriteString(p.CPUID)
+		b.WriteByte(':')
+		b.WriteString(strings.Join(c.KnownErrs(p.CPUID), ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestNewCtxWorkersRespectsBudget is the regression test for the
+// construction-phase worker bug: cliflags used to set ctx.Workers only
+// after NewCtx had already run calibration and freeze at the GOMAXPROCS
+// default, so -workers=1 still spawned GOMAXPROCS goroutines during
+// construction. The counting hook wraps every shard function the
+// construction pool runs and records peak concurrency; it must never
+// exceed the budget.
+func TestNewCtxWorkersRespectsBudget(t *testing.T) {
+	for _, budget := range []int{1, 2} {
+		var active, peak atomic.Int64
+		wrap := func(fn func(int)) func(int) {
+			return func(i int) {
+				cur := active.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				fn(i)
+				active.Add(-1)
+			}
+		}
+		ctx := newCtx(5, budget, wrap)
+		if got := peak.Load(); got > int64(budget) {
+			t.Errorf("budget %d: construction ran %d shards concurrently", budget, got)
+		}
+		if ctx.Workers != budget {
+			t.Errorf("budget %d: ctx.Workers = %d", budget, ctx.Workers)
+		}
+	}
+}
+
+// TestCtxConstructionIdenticalAcrossBudgets pins the other half of the
+// contract: the budget changes construction wall time, never the
+// constructed state.
+func TestCtxConstructionIdenticalAcrossBudgets(t *testing.T) {
+	serial := NewCtxWorkers(11, 1)
+	parallel := NewCtxWorkers(11, 8)
+	if ctxFingerprint(serial) != ctxFingerprint(parallel) {
+		t.Error("construction output differs between workers=1 and workers=8")
+	}
+}
+
+func TestNewCtxWorkersClampsBudget(t *testing.T) {
+	if got := NewCtxWorkers(5, 0).Workers; got != 1 {
+		t.Errorf("workers=0 clamped to %d, want 1", got)
+	}
+}

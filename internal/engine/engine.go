@@ -30,7 +30,8 @@ type Ctx struct {
 	// Study is the full 27-processor study set, calibrated.
 	Study []*defect.Profile
 	// Workers is the worker budget parallel drivers run under; NewCtx
-	// defaults it to GOMAXPROCS. It affects wall time, never results.
+	// defaults it to GOMAXPROCS, NewCtxWorkers takes it explicitly. It
+	// affects wall time, never results — construction included.
 	Workers int
 
 	profiles map[string]*defect.Profile
@@ -45,23 +46,49 @@ var libraryIDs = map[string]bool{
 	"CNST1": true, "CNST2": true,
 }
 
-// NewCtx builds the shared state for a seed. Calibration aligns every
-// profile's failing-testcase count with its Table 3 target; profiles are
-// calibrated in parallel (each calibration touches only its own profile and
-// reads the immutable suite, so the result is identical at any worker
-// count).
+// NewCtx builds the shared state for a seed at the GOMAXPROCS worker
+// budget. Calibration aligns every profile's failing-testcase count with
+// its Table 3 target; profiles are calibrated in parallel (each
+// calibration touches only its own profile and reads the immutable suite,
+// so the result is identical at any worker count).
 func NewCtx(seed uint64) *Ctx {
+	return NewCtxWorkers(seed, runtime.GOMAXPROCS(0))
+}
+
+// NewCtxWorkers is NewCtx under an explicit worker budget. The budget
+// bounds the construction phases (parallel calibration and freeze) as well
+// as everything the context later runs, so -workers=1 really is strictly
+// serial from the first goroutine; budgets below 1 are clamped to 1. The
+// constructed context is byte-identical at any budget.
+func NewCtxWorkers(seed uint64, workers int) *Ctx {
+	return newCtx(seed, workers, nil)
+}
+
+// newCtx is the shared constructor. wrap, non-nil only in tests, decorates
+// the shard functions handed to the construction-phase pool runs so a test
+// can observe construction concurrency (the worker-budget regression test
+// counts peak active shards through it).
+func newCtx(seed uint64, workers int, wrap func(func(int)) func(int)) *Ctx {
+	if workers < 1 {
+		workers = 1
+	}
 	rng := simrand.New(seed)
 	suite := testkit.NewSuite(rng)
 	c := &Ctx{
 		Seed:    seed,
 		Rng:     rng,
 		Suite:   suite,
-		Workers: runtime.GOMAXPROCS(0),
+		Workers: workers,
+	}
+	pool := c.Pool()
+	run := func(n int, fn func(int)) {
+		if wrap != nil {
+			fn = wrap(fn)
+		}
+		pool.Run(n, fn)
 	}
 	c.Study = defect.StudySet(rng)
-	pool := c.Pool()
-	pool.Run(len(c.Study), func(i int) {
+	run(len(c.Study), func(i int) {
 		suite.CalibrateProfile(c.Study[i])
 	})
 	// The named library is the leading slice of the study set.
@@ -70,7 +97,7 @@ func NewCtx(seed uint64) *Ctx {
 			c.Library = append(c.Library, p)
 		}
 	}
-	c.freeze(pool)
+	c.freeze(run)
 	return c
 }
 
@@ -79,8 +106,8 @@ func NewCtx(seed uint64) *Ctx {
 // the root Rng, so the tables match what any serial caller would have
 // derived) and builds the CPUID indexes. After freeze, no code path mutates
 // a study profile or the suite.
-func (c *Ctx) freeze(pool *Pool) {
-	pool.Run(len(c.Study), func(i int) {
+func (c *Ctx) freeze(run func(int, func(int))) {
+	run(len(c.Study), func(i int) {
 		p := c.Study[i]
 		for _, d := range p.Defects {
 			for _, dt := range model.AllDataTypes() {

@@ -14,11 +14,20 @@ import (
 // goes through the quarantined wallclock package (see its doc).
 func stampStart() wallclock.Stamp { return wallclock.Start() }
 
-// ExperimentTiming is the accounting of one registry entry in a run.
+// ExperimentTiming is the accounting of one registry entry in a run. Name
+// is populated for every entry before execution starts, so a failed run
+// still attributes every slot; a failed entry carries its error text and a
+// cache hit carries the original compute timing with CacheHit set.
 type ExperimentTiming struct {
 	Name        string  `json:"name"`
 	WallSeconds float64 `json:"wall_seconds"`
 	OutputBytes int     `json:"output_bytes"`
+	// CacheHit marks entries served from the result cache; WallSeconds is
+	// then the wall time of the original computation, not of the load.
+	CacheHit bool `json:"cache_hit"`
+	// Error is the entry's failure, empty on success. Failed entries keep
+	// their measured wall time so partial accounting stays meaningful.
+	Error string `json:"error,omitempty"`
 }
 
 // RunReport is the machine-readable accounting of one RunExperiments call:
@@ -26,16 +35,21 @@ type ExperimentTiming struct {
 // allocated. sdcbench -json writes it to BENCH_<date>.json so the perf
 // trajectory of the engine accumulates data points in-tree.
 type RunReport struct {
-	Schema      string             `json:"schema"`
-	Date        string             `json:"date"`
-	Seed        uint64             `json:"seed"`
-	Workers     int                `json:"workers"`
-	GOMAXPROCS  int                `json:"gomaxprocs"`
-	NumCPU      int                `json:"num_cpu"`
-	Quick       bool               `json:"quick"`
-	WallSeconds float64            `json:"wall_seconds"`
-	AllocBytes  uint64             `json:"alloc_bytes"`
-	Mallocs     uint64             `json:"mallocs"`
+	Schema      string  `json:"schema"`
+	Date        string  `json:"date"`
+	Seed        uint64  `json:"seed"`
+	Workers     int     `json:"workers"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
+	Quick       bool    `json:"quick"`
+	WallSeconds float64 `json:"wall_seconds"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+	Mallocs     uint64  `json:"mallocs"`
+	// CacheHits / CacheMisses are the run-level result-cache counts (both
+	// zero when the run had no cache), so BENCH_*.json shows what caching
+	// saved.
+	CacheHits   int                `json:"cache_hits"`
+	CacheMisses int                `json:"cache_misses"`
 	Experiments []ExperimentTiming `json:"experiments"`
 
 	start        wallclock.Stamp

@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"farron/internal/engine/cache"
+)
+
+type fakeResult string
+
+func (r fakeResult) Render() string { return string(r) }
+
+// fakeExps is a tiny registry whose rendered bodies are pure functions of
+// (seed, scale) — the same contract real entries satisfy — so cache
+// behaviour can be tested without running real drivers.
+func fakeExps() []Experiment {
+	mk := func(name string) Experiment {
+		return Experiment{
+			Name: name, Desc: "fake", Groups: []string{GroupStudy},
+			Run: func(ctx *Ctx, sc Scale) (Result, error) {
+				return fakeResult(fmt.Sprintf("%s seed=%d pop=%d\n", name, ctx.Seed, sc.Population)), nil
+			},
+		}
+	}
+	return []Experiment{mk("Fake A"), mk("Fake B")}
+}
+
+func sectionsEqual(a, b []Section) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mustRun(t *testing.T, ctx *Ctx, exps []Experiment, sc Scale, rc *cache.Cache) ([]Section, *RunReport) {
+	t.Helper()
+	sections, rep, err := RunExperimentsCached(ctx, exps, sc, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sections, rep
+}
+
+func TestRunCacheWarmRunHitsAndMatches(t *testing.T) {
+	rc, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewCtxWorkers(7, 2)
+	exps := fakeExps()
+	sc := QuickScale()
+
+	cold, coldRep := mustRun(t, ctx, exps, sc, rc)
+	if coldRep.CacheHits != 0 || coldRep.CacheMisses != len(exps) {
+		t.Errorf("cold run: hits=%d misses=%d, want 0/%d", coldRep.CacheHits, coldRep.CacheMisses, len(exps))
+	}
+	warm, warmRep := mustRun(t, ctx, exps, sc, rc)
+	if warmRep.CacheHits != len(exps) || warmRep.CacheMisses != 0 {
+		t.Errorf("warm run: hits=%d misses=%d, want %d/0", warmRep.CacheHits, warmRep.CacheMisses, len(exps))
+	}
+	if !sectionsEqual(cold, warm) {
+		t.Error("warm sections differ from cold sections")
+	}
+	for i, et := range warmRep.Experiments {
+		if !et.CacheHit {
+			t.Errorf("warm entry %d (%s) not marked cache_hit", i, et.Name)
+		}
+		if et.WallSeconds != coldRep.Experiments[i].WallSeconds {
+			t.Errorf("warm entry %d lost the original compute timing", i)
+		}
+	}
+}
+
+// TestRunCacheWorkersNeverEnterKeys pins the determinism-contract corner:
+// -workers must influence neither cache keys nor cached bytes, so a run at
+// one budget warms the cache for every other budget.
+func TestRunCacheWorkersNeverEnterKeys(t *testing.T) {
+	rc, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := fakeExps()
+	sc := QuickScale()
+
+	cold, _ := mustRun(t, NewCtxWorkers(7, 1), exps, sc, rc)
+	warm, warmRep := mustRun(t, NewCtxWorkers(7, 8), exps, sc, rc)
+	if warmRep.CacheHits != len(exps) {
+		t.Errorf("workers=8 run after workers=1 warm-up: hits=%d, want %d", warmRep.CacheHits, len(exps))
+	}
+	if !sectionsEqual(cold, warm) {
+		t.Error("cached bytes differ across worker budgets")
+	}
+}
+
+func TestRunCacheKeySensitivity(t *testing.T) {
+	rc, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := fakeExps()
+	sc := QuickScale()
+	mustRun(t, NewCtxWorkers(7, 2), exps, sc, rc)
+
+	// A different seed must miss everything (both directly and through the
+	// suite fingerprint).
+	if _, rep := mustRun(t, NewCtxWorkers(8, 2), exps, sc, rc); rep.CacheHits != 0 {
+		t.Errorf("seed change still hit %d entries", rep.CacheHits)
+	}
+	// Any scale change must miss everything.
+	scaled := sc
+	scaled.Population++
+	if _, rep := mustRun(t, NewCtxWorkers(7, 2), exps, scaled, rc); rep.CacheHits != 0 {
+		t.Errorf("scale change still hit %d entries", rep.CacheHits)
+	}
+	// A registry-composition change shifts the run fingerprint.
+	if _, rep := mustRun(t, NewCtxWorkers(7, 2), exps[:1], sc, rc); rep.CacheHits != 0 {
+		t.Errorf("registry change still hit %d entries", rep.CacheHits)
+	}
+	// The unchanged run still hits.
+	if _, rep := mustRun(t, NewCtxWorkers(7, 2), exps, sc, rc); rep.CacheHits != len(exps) {
+		t.Errorf("unchanged run hit %d of %d", rep.CacheHits, len(exps))
+	}
+}
+
+// TestRunCacheCorruptEntryRecomputes truncates one on-disk entry and
+// requires a silent recompute that overwrites the damage.
+func TestRunCacheCorruptEntryRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	rc, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewCtxWorkers(7, 2)
+	exps := fakeExps()
+	sc := QuickScale()
+
+	cold, _ := mustRun(t, ctx, exps, sc, rc)
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != len(exps) {
+		t.Fatalf("cache dir holds %d entries (err %v), want %d", len(entries), err, len(exps))
+	}
+	b, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[0], b[:len(b)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, rep := mustRun(t, ctx, exps, sc, rc)
+	if !sectionsEqual(cold, out) {
+		t.Error("recomputed run differs from the original")
+	}
+	if rep.CacheHits != len(exps)-1 || rep.CacheMisses != 1 {
+		t.Errorf("after corruption: hits=%d misses=%d, want %d/1", rep.CacheHits, rep.CacheMisses, len(exps)-1)
+	}
+	// The recompute overwrote the damaged file: next run is all hits.
+	if _, rep := mustRun(t, ctx, exps, sc, rc); rep.CacheHits != len(exps) {
+		t.Errorf("damaged entry was not overwritten: hits=%d, want %d", rep.CacheHits, len(exps))
+	}
+}
+
+// TestRunReportNamesAndErrorsOnFailure pins partial accounting: a failing
+// entry must leave a fully-named Experiments slice with the failure
+// recorded, not zero-valued slots.
+func TestRunReportNamesAndErrorsOnFailure(t *testing.T) {
+	exps := fakeExps()
+	exps = append(exps, Experiment{
+		Name: "Fake Broken", Desc: "always fails", Groups: []string{GroupStudy},
+		Run: func(ctx *Ctx, sc Scale) (Result, error) {
+			return nil, fmt.Errorf("synthetic failure")
+		},
+	})
+	ctx := NewCtxWorkers(7, 2)
+	_, rep, err := RunExperimentsCached(ctx, exps, QuickScale(), nil)
+	if err == nil {
+		t.Fatal("run with a broken entry did not fail")
+	}
+	for i, et := range rep.Experiments {
+		if et.Name != exps[i].Name {
+			t.Errorf("entry %d: name %q, want %q", i, et.Name, exps[i].Name)
+		}
+	}
+	broken := rep.Experiments[len(exps)-1]
+	if broken.Error == "" {
+		t.Error("failed entry has no error recorded")
+	}
+	for _, et := range rep.Experiments[:len(exps)-1] {
+		if et.Error != "" {
+			t.Errorf("healthy entry %q carries error %q", et.Name, et.Error)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+
+	"farron/internal/engine"
+	"farron/internal/engine/cache"
+)
+
+// TestCacheColdWarmByteEquality is the result cache's acceptance test over
+// the real evaluation: the full registry at QuickScale runs twice into a
+// temp cache directory, and the warm run must be byte-identical to the
+// cold run with every registry entry served from cache. This is the
+// committed form of the ISSUE's warm-run contract — caching may change
+// wall time, never bytes.
+func TestCacheColdWarmByteEquality(t *testing.T) {
+	rc, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := Registry()
+	sc := engine.QuickScale()
+
+	run := func() ([]engine.Section, *engine.RunReport) {
+		ctx := NewContext(20260805)
+		sections, rep, err := engine.RunExperimentsCached(ctx, exps, sc, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sections, rep
+	}
+
+	cold, coldRep := run()
+	if coldRep.CacheHits != 0 || coldRep.CacheMisses != len(exps) {
+		t.Errorf("cold run: hits=%d misses=%d, want 0/%d", coldRep.CacheHits, coldRep.CacheMisses, len(exps))
+	}
+
+	warm, warmRep := run()
+	if warmRep.CacheHits != len(exps) || warmRep.CacheMisses != 0 {
+		t.Errorf("warm run: hits=%d misses=%d, want %d/0", warmRep.CacheHits, warmRep.CacheMisses, len(exps))
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("warm run rendered %d sections, cold %d", len(warm), len(cold))
+	}
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Errorf("%s: warm body differs from cold body", cold[i].Name)
+		}
+	}
+	for _, et := range warmRep.Experiments {
+		if !et.CacheHit {
+			t.Errorf("%s: not served from cache on the warm run", et.Name)
+		}
+		if et.Name == "" {
+			t.Error("warm run left an unnamed timing slot")
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package testkit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"farron/internal/model"
+)
+
+// Fingerprint renders every field of every testcase deterministically (map
+// keys sorted), so any change to the generated suite — a new field, a
+// different generation algorithm, a mutation slipping past the freeze —
+// shows up as a different string. Two consumers rely on it: the testkit
+// immutability test diffs it across calibration to pin the frozen-suite
+// contract, and the engine's result cache folds it into every cache key so
+// a suite-generation change invalidates all cached experiment results.
+func (s *Suite) Fingerprint() string {
+	var b strings.Builder
+	for _, tc := range s.Testcases {
+		fmt.Fprintf(&b, "%s|%s|%v|%v|%.17g|%v|%d|%.17g|",
+			tc.ID, tc.Name, tc.Feature, tc.DataTypes, tc.HeatIntensity,
+			tc.MultiThreaded, tc.Complexity, tc.IterPerSec)
+		ids := make([]model.InstrID, 0, len(tc.Mix))
+		for id := range tc.Mix {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			if ids[i].Class != ids[j].Class {
+				return ids[i].Class < ids[j].Class
+			}
+			return ids[i].Variant < ids[j].Variant
+		})
+		for _, id := range ids {
+			fmt.Fprintf(&b, "%v=%.17g,", id, tc.Mix[id])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

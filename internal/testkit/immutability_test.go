@@ -1,41 +1,12 @@
 package testkit
 
 import (
-	"fmt"
-	"sort"
-	"strings"
 	"testing"
 
 	"farron/internal/defect"
 	"farron/internal/model"
 	"farron/internal/simrand"
 )
-
-// suiteFingerprint renders every field of every testcase deterministically
-// (map keys sorted), so any mutation of the suite shows up as a diff.
-func suiteFingerprint(s *Suite) string {
-	var b strings.Builder
-	for _, tc := range s.Testcases {
-		fmt.Fprintf(&b, "%s|%s|%v|%v|%.17g|%v|%d|%.17g|",
-			tc.ID, tc.Name, tc.Feature, tc.DataTypes, tc.HeatIntensity,
-			tc.MultiThreaded, tc.Complexity, tc.IterPerSec)
-		ids := make([]model.InstrID, 0, len(tc.Mix))
-		for id := range tc.Mix {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool {
-			if ids[i].Class != ids[j].Class {
-				return ids[i].Class < ids[j].Class
-			}
-			return ids[i].Variant < ids[j].Variant
-		})
-		for _, id := range ids {
-			fmt.Fprintf(&b, "%v=%.17g,", id, tc.Mix[id])
-		}
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
 
 // TestSuiteImmutableAfterGeneration pins the contract the parallel engine
 // relies on: calibration and failing-set queries mutate profiles, never the
@@ -44,7 +15,7 @@ func suiteFingerprint(s *Suite) string {
 func TestSuiteImmutableAfterGeneration(t *testing.T) {
 	rng := simrand.New(99)
 	s := NewSuite(rng)
-	before := suiteFingerprint(s)
+	before := s.Fingerprint()
 
 	for _, p := range defect.StudySet(rng) {
 		s.CalibrateProfile(p)
@@ -58,7 +29,7 @@ func TestSuiteImmutableAfterGeneration(t *testing.T) {
 		}
 	}
 
-	if after := suiteFingerprint(s); after != before {
+	if after := s.Fingerprint(); after != before {
 		t.Error("suite testcases changed during calibration; the engine shares the suite across shards read-only")
 	}
 }
