@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint bench bench-cached check
+.PHONY: build test race vet fmt lint bench bench-cached bench-fanout check
 
 ## build: compile every package
 build:
@@ -35,6 +35,11 @@ bench:
 ## reruns serve unchanged entries from .farron-cache and report hit counts
 bench-cached:
 	$(GO) run ./cmd/sdcbench -n 1000000 -o bench_report.txt -json -cache
+
+## bench-fanout: bench distributed over 4 worker subprocesses; output is
+## byte-identical to the serial run, the JSON adds per-worker accounting
+bench-fanout:
+	$(GO) run ./cmd/sdcbench -n 1000000 -o bench_report.txt -json -fanout 4
 
 ## check: everything CI runs — the one-command tier-1 verify
 check: build vet fmt test race lint

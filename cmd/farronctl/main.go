@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	farronctl [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-online duration]
+//	farronctl [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-fanout n] [-online duration]
 package main
 
 import (
@@ -24,29 +24,31 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("farronctl: ")
 	var (
-		common = cliflags.Register(flag.CommandLine)
+		cfg    = cliflags.Register(flag.CommandLine)
 		online = flag.Duration("online", 0, "simulated online operation per processor for Table 4 (default: the scale's)")
 	)
 	flag.Parse()
 
-	if err := run(common, *online); err != nil {
+	if err := run(cfg, *online); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(common *cliflags.Common, online time.Duration) error {
-	rc, err := common.ResultCache()
-	if err != nil {
-		return err
+func run(cfg *cliflags.RunConfig, online time.Duration) error {
+	exps := engine.Filter(experiments.Registry(), engine.GroupMitigation)
+	if cfg.WorkerMode() {
+		return cfg.ServeWorker(exps)
 	}
-	ctx := common.Context()
-	sc := common.Scale()
+	sc := cfg.Scale()
 	if online > 0 {
 		sc.Online = online
 	}
 
-	exps := engine.Filter(experiments.Registry(), engine.GroupMitigation)
-	sections, _, err := engine.RunExperimentsCached(ctx, exps, sc, rc)
+	runner, err := cfg.Runner()
+	if err != nil {
+		return err
+	}
+	sections, _, err := runner.Run(exps, sc)
 	if err != nil {
 		return err
 	}

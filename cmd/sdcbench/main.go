@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	sdcbench [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-n population] [-o output] [-json]
+//	sdcbench [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-fanout n] [-n population] [-o output] [-json]
 package main
 
 import (
@@ -26,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sdcbench: ")
 	var (
-		common   = cliflags.Register(flag.CommandLine)
+		cfg      = cliflags.Register(flag.CommandLine)
 		n        = flag.Int("n", 0, "fleet population size (default: the scale's)")
 		out      = flag.String("o", "", "output file (default stdout)")
 		jsonOut  = flag.Bool("json", false, "write the run's timing/allocs report to BENCH_<date>.json")
@@ -36,23 +36,26 @@ func main() {
 
 	// All failures route through run so file closes are not skipped by
 	// log.Fatal's os.Exit.
-	if err := run(common, *n, *out, *jsonOut, *jsonPath); err != nil {
+	if err := run(cfg, *n, *out, *jsonOut, *jsonPath); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(common *cliflags.Common, n int, out string, jsonOut bool, jsonPath string) error {
-	rc, err := common.ResultCache()
-	if err != nil {
-		return err
+func run(cfg *cliflags.RunConfig, n int, out string, jsonOut bool, jsonPath string) error {
+	exps := experiments.Registry()
+	if cfg.WorkerMode() {
+		return cfg.ServeWorker(exps)
 	}
-	ctx := common.Context()
-	sc := common.Scale()
+	sc := cfg.Scale()
 	if n > 0 {
 		sc.Population = n
 	}
 
-	sections, rep, err := engine.RunExperimentsCached(ctx, experiments.Registry(), sc, rc)
+	runner, err := cfg.Runner()
+	if err != nil {
+		return err
+	}
+	sections, rep, err := runner.Run(exps, sc)
 	if err != nil {
 		return err
 	}
@@ -61,7 +64,7 @@ func run(common *cliflags.Common, n int, out string, jsonOut bool, jsonPath stri
 	}
 
 	if jsonOut || jsonPath != "" {
-		rep.Quick = common.Quick
+		rep.Quick = cfg.Quick
 		path := jsonPath
 		if path == "" {
 			path = "BENCH_" + wallclock.Date() + ".json"
@@ -70,8 +73,11 @@ func run(common *cliflags.Common, n int, out string, jsonOut bool, jsonPath stri
 			return err
 		}
 		msg := fmt.Sprintf("bench report: %s (wall %.2fs, workers %d", path, rep.WallSeconds, rep.Workers)
-		if rc != nil {
+		if cfg.Cache {
 			msg += fmt.Sprintf(", cache %d hits / %d misses", rep.CacheHits, rep.CacheMisses)
+		}
+		if rep.Fanout > 1 {
+			msg += fmt.Sprintf(", fanout %d procs / %d recomputed", rep.Fanout, rep.RecomputedShards)
 		}
 		log.Print(msg + ")")
 	}

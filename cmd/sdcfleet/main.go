@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sdcfleet [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-n population] [-sub subpopulation]
+//	sdcfleet [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-fanout n] [-n population] [-sub subpopulation]
 package main
 
 import (
@@ -23,24 +23,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sdcfleet: ")
 	var (
-		common = cliflags.Register(flag.CommandLine)
-		n      = flag.Int("n", 0, "fleet population size (default: the scale's)")
-		sub    = flag.Int("sub", 0, "Observation 11 sub-fleet size (default: the scale's)")
+		cfg = cliflags.Register(flag.CommandLine)
+		n   = flag.Int("n", 0, "fleet population size (default: the scale's)")
+		sub = flag.Int("sub", 0, "Observation 11 sub-fleet size (default: the scale's)")
 	)
 	flag.Parse()
 
-	if err := run(common, *n, *sub); err != nil {
+	if err := run(cfg, *n, *sub); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(common *cliflags.Common, n, sub int) error {
-	rc, err := common.ResultCache()
-	if err != nil {
-		return err
+func run(cfg *cliflags.RunConfig, n, sub int) error {
+	exps := engine.Filter(experiments.Registry(), engine.GroupFleet)
+	if cfg.WorkerMode() {
+		return cfg.ServeWorker(exps)
 	}
-	ctx := common.Context()
-	sc := common.Scale()
+	sc := cfg.Scale()
 	if n > 0 {
 		sc.Population = n
 	}
@@ -48,8 +47,11 @@ func run(common *cliflags.Common, n, sub int) error {
 		sc.SubPopulation = sub
 	}
 
-	exps := engine.Filter(experiments.Registry(), engine.GroupFleet)
-	sections, _, err := engine.RunExperimentsCached(ctx, exps, sc, rc)
+	runner, err := cfg.Runner()
+	if err != nil {
+		return err
+	}
+	sections, _, err := runner.Run(exps, sc)
 	if err != nil {
 		return err
 	}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sdcstudy [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-records n] [-reftemp degC] [-dump file]
+//	sdcstudy [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-fanout n] [-records n] [-reftemp degC] [-dump file]
 package main
 
 import (
@@ -31,25 +31,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sdcstudy: ")
 	var (
-		common  = cliflags.Register(flag.CommandLine)
+		cfg     = cliflags.Register(flag.CommandLine)
 		records = flag.Int("records", 0, "SDC records per datatype for Figures 4-5 (default: the scale's)")
 		refTemp = flag.Float64("reftemp", 0, "reference test temperature for Observation 9 (default: the scale's)")
 		dump    = flag.String("dump", "", "write the raw SDC record corpus (JSON lines) to this file")
 	)
 	flag.Parse()
 
-	if err := run(common, *records, *refTemp, *dump); err != nil {
+	if err := run(cfg, *records, *refTemp, *dump); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(common *cliflags.Common, records int, refTemp float64, dump string) error {
-	rc, err := common.ResultCache()
-	if err != nil {
-		return err
+func run(cfg *cliflags.RunConfig, records int, refTemp float64, dump string) error {
+	exps := engine.Filter(experiments.Registry(), engine.GroupStudy)
+	if cfg.WorkerMode() {
+		return cfg.ServeWorker(exps)
 	}
-	ctx := common.Context()
-	sc := common.Scale()
+	sc := cfg.Scale()
 	if records > 0 {
 		sc.Records = records
 	}
@@ -57,8 +56,11 @@ func run(common *cliflags.Common, records int, refTemp float64, dump string) err
 		sc.RefTempC = refTemp
 	}
 
-	exps := engine.Filter(experiments.Registry(), engine.GroupStudy)
-	sections, _, err := engine.RunExperimentsCached(ctx, exps, sc, rc)
+	runner, err := cfg.Runner()
+	if err != nil {
+		return err
+	}
+	sections, _, err := runner.Run(exps, sc)
 	if err != nil {
 		return err
 	}
@@ -67,7 +69,7 @@ func run(common *cliflags.Common, records int, refTemp float64, dump string) err
 	}
 
 	if dump != "" {
-		return dumpCorpus(ctx, dump)
+		return dumpCorpus(runner.Ctx(), dump)
 	}
 	return nil
 }

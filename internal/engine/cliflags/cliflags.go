@@ -1,26 +1,43 @@
 // Package cliflags hoists the flag surface shared by the experiment
-// commands (seed, worker budget, run scale, result cache) so engine-wide
-// flags are declared once instead of per command.
+// commands (seed, worker budget, run scale, result cache, multi-process
+// fan-out) into a single RunConfig consumed by engine.Runner, so
+// engine-wide flags are declared — and threaded into the engine — once
+// instead of per command.
 package cliflags
 
 import (
 	"flag"
+	"os"
 	"runtime"
 
 	"farron/internal/engine"
 	"farron/internal/engine/cache"
+	"farron/internal/engine/fanout"
 )
 
-// Common is the shared experiment flag set: every experiment CLI gets the
-// same -seed, -workers, -quick, -cache and -cache-dir flags with identical
-// semantics.
-type Common struct {
+// RunConfig is the shared experiment flag set: every experiment CLI gets
+// the same -seed, -workers, -quick, -cache, -cache-dir, -fanout and
+// (hidden from normal use) -fanout-worker flags with identical semantics,
+// and turns the parsed values into an engine.Runner via Runner.
+type RunConfig struct {
 	Seed     uint64
 	Workers  int
 	Quick    bool
 	Cache    bool
 	CacheDir string
+	// Fanout is the worker-subprocess count of -fanout; values below 2 run
+	// in-process.
+	Fanout int
+	// FanoutWorker is the internal -fanout-worker mode a -fanout parent
+	// re-execs this binary in: serve framed work orders on stdin/stdout
+	// (ServeWorker) instead of running a report.
+	FanoutWorker bool
 }
+
+// Common is the pre-Runner name of the shared flag set.
+//
+// Deprecated: use RunConfig.
+type Common = RunConfig
 
 // DefaultCacheDir is where -cache keeps entries unless -cache-dir says
 // otherwise.
@@ -28,8 +45,8 @@ const DefaultCacheDir = ".farron-cache"
 
 // Register installs the shared flags on fs and returns the destination
 // struct (valid after fs.Parse).
-func Register(fs *flag.FlagSet) *Common {
-	c := &Common{}
+func Register(fs *flag.FlagSet) *RunConfig {
+	c := &RunConfig{}
 	fs.Uint64Var(&c.Seed, "seed", 1, "simulation seed")
 	fs.IntVar(&c.Workers, "workers", runtime.GOMAXPROCS(0),
 		"parallel worker count; results are identical at any value")
@@ -39,20 +56,53 @@ func Register(fs *flag.FlagSet) *Common {
 		"reuse experiment results from the content-addressed result cache; warm output is byte-identical to cold")
 	fs.StringVar(&c.CacheDir, "cache-dir", DefaultCacheDir,
 		"result cache directory used by -cache")
+	fs.IntVar(&c.Fanout, "fanout", 0,
+		"distribute experiments across this many worker subprocesses; output is byte-identical to -workers=1")
+	fs.BoolVar(&c.FanoutWorker, "fanout-worker", false,
+		"internal: serve fan-out work orders on stdin/stdout (how -fanout re-execs this binary)")
 	return c
 }
 
+// WorkerMode reports whether this process was re-exec'ed as a fan-out
+// worker and must call ServeWorker with its registry slice instead of
+// running a report.
+func (c *RunConfig) WorkerMode() bool { return c.FanoutWorker }
+
+// ServeWorker runs the -fanout-worker frame protocol over the process's
+// stdin and stdout against the command's registry slice. The slice must
+// match the parent's (it does by construction: the worker is a re-exec of
+// the same binary applying the same group filter); a mismatch is refused
+// at the handshake and the parent recomputes locally.
+func (c *RunConfig) ServeWorker(exps []engine.Experiment) error {
+	return fanout.Serve(os.Stdin, os.Stdout, exps)
+}
+
+// Runner builds the engine.Runner for the flagged configuration: the seed
+// and worker budget, the result cache under -cache, and the subprocess
+// distributor under -fanout.
+func (c *RunConfig) Runner() (*engine.Runner, error) {
+	rc, err := c.ResultCache()
+	if err != nil {
+		return nil, err
+	}
+	opts := engine.RunOptions{Seed: c.Seed, Workers: c.Workers, Cache: rc, Fanout: c.Fanout}
+	if c.Fanout > 1 {
+		opts.Distributor = fanout.New(fanout.Options{})
+	}
+	return engine.NewRunner(opts), nil
+}
+
 // Context builds the engine context at the flagged seed and worker budget.
-// The budget is passed into construction, so calibration and freeze honor
-// -workers too (construction output is identical at any budget; only wall
-// time varies).
-func (c *Common) Context() *engine.Ctx {
+//
+// Deprecated: use Runner (whose Ctx method exposes the same context); kept
+// for callers that need a bare context without a run.
+func (c *RunConfig) Context() *engine.Ctx {
 	return engine.NewCtxWorkers(c.Seed, c.Workers)
 }
 
 // Scale returns the run scale selected by the flags: QuickScale under
 // -quick, DefaultScale otherwise.
-func (c *Common) Scale() engine.Scale {
+func (c *RunConfig) Scale() engine.Scale {
 	if c.Quick {
 		return engine.QuickScale()
 	}
@@ -61,7 +111,7 @@ func (c *Common) Scale() engine.Scale {
 
 // ResultCache opens the result cache selected by the flags, or returns nil
 // (caching disabled) when -cache is off.
-func (c *Common) ResultCache() (*cache.Cache, error) {
+func (c *RunConfig) ResultCache() (*cache.Cache, error) {
 	if !c.Cache {
 		return nil, nil
 	}

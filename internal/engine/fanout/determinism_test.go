@@ -1,0 +1,67 @@
+package fanout
+
+import (
+	"testing"
+
+	"farron/internal/engine"
+	"farron/internal/experiments"
+)
+
+// paperSubset returns the cross-layer determinism trio from the real
+// registry — the fleet pipeline (Table 1), an experiment sweep (Figure 4)
+// and the mitigation evaluation (Observation 12). Both the parent and the
+// re-exec'ed worker (FANOUT_HELPER=paper) construct it from the registry,
+// which is exactly how production workers rebuild their work list.
+func paperSubset() []engine.Experiment {
+	names := map[string]bool{"Table 1": true, "Figure 4": true, "Observation 12": true}
+	var exps []engine.Experiment
+	for _, e := range experiments.Registry() {
+		if names[e.Name] {
+			exps = append(exps, e)
+		}
+	}
+	return exps
+}
+
+// paperTestScale shrinks the quick scale so tier-1 can afford to run the
+// paper trio twice (serial reference plus a two-process fan-out).
+func paperTestScale() engine.Scale {
+	sc := engine.QuickScale()
+	sc.Population = 20_000
+	sc.Records = 600
+	sc.Obs12Records = 300
+	return sc
+}
+
+// TestFanoutMatchesSerialOnPaperExperiments is the acceptance test from the
+// determinism contract: `-fanout 2` must render Table 1, Figure 4 and
+// Observation 12 byte-identically to a serial in-process run, with the
+// worker processes rebuilding their Ctx from the seed alone.
+func TestFanoutMatchesSerialOnPaperExperiments(t *testing.T) {
+	exps := paperSubset()
+	if len(exps) != 3 {
+		t.Fatalf("registry matched %d of 3 paper experiments", len(exps))
+	}
+	sc := paperTestScale()
+
+	serial := engine.NewRunner(engine.RunOptions{Seed: 7, Workers: 1})
+	want, _, err := serial.Run(exps, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fan := engine.NewRunner(engine.RunOptions{
+		Seed: 7, Workers: 1, Fanout: 2, Distributor: New(helperOptions("paper")),
+	})
+	got, rep, err := fan.Run(exps, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSections(t, want, got)
+	if rep.Fanout != 2 {
+		t.Errorf("report fanout = %d, want 2", rep.Fanout)
+	}
+	if rep.RecomputedShards != 0 {
+		t.Errorf("healthy fan-out recomputed %d shard(s)", rep.RecomputedShards)
+	}
+}

@@ -1,0 +1,289 @@
+// Package fanout is the multi-process shard-distribution layer of the
+// execution engine: it fans registry entries out across N worker
+// subprocesses (re-execs of the current binary in the hidden -fanout-worker
+// mode), streams work orders and rendered results over stdin/stdout as
+// length-prefixed JSON frames, and merges what comes back in shard order.
+// The paper's vendor toolchain screens >1M production CPUs by distributing
+// testcases across many machines (§3); fan-out is the reproduction's
+// version of that scale-out, kept under the same determinism contract the
+// in-process pool guarantees:
+//
+//   - Workers rebuild the frozen context from the same seed, so a shard's
+//     substreams (Derive(purpose, ShardKey)) are identical wherever it runs.
+//   - The transport moves only (seed, worker budget, scale, shard ranges)
+//     out and rendered shard results back; nothing scheduling-dependent
+//     enters a result.
+//   - The merge is slot-indexed by shard, and any shard a worker fails to
+//     return — crash, timeout, protocol error, spawn failure — is
+//     recomputed locally by the parent. Fan-out therefore degrades to
+//     slower, never to wrong: a -fanout N run is byte-identical to
+//     -workers=1.
+//
+// This is also the repository's subprocess quarantine: sdclint (detrand)
+// restricts importing os/exec to this package, mirroring the wallclock
+// quarantine, so nothing else in the tree can shell out.
+package fanout
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"farron/internal/engine"
+	"farron/internal/engine/wallclock"
+)
+
+// WorkerFlag is the hidden CLI flag that switches a re-exec'ed experiment
+// binary into worker mode (cliflags registers it; Serve implements it).
+const WorkerFlag = "-fanout-worker"
+
+// Options configure a Coordinator.
+type Options struct {
+	// Command is the argv worker subprocesses are launched with; empty
+	// means re-exec the current binary with WorkerFlag appended.
+	Command []string
+	// Env appends variables to the workers' inherited environment (the
+	// tests use it to steer their helper process; a deployment can use it
+	// for e.g. a GOMAXPROCS override).
+	Env []string
+	// EntryTimeout kills a worker that takes longer than this on a single
+	// entry (0 disables); the lost entry is recomputed locally.
+	EntryTimeout time.Duration
+}
+
+// Coordinator implements engine.Distributor over re-exec'ed worker
+// subprocesses. A Coordinator carries no state between calls and is safe
+// for sequential reuse.
+type Coordinator struct {
+	opts Options
+}
+
+// New returns a coordinator with the given options.
+func New(opts Options) *Coordinator { return &Coordinator{opts: opts} }
+
+var _ engine.Distributor = (*Coordinator)(nil)
+
+// Distribute runs exps across up to procs worker subprocesses and returns
+// the merged sections in shard order. Shards are dispatched dynamically —
+// each worker pulls the next undealt entry — which balances load without
+// affecting output: results land in slots indexed by shard. Every shard no
+// worker returned is recomputed locally on the parent's pool, so the only
+// hard failure is a caller error; worker trouble degrades to local compute.
+func (c *Coordinator) Distribute(ctx *engine.Ctx, exps []engine.Experiment, sc engine.Scale, procs int) (*engine.DistResult, error) {
+	n := len(exps)
+	if procs > n {
+		procs = n
+	}
+	argv := c.opts.Command
+	if len(argv) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			// Nothing to re-exec: degrade to computing every shard locally
+			// rather than failing the run.
+			log.Printf("fanout: cannot locate own binary (%v); running all %d shard(s) in-process", err, n)
+			argv = nil
+		} else {
+			argv = []string{exe, WorkerFlag}
+		}
+	}
+
+	names := make([]string, n)
+	for i, e := range exps {
+		names[i] = e.Name
+	}
+	h := hello{Schema: frameSchema, Seed: ctx.Seed, Workers: ctx.Workers, Scale: sc, Names: names}
+
+	// results is slot-per-shard: worker goroutines fill disjoint indices,
+	// the dispenser hands each index out exactly once.
+	results := make([]*result, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards procStats
+	var procStats []engine.WorkerProc
+	if argv != nil {
+		for p := 0; p < procs && int(next.Load()) < n; p++ {
+			w, err := startWorker(argv, c.opts.Env, h)
+			if err != nil {
+				log.Printf("fanout: worker %d failed to start: %v", p, err)
+				mu.Lock()
+				procStats = append(procStats, engine.WorkerProc{ID: p, ExitError: err.Error()})
+				mu.Unlock()
+				continue
+			}
+			wg.Add(1)
+			go func(p int, w *worker) {
+				defer wg.Done()
+				st := c.drain(w, exps, results, &next)
+				st.ID = p
+				mu.Lock()
+				procStats = append(procStats, st)
+				mu.Unlock()
+			}(p, w)
+		}
+	}
+	wg.Wait()
+	// Stats arrive in completion order; report them in spawn order.
+	sort.Slice(procStats, func(i, j int) bool { return procStats[i].ID < procStats[j].ID })
+
+	// Recompute every shard no worker returned — crashed, timed out,
+	// mis-addressed or never dispatched. Entries are pure functions of
+	// (ctx, scale), so the local rerun is byte-identical to what the worker
+	// would have sent.
+	var lost []int
+	for i, r := range results {
+		if r == nil {
+			lost = append(lost, i)
+		}
+	}
+	if len(lost) > 0 {
+		log.Printf("fanout: recomputing %d lost shard(s) locally: %v", len(lost), lost)
+		pool := ctx.Pool()
+		pool.Run(len(lost), func(j int) {
+			i := lost[j]
+			r := runOne(ctx, exps[i], i, sc)
+			results[i] = &r
+		})
+	}
+
+	dr := &engine.DistResult{
+		Sections:   make([]engine.Section, n),
+		Entries:    make([]engine.ExperimentTiming, n),
+		Procs:      procStats,
+		Recomputed: len(lost),
+	}
+	for i, r := range results {
+		dr.Sections[i] = engine.Section{Name: r.Name, Body: r.Body}
+		dr.Entries[i] = engine.ExperimentTiming{
+			Name:        r.Name,
+			WallSeconds: r.WallSeconds,
+			OutputBytes: len(r.Body),
+			Error:       r.Err,
+		}
+	}
+	return dr, nil
+}
+
+// drain feeds shard indices to one worker until the dispenser runs dry or
+// the worker fails, and returns the worker's accounting. On failure the
+// in-flight shard stays unfilled in results; the caller recomputes it.
+func (c *Coordinator) drain(w *worker, exps []engine.Experiment, results []*result, next *atomic.Int64) engine.WorkerProc {
+	st := engine.WorkerProc{Pid: w.cmd.Process.Pid}
+	start := wallclock.Start()
+	clean := false
+	defer func() {
+		if err := w.shutdown(clean); err != nil && st.ExitError == "" {
+			st.ExitError = err.Error()
+		}
+		st.WallSeconds = start.Seconds()
+	}()
+	n := len(exps)
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			clean = true
+			return st
+		}
+		res, err := w.roundTrip(i, c.opts.EntryTimeout)
+		if err != nil {
+			st.Lost++
+			st.ExitError = err.Error()
+			log.Printf("fanout: worker pid %d lost shard %d (%s): %v", st.Pid, i, exps[i].Name, err)
+			return st
+		}
+		if res.Index != i || res.Name != exps[i].Name {
+			st.Lost++
+			st.ExitError = fmt.Sprintf("protocol mismatch: got shard %d (%q), want %d (%q)",
+				res.Index, res.Name, i, exps[i].Name)
+			log.Printf("fanout: worker pid %d: %s", st.Pid, st.ExitError)
+			return st
+		}
+		results[i] = res
+		st.Entries++
+	}
+}
+
+// runOne executes one registry entry and packages it as a result frame; it
+// is the single compute path shared by the worker loop and the parent's
+// lost-shard recompute, so both produce identical bytes.
+func runOne(ctx *engine.Ctx, e engine.Experiment, i int, sc engine.Scale) result {
+	start := wallclock.Start()
+	res, err := e.Run(ctx, sc)
+	if err != nil {
+		return result{Index: i, Name: e.Name, WallSeconds: start.Seconds(), Err: err.Error()}
+	}
+	return result{Index: i, Name: e.Name, Body: res.Render(), WallSeconds: start.Seconds()}
+}
+
+// worker is one live subprocess and its frame streams.
+type worker struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout io.ReadCloser
+}
+
+// startWorker launches argv, wires the frame pipes and sends the hello.
+// The worker's stderr passes through to the parent's, so worker-side
+// failures surface in the parent's log.
+func startWorker(argv, env []string, h hello) (*worker, error) {
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stderr = os.Stderr
+	if len(env) > 0 {
+		cmd.Env = append(os.Environ(), env...)
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	w := &worker{cmd: cmd, stdin: stdin, stdout: stdout}
+	if err := writeFrame(stdin, h); err != nil {
+		_ = w.shutdown(false)
+		return nil, fmt.Errorf("sending hello: %w", err)
+	}
+	return w, nil
+}
+
+// roundTrip sends one single-shard order and reads its result. A non-zero
+// timeout arms a kill timer around the read: a worker that exceeds it is
+// killed, the read fails, and the shard is recomputed locally.
+func (w *worker) roundTrip(i int, timeout time.Duration) (*result, error) {
+	if err := writeFrame(w.stdin, order{Lo: i, Hi: i + 1}); err != nil {
+		return nil, err
+	}
+	var timer *time.Timer
+	if timeout > 0 {
+		timer = time.AfterFunc(timeout, func() { _ = w.cmd.Process.Kill() })
+	}
+	var res result
+	err := readFrame(w.stdout, &res)
+	if timer != nil && !timer.Stop() {
+		return nil, fmt.Errorf("killed after exceeding the %v entry timeout", timeout)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// shutdown ends the subprocess: a clean shutdown closes stdin (the EOF is
+// the worker's exit signal), an unclean one kills outright so a wedged
+// worker cannot hang the run, and both reap the process.
+func (w *worker) shutdown(clean bool) error {
+	_ = w.stdin.Close()
+	if !clean {
+		_ = w.cmd.Process.Kill()
+	}
+	return w.cmd.Wait()
+}

@@ -1,0 +1,319 @@
+package fanout
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"farron/internal/engine"
+)
+
+// ---- fixture registry --------------------------------------------------
+//
+// fakeRegistry must be a pure function of (seed, scale) and identical in
+// the parent and in the re-exec'ed helper process — the same contract the
+// real registry satisfies. Each entry draws from its own substream so the
+// fixtures also exercise the shard-substream scheme across the process
+// boundary.
+
+type textResult string
+
+func (r textResult) Render() string { return string(r) }
+
+func fakeRegistry() []engine.Experiment {
+	mk := func(name string) engine.Experiment {
+		return engine.Experiment{
+			Name: name, Desc: "fan-out fixture", Groups: []string{engine.GroupStudy},
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				rng := ctx.Rng.Derive("fanout-fixture", name)
+				return textResult(fmt.Sprintf("%s seed=%d pop=%d draw=%d\n",
+					name, ctx.Seed, sc.Population, rng.Uint64())), nil
+			},
+		}
+	}
+	return []engine.Experiment{
+		mk("Fix A"), mk("Fix B"), mk("Fix C"), mk("Fix D"), mk("Fix E"), mk("Fix F"),
+	}
+}
+
+// ---- worker helper process ---------------------------------------------
+
+// TestFanoutWorkerHelper is not a test: it is the worker subprocess the
+// coordinator tests re-exec (the standard helper-process pattern). The
+// FANOUT_HELPER variable selects the registry to serve; FANOUT_HELPER_DIE_AFTER
+// kills the process after writing that many result frames, simulating a
+// mid-run worker crash.
+func TestFanoutWorkerHelper(t *testing.T) {
+	mode := os.Getenv("FANOUT_HELPER")
+	if mode == "" {
+		t.Skip("helper process for the coordinator tests; not a test")
+	}
+	var exps []engine.Experiment
+	switch mode {
+	case "fake":
+		exps = fakeRegistry()
+	case "paper":
+		exps = paperSubset()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown FANOUT_HELPER mode %q\n", mode)
+		os.Exit(2)
+	}
+	out := io.Writer(os.Stdout)
+	if n, _ := strconv.Atoi(os.Getenv("FANOUT_HELPER_DIE_AFTER")); n > 0 {
+		out = &dyingWriter{w: os.Stdout, remaining: n}
+	}
+	if err := Serve(os.Stdin, out, exps); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Exit before the test framework prints its PASS banner to stdout.
+	os.Exit(0)
+}
+
+// dyingWriter crashes the process after n writes. Serve emits exactly one
+// Write per result frame (writeFrame's single-Write property), so n counts
+// completed result frames.
+type dyingWriter struct {
+	w         io.Writer
+	remaining int
+}
+
+func (d *dyingWriter) Write(p []byte) (int, error) {
+	if d.remaining <= 0 {
+		os.Exit(3)
+	}
+	d.remaining--
+	return d.w.Write(p)
+}
+
+// helperOptions returns coordinator options that re-exec this test binary
+// as the worker, entering TestFanoutWorkerHelper in the given mode.
+func helperOptions(mode string, extraEnv ...string) Options {
+	return Options{
+		Command: []string{os.Args[0], "-test.run=TestFanoutWorkerHelper$"},
+		Env:     append([]string{"FANOUT_HELPER=" + mode}, extraEnv...),
+	}
+}
+
+// captureLog routes the std logger into a buffer for the duration of the
+// test, so assertions can grep coordinator log lines.
+func captureLog(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&buf)
+	t.Cleanup(func() { log.SetOutput(prev) })
+	return &buf
+}
+
+// ---- frame protocol ----------------------------------------------------
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := hello{Schema: frameSchema, Seed: 42, Workers: 3, Scale: engine.QuickScale(), Names: []string{"a", "b"}}
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out hello
+	if err := readFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seed != in.Seed || out.Workers != in.Workers || len(out.Names) != 2 || out.Scale != in.Scale {
+		t.Errorf("round trip lost data: %+v", out)
+	}
+	// The drained stream yields a clean EOF, the worker's shutdown signal.
+	if err := readFrame(&buf, &out); err != io.EOF {
+		t.Errorf("empty stream read returned %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTruncationIsUnexpectedEOF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, order{Lo: 1, Hi: 2}); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-2]
+	var o order
+	if err := readFrame(bytes.NewReader(cut), &o); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated frame read returned %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestFrameLengthBound(t *testing.T) {
+	head := []byte{0xff, 0xff, 0xff, 0xff}
+	var o order
+	err := readFrame(bytes.NewReader(head), &o)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversized frame length returned %v, want a bound error", err)
+	}
+}
+
+// ---- worker-side handshake ---------------------------------------------
+
+func TestServeRefusesRegistryMismatch(t *testing.T) {
+	exps := fakeRegistry()
+	var in, out bytes.Buffer
+	h := hello{Schema: frameSchema, Seed: 7, Workers: 1, Scale: engine.QuickScale(),
+		Names: []string{"Not", "The", "Same", "Registry", "At", "All"}}
+	if err := writeFrame(&in, h); err != nil {
+		t.Fatal(err)
+	}
+	err := Serve(&in, &out, exps)
+	if err == nil || !strings.Contains(err.Error(), "registry mismatch") {
+		t.Fatalf("mismatched hello returned %v, want a registry mismatch error", err)
+	}
+}
+
+func TestServeRefusesWrongSchema(t *testing.T) {
+	var in, out bytes.Buffer
+	if err := writeFrame(&in, hello{Schema: "farron-fanout/v0"}); err != nil {
+		t.Fatal(err)
+	}
+	err := Serve(&in, &out, fakeRegistry())
+	if err == nil || !strings.Contains(err.Error(), "protocol") {
+		t.Fatalf("wrong schema returned %v, want a protocol error", err)
+	}
+}
+
+// ---- coordinator end to end --------------------------------------------
+
+// inProcessReference renders the fixture registry without fan-out — the
+// byte-exact reference every distributed run must match.
+func inProcessReference(t *testing.T, exps []engine.Experiment, sc engine.Scale) []engine.Section {
+	t.Helper()
+	r := engine.NewRunner(engine.RunOptions{Seed: 7, Workers: 1})
+	sections, _, err := r.Run(exps, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sections
+}
+
+func diffSections(t *testing.T, want, got []engine.Section) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("section count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("section %d (%s): fan-out bytes differ\n--- in-process ---\n%s\n--- fan-out ---\n%s",
+				i, want[i].Name, want[i].Body, got[i].Body)
+		}
+	}
+}
+
+func TestDistributeMatchesInProcess(t *testing.T) {
+	exps := fakeRegistry()
+	sc := engine.QuickScale()
+	want := inProcessReference(t, exps, sc)
+
+	c := New(helperOptions("fake"))
+	dr, err := c.Distribute(engine.NewCtxWorkers(7, 1), exps, sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSections(t, want, dr.Sections)
+	if dr.Recomputed != 0 {
+		t.Errorf("healthy run recomputed %d shard(s)", dr.Recomputed)
+	}
+	if len(dr.Procs) != 2 {
+		t.Fatalf("got %d worker procs, want 2", len(dr.Procs))
+	}
+	served := 0
+	for _, p := range dr.Procs {
+		if p.Pid == 0 {
+			t.Errorf("worker %d has no pid", p.ID)
+		}
+		if p.ExitError != "" {
+			t.Errorf("worker %d exited with %q", p.ID, p.ExitError)
+		}
+		served += p.Entries
+	}
+	if served != len(exps) {
+		t.Errorf("workers served %d entries, want %d", served, len(exps))
+	}
+}
+
+// TestDistributeWorkerKillRecomputesLocally is the graceful-degradation
+// guarantee: every worker dies after its first result frame, and the
+// coordinator must deliver byte-identical output anyway by recomputing the
+// lost shards locally.
+func TestDistributeWorkerKillRecomputesLocally(t *testing.T) {
+	exps := fakeRegistry()
+	sc := engine.QuickScale()
+	want := inProcessReference(t, exps, sc)
+	logs := captureLog(t)
+
+	c := New(helperOptions("fake", "FANOUT_HELPER_DIE_AFTER=1"))
+	dr, err := c.Distribute(engine.NewCtxWorkers(7, 1), exps, sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSections(t, want, dr.Sections)
+	if dr.Recomputed == 0 {
+		t.Error("killed workers lost no shards; the crash path was not exercised")
+	}
+	lost := 0
+	for _, p := range dr.Procs {
+		lost += p.Lost
+	}
+	if lost == 0 {
+		t.Error("no worker reported a lost shard")
+	}
+	if !strings.Contains(logs.String(), "recomputing") {
+		t.Errorf("coordinator log lacks the recomputed-shard line:\n%s", logs)
+	}
+	t.Logf("coordinator log after worker kill:\n%s", logs)
+}
+
+// TestDistributeSpawnFailureDegradesToLocal: when no worker can start at
+// all, the whole run degrades to local compute — still byte-identical.
+func TestDistributeSpawnFailureDegradesToLocal(t *testing.T) {
+	exps := fakeRegistry()
+	sc := engine.QuickScale()
+	want := inProcessReference(t, exps, sc)
+	logs := captureLog(t)
+
+	c := New(Options{Command: []string{"/nonexistent/farron-fanout-worker"}})
+	dr, err := c.Distribute(engine.NewCtxWorkers(7, 1), exps, sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSections(t, want, dr.Sections)
+	if dr.Recomputed != len(exps) {
+		t.Errorf("recomputed %d shard(s), want all %d", dr.Recomputed, len(exps))
+	}
+	for _, p := range dr.Procs {
+		if p.ExitError == "" {
+			t.Errorf("worker %d should carry a spawn error", p.ID)
+		}
+	}
+	if !strings.Contains(logs.String(), "failed to start") {
+		t.Errorf("coordinator log lacks the spawn-failure line:\n%s", logs)
+	}
+}
+
+// TestRunnerFanoutEndToEnd drives the full stack the CLIs use — Runner with
+// a Coordinator distributor — against the in-process reference.
+func TestRunnerFanoutEndToEnd(t *testing.T) {
+	exps := fakeRegistry()
+	sc := engine.QuickScale()
+	want := inProcessReference(t, exps, sc)
+
+	r := engine.NewRunner(engine.RunOptions{
+		Seed: 7, Workers: 1, Fanout: 2, Distributor: New(helperOptions("fake")),
+	})
+	got, rep, err := r.Run(exps, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSections(t, want, got)
+	if rep.Fanout != 2 || len(rep.WorkerProcs) != 2 {
+		t.Errorf("report fanout=%d with %d procs, want 2/2", rep.Fanout, len(rep.WorkerProcs))
+	}
+}

@@ -1,0 +1,95 @@
+package fanout
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"farron/internal/engine"
+)
+
+// Wire protocol: every message is a frame — a 4-byte big-endian length
+// followed by that many bytes of JSON. The parent opens a worker's stream
+// with one hello frame, then sends order frames; the worker answers each
+// order with one result frame per entry. Closing the worker's stdin is the
+// shutdown signal.
+
+const (
+	// frameSchema names the protocol version. The hello frame carries it so
+	// a parent and a mismatched worker binary fail loudly at the handshake
+	// instead of exchanging garbage.
+	frameSchema = "farron-fanout/v1"
+	// maxFrame bounds a frame body. Rendered sections are kilobytes; a
+	// length beyond this is a corrupt or hostile stream, not a big report.
+	maxFrame = 64 << 20
+)
+
+// hello is the stream-opening frame: everything a worker needs to rebuild
+// the parent's frozen context (seed, worker budget) and run its shards at
+// the parent's scale. Names echoes the parent's registry entry names so a
+// worker running a different registry refuses the stream at the handshake.
+type hello struct {
+	Schema  string       `json:"schema"`
+	Seed    uint64       `json:"seed"`
+	Workers int          `json:"workers"`
+	Scale   engine.Scale `json:"scale"`
+	Names   []string     `json:"names"`
+}
+
+// order assigns the shard range [Lo, Hi) of registry entries to a worker.
+type order struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// result carries one rendered entry back: the shard index and name (echoed
+// for mismatch detection), the rendered body and the compute timing, or the
+// driver's error.
+type result struct {
+	Index       int     `json:"index"`
+	Name        string  `json:"name"`
+	Body        string  `json:"body"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Err         string  `json:"err,omitempty"`
+}
+
+// writeFrame marshals v and emits header and body through a single Write
+// call, so a frame boundary never splits across writes (the worker-kill
+// tests count frames by counting writes).
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("fanout: %d-byte frame exceeds the %d-byte bound", len(body), maxFrame)
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	_, err = w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame into v. A clean end of stream between frames
+// surfaces as io.EOF; an end of stream inside a frame as
+// io.ErrUnexpectedEOF.
+func readFrame(r io.Reader, v any) error {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(head[:])
+	if n > maxFrame {
+		return fmt.Errorf("fanout: %d-byte frame exceeds the %d-byte bound", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return json.Unmarshal(body, v)
+}

@@ -1,0 +1,58 @@
+package fanout
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"farron/internal/engine"
+)
+
+// Serve runs the hidden -fanout-worker mode: it reads the hello and then
+// work orders from in, executes the ordered registry entries, and writes
+// one result frame per entry to out. exps must be the same registry slice
+// the parent runs (same binary, same group filter); the hello's name echo
+// verifies that and Serve refuses a mismatched stream, which the parent
+// absorbs by recomputing locally.
+//
+// The worker rebuilds the frozen context from the hello's seed and worker
+// budget — context construction is deterministic, so the rebuilt context
+// matches the parent's and every shard substream is identical wherever the
+// shard runs. Serve returns nil on a clean shutdown (EOF on in).
+func Serve(in io.Reader, out io.Writer, exps []engine.Experiment) error {
+	var h hello
+	if err := readFrame(in, &h); err != nil {
+		return fmt.Errorf("fanout worker: reading hello: %w", err)
+	}
+	if h.Schema != frameSchema {
+		return fmt.Errorf("fanout worker: protocol %q, want %q", h.Schema, frameSchema)
+	}
+	if len(h.Names) != len(exps) {
+		return fmt.Errorf("fanout worker: parent runs %d entries, this binary has %d — registry mismatch",
+			len(h.Names), len(exps))
+	}
+	for i, name := range h.Names {
+		if exps[i].Name != name {
+			return fmt.Errorf("fanout worker: entry %d is %q here but %q in the parent — registry mismatch",
+				i, exps[i].Name, name)
+		}
+	}
+	ctx := engine.NewCtxWorkers(h.Seed, h.Workers)
+	for {
+		var o order
+		if err := readFrame(in, &o); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("fanout worker: reading order: %w", err)
+		}
+		if o.Lo < 0 || o.Hi > len(exps) || o.Lo >= o.Hi {
+			return fmt.Errorf("fanout worker: order [%d,%d) out of range", o.Lo, o.Hi)
+		}
+		for i := o.Lo; i < o.Hi; i++ {
+			if err := writeFrame(out, runOne(ctx, exps[i], i, h.Scale)); err != nil {
+				return fmt.Errorf("fanout worker: writing result: %w", err)
+			}
+		}
+	}
+}

@@ -30,7 +30,25 @@ type ExperimentTiming struct {
 	Error string `json:"error,omitempty"`
 }
 
-// RunReport is the machine-readable accounting of one RunExperiments call:
+// WorkerProc is the accounting of one fan-out worker subprocess: how many
+// registry entries it returned, how many it was assigned but lost (crash,
+// timeout, protocol error — the parent recomputes those locally), how long
+// it lived and how it exited.
+type WorkerProc struct {
+	ID      int `json:"id"`
+	Pid     int `json:"pid"`
+	Entries int `json:"entries"`
+	// Lost counts entries assigned to this worker that never came back;
+	// each one is recomputed locally, so losses cost wall time, never
+	// correctness.
+	Lost        int     `json:"lost,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// ExitError is the worker's abnormal end (spawn failure, crash, kill),
+	// empty for a clean shutdown.
+	ExitError string `json:"exit_error,omitempty"`
+}
+
+// RunReport is the machine-readable accounting of one Runner.Run call:
 // what ran, at what seed and worker budget, how long it took and how much it
 // allocated. sdcbench -json writes it to BENCH_<date>.json so the perf
 // trajectory of the engine accumulates data points in-tree.
@@ -48,9 +66,16 @@ type RunReport struct {
 	// CacheHits / CacheMisses are the run-level result-cache counts (both
 	// zero when the run had no cache), so BENCH_*.json shows what caching
 	// saved.
-	CacheHits   int                `json:"cache_hits"`
-	CacheMisses int                `json:"cache_misses"`
-	Experiments []ExperimentTiming `json:"experiments"`
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// Fanout is the worker-subprocess count of a fan-out run (0 when the
+	// run stayed in-process); WorkerProcs carries the per-process
+	// accounting and RecomputedShards the entries re-run locally after a
+	// worker loss.
+	Fanout           int                `json:"fanout,omitempty"`
+	RecomputedShards int                `json:"recomputed_shards,omitempty"`
+	WorkerProcs      []WorkerProc       `json:"worker_procs,omitempty"`
+	Experiments      []ExperimentTiming `json:"experiments"`
 
 	start        wallclock.Stamp
 	startMemised bool

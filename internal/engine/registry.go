@@ -134,87 +134,6 @@ type Section struct {
 	Body string
 }
 
-// RunExperiments executes the registry entries concurrently (bounded by
-// ctx.Workers) against the shared frozen context and returns the rendered
-// sections in registry order, together with the run's accounting. Rendered
-// output is byte-identical at any worker count; only the timings in the
-// report vary. If any experiment fails, the error of the earliest failing
-// registry entry is returned (deterministic regardless of scheduling).
-func RunExperiments(ctx *Ctx, exps []Experiment, sc Scale) ([]Section, *RunReport, error) {
-	return RunExperimentsCached(ctx, exps, sc, nil)
-}
-
-// RunExperimentsCached is RunExperiments consulting a content-addressed
-// result cache (nil disables caching). Each entry's key is a SHA-256 over
-// (experiment name, seed, canonical scale hash, run fingerprint) — see
-// runFingerprint — and deliberately excludes the worker budget, which by
-// contract changes wall time and nothing else. A hit serves the cached
-// body and the original compute timing with CacheHit set; a miss runs the
-// driver and stores the result best-effort (a failed store never fails the
-// run, and a corrupt entry reads as a miss and is overwritten). Because a
-// cached body is the byte-exact rendering of a pure function of inputs the
-// key covers, warm runs are byte-identical to cold runs.
-func RunExperimentsCached(ctx *Ctx, exps []Experiment, sc Scale, rc *cache.Cache) ([]Section, *RunReport, error) {
-	rep := newRunReport(ctx, len(exps))
-	// Name every slot up front so partial accounting after a failed or
-	// skipped entry still says which entry each slot belongs to.
-	for i := range exps {
-		rep.Experiments[i].Name = exps[i].Name
-	}
-	fp := runFingerprint(ctx, exps)
-	pool := ctx.Pool()
-	sections, err := MapErr(pool, len(exps), func(i int) (Section, error) {
-		e := exps[i]
-		var key string
-		if rc != nil {
-			key = entryKey(ctx.Seed, e.Name, sc, fp)
-			if ent, ok := rc.Load(key); ok {
-				rep.Experiments[i] = ExperimentTiming{
-					Name:        e.Name,
-					WallSeconds: ent.WallSeconds,
-					OutputBytes: len(ent.Body),
-					CacheHit:    true,
-				}
-				return Section{Name: e.Name, Body: ent.Body}, nil
-			}
-		}
-		start := stampStart()
-		res, err := e.Run(ctx, sc)
-		if err != nil {
-			rep.Experiments[i].WallSeconds = start.Seconds()
-			rep.Experiments[i].Error = err.Error()
-			return Section{}, fmt.Errorf("%s: %w", e.Name, err)
-		}
-		body := res.Render()
-		wall := start.Seconds()
-		rep.Experiments[i] = ExperimentTiming{
-			Name:        e.Name,
-			WallSeconds: wall,
-			OutputBytes: len(body),
-		}
-		if rc != nil {
-			// Best-effort: the result is already computed, so a store
-			// failure (full disk, read-only dir) must not fail the run.
-			_ = rc.Store(key, cache.Entry{Name: e.Name, Body: body, WallSeconds: wall})
-		}
-		return Section{Name: e.Name, Body: body}, nil
-	})
-	if rc != nil {
-		for i := range rep.Experiments {
-			if rep.Experiments[i].CacheHit {
-				rep.CacheHits++
-			} else {
-				rep.CacheMisses++
-			}
-		}
-	}
-	rep.finish()
-	if err != nil {
-		return nil, rep, err
-	}
-	return sections, rep, nil
-}
-
 // runFingerprint is the code/suite half of every cache key: a hash of the
 // run's registry entry names plus the frozen suite fingerprint. The name
 // list invalidates cached results when the registry composition changes (a

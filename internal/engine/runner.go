@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"farron/internal/engine/cache"
+)
+
+// RunOptions configures a Runner: the seed and worker budget the context is
+// built from, the result cache, and the multi-process fan-out.
+type RunOptions struct {
+	// Seed is the simulation seed the runner builds its context from.
+	Seed uint64
+	// Workers is the in-process worker budget; values below 1 default to
+	// GOMAXPROCS. It affects wall time, never results.
+	Workers int
+	// Cache is the content-addressed result cache; nil disables caching.
+	Cache *cache.Cache
+	// Fanout is the worker-subprocess count; values below 2 run in-process.
+	Fanout int
+	// Distributor is the transport a fan-out run moves shards over,
+	// required when Fanout > 1. It lives behind an interface so the one
+	// package allowed to spawn subprocesses (internal/engine/fanout, policed
+	// by sdclint) stays out of the engine's import graph.
+	Distributor Distributor
+}
+
+// Distributor fans registry entries out across worker processes and merges
+// what comes back in shard order. Implementations must degrade, never
+// corrupt: an entry a worker fails to return is recomputed locally, so the
+// merged output is byte-identical to an in-process run.
+type Distributor interface {
+	Distribute(ctx *Ctx, exps []Experiment, sc Scale, procs int) (*DistResult, error)
+}
+
+// DistResult is a Distributor's merged outcome, indexed like the Experiment
+// slice it was handed: Sections and Entries hold one slot per entry in
+// shard order, Procs the per-worker-process accounting, and Recomputed the
+// number of entries re-run locally after a worker loss.
+type DistResult struct {
+	Sections   []Section
+	Entries    []ExperimentTiming
+	Procs      []WorkerProc
+	Recomputed int
+}
+
+// Runner executes registry entries against a shared frozen context under
+// one RunOptions bundle. It subsumes the RunExperiments/RunExperimentsCached
+// pair: cache and fan-out are options, not separate entry points.
+type Runner struct {
+	opts RunOptions
+	ctx  *Ctx
+}
+
+// NewRunner builds a runner; the context is constructed lazily on first
+// use, so flag errors surface before the expensive calibration starts.
+func NewRunner(opts RunOptions) *Runner {
+	if opts.Workers < 1 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{opts: opts}
+}
+
+// Ctx returns the runner's shared frozen context, building it on first use
+// from the configured seed and worker budget.
+func (r *Runner) Ctx() *Ctx {
+	if r.ctx == nil {
+		r.ctx = NewCtxWorkers(r.opts.Seed, r.opts.Workers)
+	}
+	return r.ctx
+}
+
+// Run executes the registry entries and returns the rendered sections in
+// registry order plus the run's accounting. Rendered output is
+// byte-identical at any worker budget and any fan-out width: entries are
+// pure functions of (ctx, scale), cached bodies are byte-exact renderings,
+// and a fan-out merge is slot-indexed by shard. Cache hits are served
+// before distribution, so a fan-out run only ships misses to workers. If
+// any entry fails, the error of the earliest failing entry is returned
+// (deterministic regardless of scheduling) with nil sections.
+func (r *Runner) Run(exps []Experiment, sc Scale) ([]Section, *RunReport, error) {
+	ctx := r.Ctx()
+	rep := newRunReport(ctx, len(exps))
+	// Name every slot up front so partial accounting after a failed or
+	// skipped entry still says which entry each slot belongs to.
+	for i := range exps {
+		rep.Experiments[i].Name = exps[i].Name
+	}
+	if r.opts.Fanout > 1 {
+		rep.Fanout = r.opts.Fanout
+	}
+
+	rc := r.opts.Cache
+	sections := make([]Section, len(exps))
+	errs := make([]error, len(exps))
+	var keys []string
+	pending := make([]int, 0, len(exps))
+	if rc != nil {
+		fp := runFingerprint(ctx, exps)
+		keys = make([]string, len(exps))
+		for i, e := range exps {
+			keys[i] = entryKey(ctx.Seed, e.Name, sc, fp)
+			if ent, ok := rc.Load(keys[i]); ok {
+				rep.Experiments[i] = ExperimentTiming{
+					Name:        e.Name,
+					WallSeconds: ent.WallSeconds,
+					OutputBytes: len(ent.Body),
+					CacheHit:    true,
+				}
+				sections[i] = Section{Name: e.Name, Body: ent.Body}
+				continue
+			}
+			pending = append(pending, i)
+		}
+	} else {
+		for i := range exps {
+			pending = append(pending, i)
+		}
+	}
+
+	switch {
+	case len(pending) == 0:
+		// Everything served from cache.
+	case r.opts.Fanout > 1:
+		if r.opts.Distributor == nil {
+			rep.finish()
+			return nil, rep, errors.New("engine: RunOptions.Fanout > 1 requires a Distributor (internal/engine/fanout)")
+		}
+		sub := make([]Experiment, len(pending))
+		for j, i := range pending {
+			sub[j] = exps[i]
+		}
+		dr, err := r.opts.Distributor.Distribute(ctx, sub, sc, r.opts.Fanout)
+		if err != nil {
+			rep.finish()
+			return nil, rep, fmt.Errorf("engine: fan-out: %w", err)
+		}
+		rep.WorkerProcs = dr.Procs
+		rep.RecomputedShards = dr.Recomputed
+		for j, i := range pending {
+			sections[i] = dr.Sections[j]
+			rep.Experiments[i] = dr.Entries[j]
+			if msg := dr.Entries[j].Error; msg != "" {
+				errs[i] = errors.New(msg)
+			}
+		}
+	default:
+		pool := ctx.Pool()
+		pool.Run(len(pending), func(j int) {
+			i := pending[j]
+			e := exps[i]
+			start := stampStart()
+			res, err := e.Run(ctx, sc)
+			if err != nil {
+				rep.Experiments[i].WallSeconds = start.Seconds()
+				rep.Experiments[i].Error = err.Error()
+				errs[i] = err
+				return
+			}
+			body := res.Render()
+			rep.Experiments[i] = ExperimentTiming{
+				Name:        e.Name,
+				WallSeconds: start.Seconds(),
+				OutputBytes: len(body),
+			}
+			sections[i] = Section{Name: e.Name, Body: body}
+		})
+	}
+
+	if rc != nil {
+		for _, i := range pending {
+			if errs[i] != nil {
+				continue
+			}
+			// Best-effort: the result is already computed, so a store
+			// failure (full disk, read-only dir) must not fail the run.
+			_ = rc.Store(keys[i], cache.Entry{
+				Name:        exps[i].Name,
+				Body:        sections[i].Body,
+				WallSeconds: rep.Experiments[i].WallSeconds,
+			})
+		}
+		for i := range rep.Experiments {
+			if rep.Experiments[i].CacheHit {
+				rep.CacheHits++
+			} else {
+				rep.CacheMisses++
+			}
+		}
+	}
+	rep.finish()
+	for i, err := range errs {
+		if err != nil {
+			return nil, rep, fmt.Errorf("%s: %w", exps[i].Name, err)
+		}
+	}
+	return sections, rep, nil
+}
+
+// RunExperiments executes the registry entries concurrently (bounded by
+// ctx.Workers) against the shared frozen context and returns the rendered
+// sections in registry order, together with the run's accounting.
+//
+// Deprecated: construct a Runner instead; this wrapper remains so existing
+// callers migrate incrementally.
+func RunExperiments(ctx *Ctx, exps []Experiment, sc Scale) ([]Section, *RunReport, error) {
+	return RunExperimentsCached(ctx, exps, sc, nil)
+}
+
+// RunExperimentsCached is RunExperiments consulting a content-addressed
+// result cache (nil disables caching); see RunOptions.Cache and the cache
+// package for the key discipline.
+//
+// Deprecated: construct a Runner instead; this wrapper remains so existing
+// callers migrate incrementally.
+func RunExperimentsCached(ctx *Ctx, exps []Experiment, sc Scale, rc *cache.Cache) ([]Section, *RunReport, error) {
+	r := &Runner{
+		opts: RunOptions{Seed: ctx.Seed, Workers: ctx.Workers, Cache: rc},
+		ctx:  ctx,
+	}
+	return r.Run(exps, sc)
+}

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"farron/internal/engine/cache"
+)
+
+func openCache(t *testing.T, dir string) *cache.Cache {
+	t.Helper()
+	rc, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rc
+}
+
+// stubDistributor satisfies Distributor without spawning anything: it runs
+// the entries in-process and records what it was asked to do, so the
+// Runner's fan-out plumbing (cache-before-distribution, merge, accounting)
+// is testable inside the engine package — the real subprocess transport has
+// its own tests in internal/engine/fanout.
+type stubDistributor struct {
+	calls    int
+	gotProcs int
+	gotNames []string
+	fail     bool
+}
+
+func (d *stubDistributor) Distribute(ctx *Ctx, exps []Experiment, sc Scale, procs int) (*DistResult, error) {
+	d.calls++
+	d.gotProcs = procs
+	d.gotNames = nil
+	for _, e := range exps {
+		d.gotNames = append(d.gotNames, e.Name)
+	}
+	if d.fail {
+		return nil, errors.New("transport down")
+	}
+	dr := &DistResult{
+		Sections: make([]Section, len(exps)),
+		Entries:  make([]ExperimentTiming, len(exps)),
+		Procs:    []WorkerProc{{ID: 0, Pid: 12345, Entries: len(exps)}},
+	}
+	for i, e := range exps {
+		res, err := e.Run(ctx, sc)
+		if err != nil {
+			dr.Entries[i] = ExperimentTiming{Name: e.Name, Error: err.Error()}
+			continue
+		}
+		body := res.Render()
+		dr.Sections[i] = Section{Name: e.Name, Body: body}
+		dr.Entries[i] = ExperimentTiming{Name: e.Name, OutputBytes: len(body)}
+	}
+	return dr, nil
+}
+
+func TestRunnerFanoutMatchesInProcess(t *testing.T) {
+	exps := fakeExps()
+	sc := QuickScale()
+	want, _ := mustRun(t, NewCtxWorkers(7, 2), exps, sc, nil)
+
+	stub := &stubDistributor{}
+	r := NewRunner(RunOptions{Seed: 7, Workers: 2, Fanout: 3, Distributor: stub})
+	got, rep, err := r.Run(exps, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sectionsEqual(want, got) {
+		t.Error("fan-out sections differ from in-process sections")
+	}
+	if stub.calls != 1 || stub.gotProcs != 3 {
+		t.Errorf("distributor saw %d call(s) at %d procs, want 1 call at 3", stub.calls, stub.gotProcs)
+	}
+	if rep.Fanout != 3 {
+		t.Errorf("report fanout = %d, want 3", rep.Fanout)
+	}
+	if len(rep.WorkerProcs) != 1 || rep.WorkerProcs[0].Entries != len(exps) {
+		t.Errorf("report worker_procs = %+v, want one proc with %d entries", rep.WorkerProcs, len(exps))
+	}
+}
+
+func TestRunnerFanoutRequiresDistributor(t *testing.T) {
+	r := NewRunner(RunOptions{Seed: 7, Workers: 1, Fanout: 2})
+	_, _, err := r.Run(fakeExps(), QuickScale())
+	if err == nil || !strings.Contains(err.Error(), "Distributor") {
+		t.Fatalf("Fanout without a Distributor returned %v, want a Distributor error", err)
+	}
+}
+
+func TestRunnerFanoutTransportErrorFailsRun(t *testing.T) {
+	stub := &stubDistributor{fail: true}
+	r := NewRunner(RunOptions{Seed: 7, Workers: 1, Fanout: 2, Distributor: stub})
+	_, rep, err := r.Run(fakeExps(), QuickScale())
+	if err == nil || !strings.Contains(err.Error(), "transport down") {
+		t.Fatalf("transport failure returned %v, want the transport error", err)
+	}
+	// Partial accounting still names every slot.
+	for i, et := range rep.Experiments {
+		if et.Name == "" {
+			t.Errorf("entry %d unnamed after transport failure", i)
+		}
+	}
+}
+
+// TestRunnerCacheHitsSkipDistribution pins the fan-out/cache composition:
+// a fully warm cache leaves nothing to distribute, and a partially warm one
+// ships only the misses to workers.
+func TestRunnerCacheHitsSkipDistribution(t *testing.T) {
+	dir := t.TempDir()
+	exps := fakeExps()
+	sc := QuickScale()
+	warm := func() *stubDistributor {
+		rc := openCache(t, dir)
+		stub := &stubDistributor{}
+		r := NewRunner(RunOptions{Seed: 7, Workers: 2, Cache: rc, Fanout: 2, Distributor: stub})
+		if _, _, err := r.Run(exps, sc); err != nil {
+			t.Fatal(err)
+		}
+		return stub
+	}
+
+	cold := warm()
+	if cold.calls != 1 || len(cold.gotNames) != len(exps) {
+		t.Errorf("cold run distributed %v in %d call(s), want all %d entries once", cold.gotNames, cold.calls, len(exps))
+	}
+	if hot := warm(); hot.calls != 0 {
+		t.Errorf("fully warm run still called the distributor %d time(s)", hot.calls)
+	}
+
+	// Damage one entry: exactly that entry goes back out to the workers.
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != len(exps) {
+		t.Fatalf("cache holds %d entries (err %v), want %d", len(entries), err, len(exps))
+	}
+	b, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[0], b[:len(b)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if part := warm(); part.calls != 1 || len(part.gotNames) != 1 {
+		t.Errorf("partially warm run distributed %v in %d call(s), want exactly the 1 miss", part.gotNames, part.calls)
+	}
+}
+
+// TestRunnerMatchesDeprecatedWrappers: the wrappers are thin shims over
+// Runner, so both paths must produce identical sections and accounting.
+func TestRunnerMatchesDeprecatedWrappers(t *testing.T) {
+	exps := fakeExps()
+	sc := QuickScale()
+	ctx := NewCtxWorkers(7, 2)
+	wrapped, wrappedRep, err := RunExperiments(ctx, exps, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(RunOptions{Seed: 7, Workers: 2})
+	direct, directRep, err := r.Run(exps, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sectionsEqual(wrapped, direct) {
+		t.Error("Runner sections differ from RunExperiments sections")
+	}
+	if wrappedRep.Seed != directRep.Seed || wrappedRep.Workers != directRep.Workers {
+		t.Errorf("report identity differs: wrapper seed=%d workers=%d, runner seed=%d workers=%d",
+			wrappedRep.Seed, wrappedRep.Workers, directRep.Seed, directRep.Workers)
+	}
+}
+
+// TestRunnerEntryErrorIsLowestIndexed: with several failing entries the
+// reported error is the earliest registry slot, regardless of scheduling.
+func TestRunnerEntryErrorIsLowestIndexed(t *testing.T) {
+	mkFail := func(name string) Experiment {
+		return Experiment{
+			Name: name, Desc: "fails", Groups: []string{GroupStudy},
+			Run: func(ctx *Ctx, sc Scale) (Result, error) {
+				return nil, fmt.Errorf("%s exploded", name)
+			},
+		}
+	}
+	exps := append(fakeExps(), mkFail("Fail X"), mkFail("Fail Y"))
+	r := NewRunner(RunOptions{Seed: 7, Workers: 4})
+	_, _, err := r.Run(exps, QuickScale())
+	if err == nil || !strings.Contains(err.Error(), "Fail X") {
+		t.Fatalf("got error %v, want the lowest-indexed failure (Fail X)", err)
+	}
+}

@@ -15,15 +15,19 @@ import (
 // a "reproducible" result unreproducible — the repo's own flavour of a
 // silent data corruption.
 //
-// One quarantine exists: internal/engine/wallclock wraps time.Now for
+// Two quarantines exist. internal/engine/wallclock wraps time.Now for
 // run-duration accounting (bench reports measure real elapsed time by
 // definition), so the wall-clock rules are waived inside that package.
 // In exchange, importing it is itself policed: only the engine layer and
 // the commands may depend on wallclock, so a stray timestamp can never
-// steer a simulation result.
+// steer a simulation result. internal/engine/fanout is the analogous
+// subprocess quarantine: the fan-out transport re-execs the current binary
+// to distribute shards, so os/exec is permitted there and nowhere else —
+// simulation code that shells out answers to the environment, not to its
+// seed.
 var Detrand = &Analyzer{
 	Name: "detrand",
-	Doc:  "forbid math/rand, crypto/rand and wall-clock reads; randomness must flow through simrand.Source",
+	Doc:  "forbid math/rand, crypto/rand, wall-clock reads and os/exec outside its quarantine; randomness must flow through simrand.Source",
 	Run:  runDetrand,
 }
 
@@ -50,6 +54,20 @@ const wallclockPkgSuffix = "internal/engine/wallclock"
 // isWallclockPkg reports whether path is the quarantine package itself.
 func isWallclockPkg(path string) bool {
 	return path == wallclockPkgSuffix || strings.HasSuffix(path, "/"+wallclockPkgSuffix)
+}
+
+// execPkgPath is the import that spawns subprocesses; fanoutPkgSuffix
+// identifies the one package allowed to use it — the engine's fan-out
+// transport, which re-execs the current binary to distribute shards.
+// Suffix matching mirrors the wallclock quarantine.
+const (
+	execPkgPath     = "os/exec"
+	fanoutPkgSuffix = "internal/engine/fanout"
+)
+
+// isFanoutPkg reports whether path is the subprocess quarantine itself.
+func isFanoutPkg(path string) bool {
+	return path == fanoutPkgSuffix || strings.HasSuffix(path, "/"+fanoutPkgSuffix)
 }
 
 // mayImportWallclock reports whether a package at path sits in a layer
@@ -80,6 +98,9 @@ func runDetrand(pass *Pass) {
 			}
 			if isWallclockPkg(path) && !mayImportWallclock(pass.Pkg.ImportPath) {
 				pass.Reportf(imp.Pos(), "import of %s is restricted to the engine and cmd layers; simulation code must not observe real elapsed time", path)
+			}
+			if path == execPkgPath && !isFanoutPkg(pass.Pkg.ImportPath) {
+				pass.Reportf(imp.Pos(), "import of %s is restricted to %s; subprocess spawning belongs to the fan-out transport, nothing else may shell out", execPkgPath, fanoutPkgSuffix)
 			}
 		}
 		if inWallclock {

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDetrandExecPolicy checks the subprocess quarantine: only the fan-out
+// transport may import os/exec — the cmd layer included in the ban, unlike
+// the wallclock policy, because nothing but the transport has a reason to
+// shell out.
+func TestDetrandExecPolicy(t *testing.T) {
+	base := filepath.Join("testdata", "src", "exec")
+	cases := []struct {
+		dir  string
+		want []string // substrings of expected messages, in order
+	}{
+		{filepath.Join(base, "internal", "engine", "fanout"), nil},
+		{filepath.Join(base, "internal", "sim"), []string{"restricted to internal/engine/fanout"}},
+		{filepath.Join(base, "cmd", "tool"), []string{"restricted to internal/engine/fanout"}},
+	}
+	for _, c := range cases {
+		pkgs, err := Load(".", c.dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", c.dir, err)
+		}
+		diags := Run(pkgs, []*Analyzer{Detrand})
+		if len(diags) != len(c.want) {
+			t.Errorf("%s: got %d findings (%v), want %d", c.dir, len(diags), diags, len(c.want))
+			continue
+		}
+		for i, sub := range c.want {
+			if !strings.Contains(diags[i].Message, sub) {
+				t.Errorf("%s: finding %q does not mention %q", c.dir, diags[i].Message, sub)
+			}
+		}
+	}
+}
+
+func TestIsFanoutPkg(t *testing.T) {
+	cases := map[string]bool{
+		"farron/internal/engine/fanout":   true,
+		"internal/engine/fanout":          true,
+		"farron/internal/engine":          false,
+		"farron/internal/engine/cliflags": false,
+		"farron/cmd/sdcbench":             false,
+		"farron/internal/experiments":     false,
+	}
+	for path, want := range cases {
+		if got := isFanoutPkg(path); got != want {
+			t.Errorf("isFanoutPkg(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+// Command tool sits in the cmd layer — which may read the wall clock, but
+// may NOT spawn subprocesses: the os/exec quarantine is stricter than the
+// wallclock one, fan-out alone shells out.
+package main
+
+import "os/exec"
+
+func main() {
+	_ = exec.Command("true").Run()
+}

@@ -1,0 +1,8 @@
+// Package fanout is the subprocess quarantine: re-exec'ing the current
+// binary to distribute shards is its whole job, so os/exec is permitted.
+package fanout
+
+import "os/exec"
+
+// Spawn launches one worker subprocess.
+func Spawn(path string) error { return exec.Command(path, "-fanout-worker").Start() }

@@ -1,0 +1,8 @@
+// Package sim is simulation code: importing os/exec from here is
+// forbidden, even without spawning anything.
+package sim
+
+import "os/exec"
+
+// Which would make a simulation result depend on the host environment.
+func Which(tool string) (string, error) { return exec.LookPath(tool) }
