@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint bench bench-cached bench-fanout check
+.PHONY: build test race vet fmt lint bench bench-cached bench-fanout bench-quick check
 
 ## build: compile every package
 build:
@@ -40,6 +40,11 @@ bench-cached:
 ## byte-identical to the serial run, the JSON adds per-worker accounting
 bench-fanout:
 	$(GO) run ./cmd/sdcbench -n 1000000 -o bench_report.txt -json -fanout 4
+
+## bench-quick: quick-scale bench smoke with a JSON report at a throwaway
+## path — the fast schema/regression probe CI runs on every push
+bench-quick:
+	$(GO) run ./cmd/sdcbench -quick -o /dev/null -jsonpath bench_quick.json
 
 ## check: everything CI runs — the one-command tier-1 verify
 check: build vet fmt test race lint

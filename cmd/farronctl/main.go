@@ -34,11 +34,20 @@ func main() {
 	}
 }
 
-func run(cfg *cliflags.RunConfig, online time.Duration) error {
+func run(cfg *cliflags.RunConfig, online time.Duration) (err error) {
 	exps := engine.Filter(experiments.Registry(), engine.GroupMitigation)
 	if cfg.WorkerMode() {
 		return cfg.ServeWorker(exps)
 	}
+	stopProf, err := cfg.StartProfiles()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	sc := cfg.Scale()
 	if online > 0 {
 		sc.Online = online

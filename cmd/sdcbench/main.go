@@ -41,11 +41,20 @@ func main() {
 	}
 }
 
-func run(cfg *cliflags.RunConfig, n int, out string, jsonOut bool, jsonPath string) error {
+func run(cfg *cliflags.RunConfig, n int, out string, jsonOut bool, jsonPath string) (err error) {
 	exps := experiments.Registry()
 	if cfg.WorkerMode() {
 		return cfg.ServeWorker(exps)
 	}
+	stopProf, err := cfg.StartProfiles()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	sc := cfg.Scale()
 	if n > 0 {
 		sc.Population = n

@@ -34,11 +34,20 @@ func main() {
 	}
 }
 
-func run(cfg *cliflags.RunConfig, n, sub int) error {
+func run(cfg *cliflags.RunConfig, n, sub int) (err error) {
 	exps := engine.Filter(experiments.Registry(), engine.GroupFleet)
 	if cfg.WorkerMode() {
 		return cfg.ServeWorker(exps)
 	}
+	stopProf, err := cfg.StartProfiles()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	sc := cfg.Scale()
 	if n > 0 {
 		sc.Population = n

@@ -43,11 +43,20 @@ func main() {
 	}
 }
 
-func run(cfg *cliflags.RunConfig, records int, refTemp float64, dump string) error {
+func run(cfg *cliflags.RunConfig, records int, refTemp float64, dump string) (err error) {
 	exps := engine.Filter(experiments.Registry(), engine.GroupStudy)
 	if cfg.WorkerMode() {
 		return cfg.ServeWorker(exps)
 	}
+	stopProf, err := cfg.StartProfiles()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	sc := cfg.Scale()
 	if records > 0 {
 		sc.Records = records

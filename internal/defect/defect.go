@@ -199,6 +199,11 @@ func (d *Defect) satDecades() float64 {
 	return 3.5
 }
 
+// EffectiveSatDecades exposes the saturation ceiling RatePerMin applies —
+// SatDecades, or the generous default when unset — so detection-plan
+// compilers can precompute the rate coefficients bit-identically.
+func (d *Defect) EffectiveSatDecades() float64 { return d.satDecades() }
+
 // ObservedMinTemp returns the setting-level minimum triggering temperature:
 // the lowest core temperature at which the setting's occurrence frequency
 // reaches MeasurableFreqPerMin. Low-stress settings therefore show a higher

@@ -7,8 +7,10 @@ package cliflags
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"farron/internal/engine"
 	"farron/internal/engine/cache"
@@ -32,6 +34,11 @@ type RunConfig struct {
 	// re-execs this binary in: serve framed work orders on stdin/stdout
 	// (ServeWorker) instead of running a report.
 	FanoutWorker bool
+	// CPUProfile and MemProfile are pprof output paths (-cpuprofile,
+	// -memprofile); empty disables the profile. Profiling never affects
+	// results — only simrand draws do.
+	CPUProfile string
+	MemProfile string
 }
 
 // Common is the pre-Runner name of the shared flag set.
@@ -60,7 +67,54 @@ func Register(fs *flag.FlagSet) *RunConfig {
 		"distribute experiments across this many worker subprocesses; output is byte-identical to -workers=1")
 	fs.BoolVar(&c.FanoutWorker, "fanout-worker", false,
 		"internal: serve fan-out work orders on stdin/stdout (how -fanout re-execs this binary)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "",
+		"write a pprof CPU profile of the run to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "",
+		"write a pprof allocation profile to this file at exit")
 	return c
+}
+
+// StartProfiles starts CPU profiling when -cpuprofile is set and returns a
+// stop function that finishes the CPU profile and snapshots -memprofile.
+// Commands call it right after flag parsing and invoke stop on every exit
+// path (it is idempotent); with neither flag set both calls are no-ops.
+func (c *RunConfig) StartProfiles() (stop func() error, err error) {
+	var cpuFile *os.File
+	if c.CPUProfile != "" {
+		cpuFile, err = os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	done := false
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if c.MemProfile == "" {
+			return nil
+		}
+		f, err := os.Create(c.MemProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close() // backstop; success path closes below
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			return fmt.Errorf("write %s: %w", c.MemProfile, err)
+		}
+		return f.Close()
+	}, nil
 }
 
 // WorkerMode reports whether this process was re-exec'ed as a fan-out

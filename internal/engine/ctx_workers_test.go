@@ -44,7 +44,7 @@ func TestNewCtxWorkersRespectsBudget(t *testing.T) {
 				active.Add(-1)
 			}
 		}
-		ctx := newCtx(5, budget, wrap)
+		ctx := newCtx(5, budget, false, wrap)
 		if got := peak.Load(); got > int64(budget) {
 			t.Errorf("budget %d: construction ran %d shards concurrently", budget, got)
 		}

@@ -61,19 +61,33 @@ func NewCtx(seed uint64) *Ctx {
 // serial from the first goroutine; budgets below 1 are clamped to 1. The
 // constructed context is byte-identical at any budget.
 func NewCtxWorkers(seed uint64, workers int) *Ctx {
-	return newCtx(seed, workers, nil)
+	return newCtx(seed, workers, false, nil)
+}
+
+// NewReferenceCtx is NewCtxWorkers over a reference suite
+// (testkit.NewReferenceSuite): every downstream query and run takes the
+// retained naive scan paths instead of the compiled hot paths. The
+// compiled-vs-reference determinism test diffs full-registry output across
+// the two constructions; production code always uses NewCtx/NewCtxWorkers.
+func NewReferenceCtx(seed uint64, workers int) *Ctx {
+	return newCtx(seed, workers, true, nil)
 }
 
 // newCtx is the shared constructor. wrap, non-nil only in tests, decorates
 // the shard functions handed to the construction-phase pool runs so a test
 // can observe construction concurrency (the worker-budget regression test
 // counts peak active shards through it).
-func newCtx(seed uint64, workers int, wrap func(func(int)) func(int)) *Ctx {
+func newCtx(seed uint64, workers int, reference bool, wrap func(func(int)) func(int)) *Ctx {
 	if workers < 1 {
 		workers = 1
 	}
 	rng := simrand.New(seed)
-	suite := testkit.NewSuite(rng)
+	var suite *testkit.Suite
+	if reference {
+		suite = testkit.NewReferenceSuite(rng)
+	} else {
+		suite = testkit.NewSuite(rng)
+	}
 	c := &Ctx{
 		Seed:    seed,
 		Rng:     rng,

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"farron/internal/engine"
+)
+
+// TestCompiledMatchesReference diffs the full registry's rendered output
+// between a production context (compiled suite indexes, detection plans,
+// runner fast paths) and a reference context that pins every retained
+// naive implementation. The two must be byte-identical: the hot-path
+// compilation is a pure evaluation-order optimization and the simrand
+// draw sequence is its invariant.
+func TestCompiledMatchesReference(t *testing.T) {
+	exps := Registry()
+	sc := parallelTestScale()
+
+	run := func(ctx *Context, label string) map[string]string {
+		sections, _, err := engine.RunExperiments(ctx, exps, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		out := make(map[string]string, len(sections))
+		for _, s := range sections {
+			out[s.Name] = s.Body
+		}
+		return out
+	}
+
+	compiled := run(engine.NewCtxWorkers(7, 1), "compiled")
+	reference := run(engine.NewReferenceCtx(7, 1), "reference")
+	if len(compiled) != len(reference) {
+		t.Fatalf("section count differs: compiled %d, reference %d", len(compiled), len(reference))
+	}
+	for name, want := range reference {
+		if got := compiled[name]; got != want {
+			t.Errorf("%s: compiled output differs from reference\n--- reference ---\n%s\n--- compiled ---\n%s",
+				name, want, got)
+		}
+	}
+}

@@ -18,6 +18,7 @@ package fleet
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"farron/internal/defect"
 	"farron/internal/engine"
@@ -237,12 +238,13 @@ func (s *Simulator) Run() *Result {
 	counts := apportion(s.cfg.Processors, s.cfg.Mix)
 
 	// Serial prologue: per-arch faulty-CPU counts (one cheap Poisson draw
-	// per arch), then the flat shard list of every faulty CPU.
+	// per arch), then the flat shard list of every faulty CPU — counted
+	// first so the list is allocated once at its final size.
 	type job struct {
 		archIdx int
 		serial  string
 	}
-	var jobs []job
+	faulty := make([]int, len(s.cfg.Mix))
 	for i, m := range s.cfg.Mix {
 		ar := res.ByArch[m.Arch]
 		ar.Population = counts[i]
@@ -254,10 +256,14 @@ func (s *Simulator) Run() *Result {
 			scale = 1
 		}
 		nFaulty := arng.Poisson(float64(counts[i]) * m.FaultyRate * scale)
+		faulty[i] = nFaulty
 		ar.Faulty = nFaulty
 		res.FaultyTotal += nFaulty
-		for f := 0; f < nFaulty; f++ {
-			jobs = append(jobs, job{i, fmt.Sprintf("%s-flt-%05d", m.Arch, f)})
+	}
+	jobs := make([]job, 0, res.FaultyTotal)
+	for i, m := range s.cfg.Mix {
+		for f := 0; f < faulty[i]; f++ {
+			jobs = append(jobs, job{i, faultySerial(m.Arch, f)})
 		}
 	}
 
@@ -288,12 +294,49 @@ func (s *Simulator) Run() *Result {
 	return res
 }
 
+// faultySerial formats a faulty CPU's serial ("M1-flt-00042"). It matches
+// the original "%s-flt-%05d" byte for byte at every index width — five
+// digits zero-padded, wider indexes printed in full — without fmt's
+// interface boxing on the hot prologue path.
+func faultySerial(arch model.MicroArch, f int) string {
+	buf := make([]byte, 0, len(arch)+16)
+	buf = append(buf, arch...)
+	buf = append(buf, "-flt-"...)
+	for pow := int64(10_000); int64(f) < pow && pow >= 10; pow /= 10 {
+		buf = append(buf, '0')
+	}
+	buf = strconv.AppendInt(buf, int64(f), 10)
+	return string(buf)
+}
+
 // screen pushes one faulty processor through the pipeline and returns the
-// first detecting stage and testcase.
+// first detecting stage and testcase. The failing set is a pure function
+// of the profile, and so is the compiled detection plan; both are built
+// once per CPU instead of once per stage round. A reference suite pins
+// the retained naive per-round scan (screenReference).
 func (s *Simulator) screen(rng *simrand.Source, p *defect.Profile) (model.Stage, string, bool) {
-	// The failing set is a pure function of the profile; scan the suite
-	// once per CPU instead of once per stage round.
 	failing := s.suite.FailingTestcases(p)
+	if s.suite.Reference() {
+		return s.screenReference(rng, p, failing)
+	}
+	plan := s.compilePlan(p, failing)
+	for _, sp := range s.cfg.Stages {
+		rounds := 1
+		if sp.Stage == model.StageRegular {
+			rounds = s.cfg.RegularRounds
+		}
+		for round := 0; round < rounds; round++ {
+			if tcID, hit := plan.detect(rng, sp); hit {
+				return sp.Stage, tcID, true
+			}
+		}
+	}
+	return 0, "", false
+}
+
+// screenReference is the retained naive screen implementation: the full
+// (defect × failing-testcase) evaluation per stage round.
+func (s *Simulator) screenReference(rng *simrand.Source, p *defect.Profile, failing []*testkit.Testcase) (model.Stage, string, bool) {
 	for _, sp := range s.cfg.Stages {
 		rounds := 1
 		if sp.Stage == model.StageRegular {

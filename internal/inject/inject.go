@@ -300,6 +300,11 @@ type Corruptor struct {
 	// is used.
 	patterns    []Mask
 	patternProb float64
+	// patternWeights and posWeights cache the selection-weight slices that
+	// CorruptWithProb would otherwise rebuild on every call (a corruptor is
+	// consulted once per SDC record; the weights never change).
+	patternWeights []float64
+	posWeights     []float64
 }
 
 // Mask is one fixed bitflip pattern with its relative weight among patterns.
@@ -319,7 +324,14 @@ func NewCorruptor(dt model.DataType, patterns []Mask, patternProb float64) *Corr
 	if len(patterns) == 0 {
 		patternProb = 0
 	}
-	return &Corruptor{dt: dt, patterns: patterns, patternProb: patternProb}
+	weights := make([]float64, len(patterns))
+	for i, p := range patterns {
+		weights[i] = p.Weight
+	}
+	return &Corruptor{
+		dt: dt, patterns: patterns, patternProb: patternProb,
+		patternWeights: weights, posWeights: PositionWeights(dt),
+	}
 }
 
 // DataType returns the corruptor's operand datatype.
@@ -344,23 +356,33 @@ func (c *Corruptor) CorruptWithProb(rng *simrand.Source, patternProb float64, ex
 		patternProb = 0
 	}
 	if patternProb > 0 && rng.Bool(patternProb) {
-		weights := make([]float64, len(c.patterns))
-		for i, p := range c.patterns {
-			weights[i] = p.Weight
-		}
-		m := c.patterns[rng.WeightedChoice(weights)]
+		m := c.patterns[rng.WeightedChoice(c.patternWeights)]
 		return ApplyMask(expLo, expHi, m.Lo, m.Hi)
 	}
 	// Off-pattern flip: direction-biased single bit, with a small chance
 	// of a second correlated flip (Observation 8: multi-bit SDCs exist).
 	zeroToOne := rng.Bool(ZeroToOneBias)
-	pos := SampleDirectedPosition(rng, c.dt, expLo, expHi, zeroToOne)
+	pos := c.sampleDirectedPosition(rng, expLo, expHi, zeroToOne)
 	actLo, actHi = FlipBit(expLo, expHi, pos)
 	if rng.Bool(0.06) {
-		pos2 := SamplePosition(rng, c.dt)
+		pos2 := rng.WeightedChoice(c.posWeights)
 		if pos2 != pos {
 			actLo, actHi = FlipBit(actLo, actHi, pos2)
 		}
 	}
 	return actLo, actHi
+}
+
+// sampleDirectedPosition is SampleDirectedPosition over the corruptor's
+// cached weight profile — the same draws without rebuilding the profile
+// per attempt.
+func (c *Corruptor) sampleDirectedPosition(rng *simrand.Source, lo uint64, hi uint16, zeroToOne bool) int {
+	pos := 0
+	for attempt := 0; attempt < 8; attempt++ {
+		pos = rng.WeightedChoice(c.posWeights)
+		if BitAt(lo, hi, pos) != zeroToOne {
+			return pos
+		}
+	}
+	return pos
 }

@@ -49,6 +49,18 @@ func (s *Source) Uint64() uint64 {
 // parent stream is not advanced, so the derived stream's values do not
 // depend on how much randomness the parent has already produced.
 func (s *Source) Derive(keys ...string) *Source {
+	d := &Source{}
+	s.DeriveInto(d, keys...)
+	return d
+}
+
+// DeriveInto is Derive writing the substream into *dst in place, so a hot
+// loop that derives one substream per iteration (the testcase runner) can
+// reuse a scratch Source instead of allocating. dst is overwritten
+// wholesale — any cached Box-Muller spare is discarded, exactly as a fresh
+// Source carries none — and the produced stream is identical to Derive's.
+// dst must not be shared across goroutines.
+func (s *Source) DeriveInto(dst *Source, keys ...string) {
 	h := s.seed ^ 0x51_7C_C1_B7_27_22_0A_95
 	for _, k := range keys {
 		for i := 0; i < len(k); i++ {
@@ -60,10 +72,9 @@ func (s *Source) Derive(keys ...string) *Source {
 	}
 	// Run the mixed hash through one SplitMix64 step so poor keys still
 	// yield well-distributed states.
-	d := &Source{state: h}
-	d.state = d.Uint64()
-	d.seed = d.state
-	return d
+	*dst = Source{state: h}
+	dst.state = dst.Uint64()
+	dst.seed = dst.state
 }
 
 // Float64 returns a uniform value in [0, 1).

@@ -27,6 +27,17 @@ func BenchmarkCalibrateLibrary(b *testing.B) {
 }
 
 func BenchmarkRunTestcase(b *testing.B) {
+	r, tc := benchRunner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(tc, RunOpts{Core: 8, Duration: time.Minute})
+	}
+}
+
+// benchRunner builds the FPU2 runner fixture the runner benchmarks and the
+// allocation regression share.
+func benchRunner(tb testing.TB) (*Runner, *Testcase) {
+	tb.Helper()
 	rng := simrand.New(9)
 	suite := NewSuite(rng)
 	lib := defect.Library(rng)
@@ -39,10 +50,32 @@ func BenchmarkRunTestcase(b *testing.B) {
 	}
 	proc := cpu.FromProfile(prof)
 	pkg := thermal.New(thermal.DefaultConfig(), proc.PhysCores, rng.Derive("b"))
-	r := NewRunner(suite, proc, pkg)
-	tc := suite.FailingTestcases(prof)[0]
+	return NewRunner(suite, proc, pkg), suite.FailingTestcases(prof)[0]
+}
+
+// BenchmarkRunnerStep measures a single-step Run — the unit of work the
+// compiled fast path optimizes (one thermal step, one flat-mix walk, one
+// compiled defect plan).
+func BenchmarkRunnerStep(b *testing.B) {
+	r, tc := benchRunner(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.Run(tc, RunOpts{Core: 8, Duration: time.Minute})
+		r.Run(tc, RunOpts{Core: 8, Duration: stepSlice})
+	}
+}
+
+// TestRunStepAllocs pins the compiled Run path's allocation count for a
+// single-step run. The naive path allocated per-step maps, per-record
+// weight slices and a fresh derived Source per run; the compiled path is
+// down to the result containers and the plan itself (measured 11). The
+// bound leaves a little headroom so unrelated runtime changes don't flake.
+func TestRunStepAllocs(t *testing.T) {
+	r, tc := benchRunner(t)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Run(tc, RunOpts{Core: 8, Duration: stepSlice})
+	})
+	if allocs > 16 {
+		t.Errorf("single-step Run allocates %v objects, want <= 16", allocs)
 	}
 }

@@ -9,8 +9,43 @@ import (
 
 // FailingTestcases returns the testcases that can detect at least one of
 // the profile's defects (the processor's #err set of Table 3), in suite
-// order.
+// order. With the suite's inverted instruction index it marks only the
+// testcases sharing an instruction with some defect and confirms those; a
+// reference suite falls back to the full 633×defects scan.
 func (s *Suite) FailingTestcases(p *defect.Profile) []*Testcase {
+	if s.instrUsers == nil {
+		return s.failingTestcasesScan(p)
+	}
+	marks := make([]bool, len(s.Testcases))
+	n := 0
+	for _, d := range p.Defects {
+		for id := range d.AffectedInstrs {
+			for _, tc := range s.instrUsers[id] {
+				if !marks[tc.ord] {
+					marks[tc.ord] = true
+					n++
+				}
+			}
+		}
+	}
+	out := make([]*Testcase, 0, n)
+	for _, tc := range s.Testcases {
+		if !marks[tc.ord] {
+			continue
+		}
+		for _, d := range p.Defects {
+			if DetectableBy(tc, d) {
+				out = append(out, tc)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// failingTestcasesScan is the retained naive FailingTestcases: a full scan
+// of the suite against every defect.
+func (s *Suite) failingTestcasesScan(p *defect.Profile) []*Testcase {
 	var out []*Testcase
 	for _, tc := range s.Testcases {
 		for _, d := range p.Defects {

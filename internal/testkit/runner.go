@@ -1,6 +1,7 @@
 package testkit
 
 import (
+	"math"
 	"time"
 
 	"farron/internal/cpu"
@@ -51,6 +52,10 @@ type Runner struct {
 	proc  *cpu.Processor
 	pkg   *thermal.Package
 	now   time.Duration
+	// scratch is the reusable substream the compiled run paths derive
+	// into (one derivation per run, no allocation). A Runner is owned by
+	// one goroutine, so reuse is safe.
+	scratch simrand.Source
 }
 
 // NewRunner creates a runner. The thermal package must have at least as
@@ -81,7 +86,12 @@ const stepSlice = 5 * time.Second
 // testcase: their instruction sets overlap, and — for computation defects —
 // the testcase validates one of the corrupted datatypes, while consistency
 // defects additionally need a multi-threaded testcase (Section 4.1).
+// Suite testcases answer from the flattened mix; testcases of a reference
+// suite scan the maps naively.
 func DetectableBy(tc *Testcase, d *defect.Defect) bool {
+	if tc.flatMix != nil {
+		return detectableFlat(tc, d)
+	}
 	if d.Class == model.ClassConsistency && !tc.MultiThreaded {
 		return false
 	}
@@ -108,6 +118,9 @@ func DetectableBy(tc *Testcase, d *defect.Defect) bool {
 
 // SettingStress returns the testcase's usage stress for the defect.
 func SettingStress(tc *Testcase, d *defect.Defect) float64 {
+	if tc.flatMix != nil {
+		return settingStressFlat(tc, d)
+	}
 	return d.Stress(tc.Mix, NominalUsage)
 }
 
@@ -123,10 +136,192 @@ func commonDataTypes(tc *Testcase, d *defect.Defect) []model.DataType {
 	return out
 }
 
+// runDefect is one compiled per-run defect entry: the defects that can
+// consume a draw this run (detectable by the testcase, positive effective
+// stress, a positive core multiplier on some run core), with the
+// temperature-independent rate factors and the per-record lookups
+// (common datatypes, context instructions, the setting's pattern
+// probability) hoisted out of the step loop. bms[i] is
+// BaseFreqPerMin·CoreMultiplier(cores[i]) — the leading factor of
+// Defect.RatePerMin in its exact association, so compiled rates are
+// bit-identical to naive ones.
+type runDefect struct {
+	d         *defect.Defect
+	bms       []float64
+	stress    float64
+	minTempC  float64
+	slope     float64
+	sat       float64
+	dts       []model.DataType
+	ctxInstrs []model.InstrID
+	patProb   float64
+}
+
+// compileDefects builds the run's defect plan for the listed cores. The
+// simrand draw sequence is untouched: every dropped defect had an
+// identically-zero rate on every run core at any temperature, and the
+// naive loop never drew for zero rates (Poisson(0) consumes nothing).
+// Effective stress folds in the package utilization, which is constant for
+// the whole run — loads are configured before the step loop and only
+// cleared after it.
+func (r *Runner) compileDefects(tc *Testcase, cores []int) []runDefect {
+	util := r.pkg.MeanUtil()
+	defects := r.proc.Defects()
+	plan := make([]runDefect, 0, len(defects))
+	for _, d := range defects {
+		if !DetectableBy(tc, d) {
+			continue
+		}
+		stress := SettingStress(tc, d) * (1 + d.UtilGain*util)
+		if stress <= 0 {
+			continue
+		}
+		bms := make([]float64, len(cores))
+		detectableCore := false
+		for i, c := range cores {
+			if m := d.CoreMultiplier(c); m > 0 {
+				bms[i] = d.BaseFreqPerMin * m
+				detectableCore = true
+			}
+		}
+		if !detectableCore {
+			continue
+		}
+		rd := runDefect{
+			d: d, bms: bms, stress: stress,
+			minTempC: d.MinTempC, slope: d.TempSlope, sat: d.EffectiveSatDecades(),
+			patProb: d.SettingPatternProb(tc.ID, r.suite.rng),
+		}
+		if d.Class == model.ClassComputation {
+			rd.dts = commonDataTypes(tc, d)
+		}
+		if d.ContextProb > 0 {
+			for _, id := range d.SortedInstrs() {
+				if tc.UsesInstr(id) {
+					rd.ctxInstrs = append(rd.ctxInstrs, id)
+				}
+			}
+		}
+		plan = append(plan, rd)
+	}
+	return plan
+}
+
+// sampleEvents draws the step's SDC event count for one compiled defect on
+// one core — Poisson at the exact naive rate, no draw when the rate is
+// zero (temperature below the trigger, or this core not defective).
+func (rd *runDefect) sampleEvents(rng *simrand.Source, coreIdx int, coreTemp, minutes float64) int {
+	bm := rd.bms[coreIdx]
+	if bm == 0 || coreTemp < rd.minTempC {
+		return 0
+	}
+	expo := rd.slope * (coreTemp - rd.minTempC)
+	if expo > rd.sat {
+		expo = rd.sat
+	}
+	rate := math.Min(bm*math.Pow(10, expo)*rd.stress, defect.MaxFreqPerMin)
+	return rng.Poisson(rate * minutes)
+}
+
 // Run executes the testcase under the given options and returns the result.
 // The thermal package's state carries over between runs (remaining heat,
 // Observation 10), as it does on real hardware.
+//
+// This is the compiled fast path: the per-step map ranges and per-record
+// derivations of the naive loop are hoisted into a flat mix walk and a
+// compiled defect plan, draw-for-draw identical to runReference (the
+// retained naive implementation a reference suite pins).
 func (r *Runner) Run(tc *Testcase, opts RunOpts) RunResult {
+	if r.suite.reference {
+		return r.runReference(tc, opts)
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = time.Minute
+	}
+	res := RunResult{
+		TestcaseID: tc.ID,
+		Core:       opts.Core,
+		Duration:   opts.Duration,
+	}
+	rng := &r.scratch
+	r.suite.rng.DeriveInto(rng, "run", r.proc.ID, tc.ID,
+		// Distinct runs of the same setting must differ.
+		time.Duration(r.now).String())
+
+	r.pkg.ClearLoads()
+	r.pkg.SetLoad(opts.Core, 1, tc.HeatIntensity)
+	if tc.MultiThreaded || opts.BurnIn {
+		for c := 0; c < r.proc.PhysCores; c++ {
+			r.pkg.SetLoad(c, 1, tc.HeatIntensity)
+		}
+	}
+	for c, loaded := 0, 0; c < r.proc.PhysCores && loaded < opts.ExtraStressCores; c++ {
+		if c == opts.Core {
+			continue
+		}
+		r.pkg.SetLoad(c, 1, 1.3)
+		loaded++
+	}
+
+	flat := tc.FlatMix()
+	counts := make([]float64, len(flat))
+	plan := r.compileDefects(tc, []int{opts.Core})
+
+	var tempSum float64
+	steps := 0
+	for elapsed := time.Duration(0); elapsed < opts.Duration; elapsed += stepSlice {
+		slice := stepSlice
+		if rem := opts.Duration - elapsed; rem < slice {
+			slice = rem
+		}
+		var coreTemp float64
+		if opts.FixedTempC != nil {
+			coreTemp = *opts.FixedTempC
+			r.pkg.ForceTemp(*opts.FixedTempC)
+		} else {
+			r.pkg.Step(slice)
+			coreTemp = r.pkg.CoreTempC(opts.Core)
+		}
+		tempSum += coreTemp
+		steps++
+		if coreTemp > res.MaxTempC {
+			res.MaxTempC = coreTemp
+		}
+
+		// Instrumentation accounting over the flattened mix.
+		iters := tc.IterPerSec * slice.Seconds()
+		for i := range flat {
+			counts[i] += flat[i].Usage * iters
+		}
+
+		// SDC event sampling over the compiled defect plan.
+		minutes := slice.Minutes()
+		for pi := range plan {
+			rd := &plan[pi]
+			n := rd.sampleEvents(rng, 0, coreTemp, minutes)
+			for i := 0; i < n; i++ {
+				res.Records = append(res.Records,
+					r.makeRecordFast(rng, tc, rd, opts.Core, coreTemp, r.now+elapsed))
+			}
+		}
+	}
+	r.pkg.ClearLoads()
+	r.now += opts.Duration
+	if steps > 0 {
+		res.MeanTempC = tempSum / float64(steps)
+	}
+	res.InstrCounts = make(map[model.InstrID]float64, len(flat))
+	for i := range flat {
+		res.InstrCounts[flat[i].Instr] = counts[i]
+	}
+	res.Failed = len(res.Records) > 0
+	return res
+}
+
+// runReference is the retained naive Run implementation (reference suites
+// pin it): per-step map ranges and per-record derivations, the behavior
+// the compiled path must reproduce draw-for-draw.
+func (r *Runner) runReference(tc *Testcase, opts RunOpts) RunResult {
 	if opts.Duration <= 0 {
 		opts.Duration = time.Minute
 	}
@@ -212,6 +407,42 @@ func (r *Runner) Run(tc *Testcase, opts RunOpts) RunResult {
 	return res
 }
 
+// makeRecordFast is makeRecord over a compiled runDefect: the context
+// instruction list, common datatypes and setting pattern probability come
+// from the plan instead of being re-derived per record. The rng draws are
+// the same calls with the same arguments in the same order as makeRecord.
+func (r *Runner) makeRecordFast(rng *simrand.Source, tc *Testcase, rd *runDefect, core int, tempC float64, when time.Duration) model.SDCRecord {
+	d := rd.d
+	rec := model.SDCRecord{
+		ProcessorID: r.proc.ID,
+		Core:        core,
+		TestcaseID:  tc.ID,
+		Temperature: tempC,
+		When:        when,
+	}
+	// The toolchain sometimes preserves context and points at the
+	// incorrect instruction (Section 4.1).
+	if d.ContextProb > 0 && rng.Bool(d.ContextProb) {
+		if len(rd.ctxInstrs) > 0 {
+			rec.HasContext = true
+			rec.ContextInstr = rd.ctxInstrs[rng.Intn(len(rd.ctxInstrs))]
+		}
+	}
+	if d.Class == model.ClassConsistency {
+		rec.Consistency = true
+		return rec
+	}
+	dt := rd.dts[rng.Intn(len(rd.dts))]
+	rec.DataType = dt
+
+	corr := d.Corruptor(dt, r.suite.rng)
+	expLo, expHi := inject.RandomValue(rng, dt)
+	actLo, actHi := corr.CorruptWithProb(rng, rd.patProb, expLo, expHi)
+	rec.Expected, rec.ExpectedHi = expLo, expHi
+	rec.Actual, rec.ActualHi = actLo, actHi
+	return rec
+}
+
 // makeRecord produces one SDC record for a (testcase, defect) event.
 func (r *Runner) makeRecord(rng *simrand.Source, tc *Testcase, d *defect.Defect, core int, tempC float64, when time.Duration) model.SDCRecord {
 	rec := model.SDCRecord{
@@ -258,7 +489,98 @@ func (r *Runner) makeRecord(rng *simrand.Source, tc *Testcase, d *defect.Defect,
 // full duration; SDC events are sampled per core at its own temperature.
 // The result aggregates records across cores; Failed is true when any core
 // failed. Temperatures summarize the hottest listed core.
+//
+// Like Run, this is the compiled fast path; a reference suite pins the
+// retained naive runParallelReference.
 func (r *Runner) RunParallel(tc *Testcase, cores []int, opts RunOpts) RunResult {
+	if r.suite.reference {
+		return r.runParallelReference(tc, cores, opts)
+	}
+	if len(cores) == 0 {
+		panic("testkit: RunParallel with no cores")
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = time.Minute
+	}
+	res := RunResult{
+		TestcaseID: tc.ID,
+		Core:       cores[0],
+		Duration:   opts.Duration,
+	}
+	rng := &r.scratch
+	r.suite.rng.DeriveInto(rng, "runp", r.proc.ID, tc.ID, time.Duration(r.now).String())
+
+	r.pkg.ClearLoads()
+	for _, c := range cores {
+		r.pkg.SetLoad(c, 1, tc.HeatIntensity)
+	}
+	if opts.BurnIn {
+		for c := 0; c < r.proc.PhysCores; c++ {
+			r.pkg.SetLoad(c, 1, tc.HeatIntensity)
+		}
+	}
+
+	flat := tc.FlatMix()
+	counts := make([]float64, len(flat))
+	plan := r.compileDefects(tc, cores)
+
+	var tempSum float64
+	steps := 0
+	for elapsed := time.Duration(0); elapsed < opts.Duration; elapsed += stepSlice {
+		slice := stepSlice
+		if rem := opts.Duration - elapsed; rem < slice {
+			slice = rem
+		}
+		if opts.FixedTempC != nil {
+			r.pkg.ForceTemp(*opts.FixedTempC)
+		} else {
+			r.pkg.Step(slice)
+		}
+		var hottest float64
+		minutes := slice.Minutes()
+		for ci, c := range cores {
+			coreTemp := r.pkg.CoreTempC(c)
+			if opts.FixedTempC != nil {
+				coreTemp = *opts.FixedTempC
+			}
+			if coreTemp > hottest {
+				hottest = coreTemp
+			}
+			for pi := range plan {
+				rd := &plan[pi]
+				n := rd.sampleEvents(rng, ci, coreTemp, minutes)
+				for i := 0; i < n; i++ {
+					res.Records = append(res.Records,
+						r.makeRecordFast(rng, tc, rd, c, coreTemp, r.now+elapsed))
+				}
+			}
+		}
+		tempSum += hottest
+		steps++
+		if hottest > res.MaxTempC {
+			res.MaxTempC = hottest
+		}
+		iters := tc.IterPerSec * slice.Seconds() * float64(len(cores))
+		for i := range flat {
+			counts[i] += flat[i].Usage * iters
+		}
+	}
+	r.pkg.ClearLoads()
+	r.now += opts.Duration
+	if steps > 0 {
+		res.MeanTempC = tempSum / float64(steps)
+	}
+	res.InstrCounts = make(map[model.InstrID]float64, len(flat))
+	for i := range flat {
+		res.InstrCounts[flat[i].Instr] = counts[i]
+	}
+	res.Failed = len(res.Records) > 0
+	return res
+}
+
+// runParallelReference is the retained naive RunParallel implementation
+// (reference suites pin it).
+func (r *Runner) runParallelReference(tc *Testcase, cores []int, opts RunOpts) RunResult {
 	if len(cores) == 0 {
 		panic("testkit: RunParallel with no cores")
 	}

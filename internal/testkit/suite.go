@@ -59,6 +59,13 @@ type Testcase struct {
 	Complexity int
 	// IterPerSec is loop iterations per second (instrumentation counts).
 	IterPerSec float64
+
+	// flatMix is Mix flattened into a slice sorted by instruction, built
+	// once by Suite.buildIndex (nil in a reference suite); ord is the
+	// testcase's position in Suite.Testcases. Both are hot-path indexes,
+	// invisible to Fingerprint and the cache keys derived from it.
+	flatMix []InstrUsage
+	ord     int
 }
 
 // UsesInstr reports whether the testcase exercises the virtual instruction.
@@ -76,17 +83,25 @@ func (tc *Testcase) ChecksDataType(dt model.DataType) bool {
 
 // Suite is the full toolchain testcase collection.
 //
-// A Suite is immutable once NewSuite returns: generation is the only phase
-// that writes Testcases, byID or the testcases' fields. Calibration
+// A Suite is immutable once NewSuite returns: generation and index
+// construction (buildIndex) are the only phases that write Testcases, byID,
+// the testcases' fields or the query indexes. Calibration
 // (CalibrateProfile) and queries (FailingTestcases, ByFeature, InstrUsers)
-// mutate profiles or allocate fresh slices, never the suite — the parallel
-// engine shares one Suite across every shard of a run without copies or
-// locks on the strength of this contract, and the immutability test
-// (immutability_test.go) pins it.
+// mutate profiles, allocate fresh slices or return shared read-only index
+// slices, never writing the suite — the parallel engine shares one Suite
+// across every shard of a run without copies or locks on the strength of
+// this contract, and the immutability test (immutability_test.go) pins it.
 type Suite struct {
 	Testcases []*Testcase
 	byID      map[string]*Testcase
 	rng       *simrand.Source
+
+	// instrUsers and byFeature are the buildIndex query indexes (nil in a
+	// reference suite); reference marks a NewReferenceSuite construction,
+	// which pins every consumer to the retained naive scan paths.
+	instrUsers map[model.InstrID][]*Testcase
+	byFeature  map[model.Feature][]*Testcase
+	reference  bool
 }
 
 // featurePlan is the per-feature testcase allocation (sums to SuiteSize).
@@ -142,7 +157,21 @@ func datatypesFor(f model.Feature) []model.DataType {
 
 // NewSuite generates the deterministic 633-testcase suite from a seed.
 func NewSuite(rng *simrand.Source) *Suite {
-	s := &Suite{byID: map[string]*Testcase{}, rng: rng.Derive("testkit-suite")}
+	return newSuite(rng, false)
+}
+
+// NewReferenceSuite is NewSuite with the compiled hot-path indexes left
+// unbuilt: every query and run over the returned suite takes the naive
+// scan implementations the indexes replaced, byte-for-byte the pre-
+// compilation behavior. The compiled-vs-reference determinism test diffs
+// full-registry output across the two constructions; production code
+// always uses NewSuite.
+func NewReferenceSuite(rng *simrand.Source) *Suite {
+	return newSuite(rng, true)
+}
+
+func newSuite(rng *simrand.Source, reference bool) *Suite {
+	s := &Suite{byID: map[string]*Testcase{}, rng: rng.Derive("testkit-suite"), reference: reference}
 	n := 0
 	for _, fp := range featurePlan {
 		for i := 0; i < fp.count; i++ {
@@ -155,8 +184,15 @@ func NewSuite(rng *simrand.Source) *Suite {
 	if len(s.Testcases) != SuiteSize {
 		panic(fmt.Sprintf("testkit: generated %d testcases, want %d", len(s.Testcases), SuiteSize))
 	}
+	if !reference {
+		s.buildIndex()
+	}
 	return s
 }
+
+// Reference reports whether the suite was built by NewReferenceSuite and
+// therefore pins the naive scan paths.
+func (s *Suite) Reference() bool { return s.reference }
 
 // generate builds testcase number n for the feature.
 func (s *Suite) generate(n int, f model.Feature) *Testcase {
@@ -234,7 +270,11 @@ func tierName(c int) string {
 func (s *Suite) ByID(id string) *Testcase { return s.byID[id] }
 
 // ByFeature returns the testcases targeting feature f, in suite order.
+// The returned slice is an index shared across callers — do not mutate.
 func (s *Suite) ByFeature(f model.Feature) []*Testcase {
+	if s.byFeature != nil {
+		return s.byFeature[f]
+	}
 	var out []*Testcase
 	for _, tc := range s.Testcases {
 		if tc.Feature == f {
@@ -245,8 +285,12 @@ func (s *Suite) ByFeature(f model.Feature) []*Testcase {
 }
 
 // InstrUsers returns the testcases whose mix includes the virtual
-// instruction, in suite order.
+// instruction, in suite order. The returned slice is an index shared
+// across callers — do not mutate.
 func (s *Suite) InstrUsers(id model.InstrID) []*Testcase {
+	if s.instrUsers != nil {
+		return s.instrUsers[id]
+	}
 	var out []*Testcase
 	for _, tc := range s.Testcases {
 		if tc.UsesInstr(id) {
