@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint bench bench-cached bench-fanout bench-quick check
+.PHONY: build test race vet fmt lint lint-json lint-fast bench bench-cached bench-fanout bench-quick check
 
 ## build: compile every package
 build:
@@ -26,6 +26,23 @@ fmt:
 ## lint: sdclint determinism & safety pass (see DESIGN.md)
 lint:
 	$(GO) run ./cmd/sdclint ./...
+
+## lint-json: the same pass with machine-readable output (sorted, stable —
+## byte-identical across runs over the same tree)
+lint-json:
+	$(GO) run ./cmd/sdclint -json ./...
+
+## lint-fast: sdclint over only the packages with changed Go files (working
+## tree + last commit); testdata fixtures are excluded — they contain
+## deliberate findings
+lint-fast:
+	@dirs=$$( (git diff --name-only HEAD~1 -- '*.go' 2>/dev/null; \
+	           git diff --name-only -- '*.go'; \
+	           git ls-files --others --exclude-standard -- '*.go') \
+	          | grep -v testdata | xargs -r -n1 dirname | sort -u); \
+	pkgs=""; for d in $$dirs; do [ -d "$$d" ] && pkgs="$$pkgs ./$$d"; done; \
+	if [ -z "$$pkgs" ]; then echo "lint-fast: no changed Go packages"; exit 0; fi; \
+	echo "sdclint$$pkgs"; $(GO) run ./cmd/sdclint $$pkgs
 
 ## bench: paper-scale sdcbench run with a timing/allocs JSON report
 bench:

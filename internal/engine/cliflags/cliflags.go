@@ -6,6 +6,7 @@
 package cliflags
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -86,7 +87,9 @@ func (c *RunConfig) StartProfiles() (stop func() error, err error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			if cerr := cpuFile.Close(); cerr != nil {
+				return nil, errors.Join(err, cerr)
+			}
 			return nil, err
 		}
 	}

@@ -20,6 +20,8 @@ import (
 // the whole context is immutable and may be shared by every shard of a
 // parallel run without copies or locks (see the immutability test in
 // internal/testkit and DESIGN.md "Execution engine & parallelism").
+//
+//sdclint:frozen immutable after NewCtx; shared lock-free across shards
 type Ctx struct {
 	Seed uint64
 	Rng  *simrand.Source

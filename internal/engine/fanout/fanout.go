@@ -25,6 +25,7 @@
 package fanout
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -249,8 +250,11 @@ func startWorker(argv, env []string, h hello) (*worker, error) {
 	}
 	w := &worker{cmd: cmd, stdin: stdin, stdout: stdout}
 	if err := writeFrame(stdin, h); err != nil {
-		_ = w.shutdown(false)
-		return nil, fmt.Errorf("sending hello: %w", err)
+		err = fmt.Errorf("sending hello: %w", err)
+		if serr := w.shutdown(false); serr != nil {
+			err = errors.Join(err, serr)
+		}
+		return nil, err
 	}
 	return w, nil
 }
@@ -279,11 +283,19 @@ func (w *worker) roundTrip(i int, timeout time.Duration) (*result, error) {
 
 // shutdown ends the subprocess: a clean shutdown closes stdin (the EOF is
 // the worker's exit signal), an unclean one kills outright so a wedged
-// worker cannot hang the run, and both reap the process.
+// worker cannot hang the run, and both reap the process. A failed stdin
+// close on the clean path would leave the worker without its exit signal,
+// so it downgrades to a kill and the close error is surfaced.
 func (w *worker) shutdown(clean bool) error {
-	_ = w.stdin.Close()
-	if !clean {
+	cerr := w.stdin.Close()
+	if !clean || cerr != nil {
 		_ = w.cmd.Process.Kill()
 	}
-	return w.cmd.Wait()
+	if err := w.cmd.Wait(); err != nil {
+		return err
+	}
+	if clean {
+		return cerr
+	}
+	return nil
 }

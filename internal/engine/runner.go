@@ -175,7 +175,10 @@ func (r *Runner) Run(exps []Experiment, sc Scale) ([]Section, *RunReport, error)
 				continue
 			}
 			// Best-effort: the result is already computed, so a store
-			// failure (full disk, read-only dir) must not fail the run.
+			// failure (full disk, read-only dir) must not fail the run; a
+			// torn file is re-detected by Load's digest check and treated
+			// as a miss.
+			//sdclint:ignore errsink best-effort cache population; failure only costs a recompute
 			_ = rc.Store(keys[i], cache.Entry{
 				Name:        exps[i].Name,
 				Body:        sections[i].Body,

@@ -32,6 +32,8 @@ type planEntry struct {
 
 // detectionPlan is a faulty CPU's compiled screening plan, in the naive
 // iteration order (profile defects outer, failing testcases inner).
+//
+//sdclint:frozen read-only once compilePlan returns
 type detectionPlan struct {
 	entries []planEntry
 }

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	analyzerList := fs.String("analyzers", "", "comma-separated analyzers to run (default: all)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout (sorted, stable)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: sdclint [flags] [packages]\n\n"+
 			"sdclint checks the repo's determinism contract (see DESIGN.md).\n"+
@@ -58,7 +60,11 @@ func Main(args []string, stdout, stderr io.Writer) int {
 
 	pkgs, err := Load(".", patterns...)
 	if errors.Is(err, ErrNoPackages) {
-		fmt.Fprintf(stdout, "sdclint: no Go packages found matching %s\n", strings.Join(patterns, " "))
+		if *jsonOut {
+			fmt.Fprintln(stdout, "[]")
+		} else {
+			fmt.Fprintf(stdout, "sdclint: no Go packages found matching %s\n", strings.Join(patterns, " "))
+		}
 		return ExitClean
 	}
 	if err != nil {
@@ -67,15 +73,59 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	}
 
 	diags := Run(pkgs, analyzers)
-	for _, d := range diags {
-		d.Pos.Filename = relativize(d.Pos.Filename)
-		fmt.Fprintln(stdout, d)
+	for i := range diags {
+		diags[i].Pos.Filename = relativize(diags[i].Pos.Filename)
+	}
+	if *jsonOut {
+		if err := writeJSONDiags(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "sdclint: %v\n", err)
+			return ExitError
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "sdclint: %d finding(s)\n", len(diags))
 		return ExitFindings
 	}
 	return ExitClean
+}
+
+// jsonDiag is the machine-readable finding schema of -json. The field set
+// and ordering are part of the CLI contract: Run returns diagnostics sorted
+// by (file, line, col, analyzer), encoding/json emits fields in declaration
+// order, and MarshalIndent output carries no map iteration or timestamps —
+// so two invocations over the same tree are byte-identical.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSONDiags emits the diagnostics as a JSON array (never null) with a
+// trailing newline.
+func writeJSONDiags(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
 }
 
 // relativize shortens an absolute diagnostic path to be relative to the

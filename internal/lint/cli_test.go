@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -58,9 +59,57 @@ func TestMainList(t *testing.T) {
 	if code := Main([]string{"-list"}, &out, &errOut); code != ExitClean {
 		t.Fatalf("exit = %d, want %d", code, ExitClean)
 	}
-	for _, name := range []string{"detrand", "maporder", "globalmut", "srcshare"} {
+	for _, name := range []string{"detrand", "maporder", "globalmut", "srcshare",
+		"frozenmut", "errsink", "shardkey"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
+	}
+}
+
+// TestMainJSON: -json emits a parseable array with the documented fields,
+// still exits 1 on findings, and is byte-identical across invocations (the
+// CI smoke relies on that determinism).
+func TestMainJSON(t *testing.T) {
+	run := func() (string, int) {
+		var out, errOut strings.Builder
+		code := Main([]string{"-json", "-analyzers", "globalmut", "./testdata/src/globalmut"}, &out, &errOut)
+		return out.String(), code
+	}
+	first, code := run()
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d", code, ExitFindings)
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(first), &findings); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, first)
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json output has no findings for dirty testdata")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer != "globalmut" || f.Message == "" {
+			t.Fatalf("malformed finding: %+v", f)
+		}
+	}
+	if second, _ := run(); second != first {
+		t.Fatalf("-json output differs between invocations:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}
+
+// TestMainJSONClean: a clean target yields an empty array, not null.
+func TestMainJSONClean(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := Main([]string{"-json", "../simrand"}, &out, &errOut); code != ExitClean {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, ExitClean, errOut.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("stdout = %q, want %q", out.String(), "[]")
 	}
 }

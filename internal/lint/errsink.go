@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrSink flags discarded error results on output write paths — the PR 3
+// silent-truncation class, where a full disk or closed pipe loses report
+// bytes without any run failing. A write-path call is a Write/Close/Flush/
+// Sync-shaped method, an fmt.Fprint*/io.Copy/os.WriteFile call, or a module
+// function whose interprocedural summary says its error result can carry a
+// failed write (WriterError). Discarding means calling as a bare statement
+// or blanking every error result with "_".
+//
+// The analyzer is scoped to the layers that produce run artifacts — the
+// cmd/ CLIs, internal/report and the internal/engine subtree — so
+// simulation-layer code that legitimately ignores, say, a strings.Builder
+// is never in scope. Exemptions inside the scope: writes to the process
+// streams os.Stdout/os.Stderr and to io.Discard, infallible in-memory
+// writers (bytes.Buffer, strings.Builder, hash.Hash), and "defer x.Close()"
+// — the sanctioned backstop idiom, which must stay paired with a checked
+// Close on the success path (the pattern cliflags and sdcbench use).
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "flag discarded error results from io write/close/flush paths in report-producing layers",
+	Run:  runErrSink,
+}
+
+// errsinkLayers are the import-path layers in scope for errsink, matched by
+// path segment the same way the wallclock quarantine is, so the policy also
+// binds inside the analyzer's testdata packages.
+var errsinkLayers = []string{"cmd", "internal/report", "internal/engine"}
+
+func errsinkInScope(path string) bool {
+	for _, layer := range errsinkLayers {
+		if path == layer || strings.HasSuffix(path, "/"+layer) {
+			return true
+		}
+		if strings.Contains(path+"/", "/"+layer+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// writeMethodNames are method names treated as io write paths when they
+// return an error: the io.Writer/Closer/Flusher method set plus the
+// WriterTo/ReaderFrom fast paths bufio and friends dispatch to.
+var writeMethodNames = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteTo":     true,
+	"ReadFrom":    true,
+	"Close":       true,
+	"Flush":       true,
+	"Sync":        true,
+}
+
+// isWritePathCall reports whether the call's error result can carry a failed
+// io write/close/flush. Shared with the interprocedural WriterError summary,
+// which is how the fact crosses function and package boundaries.
+func (m *Module) isWritePathCall(call *ast.CallExpr, info *types.Info) bool {
+	if !callReturnsError(call, info) {
+		return false
+	}
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal {
+			fn := sel.Obj().(*types.Func)
+			if writeMethodNames[fn.Name()] && !infallibleWriterType(sel.Recv()) {
+				return true
+			}
+			if sum := m.summaryOf(fn); sum != nil && sum.WriterError {
+				return true
+			}
+			return false
+		}
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return false
+		}
+		if fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "fmt":
+				if strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 &&
+					!terminalStream(call.Args[0], info) && !infallibleWriterExpr(call.Args[0], info) {
+					return true
+				}
+			case "io":
+				switch fn.Name() {
+				case "Copy", "CopyN", "CopyBuffer", "WriteString":
+					return true
+				}
+			case "os":
+				if fn.Name() == "WriteFile" {
+					return true
+				}
+			}
+		}
+		if sum := m.summaryOf(fn); sum != nil && sum.WriterError {
+			return true
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			if sum := m.summaryOf(fn); sum != nil && sum.WriterError {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callReturnsError reports whether the call has at least one error result.
+func callReturnsError(call *ast.CallExpr, info *types.Info) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// infallibleWriterType reports whether a receiver type's write methods never
+// fail: the in-memory writers bytes.Buffer and strings.Builder, and
+// hash.Hash implementations (identified structurally by their Sum +
+// BlockSize method pair, since hash.Hash is an interface).
+func infallibleWriterType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() + "." + obj.Name() {
+			case "bytes.Buffer", "strings.Builder":
+				return true
+			}
+		}
+	}
+	recv := t
+	if _, isIface := t.Underlying().(*types.Interface); !isIface {
+		recv = types.NewPointer(t) // pointer method set; *interface has none
+	}
+	hasMethod := func(name string) bool {
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, nil, name)
+		_, ok := obj.(*types.Func)
+		return ok
+	}
+	return hasMethod("Sum") && hasMethod("BlockSize")
+}
+
+func infallibleWriterExpr(e ast.Expr, info *types.Info) bool {
+	return infallibleWriterType(info.TypeOf(e))
+}
+
+// terminalStream reports whether the expression is one of the process
+// streams (os.Stdout, os.Stderr) or io.Discard: CLI chatter to the terminal
+// is not a run artifact, and enforcing checks there would only breed
+// blanket ignores.
+func terminalStream(e ast.Expr, info *types.Info) bool {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "os.Stdout", "os.Stderr", "io.Discard":
+		return true
+	}
+	return false
+}
+
+func runErrSink(pass *Pass) {
+	if !errsinkInScope(pass.Pkg.ImportPath) {
+		return
+	}
+	m := pass.Mod
+	info := pass.Pkg.Info
+	report := func(call *ast.CallExpr) {
+		pass.Reportf(call.Pos(),
+			"error result of %s discarded; a failed write or close here silently truncates output — handle the error (or annotate //sdclint:ignore errsink with a reason)",
+			types.ExprString(call.Fun))
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok && m.isWritePathCall(call, info) {
+					report(call)
+				}
+			case *ast.DeferStmt:
+				// "defer f.Close()" is the sanctioned backstop for the
+				// early-error paths — legitimate exactly because the
+				// success path must also call a *checked* Close. Any other
+				// deferred write-path discard (Flush, Sync, a summary-
+				// carrying helper) still loses bytes.
+				if sel, ok := unparen(st.Call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+					return true
+				}
+				if m.isWritePathCall(st.Call, info) {
+					report(st.Call)
+				}
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 {
+					return true
+				}
+				call, ok := unparen(st.Rhs[0]).(*ast.CallExpr)
+				if !ok || !m.isWritePathCall(call, info) {
+					return true
+				}
+				if errorResultsAllBlank(st, call, info) {
+					report(call)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// errorResultsAllBlank reports whether every error result of the call is
+// assigned to the blank identifier ("_ = w.Flush()", "n, _ := w.Write(b)").
+func errorResultsAllBlank(st *ast.AssignStmt, call *ast.CallExpr, info *types.Info) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	isBlank := func(i int) bool {
+		if i >= len(st.Lhs) {
+			return false
+		}
+		id, ok := st.Lhs[i].(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		sawError := false
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				sawError = true
+				if !isBlank(i) {
+					return false
+				}
+			}
+		}
+		return sawError
+	}
+	return isErrorType(t) && isBlank(0)
+}

@@ -15,12 +15,23 @@ var update = flag.Bool("update", false, "rewrite analyzer golden files")
 // the (suppression-filtered, sorted) diagnostics against the package's
 // expect.golden file. Each testdata package mixes true positives with clean
 // negatives, so an exact match demonstrates both detection and restraint.
-func runGolden(t *testing.T, a *Analyzer, name string) {
+// Fixtures spanning several packages (cross-package summary propagation,
+// layer-scoped policies) list their package dirs in subdirs; every dir is
+// loaded as a root so the module facts cover all of them, and the golden
+// file lives at the fixture root.
+func runGolden(t *testing.T, a *Analyzer, name string, subdirs ...string) {
 	t.Helper()
 	dir := filepath.Join("testdata", "src", name)
-	pkgs, err := Load(".", dir)
+	dirs := []string{dir}
+	if len(subdirs) > 0 {
+		dirs = nil
+		for _, sd := range subdirs {
+			dirs = append(dirs, filepath.Join(dir, filepath.FromSlash(sd)))
+		}
+	}
+	pkgs, err := Load(".", dirs...)
 	if err != nil {
-		t.Fatalf("load %s: %v", dir, err)
+		t.Fatalf("load %s: %v", dirs, err)
 	}
 	diags := Run(pkgs, []*Analyzer{a})
 	var buf bytes.Buffer
@@ -51,3 +62,20 @@ func TestDetrandGolden(t *testing.T)   { runGolden(t, Detrand, "detrand") }
 func TestMapOrderGolden(t *testing.T)  { runGolden(t, MapOrder, "maporder") }
 func TestGlobalMutGolden(t *testing.T) { runGolden(t, GlobalMut, "globalmut") }
 func TestSrcShareGolden(t *testing.T)  { runGolden(t, SrcShare, "srcshare") }
+func TestFrozenMutGolden(t *testing.T) { runGolden(t, FrozenMut, "frozenmut") }
+func TestShardKeyGolden(t *testing.T)  { runGolden(t, ShardKey, "shardkey") }
+
+// TestFrozenMutCrossPackageGolden pins the interprocedural half of
+// frozenmut: the frozen type, its constructors and its accessor summaries
+// live in state; every finding is in user.
+func TestFrozenMutCrossPackageGolden(t *testing.T) {
+	runGolden(t, FrozenMut, "frozenmutx", "state", "user")
+}
+
+// TestErrSinkGolden spans three packages: the in-scope report package with
+// the findings, the helper package whose WriterError summary crosses the
+// package boundary, and an out-of-scope package proving the layer scoping.
+func TestErrSinkGolden(t *testing.T) {
+	runGolden(t, ErrSink, "errsink",
+		"internal/engine/wio", "internal/report", "internal/sim")
+}

@@ -1,0 +1,676 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural layer under the frozenmut, errsink and
+// shardkey analyzers: a module-wide call graph with method-set resolution
+// for interface calls, and per-function summary facts propagated across
+// package boundaries to a fixed point. The per-package syntactic analyzers
+// (detrand, maporder, globalmut, srcshare) do not need it.
+//
+// The analysis is deliberately a linter-grade approximation, not a sound
+// points-to analysis: aliases are tracked through simple assignment chains,
+// calls through function *values* are not resolved, and unresolved or
+// non-module callees are assumed side-effect-free except for a small
+// hard-coded table of standard-library mutators (sort, slices, copy,
+// simrand.DeriveInto). That keeps the engine stdlib-only and fast while
+// still catching the bug classes this repo has actually shipped fixes for.
+
+// Module is the whole-program view of one Run: every function declaration
+// across the loaded packages, its resolved call sites, and its summary.
+type Module struct {
+	Pkgs []*Package
+
+	// Funcs indexes every function and method declared (with a body) in
+	// the loaded packages.
+	Funcs map[*types.Func]*FuncNode
+
+	// frozen maps a type marked //sdclint:frozen to its construction-set
+	// facts (see frozenmut.go for the directive grammar).
+	frozen map[*types.TypeName]*frozenType
+
+	// ctors is the union of the construction sets: functions allowed to
+	// write frozen state declared in their own package (the constructors by
+	// result-type convention, ctors= extras, and their transitive
+	// same-package callees). Filled by collectFrozen.
+	ctors map[*types.Func]bool
+
+	// implCache memoizes interface-method resolution per interface type.
+	implCache map[*types.Interface][]*types.Func
+
+	// namedTypes is every named non-interface type declared in the module,
+	// the candidate set for interface method resolution.
+	namedTypes []*types.Named
+}
+
+// FuncNode is one declared function with its resolved call sites.
+type FuncNode struct {
+	Fn   *types.Func
+	Pkg  *Package
+	Decl *ast.FuncDecl
+
+	// Params lists the receiver (if any) followed by the declared
+	// parameters, positionally aligned with Summary.Mutates. A slot is nil
+	// for unnamed or blank parameters.
+	Params []*types.Var
+
+	calls []callsite
+
+	Summary Summary
+}
+
+// callsite is one resolved call expression inside a function body
+// (function literals are attributed to their enclosing declaration).
+type callsite struct {
+	call *ast.CallExpr
+	// recv is the receiver expression for method-value calls, nil for
+	// plain function calls. When non-nil it aligns with Mutates[0] of a
+	// target's summary, and call.Args with Mutates[1:].
+	recv ast.Expr
+	// targets are the possible callees: one for a static call, every
+	// module implementation for a call through an interface method.
+	targets []*types.Func
+}
+
+// Summary carries the per-function facts the analyzers consume. All fields
+// are monotone (false -> true only), so fixed-point propagation terminates.
+type Summary struct {
+	// Mutates[i] reports that the function may write through its i-th
+	// parameter (receiver first, if any) into caller-visible state.
+	Mutates []bool
+	// WriterError reports that the function's error result may carry an
+	// error originating from an io write/close/flush path, so discarding
+	// it silently truncates output (the errsink contract).
+	WriterError bool
+	// ReturnsRecvAlias reports that a method may return memory reachable
+	// from its receiver (a shared index slice, an internal map, a held
+	// pointer), so mutating the result mutates the receiver's state.
+	ReturnsRecvAlias bool
+}
+
+// BuildModule indexes the packages, resolves every call site and computes
+// the summaries. It is called once per Run over the root packages.
+func BuildModule(pkgs []*Package) *Module {
+	m := &Module{
+		Pkgs:      pkgs,
+		Funcs:     make(map[*types.Func]*FuncNode),
+		frozen:    make(map[*types.TypeName]*frozenType),
+		implCache: make(map[*types.Interface][]*types.Func),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				m.Funcs[fn] = &FuncNode{Fn: fn, Pkg: pkg, Decl: fd, Params: declParams(fd, pkg.Info)}
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); !isIface {
+				m.namedTypes = append(m.namedTypes, named)
+			}
+		}
+	}
+	for _, node := range m.Funcs {
+		m.resolveCalls(node)
+	}
+	m.collectFrozen()
+	m.propagate()
+	return m
+}
+
+// declParams returns the receiver (if any) followed by the parameters.
+func declParams(fd *ast.FuncDecl, info *types.Info) []*types.Var {
+	var out []*types.Var
+	addList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if len(field.Names) == 0 {
+				out = append(out, nil) // unnamed parameter
+				continue
+			}
+			for _, name := range field.Names {
+				v, _ := info.Defs[name].(*types.Var)
+				out = append(out, v) // nil for _
+			}
+		}
+	}
+	addList(fd.Recv)
+	addList(fd.Type.Params)
+	return out
+}
+
+// resolveCalls finds every call expression in the node's body (function
+// literals included) and resolves its possible targets.
+func (m *Module) resolveCalls(node *FuncNode) {
+	info := node.Pkg.Info
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		cs := callsite{call: call}
+		switch fun := unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fn, ok := info.Uses[fun].(*types.Func); ok {
+				cs.targets = []*types.Func{fn}
+			}
+		case *ast.SelectorExpr:
+			if sel := info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal {
+				cs.recv = fun.X
+				fn := sel.Obj().(*types.Func)
+				if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+					cs.targets = m.implementations(iface, fn)
+				} else {
+					cs.targets = []*types.Func{fn}
+				}
+			} else if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+				cs.targets = []*types.Func{fn} // pkg-qualified call
+			}
+		}
+		node.calls = append(node.calls, cs)
+		return true
+	})
+}
+
+// implementations resolves an interface method to every module method that
+// can stand behind it: the fn's own declarations on module types whose
+// method sets satisfy the interface.
+func (m *Module) implementations(iface *types.Interface, fn *types.Func) []*types.Func {
+	if impls, ok := m.implCache[iface]; ok {
+		return filterByName(impls, fn.Name())
+	}
+	var impls []*types.Func
+	for _, named := range m.namedTypes {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			impls = append(impls, named.Method(i))
+		}
+	}
+	m.implCache[iface] = impls
+	return filterByName(impls, fn.Name())
+}
+
+func filterByName(fns []*types.Func, name string) []*types.Func {
+	var out []*types.Func
+	for _, f := range fns {
+		if f.Name() == name {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// sortedFuncs returns every function node ordered by declaration position,
+// so analyses that iterate the function index behave identically run to run
+// (the index itself is a map).
+func (m *Module) sortedFuncs() []*FuncNode {
+	var nodes []*FuncNode
+	for _, node := range m.Funcs {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		a := nodes[i].Pkg.Fset.Position(nodes[i].Decl.Pos())
+		b := nodes[j].Pkg.Fset.Position(nodes[j].Decl.Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return nodes
+}
+
+// summaryOf returns the summary for fn, or nil for non-module functions.
+func (m *Module) summaryOf(fn *types.Func) *Summary {
+	if node, ok := m.Funcs[fn]; ok {
+		return &node.Summary
+	}
+	return nil
+}
+
+// propagate computes the summaries to a fixed point: intra-procedural facts
+// are collected per function, then call edges feed caller facts until no
+// summary changes. All facts are monotone, so this terminates.
+func (m *Module) propagate() {
+	for changed := true; changed; {
+		changed = false
+		for _, node := range m.Funcs {
+			if m.updateSummary(node) {
+				changed = true
+			}
+		}
+	}
+}
+
+// updateSummary recomputes one function's summary against the current
+// state of its callees' summaries; it reports whether anything changed.
+func (m *Module) updateSummary(node *FuncNode) bool {
+	old := node.Summary
+	if node.Summary.Mutates == nil {
+		node.Summary.Mutates = make([]bool, len(node.Params))
+	}
+	paramIndex := make(map[*types.Var]int, len(node.Params))
+	for i, p := range node.Params {
+		if p != nil {
+			paramIndex[p] = i
+		}
+	}
+	info := node.Pkg.Info
+
+	// Direct writes through a parameter.
+	forEachWrite(node.Decl.Body, func(lv ast.Expr) {
+		root := rootIdent(lv, info)
+		if root == nil {
+			return
+		}
+		obj, ok := info.ObjectOf(root).(*types.Var)
+		if !ok {
+			return
+		}
+		if i, isParam := paramIndex[obj]; isParam && writeEscapes(lv, info) {
+			node.Summary.Mutates[i] = true
+		}
+	})
+
+	// Writes via callees: an argument aliasing a parameter handed to a
+	// callee that mutates that position.
+	for _, cs := range node.calls {
+		m.forEachMutatedArg(cs, info, func(arg ast.Expr) {
+			if v := refRootVar(arg, info); v != nil {
+				if i, isParam := paramIndex[v]; isParam {
+					node.Summary.Mutates[i] = true
+				}
+			}
+		})
+	}
+
+	m.updateWriterError(node, paramIndex)
+	m.updateRecvAlias(node)
+
+	if len(old.Mutates) != len(node.Summary.Mutates) {
+		return true
+	}
+	for i := range old.Mutates {
+		if old.Mutates[i] != node.Summary.Mutates[i] {
+			return true
+		}
+	}
+	return old.WriterError != node.Summary.WriterError ||
+		old.ReturnsRecvAlias != node.Summary.ReturnsRecvAlias
+}
+
+// forEachMutatedArg invokes fn for every argument (receiver included) of
+// the call site that a resolved target may mutate, and applies the
+// hard-coded table of standard-library mutators for external callees.
+func (m *Module) forEachMutatedArg(cs callsite, info *types.Info, fn func(arg ast.Expr)) {
+	// Positional view: receiver (if any) then args.
+	argAt := func(i int) ast.Expr {
+		if cs.recv != nil {
+			if i == 0 {
+				return cs.recv
+			}
+			i--
+		}
+		if i < len(cs.call.Args) {
+			return cs.call.Args[i]
+		}
+		return nil
+	}
+	resolvedModuleTarget := false
+	for _, target := range cs.targets {
+		if sum := m.summaryOf(target); sum != nil {
+			resolvedModuleTarget = true
+			for i, mut := range sum.Mutates {
+				if mut {
+					if arg := argAt(i); arg != nil {
+						fn(arg)
+					}
+				}
+			}
+		}
+	}
+	if resolvedModuleTarget {
+		return
+	}
+	// External or unresolved callee: the hard-coded mutator table.
+	for _, i := range stdlibMutatedArgs(cs, info) {
+		if arg := argAt(i); arg != nil {
+			fn(arg)
+		}
+	}
+}
+
+// stdlibMutatedArgs returns the positional indexes (receiver-first) of
+// arguments mutated by well-known non-module callees.
+func stdlibMutatedArgs(cs callsite, info *types.Info) []int {
+	call := cs.call
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "copy" {
+			return []int{0}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return nil
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+			// sort.Slice/Strings/Ints/..., slices.Sort*/Reverse mutate
+			// their first argument in place.
+			if strings.HasPrefix(fn.Name(), "Sort") || fn.Name() == "Slice" ||
+				fn.Name() == "SliceStable" || fn.Name() == "Strings" ||
+				fn.Name() == "Ints" || fn.Name() == "Float64s" || fn.Name() == "Reverse" {
+				if cs.recv != nil {
+					return nil
+				}
+				return []int{0}
+			}
+		}
+		// simrand.(*Source).DeriveInto overwrites dst wholesale. Matched
+		// by name+receiver so it also binds inside single-package golden
+		// runs where the simrand bodies are not loaded.
+		if cs.recv != nil && fn.Name() == "DeriveInto" {
+			if sel := info.Selections[fun]; sel != nil && isSimrandSource(sel.Recv()) {
+				return []int{1} // position 0 is the receiver
+			}
+		}
+	}
+	return nil
+}
+
+// updateWriterError marks the node when an error result can carry a failed
+// write/close/flush, directly or through a callee.
+func (m *Module) updateWriterError(node *FuncNode, paramIndex map[*types.Var]int) {
+	if node.Summary.WriterError {
+		return
+	}
+	if node.Decl.Type.Results == nil {
+		return
+	}
+	returnsError := false
+	for _, f := range node.Decl.Type.Results.List {
+		if t := node.Pkg.Info.TypeOf(f.Type); t != nil && isErrorType(t) {
+			returnsError = true
+		}
+	}
+	if !returnsError {
+		return
+	}
+	info := node.Pkg.Info
+
+	// tainted is the set of local error variables holding a write-path
+	// error. Two passes are enough for the assignment chains in practice
+	// (err := write(); ...; return fmt.Errorf("...: %w", err)).
+	tainted := make(map[types.Object]bool)
+	taintedExpr := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && tainted[info.ObjectOf(id)] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				writePath := false
+				for _, rhs := range st.Rhs {
+					if call, ok := unparen(rhs).(*ast.CallExpr); ok && m.isWritePathCall(call, info) {
+						writePath = true
+					}
+					if taintedExpr(rhs) {
+						writePath = true
+					}
+				}
+				if !writePath {
+					return true
+				}
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := info.ObjectOf(id); obj != nil && isErrorType(obj.Type()) {
+							tainted[obj] = true
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range st.Results {
+					if !isErrorType(info.TypeOf(res)) {
+						continue
+					}
+					if call, ok := unparen(res).(*ast.CallExpr); ok && m.isWritePathCall(call, info) {
+						node.Summary.WriterError = true
+					}
+					if taintedExpr(res) {
+						node.Summary.WriterError = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// updateRecvAlias marks methods that may return receiver-reachable memory.
+func (m *Module) updateRecvAlias(node *FuncNode) {
+	if node.Summary.ReturnsRecvAlias || node.Decl.Recv == nil {
+		return
+	}
+	if len(node.Params) == 0 || node.Params[0] == nil {
+		return
+	}
+	recv := node.Params[0]
+	info := node.Pkg.Info
+	aliases := map[types.Object]bool{recv: true}
+	aliasExpr := func(e ast.Expr) bool {
+		if !isRefType(info.TypeOf(e)) {
+			return false
+		}
+		root := rootIdent(e, info)
+		if root == nil {
+			return false
+		}
+		if aliases[info.ObjectOf(root)] {
+			return true
+		}
+		// A chained accessor: recv.Accessor() where Accessor itself
+		// returns receiver-reachable memory.
+		if call, ok := unparen(e).(*ast.CallExpr); ok {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if s := info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+					if root := rootIdent(sel.X, info); root != nil && aliases[info.ObjectOf(root)] {
+						if sum := m.summaryOf(s.Obj().(*types.Func)); sum != nil && sum.ReturnsRecvAlias {
+							return true
+						}
+					}
+				}
+			}
+		}
+		return false
+	}
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				fromAlias := false
+				for _, rhs := range st.Rhs {
+					if aliasExpr(rhs) {
+						fromAlias = true
+					}
+				}
+				if !fromAlias {
+					return true
+				}
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && isRefType(info.TypeOf(id)) {
+						if obj := info.ObjectOf(id); obj != nil {
+							aliases[obj] = true
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range st.Results {
+					if aliasExpr(res) {
+						node.Summary.ReturnsRecvAlias = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// --- shared AST/type helpers -------------------------------------------
+
+// forEachWrite invokes fn for every lvalue written in body: assignments,
+// ++/--, and range statements assigning existing variables.
+func forEachWrite(body ast.Node, fn func(lv ast.Expr)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				fn(lhs)
+			}
+		case *ast.IncDecStmt:
+			fn(st.X)
+		case *ast.RangeStmt:
+			if st.Tok.String() == "=" {
+				for _, e := range []ast.Expr{st.Key, st.Value} {
+					if e != nil {
+						fn(e)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// writeEscapes reports whether writing to lv stores through at least one
+// level of indirection (pointer deref, slice element, map element), i.e.
+// whether the write lands in memory shared beyond the root variable's own
+// storage. Rebinding a local ("c = other") or writing a field of a local
+// struct value never escapes.
+func writeEscapes(lv ast.Expr, info *types.Info) bool {
+	for {
+		switch x := lv.(type) {
+		case *ast.ParenExpr:
+			lv = x.X
+		case *ast.StarExpr:
+			return true
+		case *ast.IndexExpr:
+			switch info.TypeOf(x.X).Underlying().(type) {
+			case *types.Slice, *types.Map, *types.Pointer:
+				return true
+			}
+			lv = x.X // array element: still the root's own storage
+		case *ast.SelectorExpr:
+			if t := info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Pointer); ok {
+					return true // implicit deref
+				}
+			}
+			lv = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// refRootVar returns the variable whose referenced state an expression's
+// value aliases, or nil when the value is an independent copy: a pointer,
+// slice, map or channel expression aliases its root variable's state, and
+// &expr aliases expr's root.
+func refRootVar(e ast.Expr, info *types.Info) *types.Var {
+	e = unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+		if root := rootIdent(u.X, info); root != nil {
+			v, _ := info.ObjectOf(root).(*types.Var)
+			return v
+		}
+		return nil
+	}
+	if !isRefType(info.TypeOf(e)) {
+		return nil
+	}
+	root := rootIdent(e, info)
+	if root == nil {
+		return nil
+	}
+	v, _ := info.ObjectOf(root).(*types.Var)
+	return v
+}
+
+// isRefType reports whether values of t share referenced state when
+// copied: pointers, slices, maps and channels.
+func isRefType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// unparen strips any number of parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// enclosingFuncDecl returns the *types.Func of the innermost function
+// DECLARATION in the stack — function literals are attributed to their
+// enclosing declaration, matching how call sites and summaries are built.
+func enclosingFuncDecl(stack []ast.Node, info *types.Info) *types.Func {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}

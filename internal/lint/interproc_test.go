@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInterprocSummaries pins the summary facts the analyzers lean on,
+// computed against the real tree: testkit.Suite's accessors divide into
+// alias-returning (Rng hands out the held Source, InstrUsers the shared
+// index slice) and fresh-returning (SortedIDs builds a new slice), and the
+// suite constructor sits in the frozen type's construction set along with
+// the helpers it calls.
+func TestInterprocSummaries(t *testing.T) {
+	pkgs, err := Load(".", "../testkit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := BuildModule(pkgs)
+
+	// find matches a substring of the types.Func full name, e.g.
+	// "Suite).Rng" for a method or "testkit.newSuite" for a function.
+	find := func(pattern string) *FuncNode {
+		t.Helper()
+		for _, node := range mod.Funcs {
+			if strings.Contains(node.Fn.FullName(), pattern) {
+				return node
+			}
+		}
+		t.Fatalf("no function matching %q in module", pattern)
+		return nil
+	}
+
+	if !find("Suite).Rng").Summary.ReturnsRecvAlias {
+		t.Error("Suite.Rng should be summarized as returning receiver-reachable memory")
+	}
+	if !find("Suite).InstrUsers").Summary.ReturnsRecvAlias {
+		t.Error("Suite.InstrUsers should be summarized as returning the shared index slice")
+	}
+	if find("Suite).SortedIDs").Summary.ReturnsRecvAlias {
+		t.Error("Suite.SortedIDs returns a fresh slice; summary claims it aliases the receiver")
+	}
+	for _, pattern := range []string{
+		"testkit.newSuite",
+		"Suite).buildIndex",
+		"Suite).generate",
+	} {
+		if node := find(pattern); !mod.ctors[node.Fn] {
+			t.Errorf("%s should be in the Suite construction set", node.Fn.FullName())
+		}
+	}
+}

@@ -38,9 +38,11 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// All returns every analyzer sdclint ships, in reporting order.
+// All returns every analyzer sdclint ships, in reporting order. The first
+// four are per-package syntactic checks; frozenmut, errsink and shardkey
+// consume the interprocedural module facts (interproc.go).
 func All() []*Analyzer {
-	return []*Analyzer{Detrand, MapOrder, GlobalMut, SrcShare}
+	return []*Analyzer{Detrand, MapOrder, GlobalMut, SrcShare, FrozenMut, ErrSink, ShardKey}
 }
 
 // ByName resolves a comma-separated analyzer list ("detrand,maporder").
@@ -73,7 +75,10 @@ func ByName(names string) ([]*Analyzer, error) {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	diags    *[]Diagnostic
+	// Mod is the whole-module interprocedural view, shared by every pass of
+	// one Run (the same packages, so the same call graph and summaries).
+	Mod   *Module
+	diags *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
@@ -88,10 +93,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Run applies the analyzers to every package, drops findings suppressed by
 // //sdclint:ignore directives, and returns the rest sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	mod := BuildModule(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Mod: mod, diags: &diags})
 		}
 	}
 	diags = suppress(pkgs, diags)

@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShardKey flags simrand Derive/DeriveInto calls inside loops whose key
+// arguments are all loop-invariant — the PR 2 re-keying class. Deriving
+// hashes the keys against the parent's immutable creation seed, so a loop
+// body that derives with keys that never mention the loop entity produces
+// the *identical* substream every iteration: every shard, testcase or CPU
+// silently replays one entity's randomness, which skews populations without
+// failing any determinism check (the output is still bit-identical per
+// seed — just wrong).
+//
+// The analysis is lexical per loop: the variant set is the loop's iteration
+// variables, every variable assigned per iteration (loop-carried updates to
+// outer variables, state writes through fields/elements, arguments mutated
+// by callees per the interprocedural summaries), closed over simple
+// assignment dataflow. A Derive/DeriveInto whose receiver and keys use no
+// variant variable is reported. Receivers that themselves vary per
+// iteration (tc.Rng().Derive(...) in a range over testcases) make the
+// derivation per-entity even with constant keys, so those are not flagged.
+var ShardKey = &Analyzer{
+	Name: "shardkey",
+	Doc:  "flag simrand Derive/DeriveInto in loops whose keys are loop-invariant (identical substream every iteration)",
+	Run:  runShardKey,
+}
+
+func runShardKey(pass *Pass) {
+	info := pass.Pkg.Info
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					body = loop.Body
+				case *ast.RangeStmt:
+					body = loop.Body
+				default:
+					return true
+				}
+				variant := pass.Mod.loopVariantObjs(n, fn, info)
+				checkLoopDerives(pass, body, variant, reported, info)
+				return true
+			})
+		}
+	}
+}
+
+// checkLoopDerives reports Derive/DeriveInto calls in the loop body whose
+// receiver and keys are all invariant with respect to the loop.
+func checkLoopDerives(pass *Pass, body *ast.BlockStmt, variant map[types.Object]bool, reported map[token.Pos]bool, info *types.Info) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Nested loops run their own check with their own variant set; a
+		// derive down there that repeats per *inner* iteration is the inner
+		// loop's finding, and descending with the outer set would misjudge
+		// inner iteration variables as invariant.
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := info.Selections[sel]
+		if s == nil || s.Kind() != types.MethodVal || !isSimrandSource(s.Recv()) {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "Derive" && name != "DeriveInto" {
+			return true
+		}
+		if reported[call.Pos()] {
+			return true
+		}
+		keys := call.Args
+		if name == "DeriveInto" {
+			if len(keys) == 0 {
+				return true
+			}
+			keys = keys[1:] // args[0] is dst, not a key
+		}
+		if usesAnyObj(sel.X, variant, info) {
+			return true // per-entity receiver: derivation varies anyway
+		}
+		for _, k := range keys {
+			if usesAnyObj(k, variant, info) {
+				return true
+			}
+		}
+		reported[call.Pos()] = true
+		pass.Reportf(call.Pos(),
+			"%s inside this loop uses only loop-invariant keys, so every iteration derives the identical substream; key it by the loop entity (ID, index) or hoist the derivation out of the loop",
+			name)
+		return true
+	})
+}
+
+// loopVariantObjs computes the set of variables whose value can differ
+// across iterations of the loop: iteration variables, loop-carried
+// assignments, mutated state, callee-mutated arguments, and the dataflow
+// closure over per-iteration initializations.
+func (m *Module) loopVariantObjs(loop ast.Node, fn *types.Func, info *types.Info) map[types.Object]bool {
+	variant := make(map[types.Object]bool)
+	var body *ast.BlockStmt
+
+	addIdent := func(e ast.Expr) {
+		if id, ok := unparen(e).(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.ObjectOf(id); obj != nil {
+				variant[obj] = true
+			}
+		}
+	}
+
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		body = l.Body
+		addIdent(l.Key)
+		if l.Value != nil {
+			addIdent(l.Value)
+		}
+	case *ast.ForStmt:
+		body = l.Body
+		// Init-declared variables updated in Post ("for i := 0; ...; i++")
+		// are handled below by the carried-assignment rule, since Init
+		// declarations sit lexically outside Body.
+		for _, st := range []ast.Stmt{l.Init, l.Post} {
+			markLoopWrites(st, body, variant, info, addIdent)
+		}
+	}
+
+	markLoopWrites(body, body, variant, info, addIdent)
+
+	// Arguments mutated by callees inside the body (sort on a shared slice,
+	// DeriveInto scratch state, a method advancing a held source).
+	if node := m.Funcs[fn]; node != nil {
+		for _, cs := range node.calls {
+			if cs.call.Pos() < body.Pos() || cs.call.End() > body.End() {
+				continue
+			}
+			m.forEachMutatedArg(cs, info, func(arg ast.Expr) {
+				if v := refRootVar(arg, info); v != nil {
+					variant[v] = true
+				}
+			})
+		}
+	}
+
+	// Dataflow closure: a variable (re)initialized each iteration from a
+	// variant right-hand side is variant ("key := ids[i]"); one initialized
+	// from invariants is not ("salt := prefix"). Iterate to a fixed point
+	// for chained assignments.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			st, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			fromVariant := false
+			for _, rhs := range st.Rhs {
+				if usesAnyObj(rhs, variant, info) {
+					fromVariant = true
+				}
+			}
+			if !fromVariant {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				if id, ok := unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+					if obj := info.ObjectOf(id); obj != nil && !variant[obj] {
+						variant[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return variant
+}
+
+// markLoopWrites seeds the variant set from the write statements in n:
+// assignments to variables declared outside the loop body are loop-carried
+// (unconditionally variant — "i++", "cursor = next"), and writes through
+// fields or elements mutate state observed across iterations.
+func markLoopWrites(n ast.Node, body *ast.BlockStmt, variant map[types.Object]bool, info *types.Info, addIdent func(ast.Expr)) {
+	if n == nil {
+		return
+	}
+	declaredInBody := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := info.ObjectOf(id)
+		return obj != nil && obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+	}
+	ast.Inspect(n, func(nn ast.Node) bool {
+		switch st := nn.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if _, isIdent := unparen(lhs).(*ast.Ident); isIdent {
+					// Bare rebind: loop-carried only if the variable
+					// outlives the iteration (declared outside the body).
+					// Per-iteration re-declarations are left to dataflow.
+					if st.Tok != token.DEFINE && !declaredInBody(lhs) {
+						addIdent(lhs)
+					}
+					continue
+				}
+				// Compound lvalue: state mutated per iteration.
+				if root := rootIdent(lhs, info); root != nil {
+					addIdent(root)
+				}
+			}
+		case *ast.IncDecStmt:
+			if _, isIdent := unparen(st.X).(*ast.Ident); isIdent && !declaredInBody(st.X) {
+				addIdent(st.X)
+			} else if root := rootIdent(st.X, info); root != nil && !isIdentExpr(st.X) {
+				addIdent(root)
+			}
+		case *ast.RangeStmt:
+			// Nested range assigning existing variables.
+			if st.Tok == token.ASSIGN {
+				addIdent(st.Key)
+				if st.Value != nil {
+					addIdent(st.Value)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isIdentExpr(e ast.Expr) bool {
+	_, ok := unparen(e).(*ast.Ident)
+	return ok
+}
+
+// usesAnyObj reports whether the expression mentions any object in set.
+func usesAnyObj(e ast.Expr, set map[types.Object]bool, info *types.Info) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+// Package wio is analyzer test data: a helper whose error result carries a
+// failed write (the WriterError summary), so discarding it at a call site
+// in another package is a finding.
+package wio
+
+import "io"
+
+// WriteAll writes data and returns the write error.
+func WriteAll(w io.Writer, data []byte) error {
+	_, err := w.Write(data)
+	return err
+}

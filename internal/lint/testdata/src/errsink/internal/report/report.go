@@ -1,0 +1,55 @@
+// Package report is analyzer test data: discarded errors on io write paths
+// inside the errsink scope.
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+
+	"farron/internal/lint/testdata/src/errsink/internal/engine/wio"
+)
+
+// WriteBad discards write-path errors in every shape the analyzer flags.
+func WriteBad(f *os.File, data []byte) {
+	f.Write(data)
+	_ = f.Sync()
+	n, _ := f.Write(data)
+	_ = n
+	fmt.Fprintf(f, "x")
+	wio.WriteAll(f, data)
+	f.Close()
+}
+
+// WriteGood handles every error and uses the sanctioned idioms.
+func WriteGood(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // backstop for the early-error paths; success path checks
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := wio.WriteAll(f, data); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// InMemory writes to infallible sinks and the process streams — clean.
+func InMemory(data []byte) string {
+	var b bytes.Buffer
+	b.Write(data)
+	var sb strings.Builder
+	sb.WriteString("x")
+	fmt.Fprintf(os.Stderr, "progress\n")
+	return sb.String()
+}
+
+// Suppressed documents an intentional discard.
+func Suppressed(f *os.File) {
+	//sdclint:ignore errsink test fixture: intentional discard
+	f.Close()
+}

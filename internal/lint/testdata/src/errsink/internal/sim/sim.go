@@ -1,0 +1,12 @@
+// Package sim is analyzer test data: the same discards outside the errsink
+// scope (not cmd, internal/report or internal/engine) — no findings, the
+// policy is layer-scoped.
+package sim
+
+import "os"
+
+// Spill discards write-path errors; out of scope, errsink stays silent.
+func Spill(f *os.File, data []byte) {
+	f.Write(data)
+	f.Close()
+}

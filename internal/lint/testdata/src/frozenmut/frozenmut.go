@@ -1,0 +1,116 @@
+// Package frozenmut is analyzer test data: post-construction writes into
+// state frozen by an //sdclint:frozen directive.
+package frozenmut
+
+import "sort"
+
+// Box is the frozen test state: construction is the only mutating phase.
+//
+//sdclint:frozen
+type Box struct {
+	Vals  []int
+	ByKey map[string]int
+	n     int
+}
+
+// NewBox builds a Box; its writes — and those of everything it calls in
+// this package — are the construction phase, exempt by definition.
+func NewBox(vals []int) *Box {
+	b := &Box{Vals: vals, ByKey: map[string]int{}}
+	b.index()
+	return b
+}
+
+// index is reachable from the constructor, so its writes are exempt too.
+func (b *Box) index() {
+	for i, v := range b.Vals {
+		b.ByKey[key(i)] = v
+	}
+	b.n = len(b.Vals)
+}
+
+func key(i int) string { return string(rune('a' + i)) }
+
+// Shared returns the shared values slice — do not mutate.
+func (b *Box) Shared() []int { return b.Vals }
+
+// Sorted returns a fresh sorted copy, safe to mutate.
+func (b *Box) Sorted() []int {
+	out := make([]int, len(b.Vals))
+	copy(out, b.Vals)
+	sort.Ints(out)
+	return out
+}
+
+// DirectWrite mutates a frozen field after construction.
+func DirectWrite(b *Box) {
+	b.n = 7
+}
+
+// ElemWrite writes an element of the frozen slice.
+func ElemWrite(b *Box) {
+	b.Vals[0] = 1
+}
+
+// MapWrite writes into the frozen map.
+func MapWrite(b *Box) {
+	b.ByKey["x"] = 1
+}
+
+// AliasWrite mutates through a local alias of the shared slice.
+func AliasWrite(b *Box) {
+	vals := b.Vals
+	vals[0] = 2
+}
+
+// AccessorAliasWrite mutates memory handed out by an alias-returning
+// accessor.
+func AccessorAliasWrite(b *Box) {
+	s := b.Shared()
+	s[0] = 3
+}
+
+// CalleeMutation hands the frozen slice to an in-place sorter.
+func CalleeMutation(b *Box) {
+	sort.Ints(b.Vals)
+}
+
+func scrub(xs []int) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+// HelperMutation passes frozen state to a module function whose summary
+// says it writes its parameter.
+func HelperMutation(b *Box) {
+	scrub(b.Vals)
+}
+
+// SortedCopy mutates a fresh copy — clean.
+func SortedCopy(b *Box) []int {
+	out := b.Sorted()
+	sort.Ints(out)
+	return out
+}
+
+// LocalValue writes a field of a local struct copy — never escapes.
+func LocalValue(b *Box) int {
+	local := *b
+	local.n = 1
+	return local.n
+}
+
+type scratch struct{ vals []int }
+
+// NonFrozen mutates ordinary state — clean.
+func NonFrozen(s *scratch) {
+	s.vals = append(s.vals, 1)
+	s.vals[0] = 2
+}
+
+// Suppressed documents an intentional exception.
+func Suppressed(b *Box) {
+	//sdclint:ignore frozenmut test fixture: intentional suppressed write
+	b.n = 9
+}

@@ -1,0 +1,31 @@
+// Package state is analyzer test data: a frozen type whose construction
+// lives here while mutation attempts come from a sibling package, so the
+// finding requires cross-package summary propagation.
+package state
+
+// Table is frozen after New returns.
+//
+//sdclint:frozen
+type Table struct {
+	Rows []string
+	byID map[string]int
+}
+
+// New builds a Table; construction-phase writes are exempt.
+func New(rows []string) *Table {
+	t := &Table{Rows: rows, byID: map[string]int{}}
+	for i, r := range rows {
+		t.byID[r] = i
+	}
+	return t
+}
+
+// All returns the shared row slice — do not mutate.
+func (t *Table) All() []string { return t.Rows }
+
+// Copy returns a fresh copy, safe to mutate.
+func (t *Table) Copy() []string {
+	out := make([]string, len(t.Rows))
+	copy(out, t.Rows)
+	return out
+}

@@ -1,0 +1,28 @@
+// Package user is analyzer test data: cross-package mutation of the frozen
+// state.Table.
+package user
+
+import (
+	"sort"
+
+	"farron/internal/lint/testdata/src/frozenmutx/state"
+)
+
+// Mutate writes the frozen table from another package.
+func Mutate(t *state.Table) {
+	t.Rows[0] = "x"
+}
+
+// SortShared sorts the accessor's shared slice in place: All returns
+// receiver-reachable memory (a summary fact computed in package state).
+func SortShared(t *state.Table) {
+	sort.Strings(t.All())
+}
+
+// SortCopy sorts a fresh copy — clean, because Copy's summary says its
+// result does not alias the receiver.
+func SortCopy(t *state.Table) []string {
+	out := t.Copy()
+	sort.Strings(out)
+	return out
+}

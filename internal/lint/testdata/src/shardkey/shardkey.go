@@ -1,0 +1,79 @@
+// Package shardkey is analyzer test data: simrand derivation inside loops
+// with loop-invariant keys.
+package shardkey
+
+import "farron/internal/simrand"
+
+// Repeat derives with constant keys inside a per-entity loop: every
+// iteration replays the identical substream.
+func Repeat(rng *simrand.Source, ids []string) []uint64 {
+	var out []uint64
+	for range ids {
+		r := rng.Derive("entity")
+		out = append(out, r.Uint64())
+	}
+	return out
+}
+
+// RepeatInto is the scratch-reuse variant of the same bug.
+func RepeatInto(rng *simrand.Source, ids []string) []uint64 {
+	var scratch simrand.Source
+	var out []uint64
+	for i := 0; i < len(ids); i++ {
+		rng.DeriveInto(&scratch, "entity")
+		out = append(out, scratch.Uint64())
+	}
+	return out
+}
+
+// Keyed includes the loop entity in the keys — the sanctioned pattern.
+func Keyed(rng *simrand.Source, ids []string) []uint64 {
+	var out []uint64
+	for _, id := range ids {
+		r := rng.Derive("entity", id)
+		out = append(out, r.Uint64())
+	}
+	return out
+}
+
+// KeyedIndirect keys through a per-iteration local whose value flows from
+// the loop index.
+func KeyedIndirect(rng *simrand.Source, ids []string) []uint64 {
+	var out []uint64
+	for i := range ids {
+		key := ids[i]
+		r := rng.Derive("entity", key)
+		out = append(out, r.Uint64())
+	}
+	return out
+}
+
+// Hoisted derives once outside the loop — clean.
+func Hoisted(rng *simrand.Source, ids []string) uint64 {
+	r := rng.Derive("setup")
+	var sum uint64
+	for range ids {
+		sum += r.Uint64()
+	}
+	return sum
+}
+
+// PerEntityReceiver derives from a receiver that varies per iteration, so
+// constant keys are fine.
+func PerEntityReceiver(srcs []*simrand.Source) []uint64 {
+	var out []uint64
+	for _, s := range srcs {
+		out = append(out, s.Derive("x").Uint64())
+	}
+	return out
+}
+
+// Suppressed documents an intentional invariant derivation.
+func Suppressed(rng *simrand.Source, ids []string) uint64 {
+	var sum uint64
+	for range ids {
+		//sdclint:ignore shardkey test fixture: intentional repeat
+		sum += rng.Derive("entity").Uint64()
+	}
+	return sum
+}

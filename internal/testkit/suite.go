@@ -37,6 +37,8 @@ const (
 )
 
 // Testcase is one toolchain workload.
+//
+//sdclint:frozen written only during suite generation and buildIndex
 type Testcase struct {
 	// ID is the stable identifier ("tc-001".."tc-633").
 	ID string
@@ -91,6 +93,8 @@ func (tc *Testcase) ChecksDataType(dt model.DataType) bool {
 // slices, never writing the suite — the parallel engine shares one Suite
 // across every shard of a run without copies or locks on the strength of
 // this contract, and the immutability test (immutability_test.go) pins it.
+//
+//sdclint:frozen immutable after NewSuite; shared lock-free across shards
 type Suite struct {
 	Testcases []*Testcase
 	byID      map[string]*Testcase
