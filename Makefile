@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint lint-json lint-fast bench bench-cached bench-fanout bench-quick check
+.PHONY: build test race vet fmt lint lint-json lint-fast bench bench-cached bench-fanout bench-quick serve serve-smoke check
 
 ## build: compile every package
 build:
@@ -62,6 +62,21 @@ bench-fanout:
 ## path — the fast schema/regression probe CI runs on every push
 bench-quick:
 	$(GO) run ./cmd/sdcbench -quick -o /dev/null -jsonpath bench_quick.json
+
+## serve: run the continuous screening service with its status API on
+## :8731, one virtual day per wall second (ctrl-C shuts down cleanly)
+serve:
+	$(GO) run ./cmd/sdcserve -serve-addr 127.0.0.1:8731 -campaign-period 24h -sim-speed 86400
+
+## serve-smoke: headless determinism check — two sdcserve runs at the same
+## seed but different worker budgets must emit byte-identical campaign
+## histories
+serve-smoke:
+	$(GO) build -o /tmp/sdcserve ./cmd/sdcserve
+	/tmp/sdcserve -quick -seed 7 -n 20000 -steps 4 -history-out /tmp/sdcserve-h1.json
+	/tmp/sdcserve -quick -seed 7 -n 20000 -steps 4 -workers 4 -history-out /tmp/sdcserve-h2.json
+	cmp /tmp/sdcserve-h1.json /tmp/sdcserve-h2.json
+	@echo "serve-smoke: campaign histories byte-identical"
 
 ## check: everything CI runs — the one-command tier-1 verify
 check: build vet fmt test race lint

@@ -1,0 +1,132 @@
+// Command sdcserve runs the continuous screening service: the batch fleet
+// harness turned into a long-running daemon. A synthetic CPU population
+// lives on a discrete-event clock — processors join and leave, latent
+// defects ripen in the field — and a screening campaign fires every
+// -campaign-period of virtual time, executing through the same engine
+// runner the batch commands use (-workers, -cache and -fanout compose
+// unchanged). An HTTP status API (-serve-addr) exposes /status, /metrics,
+// /fleet and /campaigns/<n>.
+//
+// Headless mode (-steps N, no -serve-addr) runs N campaigns and exits; at
+// a fixed -seed the emitted campaign history (-history-out) is
+// byte-identical across runs, hosts and -workers values — CI double-runs
+// it and diffs.
+//
+// Usage:
+//
+//	sdcserve [-seed s] [-workers n] [-quick] [-cache] [-fanout n] [-n population]
+//	         [-serve-addr host:port] [-campaign-period d] [-sim-speed v]
+//	         [-steps n] [-history count] [-history-out path]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"farron/internal/engine/cliflags"
+	"farron/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sdcserve: ")
+	var (
+		cfg        = cliflags.Register(flag.CommandLine)
+		scfg       = cliflags.RegisterServe(flag.CommandLine)
+		n          = flag.Int("n", 0, "fleet population size (default: the scale's)")
+		historyOut = flag.String("history-out", "", "write the campaign history JSON here at exit (\"-\" for stdout)")
+	)
+	flag.Parse()
+	if err := run(cfg, scfg, *n, *historyOut); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(cfg *cliflags.RunConfig, scfg *cliflags.ServeConfig, n int, historyOut string) (err error) {
+	if cfg.WorkerMode() {
+		// Campaign entries are dynamic (names carry the campaign index), so
+		// a fan-out worker serves an empty registry: every order is refused
+		// at the handshake and the parent recomputes locally.
+		return cfg.ServeWorker(nil)
+	}
+	stopProf, err := cfg.StartProfiles()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+
+	runner, err := cfg.Runner()
+	if err != nil {
+		return err
+	}
+	svc, err := serve.New(runner, serve.Config{
+		FleetSize:      n,
+		CampaignPeriod: scfg.CampaignPeriod,
+		SimSpeed:       scfg.SimSpeed,
+		Steps:          scfg.Steps,
+		History:        scfg.History,
+		Scale:          cfg.Scale(),
+	})
+	if err != nil {
+		return err
+	}
+
+	if scfg.Addr != "" {
+		addr, shutdown, err := svc.StartHTTP(scfg.Addr)
+		if err != nil {
+			return err
+		}
+		log.Printf("status API on http://%s", addr)
+		defer func() {
+			if serr := shutdown(); serr != nil && err == nil {
+				err = serr
+			}
+		}()
+	}
+
+	// SIGINT/SIGTERM end the campaign loop cleanly: the current campaign
+	// finishes, the history is flushed, the HTTP listener drains.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		signal.Stop(sigc)
+		close(stop)
+	}()
+
+	if err := svc.Run(stop); err != nil {
+		return err
+	}
+	log.Printf("ran %d campaigns", svc.Campaigns())
+	return writeHistory(historyOut, svc)
+}
+
+// writeHistory flushes the retained campaign history JSON to path ("-" for
+// stdout, empty for nowhere).
+func writeHistory(path string, svc *serve.Service) error {
+	if path == "" {
+		return nil
+	}
+	b, err := svc.HistoryJSON()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}

@@ -58,12 +58,19 @@ type Transition struct {
 // discrete-event clock: regular tests fire on their cadence; the processor
 // serves the application in between; a detection routes through targeted
 // validation before returning online.
+//
+// The model advances incrementally: Start runs pre-production, each
+// StepRound consumes one online-span-plus-regular-round period, and Report
+// snapshots the aggregate at any boundary. Run is the one-shot composition
+// of those steps, so a caller stepping campaign by campaign (the continuous
+// screening service) draws the exact sequence a one-shot run draws.
 type Lifecycle struct {
-	cfg    LifecycleConfig
-	farron *Farron
-	clock  *sched.Clock
-	rng    *simrand.Source
-	report LifecycleReport
+	cfg     LifecycleConfig
+	farron  *Farron
+	clock   *sched.Clock
+	rng     *simrand.Source
+	report  LifecycleReport
+	started bool
 }
 
 // NewLifecycle wraps a Farron instance.
@@ -80,53 +87,91 @@ func NewLifecycle(cfg LifecycleConfig, f *Farron, rng *simrand.Source) *Lifecycl
 // Clock exposes the virtual clock (read-only use).
 func (l *Lifecycle) Clock() *sched.Clock { return l.clock }
 
-// Run executes the lifecycle and returns the aggregate report.
+// Run executes the whole lifecycle and returns the aggregate report: Start,
+// StepRound until done, Report. Byte-for-byte this is what stepping the
+// same instance externally produces — the equivalence the incremental API
+// is pinned against (internal/experiments TestLifecycleStepperMatchesRun).
 func (l *Lifecycle) Run() LifecycleReport {
+	l.Start()
+	for l.StepRound() {
+	}
+	return l.Report()
+}
+
+// Start runs the pre-production phase: burn-in style testing before the
+// processor enters service. It is idempotent; the first call consumes the
+// pre-production randomness, later calls do nothing.
+func (l *Lifecycle) Start() {
+	if l.started {
+		return
+	}
+	l.started = true
 	l.transition(StatePreProduction)
 	pre := l.farron.PreProduction()
 	l.report.TestTime += pre.Duration
 	l.clock.Advance(pre.Duration)
 	l.transition(l.farron.State())
+}
 
-	if l.farron.State() == StateDeprecated {
-		l.snapshot()
-		return l.report
+// Done reports whether the lifecycle has reached its horizon or the
+// processor was deprecated; a done lifecycle draws no further randomness.
+func (l *Lifecycle) Done() bool {
+	if !l.started {
+		return false
 	}
+	return l.clock.Now() >= l.cfg.Horizon || l.farron.State() == StateDeprecated
+}
 
+// StepRound advances the model by one period: an online span serving the
+// application, then (horizon permitting) one regular test round with
+// targeted validation after a detection. It returns false — consuming no
+// randomness — once the lifecycle is done, so callers may drive it with a
+// plain for loop or campaign by campaign from an external ticker.
+func (l *Lifecycle) StepRound() bool {
+	l.Start()
+	if l.Done() {
+		return false
+	}
 	period := l.cfg.Farron.RegularPeriod
 	deadline := l.cfg.Horizon
-	for l.clock.Now() < deadline && l.farron.State() != StateDeprecated {
-		// Online until the next regular round (or the horizon).
-		span := period
-		if rem := deadline - l.clock.Now(); rem < span {
-			span = rem
-		}
-		if span > 0 {
-			online := l.farron.Online(span, l.cfg.App, true, l.rng.Derive("online", l.clock.Now().String()))
-			l.report.OnlineTime += span
-			l.report.SDCs += online.SDCs
-			l.absorbBackoff(online.Backoff)
-			l.clock.Advance(span)
-		}
-		if l.clock.Now() >= deadline {
-			break
-		}
 
-		// Regular round.
-		round := l.farron.RegularRound()
-		l.report.Rounds++
-		l.report.TestTime += round.Duration
-		l.clock.Advance(round.Duration)
-		if len(round.DetectedTestcases) > 0 {
-			l.report.Detections++
-			l.transition(StateSuspected)
-			val := l.farron.TargetedValidation()
-			l.report.Validations++
-			l.report.TestTime += val.Duration
-			l.clock.Advance(val.Duration)
-		}
-		l.transition(l.farron.State())
+	// Online until the next regular round (or the horizon).
+	span := period
+	if rem := deadline - l.clock.Now(); rem < span {
+		span = rem
 	}
+	if span > 0 {
+		online := l.farron.Online(span, l.cfg.App, true, l.rng.Derive("online", l.clock.Now().String()))
+		l.report.OnlineTime += span
+		l.report.SDCs += online.SDCs
+		l.absorbBackoff(online.Backoff)
+		l.clock.Advance(span)
+	}
+	if l.clock.Now() >= deadline {
+		return true // horizon reached mid-period; next call reports done
+	}
+
+	// Regular round.
+	round := l.farron.RegularRound()
+	l.report.Rounds++
+	l.report.TestTime += round.Duration
+	l.clock.Advance(round.Duration)
+	if len(round.DetectedTestcases) > 0 {
+		l.report.Detections++
+		l.transition(StateSuspected)
+		val := l.farron.TargetedValidation()
+		l.report.Validations++
+		l.report.TestTime += val.Duration
+		l.clock.Advance(val.Duration)
+	}
+	l.transition(l.farron.State())
+	return true
+}
+
+// Report snapshots the aggregate at the current boundary. It may be called
+// between steps — the returned value is a copy — and equals Run's return
+// value once the lifecycle is done.
+func (l *Lifecycle) Report() LifecycleReport {
 	l.snapshot()
 	return l.report
 }

@@ -12,6 +12,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"farron/internal/engine"
 	"farron/internal/engine/cache"
@@ -72,6 +73,48 @@ func Register(fs *flag.FlagSet) *RunConfig {
 		"write a pprof CPU profile of the run to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "",
 		"write a pprof allocation profile to this file at exit")
+	return c
+}
+
+// ServeConfig is the flag surface specific to the continuous screening
+// service (cmd/sdcserve): where to listen, how often campaigns fire on the
+// virtual clock, how virtual time is paced against wall time, and how many
+// campaigns a headless run executes before exiting.
+type ServeConfig struct {
+	// Addr is the -serve-addr listen address of the HTTP status API; empty
+	// runs headless (no listener), which is how CI and the determinism
+	// tests drive the service.
+	Addr string
+	// CampaignPeriod is the virtual time between screening campaigns.
+	CampaignPeriod time.Duration
+	// SimSpeed paces the simulation: virtual seconds advanced per wall
+	// second. 0 (the default) runs unpaced — virtual time free-runs as fast
+	// as campaigns compute, the only mode where results can be compared
+	// byte-for-byte across hosts.
+	SimSpeed float64
+	// Steps caps the run at this many campaigns, then exits cleanly; 0 runs
+	// until interrupted. Headless determinism checks set it.
+	Steps int
+	// History caps how many past campaigns the in-memory history keeps when
+	// Steps is 0 (unbounded runs must not grow without bound); Steps > 0
+	// keeps everything so the full history can be diffed.
+	History int
+}
+
+// RegisterServe installs the service flags on fs alongside Register's
+// shared set and returns the destination struct (valid after fs.Parse).
+func RegisterServe(fs *flag.FlagSet) *ServeConfig {
+	c := &ServeConfig{}
+	fs.StringVar(&c.Addr, "serve-addr", "",
+		"HTTP status API listen address (empty: headless, no listener)")
+	fs.DurationVar(&c.CampaignPeriod, "campaign-period", 14*24*time.Hour,
+		"virtual time between screening campaigns")
+	fs.Float64Var(&c.SimSpeed, "sim-speed", 0,
+		"virtual seconds advanced per wall second (0: unpaced, free-running)")
+	fs.IntVar(&c.Steps, "steps", 0,
+		"run this many campaigns then exit (0: run until interrupted)")
+	fs.IntVar(&c.History, "history", 1024,
+		"campaigns of history kept in memory on unbounded runs (-steps=0)")
 	return c
 }
 

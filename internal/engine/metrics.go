@@ -72,10 +72,15 @@ type RunReport struct {
 	// run stayed in-process); WorkerProcs carries the per-process
 	// accounting and RecomputedShards the entries re-run locally after a
 	// worker loss.
-	Fanout           int                `json:"fanout,omitempty"`
-	RecomputedShards int                `json:"recomputed_shards,omitempty"`
-	WorkerProcs      []WorkerProc       `json:"worker_procs,omitempty"`
-	Experiments      []ExperimentTiming `json:"experiments"`
+	Fanout           int          `json:"fanout,omitempty"`
+	RecomputedShards int          `json:"recomputed_shards,omitempty"`
+	WorkerProcs      []WorkerProc `json:"worker_procs,omitempty"`
+	// ShardBench is the simulated multi-shard ladder (shardbench.go): the
+	// makespan the pool's schedule achieves over this run's measured entry
+	// costs at each worker count — how parallel speedups get *measured*
+	// into BENCH_*.json even on a single-core benchmark host.
+	ShardBench  []ShardPoint       `json:"shard_bench,omitempty"`
+	Experiments []ExperimentTiming `json:"experiments"`
 
 	start        wallclock.Stamp
 	startMemised bool

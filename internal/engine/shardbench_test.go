@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateShardsSerialIsSum(t *testing.T) {
+	costs := []float64{3, 1, 4, 1, 5}
+	if got := SimulateShards(costs, 1); got != 14 {
+		t.Errorf("serial makespan = %v, want 14", got)
+	}
+	// Clamps below 1.
+	if got := SimulateShards(costs, 0); got != 14 {
+		t.Errorf("workers=0 makespan = %v, want 14", got)
+	}
+}
+
+func TestSimulateShardsFIFOAssignment(t *testing.T) {
+	// FIFO on 2 workers: w0←3, w1←1, w1←4 (idle at 1), w0←1 (idle at 3),
+	// w0←5 (idle at 4) → busy = [9, 5], makespan 9.
+	costs := []float64{3, 1, 4, 1, 5}
+	if got := SimulateShards(costs, 2); got != 9 {
+		t.Errorf("2-worker makespan = %v, want 9", got)
+	}
+}
+
+func TestSimulateShardsBounds(t *testing.T) {
+	costs := []float64{0.5, 2.5, 1.0, 0.25, 3.0, 0.75}
+	total := 8.0
+	maxCost := 3.0
+	for _, w := range []int{1, 2, 3, 4, 8, 100} {
+		got := SimulateShards(costs, w)
+		if got < maxCost-1e-12 {
+			t.Errorf("workers=%d makespan %v below max entry cost %v", w, got, maxCost)
+		}
+		if got > total+1e-12 {
+			t.Errorf("workers=%d makespan %v above serial total %v", w, got, total)
+		}
+		if lower := total / float64(w); got < lower-1e-12 {
+			t.Errorf("workers=%d makespan %v below perfect split %v", w, got, lower)
+		}
+	}
+	// More workers than entries: makespan is the max cost.
+	if got := SimulateShards(costs, 100); got != maxCost {
+		t.Errorf("overprovisioned makespan = %v, want %v", got, maxCost)
+	}
+}
+
+func TestSimulateShardsEdgeCases(t *testing.T) {
+	if got := SimulateShards(nil, 4); got != 0 {
+		t.Errorf("empty costs makespan = %v", got)
+	}
+	// Negative costs are clamped to zero, never subtract.
+	if got := SimulateShards([]float64{2, -1, 3}, 1); got != 5 {
+		t.Errorf("negative-cost makespan = %v, want 5", got)
+	}
+}
+
+func TestShardBenchLadder(t *testing.T) {
+	costs := []float64{3, 1, 4, 1, 5}
+	pts := ShardBench(costs, []int{1, 2, 4})
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].Workers != 1 || pts[0].SimWallSecs != 14 || pts[0].Speedup != 1 {
+		t.Errorf("serial point = %+v", pts[0])
+	}
+	if pts[1].Workers != 2 || pts[1].SimWallSecs != 9 {
+		t.Errorf("2-worker point = %+v", pts[1])
+	}
+	if math.Abs(pts[1].Speedup-14.0/9.0) > 1e-12 {
+		t.Errorf("2-worker speedup = %v", pts[1].Speedup)
+	}
+	// Speedup is monotone non-decreasing in workers for FIFO over a fixed
+	// cost vector... not guaranteed in general for list scheduling, but it
+	// must never drop below 1.
+	for _, p := range pts {
+		if p.Speedup < 1-1e-12 {
+			t.Errorf("workers=%d speedup %v below 1", p.Workers, p.Speedup)
+		}
+	}
+	if ShardBench(nil, []int{1, 2}) != nil {
+		t.Error("empty costs should produce no ladder")
+	}
+}
+
+func TestEntryCostsAndAbsorb(t *testing.T) {
+	rep := &RunReport{Experiments: []ExperimentTiming{
+		{Name: "a", WallSeconds: 1.5, OutputBytes: 10},
+		{Name: "b", WallSeconds: 0.5, OutputBytes: 20, CacheHit: true},
+		{Name: "c", WallSeconds: 0.25, Error: "boom"},
+	}}
+	rep.WallSeconds = 2.0
+	rep.CacheHits = 1
+	rep.CacheMisses = 2
+
+	costs := rep.EntryCosts()
+	if len(costs) != 3 || costs[0] != 1.5 || costs[1] != 0.5 || costs[2] != 0.25 {
+		t.Errorf("EntryCosts = %v", costs)
+	}
+
+	var tot RunTotals
+	tot.Absorb(rep)
+	tot.Absorb(rep)
+	tot.Absorb(nil) // must be a no-op
+	if tot.Runs != 2 || tot.Entries != 6 || tot.Errors != 2 {
+		t.Errorf("totals = %+v", tot)
+	}
+	if tot.WallSeconds != 4.0 || tot.CacheHits != 2 || tot.CacheMisses != 4 {
+		t.Errorf("totals accounting = %+v", tot)
+	}
+	if tot.OutputBytes != 60 {
+		t.Errorf("output bytes = %d", tot.OutputBytes)
+	}
+}

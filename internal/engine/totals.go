@@ -1,0 +1,51 @@
+package engine
+
+// RunTotals accumulates RunReport accounting across many Runner.Run calls.
+// A batch CLI runs the registry once and ships one RunReport; the
+// continuous screening service runs a campaign per tick, so its operational
+// metrics are the accumulation over every campaign so far, not the last
+// invocation's. Absorb folds one report in; the struct is plain data and
+// marshals as the service's /metrics payload.
+//
+// Wall-clock and allocation fields are operational metadata (measured via
+// the wallclock quarantine inside the engine) — they belong in /metrics and
+// never in deterministic campaign history.
+type RunTotals struct {
+	// Runs counts absorbed reports (campaigns, for the service).
+	Runs int `json:"runs"`
+	// Entries / Errors / OutputBytes sum the per-entry accounting.
+	Entries     int `json:"entries"`
+	Errors      int `json:"errors"`
+	OutputBytes int `json:"output_bytes"`
+	// WallSeconds / AllocBytes / Mallocs sum whole-run accounting.
+	WallSeconds float64 `json:"wall_seconds"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+	Mallocs     uint64  `json:"mallocs"`
+	// CacheHits / CacheMisses sum the result-cache counters.
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// RecomputedShards sums fan-out losses recovered locally.
+	RecomputedShards int `json:"recomputed_shards"`
+}
+
+// Absorb folds one run's report into the totals.
+func (t *RunTotals) Absorb(r *RunReport) {
+	if r == nil {
+		return
+	}
+	t.Runs++
+	t.WallSeconds += r.WallSeconds
+	t.AllocBytes += r.AllocBytes
+	t.Mallocs += r.Mallocs
+	t.CacheHits += r.CacheHits
+	t.CacheMisses += r.CacheMisses
+	t.RecomputedShards += r.RecomputedShards
+	for i := range r.Experiments {
+		e := &r.Experiments[i]
+		t.Entries++
+		t.OutputBytes += e.OutputBytes
+		if e.Error != "" {
+			t.Errors++
+		}
+	}
+}

@@ -30,20 +30,89 @@ type LifecycleResult struct {
 	Horizon time.Duration
 }
 
-// Lifecycle runs a compressed-cadence lifecycle (test rounds every 12
+// lifecycleRounds is the horizon of the one-shot Lifecycle experiment, in
+// regular periods.
+const lifecycleRounds = 4
+
+// lifecycleModelConfig is the compressed-cadence configuration shared by
+// the one-shot experiment and the incremental stepper: test rounds every 12
 // simulated hours instead of 90 days, keeping the online tick count
-// tractable) for each evaluated processor under Farron, and the baseline
-// policy alongside.
-func Lifecycle(ctx *Context) *LifecycleResult {
+// tractable. rounds sets the horizon in regular periods; values < 1 take
+// the experiment's default.
+func lifecycleModelConfig(rounds int) core.LifecycleConfig {
 	cfg := core.DefaultConfig()
 	cfg.RegularPeriod = 12 * time.Hour
-	lcCfg := core.LifecycleConfig{
+	if rounds < 1 {
+		rounds = lifecycleRounds
+	}
+	return core.LifecycleConfig{
 		Farron:  cfg,
 		App:     core.DefaultAppProfile(),
-		Horizon: 4 * cfg.RegularPeriod,
+		Horizon: time.Duration(rounds) * cfg.RegularPeriod,
 	}
+}
+
+// LifecycleStepper is the exported defect-evolution step of the lifecycle
+// model: one evaluated processor's Figure 10 workflow, advanced one regular
+// period at a time instead of run over the whole horizon in one call. The
+// continuous screening service steps one per study processor each campaign;
+// TestLifecycleStepperMatchesRun pins that stepping is draw-sequence
+// identical to the one-shot Lifecycle experiment at equal total steps.
+type LifecycleStepper struct {
+	// CPUID is the stepped processor.
+	CPUID string
+	lc    *core.Lifecycle
+}
+
+// NewLifecycleStepper builds the stepper for a study processor over a
+// horizon of rounds regular periods (rounds < 1 takes the one-shot
+// experiment's horizon). Construction mirrors the experiment's per-row
+// setup exactly — same runner salt, same lifecycle substream — so a stepper
+// and the experiment row for the same processor describe the same world.
+func NewLifecycleStepper(ctx *Context, id string, rounds int) *LifecycleStepper {
+	lcCfg := lifecycleModelConfig(rounds)
+	p := ctx.Profile(id)
+	rF := newRunnerFor(ctx, id, "lc-farron")
+	far := core.New(lcCfg.Farron, rF, p.Features(), fleetActiveIDs(ctx))
+	return &LifecycleStepper{
+		CPUID: id,
+		lc:    core.NewLifecycle(lcCfg, far, ctx.Rng.Derive("lc", id)),
+	}
+}
+
+// Step advances one regular period (online span, test round, validation on
+// detection); it returns false once the horizon is reached or the
+// processor is deprecated.
+func (s *LifecycleStepper) Step() bool { return s.lc.StepRound() }
+
+// Done reports whether the model can advance no further.
+func (s *LifecycleStepper) Done() bool { return s.lc.Done() }
+
+// Report snapshots the aggregate lifecycle report so far.
+func (s *LifecycleStepper) Report() core.LifecycleReport { return s.lc.Report() }
+
+// Run drives the stepper to completion — the one-shot composition.
+func (s *LifecycleStepper) Run() core.LifecycleReport { return s.lc.Run() }
+
+// LifecycleCohort builds a stepper per evaluated study processor (the six
+// Figure 11 / Table 4 CPUs), in table order. The continuous screening
+// service advances the cohort one round per campaign, so defect evolution
+// in the long-lived fleet reuses the exact lifecycle model the one-shot
+// experiment evaluates.
+func LifecycleCohort(ctx *Context, rounds int) []*LifecycleStepper {
+	ids := evalProcessors()
+	out := make([]*LifecycleStepper, len(ids))
+	for i, id := range ids {
+		out[i] = NewLifecycleStepper(ctx, id, rounds)
+	}
+	return out
+}
+
+// Lifecycle runs the compressed-cadence lifecycle for each evaluated
+// processor under Farron, and the baseline policy alongside.
+func Lifecycle(ctx *Context) *LifecycleResult {
+	lcCfg := lifecycleModelConfig(0)
 	out := &LifecycleResult{Horizon: lcCfg.Horizon}
-	active := fleetActiveIDs(ctx)
 	ids := evalProcessors()
 	// Per-processor shards: runners and the lifecycle stream all derive
 	// from (id, salt) keys, merged in table order.
@@ -51,10 +120,7 @@ func Lifecycle(ctx *Context) *LifecycleResult {
 		id := ids[i]
 		p := ctx.Profile(id)
 
-		rF := newRunnerFor(ctx, id, "lc-farron")
-		far := core.New(cfg, rF, p.Features(), active)
-		lc := core.NewLifecycle(lcCfg, far, ctx.Rng.Derive("lc", id))
-		rep := lc.Run()
+		rep := NewLifecycleStepper(ctx, id, 0).Run()
 
 		// Baseline: one round decides — any detection retires the whole
 		// processor.

@@ -1,11 +1,58 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"farron/internal/core"
 )
+
+// TestLifecycleStepperMatchesRun pins the incremental-advance contract: a
+// lifecycle model stepped campaign by campaign (with snapshots taken
+// between steps) is draw-sequence identical to the one-shot run at equal
+// total steps — same rounds, same detections, same SDC counts, same state
+// transitions at the same virtual times.
+func TestLifecycleStepperMatchesRun(t *testing.T) {
+	for _, id := range evalProcessors() {
+		oneShot := NewLifecycleStepper(sharedCtx, id, 0).Run()
+
+		stepped := NewLifecycleStepper(sharedCtx, id, 0)
+		steps := 0
+		for stepped.Step() {
+			steps++
+			// Mid-run snapshots must not perturb the stream.
+			_ = stepped.Report()
+			if steps > 100 {
+				t.Fatalf("%s: stepper did not terminate", id)
+			}
+		}
+		if got := stepped.Report(); !reflect.DeepEqual(got, oneShot) {
+			t.Errorf("%s: stepped report diverges from one-shot run\nstepped:  %+v\none-shot: %+v",
+				id, got, oneShot)
+		}
+		if stepped.Done() != true {
+			t.Errorf("%s: Done() = false after Step() returned false", id)
+		}
+	}
+}
+
+// TestLifecycleStepperLongerHorizon: a wider horizon consumes more rounds
+// for a processor that survives (defects keep developing over lifetime).
+func TestLifecycleStepperLongerHorizon(t *testing.T) {
+	// FPU1 masks a single core and keeps serving in the 4-round test.
+	short := NewLifecycleStepper(sharedCtx, "FPU1", 0).Run()
+	long := NewLifecycleStepper(sharedCtx, "FPU1", 12).Run()
+	if short.Deprecated {
+		t.Skip("FPU1 deprecated at short horizon; extension not observable")
+	}
+	if long.Rounds <= short.Rounds {
+		t.Errorf("12-round horizon ran %d rounds, short ran %d", long.Rounds, short.Rounds)
+	}
+	if long.OnlineTime <= short.OnlineTime {
+		t.Errorf("long horizon online %v not above short %v", long.OnlineTime, short.OnlineTime)
+	}
+}
 
 func TestLifecycleComparison(t *testing.T) {
 	res := Lifecycle(sharedCtx)

@@ -309,42 +309,22 @@ func faultySerial(arch model.MicroArch, f int) string {
 	return string(buf)
 }
 
-// screen pushes one faulty processor through the pipeline and returns the
-// first detecting stage and testcase. The failing set is a pure function
-// of the profile, and so is the compiled detection plan; both are built
-// once per CPU instead of once per stage round. A reference suite pins
-// the retained naive per-round scan (screenReference).
+// screen pushes one faulty processor through the whole pipeline and returns
+// the first detecting stage and testcase. It is the one-shot expression of
+// the resumable CPUScreen state machine (campaign.go): stages run in
+// configured order, the regular stage for RegularRounds rounds, drawing
+// from the same serial-keyed substream a campaign-stepped screen would —
+// so batch results are byte-identical to a screen resumed round by round.
 func (s *Simulator) screen(rng *simrand.Source, p *defect.Profile) (model.Stage, string, bool) {
-	failing := s.suite.FailingTestcases(p)
-	if s.suite.Reference() {
-		return s.screenReference(rng, p, failing)
-	}
-	plan := s.compilePlan(p, failing)
+	cs := s.newScreenState("", "", p, rng)
 	for _, sp := range s.cfg.Stages {
 		rounds := 1
 		if sp.Stage == model.StageRegular {
 			rounds = s.cfg.RegularRounds
 		}
 		for round := 0; round < rounds; round++ {
-			if tcID, hit := plan.detect(rng, sp); hit {
-				return sp.Stage, tcID, true
-			}
-		}
-	}
-	return 0, "", false
-}
-
-// screenReference is the retained naive screen implementation: the full
-// (defect × failing-testcase) evaluation per stage round.
-func (s *Simulator) screenReference(rng *simrand.Source, p *defect.Profile, failing []*testkit.Testcase) (model.Stage, string, bool) {
-	for _, sp := range s.cfg.Stages {
-		rounds := 1
-		if sp.Stage == model.StageRegular {
-			rounds = s.cfg.RegularRounds
-		}
-		for round := 0; round < rounds; round++ {
-			if tcID, hit := s.stageDetect(rng, p, failing, sp); hit {
-				return sp.Stage, tcID, true
+			if cs.round(sp) {
+				return cs.Stage, cs.TestcaseID, true
 			}
 		}
 	}

@@ -15,7 +15,7 @@ import (
 // a "reproducible" result unreproducible — the repo's own flavour of a
 // silent data corruption.
 //
-// Two quarantines exist. internal/engine/wallclock wraps time.Now for
+// Three quarantines exist. internal/engine/wallclock wraps time.Now for
 // run-duration accounting (bench reports measure real elapsed time by
 // definition), so the wall-clock rules are waived inside that package.
 // In exchange, importing it is itself policed: only the engine layer and
@@ -24,10 +24,13 @@ import (
 // subprocess quarantine: the fan-out transport re-execs the current binary
 // to distribute shards, so os/exec is permitted there and nowhere else —
 // simulation code that shells out answers to the environment, not to its
-// seed.
+// seed. internal/serve is the network quarantine: the continuous screening
+// service's status API is the module's one transport edge, so net/http is
+// importable there and nowhere else — handlers read published snapshots,
+// never feed the simulation, and no other layer may grow a socket.
 var Detrand = &Analyzer{
 	Name: "detrand",
-	Doc:  "forbid math/rand, crypto/rand, wall-clock reads and os/exec outside its quarantine; randomness must flow through simrand.Source",
+	Doc:  "forbid math/rand, crypto/rand, wall-clock reads, and os/exec or net/http outside their quarantines; randomness must flow through simrand.Source",
 	Run:  runDetrand,
 }
 
@@ -70,6 +73,26 @@ func isFanoutPkg(path string) bool {
 	return path == fanoutPkgSuffix || strings.HasSuffix(path, "/"+fanoutPkgSuffix)
 }
 
+// httpPkgPrefix matches net/http and its subpackages; servePkgSuffix
+// identifies the one package allowed to import them — the continuous
+// screening service, whose transport edge serves the status API. Like the
+// exec quarantine this is stricter than wallclock: even the cmd layer may
+// not open sockets, cmd/sdcserve delegates to internal/serve.
+const (
+	httpPkgPrefix  = "net/http"
+	servePkgSuffix = "internal/serve"
+)
+
+// isHTTPPkg reports whether path is net/http or one of its subpackages.
+func isHTTPPkg(path string) bool {
+	return path == httpPkgPrefix || strings.HasPrefix(path, httpPkgPrefix+"/")
+}
+
+// isServePkg reports whether path is the HTTP quarantine itself.
+func isServePkg(path string) bool {
+	return path == servePkgSuffix || strings.HasSuffix(path, "/"+servePkgSuffix)
+}
+
 // mayImportWallclock reports whether a package at path sits in a layer
 // allowed to measure real elapsed time: the engine (orchestration) subtree
 // or a command. Simulation packages must stay off the wall clock entirely.
@@ -101,6 +124,9 @@ func runDetrand(pass *Pass) {
 			}
 			if path == execPkgPath && !isFanoutPkg(pass.Pkg.ImportPath) {
 				pass.Reportf(imp.Pos(), "import of %s is restricted to %s; subprocess spawning belongs to the fan-out transport, nothing else may shell out", execPkgPath, fanoutPkgSuffix)
+			}
+			if isHTTPPkg(path) && !isServePkg(pass.Pkg.ImportPath) {
+				pass.Reportf(imp.Pos(), "import of %s is restricted to %s; the network is a transport-edge concern of the screening service, simulation results must never depend on it", path, servePkgSuffix)
 			}
 		}
 		if inWallclock {

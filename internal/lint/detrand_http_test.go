@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDetrandHTTPPolicy checks the network quarantine: only the screening
+// service's transport edge may import net/http — the cmd layer included in
+// the ban, like the os/exec policy, because commands delegate their
+// listeners to internal/serve.
+func TestDetrandHTTPPolicy(t *testing.T) {
+	base := filepath.Join("testdata", "src", "httpq")
+	cases := []struct {
+		dir  string
+		want []string // substrings of expected messages, in order
+	}{
+		{filepath.Join(base, "internal", "serve"), nil},
+		{filepath.Join(base, "internal", "sim"), []string{"restricted to internal/serve"}},
+		{filepath.Join(base, "cmd", "tool"), []string{"restricted to internal/serve"}},
+	}
+	for _, c := range cases {
+		pkgs, err := Load(".", c.dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", c.dir, err)
+		}
+		diags := Run(pkgs, []*Analyzer{Detrand})
+		if len(diags) != len(c.want) {
+			t.Errorf("%s: got %d findings (%v), want %d", c.dir, len(diags), diags, len(c.want))
+			continue
+		}
+		for i, sub := range c.want {
+			if !strings.Contains(diags[i].Message, sub) {
+				t.Errorf("%s: finding %q does not mention %q", c.dir, diags[i].Message, sub)
+			}
+		}
+	}
+}
+
+func TestIsServePkg(t *testing.T) {
+	cases := map[string]bool{
+		"farron/internal/serve":         true,
+		"internal/serve":                true,
+		"farron/internal/serve/deeper":  false,
+		"farron/internal/engine":        false,
+		"farron/cmd/sdcserve":           false,
+		"farron/internal/observability": false,
+	}
+	for path, want := range cases {
+		if got := isServePkg(path); got != want {
+			t.Errorf("isServePkg(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestIsHTTPPkg(t *testing.T) {
+	cases := map[string]bool{
+		"net/http":          true,
+		"net/http/httputil": true,
+		"net/http/pprof":    true,
+		"net":               false,
+		"net/url":           false,
+		"nethttp":           false,
+	}
+	for path, want := range cases {
+		if got := isHTTPPkg(path); got != want {
+			t.Errorf("isHTTPPkg(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -58,7 +58,14 @@ func runGolden(t *testing.T, a *Analyzer, name string, subdirs ...string) {
 	}
 }
 
-func TestDetrandGolden(t *testing.T)   { runGolden(t, Detrand, "detrand") }
+func TestDetrandGolden(t *testing.T) { runGolden(t, Detrand, "detrand") }
+
+// TestDetrandHTTPGolden pins the network quarantine's exact diagnostics
+// across all three policy positions (quarantine itself, simulation code,
+// cmd layer) in one load, golden-style.
+func TestDetrandHTTPGolden(t *testing.T) {
+	runGolden(t, Detrand, "httpq", "internal/serve", "internal/sim", "cmd/tool")
+}
 func TestMapOrderGolden(t *testing.T)  { runGolden(t, MapOrder, "maporder") }
 func TestGlobalMutGolden(t *testing.T) { runGolden(t, GlobalMut, "globalmut") }
 func TestSrcShareGolden(t *testing.T)  { runGolden(t, SrcShare, "srcshare") }

@@ -1,0 +1,8 @@
+// Package serve is the network quarantine: the screening service's status
+// API is the module's one transport edge, so net/http is permitted here.
+package serve
+
+import "net/http"
+
+// Handler serves a status snapshot.
+func Handler() http.Handler { return http.NewServeMux() }

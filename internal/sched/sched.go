@@ -131,8 +131,13 @@ func (c *Clock) Run() {
 
 // Advance moves the clock forward by d without firing any events scheduled
 // in between. Use only when the caller knows no events are pending in the
-// interval (it panics otherwise, to catch causality bugs).
+// interval (it panics otherwise, to catch causality bugs). Negative d
+// panics too: virtual time is monotone, rewinding it would silently
+// reorder causality the same way scheduling in the past would.
 func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sched: Advance(%v) would move the clock backward", d))
+	}
 	target := c.now + d
 	if len(c.queue) > 0 && c.queue[0].At < target {
 		panic(fmt.Sprintf("sched: Advance(%v) would skip event %q at %v", d, c.queue[0].Name, c.queue[0].At))

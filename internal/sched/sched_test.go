@@ -168,6 +168,105 @@ func TestStepEmpty(t *testing.T) {
 	}
 }
 
+func TestCancelAlreadyFired(t *testing.T) {
+	// A handle to a fired event is stale: its heap slot may since have been
+	// reused by a live event. Cancel must recognize the staleness and leave
+	// the live event untouched.
+	c := NewClock()
+	e1 := c.At(time.Second, "old", func(time.Duration) {})
+	c.Run()
+	fired := false
+	c.At(2*time.Second, "new", func(time.Duration) { fired = true })
+	c.Cancel(e1) // stale handle, same heap slot now occupied
+	if c.Pending() != 1 {
+		t.Fatalf("stale Cancel evicted a live event: Pending = %d", c.Pending())
+	}
+	c.Run()
+	if !fired {
+		t.Error("live event did not fire after stale Cancel")
+	}
+	// A canceled handle is equally stale: double-cancel with the slot reused.
+	e3 := c.At(3*time.Second, "gone", func(time.Duration) {})
+	c.Cancel(e3)
+	fired = false
+	c.At(3*time.Second, "live", func(time.Duration) { fired = true })
+	c.Cancel(e3)
+	c.Run()
+	if !fired {
+		t.Error("live event did not fire after double Cancel of its slot's previous tenant")
+	}
+}
+
+func TestTickerStopRacesPendingTick(t *testing.T) {
+	// The stopper is scheduled before the ticker, so at the shared timestamp
+	// it runs first (FIFO by seq) while the tick is still pending in the
+	// queue. Stop must kill that pending tick, not defer it.
+	c := NewClock()
+	count := 0
+	var tk *Ticker
+	c.At(time.Second, "stopper", func(time.Duration) { tk.Stop() })
+	tk = c.Every(time.Second, "tick", func(time.Duration) { count++ })
+	c.Run()
+	if count != 0 {
+		t.Errorf("tick fired %d times after same-time Stop, want 0", count)
+	}
+	if c.Pending() != 0 {
+		t.Errorf("Pending = %d after Stop, want 0", c.Pending())
+	}
+}
+
+func TestTickerStopAfterSameTimeTick(t *testing.T) {
+	// Mirror race: the stopper is scheduled after the ticker, so the tick at
+	// the shared timestamp fires first and reschedules; Stop must then cancel
+	// the rescheduled tick.
+	c := NewClock()
+	count := 0
+	tk := c.Every(time.Second, "tick", func(time.Duration) { count++ })
+	c.At(time.Second, "stopper", func(time.Duration) { tk.Stop() })
+	c.Run()
+	if count != 1 {
+		t.Errorf("tick fired %d times, want exactly the pre-Stop tick", count)
+	}
+	if c.Pending() != 0 {
+		t.Errorf("Pending = %d after Stop, want 0", c.Pending())
+	}
+	tk.Stop() // double Stop must be a no-op
+}
+
+func TestTickerCadenceAcrossAdvance(t *testing.T) {
+	// Mixing RunUntil and Advance must not drift the cadence: ticks stay on
+	// the period grid even when Advance lands exactly on a tick time.
+	c := NewClock()
+	var ticks []time.Duration
+	c.Every(time.Second, "tick", func(now time.Duration) { ticks = append(ticks, now) })
+	c.RunUntil(1500 * time.Millisecond) // tick at 1s, clock at 1.5s
+	c.Advance(500 * time.Millisecond)   // lands exactly on the 2s tick: allowed
+	if c.Now() != 2*time.Second {
+		t.Fatalf("Now = %v after Advance onto tick time", c.Now())
+	}
+	c.RunUntil(4 * time.Second)
+	want := []time.Duration{1 * time.Second, 2 * time.Second, 3 * time.Second, 4 * time.Second}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Advance should panic")
+		}
+	}()
+	c.Advance(-time.Millisecond)
+}
+
 func TestNestedScheduling(t *testing.T) {
 	// Events scheduled during Run at the same time still execute.
 	c := NewClock()

@@ -1,0 +1,93 @@
+// The service's transport edge: the HTTP status API. This file is the only
+// place in the module allowed to import net/http (sdclint's quarantine
+// restricts the import to internal/serve), and nothing here feeds back into
+// the simulation — handlers are pure reads of the published snapshots, so a
+// scrape can never perturb a deterministic run.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Handler returns the status API:
+//
+//	/status        service configuration and current fleet position
+//	/metrics       engine accounting totals and per-arch detection rates
+//	/fleet         latest campaign's full record (fleet view)
+//	/campaigns/<n> record of campaign n (404 once evicted from history)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.StatusSnapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.MetricsSnapshot())
+	})
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, r *http.Request) {
+		rec, ok := s.CampaignAt(s.Campaigns() - 1)
+		if !ok {
+			http.Error(w, `{"error":"no campaign has completed yet"}`, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, rec)
+	})
+	mux.HandleFunc("/campaigns/", func(w http.ResponseWriter, r *http.Request) {
+		idx, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/campaigns/"))
+		if err != nil {
+			http.Error(w, `{"error":"campaign index must be an integer"}`, http.StatusBadRequest)
+			return
+		}
+		rec, ok := s.CampaignAt(idx)
+		if !ok {
+			http.Error(w, `{"error":"campaign not retained"}`, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, rec)
+	})
+	return mux
+}
+
+// writeJSON emits v as indented JSON — the same stable marshalling the
+// campaign history uses, so scraped payloads are diffable too.
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"encode failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	//sdclint:ignore errsink client disconnects during a scrape are not service errors
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// StartHTTP binds addr and serves the status API in the background. It
+// returns the bound address (useful with a ":0" port) and a shutdown
+// function that drains in-flight scrapes and closes the listener. The
+// simulation keeps its own goroutine; scrapes only read snapshots.
+func (s *Service) StartHTTP(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+	return ln.Addr().String(), shutdown, nil
+}

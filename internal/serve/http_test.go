@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"farron/internal/engine"
+)
+
+// getJSON fetches a path from the test server and decodes it into out,
+// asserting status 200 and a JSON content type.
+func getJSON(t *testing.T, srv *httptest.Server, path string, out any) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("GET %s: content type %q", path, ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, out); err != nil {
+		t.Fatalf("GET %s: invalid JSON: %v\n%s", path, err, b)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	runner := engine.NewRunner(engine.RunOptions{Seed: 7, Workers: 2})
+	cfg := testConfig(3)
+	svc, err := New(runner, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Before any campaign: /status serves, /fleet has nothing yet.
+	var st Status
+	getJSON(t, srv, "/status", &st)
+	if st.Campaigns != 0 || st.FleetSize != cfg.FleetSize {
+		t.Errorf("pre-campaign status = %+v", st)
+	}
+	if resp, err := http.Get(srv.URL + "/fleet"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("/fleet before any campaign: status %d, want 404", resp.StatusCode)
+		}
+	}
+
+	for i := 0; i < cfg.Steps; i++ {
+		if _, err := svc.StepCampaign(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	getJSON(t, srv, "/status", &st)
+	if st.Campaigns != 3 || st.VirtualTime != 3*cfg.CampaignPeriod {
+		t.Errorf("status = %+v", st)
+	}
+	var m Metrics
+	getJSON(t, srv, "/metrics", &m)
+	if m.Campaigns != 3 || m.Totals.Runs != 3 || len(m.Arches) == 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+	var fl CampaignRecord
+	getJSON(t, srv, "/fleet", &fl)
+	if fl.Index != 2 {
+		t.Errorf("/fleet serves campaign %d, want the latest (2)", fl.Index)
+	}
+	var rec CampaignRecord
+	getJSON(t, srv, "/campaigns/1", &rec)
+	if rec.Index != 1 {
+		t.Errorf("/campaigns/1 served index %d", rec.Index)
+	}
+
+	for path, want := range map[string]int{
+		"/campaigns/99":  http.StatusNotFound,
+		"/campaigns/-1":  http.StatusNotFound,
+		"/campaigns/abc": http.StatusBadRequest,
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestStartHTTP(t *testing.T) {
+	runner := engine.NewRunner(engine.RunOptions{Seed: 7, Workers: 1})
+	svc, err := New(runner, testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, shutdown, err := svc.StartHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+	if err := shutdown(); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}

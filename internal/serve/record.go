@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"farron/internal/engine"
+)
+
+// ripenessBuckets is the histogram resolution of the defect-development
+// distribution: four quarter buckets for ripening defects plus the ripe
+// bucket.
+const ripenessBuckets = 5
+
+// ArchCampaign is one micro-architecture's slice of a campaign record.
+type ArchCampaign struct {
+	Arch         string `json:"arch"`
+	Population   int    `json:"population"`
+	ActiveFaulty int    `json:"active_faulty"`
+	// Ripe counts tracked processors whose defect had developed by this
+	// campaign (and were therefore screened).
+	Ripe int `json:"ripe"`
+	// Births / FaultyBirths / PreDetected / Decommissions / Escapes cover
+	// the window since the previous campaign.
+	Births        int `json:"births"`
+	FaultyBirths  int `json:"faulty_births"`
+	PreDetected   int `json:"pre_detected"`
+	Decommissions int `json:"decommissions"`
+	Escapes       int `json:"escapes"`
+	// Detected is this campaign's regular-testing detections; CumDetected
+	// and CumEscaped accumulate since service start.
+	Detected      int     `json:"detected"`
+	CumDetected   int     `json:"cum_detected"`
+	CumEscaped    int     `json:"cum_escaped"`
+	DetectionRate float64 `json:"detection_rate"`
+}
+
+// LifecycleState is one cohort processor's lifecycle position after a
+// campaign's step.
+type LifecycleState struct {
+	CPUID      string        `json:"cpu_id"`
+	Rounds     int           `json:"rounds"`
+	Detections int           `json:"detections"`
+	SDCs       int           `json:"sdcs"`
+	TestTime   time.Duration `json:"test_time_ns"`
+	OnlineTime time.Duration `json:"online_time_ns"`
+	State      string        `json:"state"`
+	Done       bool          `json:"done"`
+}
+
+// CampaignRecord is one campaign's full outcome. It carries only virtual
+// quantities — virtual timestamps, counts, rates — never wall time, so the
+// history of a run is byte-identical across runs, hosts and worker
+// budgets. The headless determinism test diffs two runs' marshalled
+// histories byte for byte.
+type CampaignRecord struct {
+	Index        int           `json:"index"`
+	VirtualTime  time.Duration `json:"virtual_time_ns"`
+	Period       time.Duration `json:"period_ns"`
+	FleetSize    int           `json:"fleet_size"`
+	ActiveFaulty int           `json:"active_faulty"`
+	// Detected is this campaign's detections (regular rounds plus
+	// pre-production catches of the window's births).
+	Detected    int `json:"detected"`
+	CumDetected int `json:"cum_detected"`
+	CumEscaped  int `json:"cum_escaped"`
+	// Ripeness is the defect-development histogram over the still-tracked
+	// fleet: four quarter buckets plus the ripe bucket.
+	Ripeness [ripenessBuckets]int `json:"ripeness"`
+	// TestCostMinutes is the campaign's test budget: every live processor
+	// runs the full suite at the regular stage's per-testcase allocation.
+	TestCostMinutes float64          `json:"test_cost_minutes"`
+	Arches          []ArchCampaign   `json:"arches"`
+	Lifecycle       []LifecycleState `json:"lifecycle"`
+	// Entries is how many render entries the campaign executed through the
+	// engine runner; Rendered is their concatenated terminal rendering.
+	Entries  int    `json:"entries"`
+	Rendered string `json:"rendered"`
+}
+
+// HistoryJSON marshals the retained campaign history as indented JSON —
+// the byte-stable artifact the CI smoke double-runs and diffs.
+func (s *Service) HistoryJSON() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return json.MarshalIndent(s.history, "", "  ")
+}
+
+// Status is the service-level snapshot /status serves.
+type Status struct {
+	Seed            uint64        `json:"seed"`
+	Workers         int           `json:"workers"`
+	FleetSize       int           `json:"fleet_size"`
+	CampaignPeriod  time.Duration `json:"campaign_period_ns"`
+	Campaigns       int           `json:"campaigns"`
+	DroppedHistory  int           `json:"dropped_history"`
+	VirtualTime     time.Duration `json:"virtual_time_ns"`
+	ActiveFaulty    int           `json:"active_faulty"`
+	CumDetected     int           `json:"cum_detected"`
+	CumEscaped      int           `json:"cum_escaped"`
+	TestCostMinutes float64       `json:"test_cost_minutes"`
+}
+
+// StatusSnapshot returns the current service status.
+func (s *Service) StatusSnapshot() Status {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Status{
+		Seed:           s.runner.Ctx().Seed,
+		Workers:        s.runner.Ctx().Workers,
+		FleetSize:      s.cfg.FleetSize,
+		CampaignPeriod: s.cfg.CampaignPeriod,
+		Campaigns:      s.dropped + len(s.history),
+		DroppedHistory: s.dropped,
+	}
+	if n := len(s.history); n > 0 {
+		last := &s.history[n-1]
+		st.VirtualTime = last.VirtualTime
+		st.ActiveFaulty = last.ActiveFaulty
+		st.CumDetected = last.CumDetected
+		st.CumEscaped = last.CumEscaped
+		st.TestCostMinutes = last.TestCostMinutes
+	}
+	return st
+}
+
+// Metrics is the accounting snapshot /metrics serves: engine totals across
+// every campaign run plus the per-arch cumulative detection rates. Wall
+// times live here (operational metadata), never in the campaign history.
+type Metrics struct {
+	Campaigns int              `json:"campaigns"`
+	Totals    engine.RunTotals `json:"totals"`
+	Arches    []ArchCampaign   `json:"arches"`
+}
+
+// MetricsSnapshot returns the accumulated engine accounting.
+func (s *Service) MetricsSnapshot() Metrics {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := Metrics{Campaigns: s.dropped + len(s.history), Totals: s.totals}
+	if n := len(s.history); n > 0 {
+		m.Arches = append(m.Arches, s.history[n-1].Arches...)
+	}
+	return m
+}
+
+// CampaignAt returns the record of campaign index, if still retained.
+func (s *Service) CampaignAt(index int) (*CampaignRecord, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := index - s.dropped
+	if i < 0 || i >= len(s.history) {
+		return nil, false
+	}
+	rec := s.history[i]
+	return &rec, true
+}
+
+// renderFleet / renderRipeness / renderLifecycle are the campaign's render
+// entries: pure terminal renderings of an already-computed record, executed
+// through engine.Runner so worker pools, the result cache and fan-out all
+// exercise the same machinery the batch commands use.
+type renderFleet struct{ rec *CampaignRecord }
+
+func (r renderFleet) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign %d at %v: fleet %d, %d tracked faulty, %d detected (cum %d, escaped %d)\n",
+		r.rec.Index, r.rec.VirtualTime, r.rec.FleetSize, r.rec.ActiveFaulty,
+		r.rec.Detected, r.rec.CumDetected, r.rec.CumEscaped)
+	fmt.Fprintf(&b, "%-5s %10s %7s %5s %7s %6s %9s\n",
+		"arch", "pop", "faulty", "ripe", "det", "cum", "rate")
+	for _, a := range r.rec.Arches {
+		fmt.Fprintf(&b, "%-5s %10d %7d %5d %7d %6d %9.5f%%\n",
+			a.Arch, a.Population, a.ActiveFaulty, a.Ripe, a.Detected, a.CumDetected, a.DetectionRate*100)
+	}
+	fmt.Fprintf(&b, "test cost: %.0f testcase-minutes\n", r.rec.TestCostMinutes)
+	return b.String()
+}
+
+type renderRipeness struct{ rec *CampaignRecord }
+
+func (r renderRipeness) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "defect ripeness after campaign %d:\n", r.rec.Index)
+	labels := []string{"<25%", "<50%", "<75%", "<100%", "ripe"}
+	for i, n := range r.rec.Ripeness {
+		fmt.Fprintf(&b, "  %-6s %d\n", labels[i], n)
+	}
+	return b.String()
+}
+
+type renderLifecycle struct{ rec *CampaignRecord }
+
+func (r renderLifecycle) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lifecycle cohort after campaign %d:\n", r.rec.Index)
+	for _, l := range r.rec.Lifecycle {
+		fmt.Fprintf(&b, "  %-6s rounds %2d det %d sdc %d state %s\n",
+			l.CPUID, l.Rounds, l.Detections, l.SDCs, l.State)
+	}
+	return b.String()
+}

@@ -1,0 +1,518 @@
+// Package serve is the continuous screening service: the batch harness
+// turned into a long-running fleet daemon. A Service owns a synthetic CPU
+// population driven on internal/sched's discrete-event clock — processors
+// join and leave on birth/decommission events, latent defects ripen over a
+// CPU's lifetime — and fires a screening campaign every CampaignPeriod of
+// virtual time. Each campaign advances the resumable per-CPU screening
+// state (fleet.CPUScreen), steps the lifecycle cohort one regular period,
+// and executes its render entries through the existing engine.Runner, so
+// -workers, -cache and -fanout compose exactly as they do for the batch
+// commands.
+//
+// Everything in this file is deterministic: all randomness flows through
+// serial-keyed simrand substreams, campaign state advances on one
+// goroutine, and campaign records carry only virtual quantities — so the
+// full campaign history of a run at a given seed is byte-identical across
+// runs, worker budgets and hosts. The HTTP status API lives in http.go,
+// the package's transport edge and the module's only net/http importer
+// (enforced by sdclint's quarantine).
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"farron/internal/engine"
+	"farron/internal/experiments"
+	"farron/internal/fleet"
+	"farron/internal/model"
+	"farron/internal/sched"
+	"farron/internal/simrand"
+	"farron/internal/testkit"
+)
+
+// Config sizes and paces the service. The zero value of any field takes
+// the documented default.
+type Config struct {
+	// FleetSize is the population size (default: Scale.Population, or the
+	// quick-scale population if that is zero too).
+	FleetSize int
+	// Mix is the micro-architecture composition (default fleet.DefaultMix).
+	Mix []fleet.ArchShare
+	// CampaignPeriod is the virtual time between screening campaigns
+	// (default 14 days — the paper's exposure-window group duration).
+	CampaignPeriod time.Duration
+	// MeanLifetime is the mean CPU service lifetime; decommission ages draw
+	// uniformly from [0.5, 1.5]× this (default 2 years).
+	MeanLifetime time.Duration
+	// MeanOnset is the mean ripening age of a defect that develops in the
+	// field; onset ages draw uniformly from [0, 2]× this (default 6
+	// months). A defect is undetectable before its onset age.
+	MeanOnset time.Duration
+	// BornFaultyShare is the fraction of faulty CPUs whose defect is
+	// present at birth (onset 0) and therefore exposed to pre-production
+	// screening; the rest ripen in the field and sail through it
+	// (default 0.55).
+	BornFaultyShare float64
+	// Steps caps the run at this many campaigns (0: run until stopped).
+	Steps int
+	// History caps the in-memory campaign history on unbounded runs;
+	// Steps > 0 keeps everything so the full history can be diffed
+	// (default 1024).
+	History int
+	// SimSpeed paces Run: virtual seconds advanced per wall second
+	// (0: unpaced free-run).
+	SimSpeed float64
+	// LifecycleRounds is the lifecycle cohort's horizon in regular periods
+	// (default max(Steps, 16)).
+	LifecycleRounds int
+	// Scale is the engine scale forwarded to Runner.Run for the campaign
+	// render entries (part of the result-cache key).
+	Scale engine.Scale
+}
+
+// withDefaults returns cfg with every zero field defaulted.
+func (c Config) withDefaults() Config {
+	if c.Mix == nil {
+		c.Mix = fleet.DefaultMix()
+	}
+	if c.Scale == (engine.Scale{}) {
+		c.Scale = engine.QuickScale()
+	}
+	if c.FleetSize <= 0 {
+		c.FleetSize = c.Scale.Population
+	}
+	if c.CampaignPeriod <= 0 {
+		c.CampaignPeriod = 14 * 24 * time.Hour
+	}
+	if c.MeanLifetime <= 0 {
+		c.MeanLifetime = 2 * 365 * 24 * time.Hour
+	}
+	if c.MeanOnset <= 0 {
+		c.MeanOnset = 182 * 24 * time.Hour
+	}
+	if c.BornFaultyShare <= 0 {
+		c.BornFaultyShare = 0.55
+	}
+	if c.History <= 0 {
+		c.History = 1024
+	}
+	if c.LifecycleRounds <= 0 {
+		c.LifecycleRounds = c.Steps
+		if c.LifecycleRounds < 16 {
+			c.LifecycleRounds = 16
+		}
+	}
+	return c
+}
+
+// trackedCPU is one live faulty processor: its resumable screening state
+// plus the service-level lifetime bookkeeping (when it was born, when its
+// defect ripens, when it leaves the fleet).
+type trackedCPU struct {
+	screen *fleet.CPUScreen
+	birth  time.Duration
+	onset  time.Duration // age at which the defect becomes detectable
+	life   time.Duration // age at decommission
+	decom  *sched.Event
+	gone   bool // decommissioned or detected-and-replaced
+}
+
+// ripeness is how far along the defect's development is, in [0, 1].
+func (t *trackedCPU) ripeness(now time.Duration) float64 {
+	if t.onset <= 0 {
+		return 1
+	}
+	age := now - t.birth
+	if age >= t.onset {
+		return 1
+	}
+	return float64(age) / float64(t.onset)
+}
+
+// archState is one micro-architecture's slice of the live fleet. Healthy
+// processors are counted in aggregate (they never fail, exactly as in the
+// batch simulator); faulty processors are tracked individually.
+type archState struct {
+	arch     model.MicroArch
+	pop      int
+	rate     float64
+	churnRng *simrand.Source // sequential per-arch stream for churn draws
+	faulty   []*trackedCPU
+	birthSeq int
+
+	// Cumulative counters since service start.
+	cumBirths, cumFaultyBirths   int
+	cumDecommissions, cumEscapes int
+	cumDetected, cumPreDetected  int
+	// Pending counters accumulated since the previous campaign record.
+	pendBirths, pendFaultyBirths   int
+	pendDecommissions, pendEscapes int
+	pendPreDetected                int
+}
+
+// Service is the long-running screening daemon over a synthetic fleet.
+// All simulation state advances on the caller's goroutine (StepCampaign /
+// Run); the published snapshot and history behind mu are what the HTTP
+// handlers read.
+type Service struct {
+	cfg    Config
+	runner *engine.Runner
+	sim    *fleet.Simulator
+	clock  *sched.Clock
+	rng    *simrand.Source // root "serve" stream (distinct from the fleet sim's)
+	arches []*archState
+	cohort []*experiments.LifecycleStepper
+	fp     string  // config fingerprint woven into campaign entry names
+	perMin float64 // regular-stage per-testcase minutes
+
+	campaigns int
+	err       error
+
+	mu      sync.RWMutex
+	history []CampaignRecord
+	dropped int // records evicted from history on unbounded runs
+	totals  engine.RunTotals
+}
+
+// New builds the service: the initial fleet is generated, pre-production
+// screening runs for every born-faulty processor, and decommission events
+// are scheduled — but no campaign has fired yet. The runner supplies the
+// seed, worker budget, cache and fan-out exactly as for the batch commands.
+func New(runner *engine.Runner, cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	ctx := runner.Ctx()
+	fcfg := fleet.DefaultConfig()
+	fcfg.Processors = cfg.FleetSize
+	fcfg.Mix = cfg.Mix
+	fcfg.Seed = ctx.Seed
+	fcfg.Workers = ctx.Workers
+	sim, err := fleet.NewSimulator(fcfg, ctx.Suite)
+	if err != nil {
+		return nil, err
+	}
+	reg, ok := sim.RegularStage()
+	if !ok {
+		return nil, errors.New("serve: fleet pipeline has no regular stage")
+	}
+	s := &Service{
+		cfg:    cfg,
+		runner: runner,
+		sim:    sim,
+		clock:  sched.NewClock(),
+		rng:    simrand.New(ctx.Seed).Derive("serve"),
+		cohort: experiments.LifecycleCohort(ctx, cfg.LifecycleRounds),
+		perMin: reg.PerTestcaseMin,
+	}
+	s.fp = s.fingerprint()
+
+	counts := archCounts(cfg.FleetSize, cfg.Mix)
+	scale := fcfg.TrueFaultScale
+	for i, m := range cfg.Mix {
+		a := &archState{
+			arch:     m.Arch,
+			pop:      counts[i],
+			rate:     m.FaultyRate * scale,
+			churnRng: s.rng.Derive("churn", string(m.Arch)),
+		}
+		s.arches = append(s.arches, a)
+		n := s.rng.Derive("init", string(m.Arch)).Poisson(float64(a.pop) * a.rate)
+		for f := 0; f < n; f++ {
+			s.birth(a, 0)
+		}
+	}
+	s.clock.Every(cfg.CampaignPeriod, "campaign", s.campaignTick)
+	return s, nil
+}
+
+// fingerprint hashes the run-shaping configuration into the short token
+// campaign entry names carry, so result-cache keys from differently
+// configured services never collide.
+func (s *Service) fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%v|%v|%v|%v", s.runner.Ctx().Seed, s.cfg.FleetSize,
+		s.cfg.CampaignPeriod, s.cfg.MeanLifetime, s.cfg.MeanOnset, s.cfg.BornFaultyShare)
+	for _, m := range s.cfg.Mix {
+		fmt.Fprintf(h, "|%s:%v:%v", m.Arch, m.Share, m.FaultyRate)
+	}
+	return fmt.Sprintf("%08x", h.Sum64()&0xffffffff)
+}
+
+// birth creates one faulty processor at the given virtual time: serial and
+// all lifetime parameters derive from the per-arch birth sequence, so the
+// fleet's composition is a pure function of the seed and the campaign
+// count. Healthy births are never materialized — the population count
+// already stands for them.
+func (s *Service) birth(a *archState, now time.Duration) {
+	serial := fmt.Sprintf("%s-svc-%06d", a.arch, a.birthSeq)
+	a.birthSeq++
+	a.pendFaultyBirths++
+	a.cumFaultyBirths++
+
+	crng := s.rng.Derive("cpu", serial)
+	t := &trackedCPU{
+		birth: now,
+		life:  time.Duration(crng.Range(0.5, 1.5) * float64(s.cfg.MeanLifetime)),
+	}
+	if crng.Float64() >= s.cfg.BornFaultyShare {
+		t.onset = time.Duration(crng.Range(0, 2) * float64(s.cfg.MeanOnset))
+	}
+	t.screen = s.sim.NewCPUScreen(serial, a.arch)
+	if t.onset > 0 {
+		// The defect ripens in the field: pre-production ran, there was
+		// nothing there to catch yet.
+		t.screen.PassPreProduction()
+	} else if t.screen.PreProduction() {
+		// Caught before production: the unit is swapped at delivery and a
+		// (healthy) replacement takes its slot — nothing left to track.
+		a.pendPreDetected++
+		a.cumPreDetected++
+		a.cumDetected++
+		return
+	}
+	t.decom = s.clock.At(now+t.life, "decommission "+serial, func(time.Duration) {
+		t.gone = true
+		a.pendDecommissions++
+		a.cumDecommissions++
+		if !t.screen.Detected {
+			a.pendEscapes++
+			a.cumEscapes++
+		}
+	})
+	a.faulty = append(a.faulty, t)
+}
+
+// campaignTick is the sched.Ticker callback: one screening campaign over
+// the live fleet. Order is fixed — churn, then screening in arch-and-birth
+// order, then the lifecycle cohort, then rendering through the runner — so
+// the draw sequence is identical on every run.
+func (s *Service) campaignTick(now time.Duration) {
+	if s.err != nil {
+		return
+	}
+	// Fleet churn: replacements keep each arch's population constant;
+	// the faulty share of the new cohort enters as tracked processors.
+	for _, a := range s.arches {
+		births := float64(a.pop) * float64(s.cfg.CampaignPeriod) / float64(s.cfg.MeanLifetime)
+		a.pendBirths += int(births)
+		a.cumBirths += int(births)
+		for f := a.churnRng.Poisson(births * a.rate); f > 0; f-- {
+			s.birth(a, now)
+		}
+	}
+
+	// Screening: one regular round for every live, ripe, undetected
+	// processor. Detection retires the unit (its slot is refilled by a
+	// healthy replacement), so its decommission event dies with it.
+	rec := CampaignRecord{
+		Index:       s.campaigns,
+		VirtualTime: now,
+		Period:      s.cfg.CampaignPeriod,
+	}
+	for _, a := range s.arches {
+		ac := ArchCampaign{Arch: string(a.arch), Population: a.pop}
+		live := a.faulty[:0]
+		for _, t := range a.faulty {
+			if t.gone {
+				continue
+			}
+			r := t.ripeness(now)
+			if r >= 1 {
+				ac.Ripe++
+			}
+			if r >= 1 && t.screen.RegularRound() {
+				ac.Detected++
+				a.cumDetected++
+				t.gone = true
+				s.clock.Cancel(t.decom)
+				continue
+			}
+			rec.Ripeness[ripenessBucket(r)]++
+			live = append(live, t)
+		}
+		// Clear the recycled tail so retired entries are collectable.
+		for i := len(live); i < len(a.faulty); i++ {
+			a.faulty[i] = nil
+		}
+		a.faulty = live
+
+		ac.ActiveFaulty = len(a.faulty)
+		ac.Births = a.pendBirths
+		ac.FaultyBirths = a.pendFaultyBirths
+		ac.PreDetected = a.pendPreDetected
+		ac.Decommissions = a.pendDecommissions
+		ac.Escapes = a.pendEscapes
+		ac.CumDetected = a.cumDetected
+		ac.CumEscaped = a.cumEscapes
+		if a.pop > 0 {
+			ac.DetectionRate = float64(a.cumDetected) / float64(a.pop)
+		}
+		a.pendBirths, a.pendFaultyBirths, a.pendPreDetected = 0, 0, 0
+		a.pendDecommissions, a.pendEscapes = 0, 0
+
+		rec.Arches = append(rec.Arches, ac)
+		rec.FleetSize += ac.Population
+		rec.ActiveFaulty += ac.ActiveFaulty
+		rec.Detected += ac.Detected + ac.PreDetected
+		rec.CumDetected += ac.CumDetected
+		rec.CumEscaped += ac.CumEscaped
+	}
+	// Test-cost budget: every live processor runs the full suite once per
+	// campaign at the regular stage's per-testcase allocation.
+	rec.TestCostMinutes = float64(rec.FleetSize) * float64(testkit.SuiteSize) * s.perMin
+
+	// Defect evolution: the lifecycle cohort advances one regular period.
+	for _, st := range s.cohort {
+		if !st.Done() {
+			st.Step()
+		}
+		rep := st.Report()
+		rec.Lifecycle = append(rec.Lifecycle, LifecycleState{
+			CPUID:      st.CPUID,
+			Rounds:     rep.Rounds,
+			Detections: rep.Detections,
+			SDCs:       rep.SDCs,
+			TestTime:   rep.TestTime,
+			OnlineTime: rep.OnlineTime,
+			State:      rep.FinalState.String(),
+			Done:       st.Done(),
+		})
+	}
+
+	// Render the campaign through the engine: entries are pure functions of
+	// the already-advanced record (never mutators — a cache hit returns the
+	// stored body without executing the closure), so -cache and -fanout
+	// remain safe to compose.
+	sections, rep, err := s.runner.Run(s.entries(&rec), s.cfg.Scale)
+	if err != nil {
+		s.err = err
+		return
+	}
+	rec.Entries = len(sections)
+	for _, sec := range sections {
+		rec.Rendered += sec.Body
+	}
+
+	s.campaigns++
+	s.mu.Lock()
+	s.totals.Absorb(rep)
+	s.history = append(s.history, rec)
+	if s.cfg.Steps == 0 && len(s.history) > s.cfg.History {
+		drop := len(s.history) - s.cfg.History
+		s.history = append(s.history[:0:0], s.history[drop:]...)
+		s.dropped += drop
+	}
+	s.mu.Unlock()
+}
+
+// entries builds the campaign's render entries. Names carry the campaign
+// index and the config fingerprint so result-cache keys are unique per
+// (config, campaign); a fan-out worker rejects these dynamic names at the
+// handshake and the parent recomputes locally — graceful degradation, same
+// bytes.
+func (s *Service) entries(rec *CampaignRecord) []engine.Experiment {
+	prefix := fmt.Sprintf("campaign %04d [%s]", rec.Index, s.fp)
+	return []engine.Experiment{
+		{Name: prefix + " fleet", Desc: "per-arch campaign outcome",
+			Run: func(*engine.Ctx, engine.Scale) (engine.Result, error) { return renderFleet{rec}, nil }},
+		{Name: prefix + " ripeness", Desc: "defect ripeness distribution",
+			Run: func(*engine.Ctx, engine.Scale) (engine.Result, error) { return renderRipeness{rec}, nil }},
+		{Name: prefix + " lifecycle", Desc: "lifecycle cohort state",
+			Run: func(*engine.Ctx, engine.Scale) (engine.Result, error) { return renderLifecycle{rec}, nil }},
+	}
+}
+
+// ripenessBucket maps ripeness in [0, 1] to its histogram bucket: four
+// quarter-open buckets for developing defects and a final bucket for ripe
+// ones.
+func ripenessBucket(r float64) int {
+	if r >= 1 {
+		return ripenessBuckets - 1
+	}
+	b := int(r * float64(ripenessBuckets-1))
+	if b >= ripenessBuckets-1 {
+		b = ripenessBuckets - 2
+	}
+	return b
+}
+
+// StepCampaign advances virtual time through the next campaign (firing any
+// birth/decommission events due before it) and returns that campaign's
+// record.
+func (s *Service) StepCampaign() (*CampaignRecord, error) {
+	target := s.campaigns + 1
+	for s.campaigns < target {
+		if s.err != nil {
+			return nil, s.err
+		}
+		if !s.clock.Step() {
+			return nil, errors.New("serve: event queue drained — campaign ticker gone")
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec := s.history[len(s.history)-1]
+	return &rec, nil
+}
+
+// Run drives the service: Steps campaigns (or until stop closes when Steps
+// is 0), pacing virtual time against the wall when SimSpeed is set. It is
+// the daemon loop cmd/sdcserve runs on its main goroutine.
+func (s *Service) Run(stop <-chan struct{}) error {
+	for done := 0; s.cfg.Steps == 0 || done < s.cfg.Steps; done++ {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		if _, err := s.StepCampaign(); err != nil {
+			return err
+		}
+		if s.cfg.SimSpeed > 0 {
+			wall := time.Duration(float64(s.cfg.CampaignPeriod) / s.cfg.SimSpeed)
+			select {
+			case <-stop:
+				return nil
+			case <-time.After(wall):
+			}
+		}
+	}
+	return nil
+}
+
+// Campaigns returns how many campaigns have completed.
+func (s *Service) Campaigns() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dropped + len(s.history)
+}
+
+// archCounts distributes the population across the mix with largest-
+// remainder rounding (the batch simulator's apportionment, restated here so
+// service and batch fleets agree on per-arch populations).
+func archCounts(n int, mix []fleet.ArchShare) []int {
+	counts := make([]int, len(mix))
+	fracs := make([]float64, len(mix))
+	assigned := 0
+	for i, m := range mix {
+		exact := float64(n) * m.Share
+		counts[i] = int(exact)
+		assigned += counts[i]
+		fracs[i] = exact - float64(counts[i])
+	}
+	for assigned < n {
+		best := 0
+		for i := 1; i < len(fracs); i++ {
+			if fracs[i] > fracs[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		fracs[best] = -1
+		assigned++
+	}
+	return counts
+}

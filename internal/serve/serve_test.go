@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"farron/internal/engine"
+)
+
+// testConfig keeps service tests fast: a small fleet still carries a
+// dozen-odd tracked faulty CPUs at the default mix.
+func testConfig(steps int) Config {
+	return Config{
+		FleetSize:      20_000,
+		CampaignPeriod: 14 * 24 * time.Hour,
+		Steps:          steps,
+		Scale:          engine.QuickScale(),
+	}
+}
+
+// runHistory builds a service at the given seed and worker budget, runs
+// the configured campaigns and returns the marshalled history.
+func runHistory(t *testing.T, seed uint64, workers int, cfg Config) []byte {
+	t.Helper()
+	runner := engine.NewRunner(engine.RunOptions{Seed: seed, Workers: workers})
+	svc, err := New(runner, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Steps; i++ {
+		if _, err := svc.StepCampaign(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := svc.HistoryJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestHistoryDeterministic is the service's determinism contract: at a
+// fixed seed the full campaign history is byte-identical across runs and
+// across worker budgets — the in-process form of the acceptance check CI's
+// headless smoke runs against the sdcserve binary.
+func TestHistoryDeterministic(t *testing.T) {
+	cfg := testConfig(5)
+	a := runHistory(t, 7, 1, cfg)
+	b := runHistory(t, 7, 1, cfg)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed, same workers: histories differ\nA: %d bytes\nB: %d bytes", len(a), len(b))
+	}
+	c := runHistory(t, 7, 4, cfg)
+	if !bytes.Equal(a, c) {
+		t.Fatalf("workers=1 vs workers=4: histories differ\nA: %d bytes\nC: %d bytes", len(a), len(c))
+	}
+	d := runHistory(t, 8, 1, cfg)
+	if bytes.Equal(a, d) {
+		t.Fatal("different seeds produced identical histories")
+	}
+}
+
+func TestCampaignProgression(t *testing.T) {
+	runner := engine.NewRunner(engine.RunOptions{Seed: 7, Workers: 2})
+	cfg := testConfig(6)
+	svc, err := New(runner, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *CampaignRecord
+	for i := 0; i < cfg.Steps; i++ {
+		rec, err := svc.StepCampaign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Index != i {
+			t.Fatalf("campaign %d has index %d", i, rec.Index)
+		}
+		if want := time.Duration(i+1) * cfg.CampaignPeriod; rec.VirtualTime != want {
+			t.Errorf("campaign %d at %v, want %v", i, rec.VirtualTime, want)
+		}
+		if rec.FleetSize != cfg.FleetSize {
+			t.Errorf("campaign %d fleet size %d, want %d (replacement churn keeps it constant)",
+				i, rec.FleetSize, cfg.FleetSize)
+		}
+		// The ripeness histogram covers exactly the still-tracked fleet.
+		sum := 0
+		for _, n := range rec.Ripeness {
+			sum += n
+		}
+		if sum != rec.ActiveFaulty {
+			t.Errorf("campaign %d ripeness histogram sums to %d, active faulty %d", i, sum, rec.ActiveFaulty)
+		}
+		if rec.Entries != 3 {
+			t.Errorf("campaign %d ran %d render entries, want 3", i, rec.Entries)
+		}
+		if rec.Rendered == "" {
+			t.Errorf("campaign %d has no rendering", i)
+		}
+		if len(rec.Lifecycle) == 0 {
+			t.Errorf("campaign %d has no lifecycle cohort state", i)
+		}
+		if rec.TestCostMinutes <= 0 {
+			t.Errorf("campaign %d test cost %v", i, rec.TestCostMinutes)
+		}
+		last = rec
+	}
+	if last.CumDetected == 0 {
+		t.Error("no detections across the whole run (pre-production catches alone should show up)")
+	}
+	if last.ActiveFaulty == 0 {
+		t.Error("no tracked faulty processors left — fleet too small for the test to mean anything")
+	}
+	if got := svc.Campaigns(); got != cfg.Steps {
+		t.Errorf("Campaigns() = %d, want %d", got, cfg.Steps)
+	}
+	// Engine accounting accumulated across campaigns.
+	m := svc.MetricsSnapshot()
+	if m.Totals.Runs != cfg.Steps || m.Totals.Entries != 3*cfg.Steps {
+		t.Errorf("totals = %+v, want %d runs / %d entries", m.Totals, cfg.Steps, 3*cfg.Steps)
+	}
+}
+
+func TestFleetChurn(t *testing.T) {
+	// A mean lifetime of ~7 campaigns forces visible churn within the run:
+	// tracked CPUs decommission (some as escapes) and faulty births join.
+	runner := engine.NewRunner(engine.RunOptions{Seed: 11, Workers: 1})
+	cfg := testConfig(12)
+	cfg.MeanLifetime = 7 * cfg.CampaignPeriod
+	cfg.MeanOnset = 20 * cfg.CampaignPeriod // ripen slowly so some defects escape
+	svc, err := New(runner, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var births, faultyBirths, decoms, escapes int
+	for i := 0; i < cfg.Steps; i++ {
+		rec, err := svc.StepCampaign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range rec.Arches {
+			births += a.Births
+			faultyBirths += a.FaultyBirths
+			decoms += a.Decommissions
+			escapes += a.Escapes
+		}
+		if rec.FleetSize != cfg.FleetSize {
+			t.Fatalf("churn changed the fleet size: %d", rec.FleetSize)
+		}
+	}
+	if births == 0 || faultyBirths == 0 {
+		t.Errorf("no churn births (healthy %d, faulty %d)", births, faultyBirths)
+	}
+	if decoms == 0 {
+		t.Error("no decommissions despite short lifetimes")
+	}
+	if escapes == 0 {
+		t.Error("no escapes: every faulty CPU was caught before decommission, which the slow onset should prevent")
+	}
+}
+
+func TestHistoryCapOnUnboundedRuns(t *testing.T) {
+	runner := engine.NewRunner(engine.RunOptions{Seed: 7, Workers: 1})
+	cfg := testConfig(0) // unbounded: the cap applies
+	cfg.History = 3
+	svc, err := New(runner, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := svc.StepCampaign(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := svc.Campaigns(); got != 5 {
+		t.Errorf("Campaigns() = %d, want 5", got)
+	}
+	if _, ok := svc.CampaignAt(0); ok {
+		t.Error("campaign 0 should have been evicted")
+	}
+	if _, ok := svc.CampaignAt(1); ok {
+		t.Error("campaign 1 should have been evicted")
+	}
+	for i := 2; i < 5; i++ {
+		rec, ok := svc.CampaignAt(i)
+		if !ok {
+			t.Fatalf("campaign %d missing from capped history", i)
+		}
+		if rec.Index != i {
+			t.Errorf("campaign %d record has index %d", i, rec.Index)
+		}
+	}
+	if _, ok := svc.CampaignAt(5); ok {
+		t.Error("future campaign served")
+	}
+	st := svc.StatusSnapshot()
+	if st.Campaigns != 5 || st.DroppedHistory != 2 {
+		t.Errorf("status = %+v, want 5 campaigns / 2 dropped", st)
+	}
+}
