@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint lint-json lint-fast bench bench-cached bench-fanout bench-quick serve serve-smoke check
+.PHONY: build test race vet fmt lint lint-json lint-fast bench bench-cached bench-fanout bench-quick serve serve-smoke cluster-smoke check
 
 ## build: compile every package
 build:
@@ -77,6 +77,25 @@ serve-smoke:
 	/tmp/sdcserve -quick -seed 7 -n 20000 -steps 4 -workers 4 -history-out /tmp/sdcserve-h2.json
 	cmp /tmp/sdcserve-h1.json /tmp/sdcserve-h2.json
 	@echo "serve-smoke: campaign histories byte-identical"
+
+## cluster-smoke: cluster determinism check — an sdcfleet run distributed
+## over two loopback worker daemons must be byte-identical to the serial
+## run, and a rerun against the killed daemons must degrade to local
+## recompute with the same bytes (daemons are killed before any diff so a
+## failing assertion cannot leak processes)
+cluster-smoke:
+	$(GO) build -o /tmp/sdcfleet ./cmd/sdcfleet
+	/tmp/sdcfleet -quick -seed 7 -workers 1 > /tmp/fleet-serial.txt
+	/tmp/sdcfleet -serve 127.0.0.1:19401 & echo $$! > /tmp/sdcfleet-d1.pid
+	/tmp/sdcfleet -serve 127.0.0.1:19402 & echo $$! > /tmp/sdcfleet-d2.pid
+	sleep 1
+	/tmp/sdcfleet -quick -seed 7 -hosts 127.0.0.1:19401,127.0.0.1:19402 > /tmp/fleet-cluster.txt
+	kill $$(cat /tmp/sdcfleet-d1.pid) $$(cat /tmp/sdcfleet-d2.pid)
+	/tmp/sdcfleet -quick -seed 7 -hosts 127.0.0.1:19401,127.0.0.1:19402 > /tmp/fleet-dead.txt 2> /tmp/fleet-dead.log
+	diff /tmp/fleet-serial.txt /tmp/fleet-cluster.txt
+	diff /tmp/fleet-serial.txt /tmp/fleet-dead.txt
+	grep -q recomputing /tmp/fleet-dead.log
+	@echo "cluster-smoke: cluster bytes identical; daemon loss degraded to local recompute"
 
 ## check: everything CI runs — the one-command tier-1 verify
 check: build vet fmt test race lint

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	farronctl [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-fanout n] [-online duration]
+//	farronctl [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-fanout n] [-hosts a:p,b:p] [-online duration]
 package main
 
 import (
@@ -38,6 +38,9 @@ func run(cfg *cliflags.RunConfig, online time.Duration) (err error) {
 	exps := engine.Filter(experiments.Registry(), engine.GroupMitigation)
 	if cfg.WorkerMode() {
 		return cfg.ServeWorker(exps)
+	}
+	if cfg.DaemonMode() {
+		return cfg.ServeDaemon(exps)
 	}
 	stopProf, err := cfg.StartProfiles()
 	if err != nil {

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	sdcbench [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-fanout n] [-n population] [-o output] [-json]
+//	sdcbench [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-fanout n] [-hosts a:p,b:p] [-n population] [-o output] [-json]
 package main
 
 import (
@@ -45,6 +45,9 @@ func run(cfg *cliflags.RunConfig, n int, out string, jsonOut bool, jsonPath stri
 	exps := experiments.Registry()
 	if cfg.WorkerMode() {
 		return cfg.ServeWorker(exps)
+	}
+	if cfg.DaemonMode() {
+		return cfg.ServeDaemon(exps)
 	}
 	stopProf, err := cfg.StartProfiles()
 	if err != nil {

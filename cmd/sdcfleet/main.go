@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	sdcfleet [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-fanout n] [-n population] [-sub subpopulation]
+//	sdcfleet [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-fanout n] [-hosts a:p,b:p] [-n population] [-sub subpopulation]
+//	sdcfleet -serve host:port   (run as a cluster worker daemon for -hosts parents)
 package main
 
 import (
@@ -38,6 +39,9 @@ func run(cfg *cliflags.RunConfig, n, sub int) (err error) {
 	exps := engine.Filter(experiments.Registry(), engine.GroupFleet)
 	if cfg.WorkerMode() {
 		return cfg.ServeWorker(exps)
+	}
+	if cfg.DaemonMode() {
+		return cfg.ServeDaemon(exps)
 	}
 	stopProf, err := cfg.StartProfiles()
 	if err != nil {

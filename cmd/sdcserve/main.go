@@ -53,6 +53,11 @@ func run(cfg *cliflags.RunConfig, scfg *cliflags.ServeConfig, n int, historyOut 
 		// at the handshake and the parent recomputes locally.
 		return cfg.ServeWorker(nil)
 	}
+	if cfg.DaemonMode() {
+		// Same story over TCP: a cluster daemon for dynamic campaign entries
+		// refuses every hello and each parent recomputes locally.
+		return cfg.ServeDaemon(nil)
+	}
 	stopProf, err := cfg.StartProfiles()
 	if err != nil {
 		return err

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sdcstudy [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-fanout n] [-records n] [-reftemp degC] [-dump file]
+//	sdcstudy [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-fanout n] [-hosts a:p,b:p] [-records n] [-reftemp degC] [-dump file]
 package main
 
 import (
@@ -47,6 +47,9 @@ func run(cfg *cliflags.RunConfig, records int, refTemp float64, dump string) (er
 	exps := engine.Filter(experiments.Registry(), engine.GroupStudy)
 	if cfg.WorkerMode() {
 		return cfg.ServeWorker(exps)
+	}
+	if cfg.DaemonMode() {
+		return cfg.ServeDaemon(exps)
 	}
 	stopProf, err := cfg.StartProfiles()
 	if err != nil {

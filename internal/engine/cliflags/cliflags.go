@@ -1,8 +1,8 @@
 // Package cliflags hoists the flag surface shared by the experiment
 // commands (seed, worker budget, run scale, result cache, multi-process
-// fan-out) into a single RunConfig consumed by engine.Runner, so
-// engine-wide flags are declared — and threaded into the engine — once
-// instead of per command.
+// fan-out, cluster distribution) into a single RunConfig consumed by
+// engine.Runner, so engine-wide flags are declared — and threaded into the
+// engine — once instead of per command.
 package cliflags
 
 import (
@@ -16,13 +16,15 @@ import (
 
 	"farron/internal/engine"
 	"farron/internal/engine/cache"
+	"farron/internal/engine/cluster"
 	"farron/internal/engine/fanout"
+	"farron/internal/engine/wire"
 )
 
 // RunConfig is the shared experiment flag set: every experiment CLI gets
-// the same -seed, -workers, -quick, -cache, -cache-dir, -fanout and
-// (hidden from normal use) -fanout-worker flags with identical semantics,
-// and turns the parsed values into an engine.Runner via Runner.
+// the same -seed, -workers, -quick, -cache, -cache-dir, -fanout, -hosts,
+// -serve and (hidden from normal use) -fanout-worker flags with identical
+// semantics, and turns the parsed values into an engine.Runner via Runner.
 type RunConfig struct {
 	Seed     uint64
 	Workers  int
@@ -32,6 +34,14 @@ type RunConfig struct {
 	// Fanout is the worker-subprocess count of -fanout; values below 2 run
 	// in-process.
 	Fanout int
+	// Hosts is the -hosts cluster fleet: a comma-separated host:port list
+	// of worker daemons to distribute the run over. Empty disables cluster
+	// distribution; -hosts and -fanout are mutually exclusive.
+	Hosts string
+	// Serve is the -serve daemon address: when set, the command binds it
+	// and serves the frame protocol over TCP (ServeDaemon) instead of
+	// running a report.
+	Serve string
 	// FanoutWorker is the internal -fanout-worker mode a -fanout parent
 	// re-execs this binary in: serve framed work orders on stdin/stdout
 	// (ServeWorker) instead of running a report.
@@ -67,6 +77,10 @@ func Register(fs *flag.FlagSet) *RunConfig {
 		"result cache directory used by -cache")
 	fs.IntVar(&c.Fanout, "fanout", 0,
 		"distribute experiments across this many worker subprocesses; output is byte-identical to -workers=1")
+	fs.StringVar(&c.Hosts, "hosts", "",
+		"distribute experiments across these worker daemons (comma-separated host:port list started with -serve); output is byte-identical to -workers=1")
+	fs.StringVar(&c.Serve, "serve", "",
+		"run as a cluster worker daemon on this listen address (host:port) instead of running a report")
 	fs.BoolVar(&c.FanoutWorker, "fanout-worker", false,
 		"internal: serve fan-out work orders on stdin/stdout (how -fanout re-execs this binary)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "",
@@ -174,19 +188,43 @@ func (c *RunConfig) WorkerMode() bool { return c.FanoutWorker }
 // the same binary applying the same group filter); a mismatch is refused
 // at the handshake and the parent recomputes locally.
 func (c *RunConfig) ServeWorker(exps []engine.Experiment) error {
-	return fanout.Serve(os.Stdin, os.Stdout, exps)
+	return wire.Serve(os.Stdin, os.Stdout, exps)
+}
+
+// DaemonMode reports whether this process was started as a cluster worker
+// daemon (-serve) and must call ServeDaemon with its registry slice instead
+// of running a report.
+func (c *RunConfig) DaemonMode() bool { return c.Serve != "" }
+
+// ServeDaemon binds the -serve address and serves the frame protocol over
+// TCP until killed. The registry slice must match each parent's (it does
+// when fleet hosts deploy the same binary); a skew is refused per
+// connection at the handshake and that parent recomputes locally.
+func (c *RunConfig) ServeDaemon(exps []engine.Experiment) error {
+	return cluster.ListenAndServe(c.Serve, exps)
 }
 
 // Runner builds the engine.Runner for the flagged configuration: the seed
-// and worker budget, the result cache under -cache, and the subprocess
-// distributor under -fanout.
+// and worker budget, the result cache under -cache, the subprocess
+// distributor under -fanout, and the cluster distributor under -hosts (one
+// daemon connection per listed host).
 func (c *RunConfig) Runner() (*engine.Runner, error) {
 	rc, err := c.ResultCache()
 	if err != nil {
 		return nil, err
 	}
 	opts := engine.RunOptions{Seed: c.Seed, Workers: c.Workers, Cache: rc, Fanout: c.Fanout}
-	if c.Fanout > 1 {
+	if c.Hosts != "" {
+		if c.Fanout > 1 {
+			return nil, errors.New("cliflags: -hosts and -fanout are mutually exclusive; pick one transport")
+		}
+		hosts, err := cluster.ParseHosts(c.Hosts)
+		if err != nil {
+			return nil, err
+		}
+		opts.Fanout = len(hosts)
+		opts.Distributor = cluster.New(cluster.Options{Hosts: hosts})
+	} else if c.Fanout > 1 {
 		opts.Distributor = fanout.New(fanout.Options{})
 	}
 	return engine.NewRunner(opts), nil

@@ -1,0 +1,249 @@
+// Package cluster is the host-spanning shard-distribution layer of the
+// execution engine: long-lived worker daemons (`<cli> -serve :port`) accept
+// TCP connections and speak the exact farron-fanout/v1 hello/order/result
+// frame protocol (internal/engine/wire) the single-host fan-out speaks over
+// stdin/stdout, and a parent-side Coordinator (selected by `-hosts
+// a:port,b:port`) implements engine.Distributor over those connections. The
+// paper's screening campaigns run against a >1M-CPU production population —
+// a fleet of hosts, not one box (§3) — and this package is that step: the
+// same registry binary deployed across machines, driven by one parent.
+//
+// The fan-out guarantees carry over unchanged because the protocol does:
+//
+//   - A daemon rebuilds the frozen context from the hello's seed and worker
+//     budget, so a shard's substreams are identical wherever it runs; a
+//     daemon built from a skewed registry refuses the stream at the hello
+//     handshake (the connection closes and the parent recomputes locally).
+//   - Results land in slots indexed by shard and merge in shard order, so
+//     `-hosts ...` output is byte-identical to `-workers=1`.
+//   - Every shard the fleet fails to return — dead host, dropped
+//     connection, entry timeout, refusal — is recomputed locally by the
+//     parent. A cluster run degrades to slower, never to wrong.
+//
+// Scheduling is cache-aware by composition: engine.Runner serves
+// content-addressed cache hits (internal/engine/cache) before invoking any
+// Distributor and stores every distributed result on return, so the parent
+// ships only cold entries to the fleet and a warm cluster run distributes
+// nothing — each (seed, scale, entry) is computed exactly once fleet-wide
+// per cache lifetime.
+//
+// This package is also the repository's raw-socket quarantine: sdclint
+// (detrand) restricts importing net to this package and internal/serve (the
+// status API's listener), so no simulation code can grow a network
+// dependency.
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"farron/internal/engine"
+	"farron/internal/engine/wallclock"
+	"farron/internal/engine/wire"
+)
+
+// DefaultDialTimeout bounds how long the coordinator waits for a daemon to
+// accept before writing the host off as dead (its shards go to the rest of
+// the fleet or to the local recompute).
+const DefaultDialTimeout = 5 * time.Second
+
+// Options configure a Coordinator.
+type Options struct {
+	// Hosts lists the worker daemons' listen addresses (host:port).
+	Hosts []string
+	// EntryTimeout drops a connection whose daemon takes longer than this
+	// on a single entry (0 disables); the lost entry is recomputed locally.
+	EntryTimeout time.Duration
+	// DialTimeout bounds the per-host connection attempt; 0 means
+	// DefaultDialTimeout.
+	DialTimeout time.Duration
+}
+
+// ParseHosts splits a -hosts flag value (comma-separated host:port list)
+// into its addresses, validating each one.
+func ParseHosts(s string) ([]string, error) {
+	var hosts []string
+	for _, h := range strings.Split(s, ",") {
+		h = strings.TrimSpace(h)
+		if h == "" {
+			continue
+		}
+		if _, _, err := net.SplitHostPort(h); err != nil {
+			return nil, fmt.Errorf("cluster: -hosts entry %q: %w", h, err)
+		}
+		hosts = append(hosts, h)
+	}
+	if len(hosts) == 0 {
+		return nil, errors.New("cluster: -hosts names no worker daemons")
+	}
+	return hosts, nil
+}
+
+// Coordinator implements engine.Distributor over TCP connections to
+// long-lived worker daemons. A Coordinator carries no state between calls
+// and is safe for sequential reuse; each Distribute dials fresh
+// connections, so a daemon that died between runs costs recompute time, not
+// correctness.
+type Coordinator struct {
+	opts Options
+}
+
+// New returns a coordinator for the given fleet.
+func New(opts Options) *Coordinator { return &Coordinator{opts: opts} }
+
+var _ engine.Distributor = (*Coordinator)(nil)
+
+// Distribute runs exps across the fleet and returns the merged sections in
+// shard order. One connection is dialed per host (capped at procs and at
+// the entry count); shards are dispatched dynamically — each connection
+// pulls the next undealt entry — which balances load across hosts of
+// different speeds without affecting output, because results land in slots
+// indexed by shard. Every shard the fleet fails to return is recomputed
+// locally on the parent's pool, so the only hard failure is a caller error;
+// fleet trouble degrades to local compute.
+func (c *Coordinator) Distribute(ctx *engine.Ctx, exps []engine.Experiment, sc engine.Scale, procs int) (*engine.DistResult, error) {
+	n := len(exps)
+	hosts := c.opts.Hosts
+	if procs > 0 && procs < len(hosts) {
+		hosts = hosts[:procs]
+	}
+	if len(hosts) > n {
+		hosts = hosts[:n]
+	}
+
+	names := make([]string, n)
+	for i, e := range exps {
+		names[i] = e.Name
+	}
+	h := wire.Hello{Schema: wire.Schema, Seed: ctx.Seed, Workers: ctx.Workers, Scale: sc, Names: names}
+
+	// results is slot-per-shard: connection goroutines fill disjoint
+	// indices, the dispenser hands each index out exactly once.
+	results := make([]*wire.Result, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards procStats
+	var procStats []engine.WorkerProc
+	for p, host := range hosts {
+		if int(next.Load()) >= n {
+			break
+		}
+		w, err := dialWorker(host, c.opts.DialTimeout, h)
+		if err != nil {
+			log.Printf("cluster: worker %s unreachable: %v", host, err)
+			mu.Lock()
+			procStats = append(procStats, engine.WorkerProc{ID: p, Host: host, ExitError: err.Error()})
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(p int, w *conn) {
+			defer wg.Done()
+			st := c.drain(w, exps, results, &next)
+			st.ID = p
+			mu.Lock()
+			procStats = append(procStats, st)
+			mu.Unlock()
+		}(p, w)
+	}
+	wg.Wait()
+	// Stats arrive in completion order; report them in dial order.
+	sort.Slice(procStats, func(i, j int) bool { return procStats[i].ID < procStats[j].ID })
+
+	recomputed := wire.RecomputeLost("cluster", ctx, exps, sc, results)
+	return wire.Collect(results, procStats, recomputed), nil
+}
+
+// drain feeds shard indices to one daemon connection until the dispenser
+// runs dry or the connection fails, and returns the connection's
+// accounting. On failure the in-flight shard stays unfilled in results; the
+// caller recomputes it.
+func (c *Coordinator) drain(w *conn, exps []engine.Experiment, results []*wire.Result, next *atomic.Int64) engine.WorkerProc {
+	st := engine.WorkerProc{Host: w.host}
+	start := wallclock.Start()
+	clean := false
+	defer func() {
+		if err := w.shutdown(); err != nil && clean && st.ExitError == "" {
+			st.ExitError = err.Error()
+		}
+		st.WallSeconds = start.Seconds()
+	}()
+	clean = wire.Drain(fmt.Sprintf("cluster: worker %s", w.host), exps, results, next, &st,
+		func(i int) (*wire.Result, error) { return w.roundTrip(i, c.opts.EntryTimeout) })
+	return st
+}
+
+// conn is one live daemon connection and its frame streams. enc is the
+// connection's reusable frame encoder: one scratch buffer per connection,
+// one Write per frame.
+type conn struct {
+	host string
+	c    net.Conn
+	rd   *bufio.Reader
+	enc  *wire.Encoder
+}
+
+// dialWorker connects to a daemon and sends the hello. A dial or hello
+// failure closes whatever was opened — a dead host costs one log line and
+// its shards, never a descriptor.
+func dialWorker(host string, dialTimeout time.Duration, h wire.Hello) (*conn, error) {
+	if dialTimeout <= 0 {
+		dialTimeout = DefaultDialTimeout
+	}
+	nc, err := net.DialTimeout("tcp", host, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	w := &conn{host: host, c: nc, rd: bufio.NewReader(nc), enc: wire.NewEncoder(nc)}
+	if err := w.enc.Encode(h); err != nil {
+		return nil, errors.Join(fmt.Errorf("sending hello: %w", err), nc.Close())
+	}
+	return w, nil
+}
+
+// roundTrip sends one single-shard order and reads its result. A non-zero
+// timeout arms a drop timer around the read: a daemon that exceeds it loses
+// its connection (closing it is the TCP analogue of the fan-out's worker
+// kill), the read fails, and the shard is recomputed locally. When the read
+// succeeds at the same moment the timer fires (Stop returns false on the
+// boundary), the result in hand is valid and is kept — the drop only costs
+// the connection's remaining shards, never a completed one.
+func (w *conn) roundTrip(i int, timeout time.Duration) (*wire.Result, error) {
+	if err := w.enc.Encode(wire.Order{Lo: i, Hi: i + 1}); err != nil {
+		return nil, err
+	}
+	var timer *time.Timer
+	if timeout > 0 {
+		timer = time.AfterFunc(timeout, func() {
+			if cerr := w.c.Close(); cerr != nil {
+				log.Printf("cluster: worker %s: dropping timed-out connection: %v", w.host, cerr)
+			}
+		})
+	}
+	var res wire.Result
+	err := wire.ReadFrame(w.rd, &res)
+	timedOut := timer != nil && !timer.Stop()
+	if err != nil {
+		if timedOut {
+			return nil, fmt.Errorf("connection dropped after exceeding the %v entry timeout", timeout)
+		}
+		return nil, err
+	}
+	return &res, nil
+}
+
+// shutdown closes the connection; the daemon reads the EOF as the session's
+// end and stays up for the next parent. Closing an already-dropped
+// connection (entry timeout) reports net.ErrClosed, which drain ignores on
+// unclean exits — the round-trip error already tells the story.
+func (w *conn) shutdown() error {
+	return w.c.Close()
+}

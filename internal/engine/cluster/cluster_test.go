@@ -1,0 +1,488 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"farron/internal/engine"
+	"farron/internal/engine/cache"
+	"farron/internal/engine/wire"
+)
+
+// ---- fixture registry --------------------------------------------------
+//
+// Like the fan-out fixtures, each entry is a pure function of (seed, scale)
+// drawing from its own substream. The daemons here run in-process (goroutine
+// accept loops over loopback), which exercises the full TCP transport while
+// staying hermetic; wire.Serve rebuilds the context from the hello exactly
+// as an out-of-process daemon would.
+
+type textResult string
+
+func (r textResult) Render() string { return string(r) }
+
+func fakeRegistry() []engine.Experiment {
+	mk := func(name string) engine.Experiment {
+		return engine.Experiment{
+			Name: name, Desc: "cluster fixture", Groups: []string{engine.GroupStudy},
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				rng := ctx.Rng.Derive("cluster-fixture", name)
+				return textResult(fmt.Sprintf("%s seed=%d pop=%d draw=%d\n",
+					name, ctx.Seed, sc.Population, rng.Uint64())), nil
+			},
+		}
+	}
+	return []engine.Experiment{
+		mk("Clu A"), mk("Clu B"), mk("Clu C"), mk("Clu D"), mk("Clu E"), mk("Clu F"),
+	}
+}
+
+// skewedRegistry is a registry whose names disagree with fakeRegistry — the
+// stand-in for a daemon built from a different binary version.
+func skewedRegistry() []engine.Experiment {
+	exps := fakeRegistry()
+	exps[0].Name = "Clu A (skewed)"
+	return exps
+}
+
+// ---- in-process daemons ------------------------------------------------
+
+// startDaemon runs a worker daemon on an ephemeral loopback port and
+// returns its address. The listener closes with the test.
+func startDaemon(t *testing.T, exps []engine.Experiment) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() { _ = Serve(ln, exps) }()
+	return ln.Addr().String()
+}
+
+// deadHost returns a loopback address guaranteed to refuse connections: the
+// port was bound and released, so nothing listens there.
+func deadHost(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+// dyingConn drops the connection after n result writes, simulating a daemon
+// that dies mid-session. wire.Serve emits exactly one Write per result
+// frame (the Encoder's single-Write property), so n counts completed
+// results.
+type dyingConn struct {
+	net.Conn
+	remaining int
+}
+
+func (d *dyingConn) Write(p []byte) (int, error) {
+	if d.remaining <= 0 {
+		_ = d.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	d.remaining--
+	return d.Conn.Write(p)
+}
+
+// startDyingDaemon serves sessions whose connection drops after n results.
+func startDyingDaemon(t *testing.T, exps []engine.Experiment, n int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				_ = wire.Serve(conn, &dyingConn{Conn: conn, remaining: n}, exps)
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// stallConn wedges every result write far past any test's entry timeout, so
+// only the coordinator's connection-drop timer can end the round trip.
+type stallConn struct {
+	net.Conn
+}
+
+func (s *stallConn) Write(p []byte) (int, error) {
+	time.Sleep(30 * time.Second)
+	return s.Conn.Write(p)
+}
+
+// startStallingDaemon serves sessions that accept orders but never answer
+// in time.
+func startStallingDaemon(t *testing.T, exps []engine.Experiment) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				_ = wire.Serve(conn, &stallConn{Conn: conn}, exps)
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// captureLog routes the std logger into a buffer for the duration of the
+// test, so assertions can grep coordinator and daemon log lines.
+func captureLog(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&buf)
+	t.Cleanup(func() { log.SetOutput(prev) })
+	return &buf
+}
+
+// ---- reference and diff ------------------------------------------------
+
+// inProcessReference renders the fixture registry without distribution —
+// the byte-exact reference every cluster run must match.
+func inProcessReference(t *testing.T, exps []engine.Experiment, sc engine.Scale) []engine.Section {
+	t.Helper()
+	r := engine.NewRunner(engine.RunOptions{Seed: 7, Workers: 1})
+	sections, _, err := r.Run(exps, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sections
+}
+
+func diffSections(t *testing.T, want, got []engine.Section) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("section count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("section %d (%s): cluster bytes differ\n--- in-process ---\n%s\n--- cluster ---\n%s",
+				i, want[i].Name, want[i].Body, got[i].Body)
+		}
+	}
+}
+
+// ---- ParseHosts --------------------------------------------------------
+
+func TestParseHosts(t *testing.T) {
+	hosts, err := ParseHosts(" a:1, b:2 ,,c:3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 3 || hosts[0] != "a:1" || hosts[1] != "b:2" || hosts[2] != "c:3" {
+		t.Errorf("ParseHosts = %v", hosts)
+	}
+	if _, err := ParseHosts("noport"); err == nil {
+		t.Error("ParseHosts accepted an entry without a port")
+	}
+	if _, err := ParseHosts(" , "); err == nil {
+		t.Error("ParseHosts accepted an empty host list")
+	}
+}
+
+// ---- coordinator end to end --------------------------------------------
+
+// TestDistributeMatchesInProcess is the core determinism pin: a two-daemon
+// loopback cluster run is byte-identical to -workers=1.
+func TestDistributeMatchesInProcess(t *testing.T) {
+	exps := fakeRegistry()
+	sc := engine.QuickScale()
+	want := inProcessReference(t, exps, sc)
+
+	hosts := []string{startDaemon(t, exps), startDaemon(t, exps)}
+	c := New(Options{Hosts: hosts})
+	dr, err := c.Distribute(engine.NewCtxWorkers(7, 1), exps, sc, len(hosts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSections(t, want, dr.Sections)
+	if dr.Recomputed != 0 {
+		t.Errorf("healthy run recomputed %d shard(s)", dr.Recomputed)
+	}
+	if len(dr.Procs) != 2 {
+		t.Fatalf("got %d worker conns, want 2", len(dr.Procs))
+	}
+	served := 0
+	for _, p := range dr.Procs {
+		if p.Host == "" {
+			t.Errorf("worker %d has no host", p.ID)
+		}
+		if p.ExitError != "" {
+			t.Errorf("worker %d exited with %q", p.ID, p.ExitError)
+		}
+		served += p.Entries
+	}
+	if served != len(exps) {
+		t.Errorf("daemons served %d entries, want %d", served, len(exps))
+	}
+}
+
+// TestDistributeDaemonKillRecomputes is the graceful-degradation guarantee:
+// every daemon connection drops after its first result, and the coordinator
+// must deliver byte-identical output anyway by recomputing the lost shards
+// locally.
+func TestDistributeDaemonKillRecomputes(t *testing.T) {
+	exps := fakeRegistry()
+	sc := engine.QuickScale()
+	want := inProcessReference(t, exps, sc)
+	logs := captureLog(t)
+
+	hosts := []string{startDyingDaemon(t, exps, 1), startDyingDaemon(t, exps, 1)}
+	c := New(Options{Hosts: hosts})
+	dr, err := c.Distribute(engine.NewCtxWorkers(7, 1), exps, sc, len(hosts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSections(t, want, dr.Sections)
+	if dr.Recomputed == 0 {
+		t.Error("dying daemons lost no shards; the drop path was not exercised")
+	}
+	lost := 0
+	for _, p := range dr.Procs {
+		lost += p.Lost
+	}
+	if lost == 0 {
+		t.Error("no worker connection reported a lost shard")
+	}
+	if !bytes.Contains(logs.Bytes(), []byte("recomputing")) {
+		t.Errorf("coordinator log lacks the recomputed-shard line:\n%s", logs)
+	}
+	t.Logf("coordinator log after daemon drop:\n%s", logs)
+}
+
+// TestDistributeDeadHostsDegradeToLocal: when no daemon is reachable at
+// all, the whole run degrades to local compute — still byte-identical.
+func TestDistributeDeadHostsDegradeToLocal(t *testing.T) {
+	exps := fakeRegistry()
+	sc := engine.QuickScale()
+	want := inProcessReference(t, exps, sc)
+	logs := captureLog(t)
+
+	c := New(Options{
+		Hosts:       []string{deadHost(t), deadHost(t)},
+		DialTimeout: 2 * time.Second,
+	})
+	dr, err := c.Distribute(engine.NewCtxWorkers(7, 1), exps, sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSections(t, want, dr.Sections)
+	if dr.Recomputed != len(exps) {
+		t.Errorf("recomputed %d shard(s), want all %d", dr.Recomputed, len(exps))
+	}
+	for _, p := range dr.Procs {
+		if p.ExitError == "" {
+			t.Errorf("worker %d should carry a dial error", p.ID)
+		}
+	}
+	if !bytes.Contains(logs.Bytes(), []byte("unreachable")) {
+		t.Errorf("coordinator log lacks the unreachable-host line:\n%s", logs)
+	}
+}
+
+// TestDistributeRegistryMismatchRecovers: a daemon built from a skewed
+// registry refuses the stream at the hello handshake; the parent loses
+// those shards and recomputes them — output stays byte-identical.
+func TestDistributeRegistryMismatchRecovers(t *testing.T) {
+	exps := fakeRegistry()
+	sc := engine.QuickScale()
+	want := inProcessReference(t, exps, sc)
+	logs := captureLog(t)
+
+	c := New(Options{Hosts: []string{startDaemon(t, skewedRegistry())}})
+	dr, err := c.Distribute(engine.NewCtxWorkers(7, 1), exps, sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSections(t, want, dr.Sections)
+	if dr.Recomputed != len(exps) {
+		t.Errorf("recomputed %d shard(s), want all %d after the refusal", dr.Recomputed, len(exps))
+	}
+	if !bytes.Contains(logs.Bytes(), []byte("registry mismatch")) {
+		t.Errorf("daemon log lacks the registry-mismatch refusal:\n%s", logs)
+	}
+	if !bytes.Contains(logs.Bytes(), []byte("recomputing")) {
+		t.Errorf("coordinator log lacks the recomputed-shard line:\n%s", logs)
+	}
+}
+
+// TestDistributeEntryTimeoutDropsConnection: a daemon that wedges on an
+// entry loses its connection after EntryTimeout and the shard is recomputed
+// locally; the error names the timeout, not the bare read failure.
+func TestDistributeEntryTimeoutDropsConnection(t *testing.T) {
+	exps := fakeRegistry()
+	sc := engine.QuickScale()
+	want := inProcessReference(t, exps, sc)
+	logs := captureLog(t)
+
+	c := New(Options{
+		Hosts:        []string{startStallingDaemon(t, exps)},
+		EntryTimeout: 50 * time.Millisecond,
+	})
+	dr, err := c.Distribute(engine.NewCtxWorkers(7, 1), exps, sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSections(t, want, dr.Sections)
+	if dr.Recomputed != len(exps) {
+		t.Errorf("recomputed %d shard(s), want all %d after the drop", dr.Recomputed, len(exps))
+	}
+	if !bytes.Contains(logs.Bytes(), []byte("entry timeout")) {
+		t.Errorf("coordinator log lacks the entry-timeout line:\n%s", logs)
+	}
+}
+
+// ---- runner integration ------------------------------------------------
+
+// TestRunnerClusterEndToEnd drives the full stack the CLIs use — Runner
+// with a cluster Coordinator — against the in-process reference.
+func TestRunnerClusterEndToEnd(t *testing.T) {
+	exps := fakeRegistry()
+	sc := engine.QuickScale()
+	want := inProcessReference(t, exps, sc)
+
+	hosts := []string{startDaemon(t, exps), startDaemon(t, exps)}
+	r := engine.NewRunner(engine.RunOptions{
+		Seed: 7, Workers: 1, Fanout: len(hosts), Distributor: New(Options{Hosts: hosts}),
+	})
+	got, rep, err := r.Run(exps, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSections(t, want, got)
+	if rep.Fanout != 2 || len(rep.WorkerProcs) != 2 {
+		t.Errorf("report fanout=%d with %d procs, want 2/2", rep.Fanout, len(rep.WorkerProcs))
+	}
+	for _, p := range rep.WorkerProcs {
+		if p.Host == "" {
+			t.Errorf("worker %d report lacks its host", p.ID)
+		}
+	}
+}
+
+// TestRunnerSingleHostStillDistributes: `-hosts one:port` means Fanout 1
+// with a Distributor, and the run must ship shards over the transport
+// rather than silently computing locally.
+func TestRunnerSingleHostStillDistributes(t *testing.T) {
+	exps := fakeRegistry()
+	sc := engine.QuickScale()
+	want := inProcessReference(t, exps, sc)
+
+	host := startDaemon(t, exps)
+	r := engine.NewRunner(engine.RunOptions{
+		Seed: 7, Workers: 1, Fanout: 1, Distributor: New(Options{Hosts: []string{host}}),
+	})
+	got, rep, err := r.Run(exps, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSections(t, want, got)
+	if len(rep.WorkerProcs) != 1 || rep.WorkerProcs[0].Entries != len(exps) {
+		t.Errorf("single-host run did not distribute: procs=%+v", rep.WorkerProcs)
+	}
+}
+
+// countingListener counts accepted connections — the probe for the
+// cache-aware scheduling pin below.
+type countingListener struct {
+	net.Listener
+	accepts atomic.Int64
+}
+
+func (c *countingListener) Accept() (net.Conn, error) {
+	conn, err := c.Listener.Accept()
+	if err == nil {
+		c.accepts.Add(1)
+	}
+	return conn, err
+}
+
+// TestRunnerWarmCacheDistributesZero pins cache-aware scheduling end to end
+// over real TCP: a cold cluster run computes each entry exactly once
+// fleet-wide and populates the cache; the warm rerun serves every entry
+// from cache and dials no daemon at all.
+func TestRunnerWarmCacheDistributesZero(t *testing.T) {
+	exps := fakeRegistry()
+	sc := engine.QuickScale()
+	want := inProcessReference(t, exps, sc)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	cl := &countingListener{Listener: ln}
+	go func() { _ = Serve(cl, exps) }()
+
+	rc, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := engine.RunOptions{
+		Seed: 7, Workers: 1, Cache: rc,
+		Fanout: 1, Distributor: New(Options{Hosts: []string{ln.Addr().String()}}),
+	}
+
+	got, rep, err := engine.NewRunner(opts).Run(exps, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSections(t, want, got)
+	if rep.CacheMisses != len(exps) {
+		t.Fatalf("cold run had %d misses, want %d", rep.CacheMisses, len(exps))
+	}
+	cold := cl.accepts.Load()
+	if cold == 0 {
+		t.Fatal("cold run dialed no daemon; the cluster path was not exercised")
+	}
+	if n := rep.WorkerProcs[0].Entries; n != len(exps) {
+		t.Errorf("cold run distributed %d entries, want each of the %d exactly once", n, len(exps))
+	}
+
+	got, rep, err = engine.NewRunner(opts).Run(exps, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSections(t, want, got)
+	if rep.CacheHits != len(exps) {
+		t.Errorf("warm run had %d hits, want %d", rep.CacheHits, len(exps))
+	}
+	if warm := cl.accepts.Load(); warm != cold {
+		t.Errorf("warm run dialed %d new connection(s); a fully warm run must distribute nothing", warm-cold)
+	}
+	if len(rep.WorkerProcs) != 0 {
+		t.Errorf("warm run reported %d worker conns, want none", len(rep.WorkerProcs))
+	}
+}

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+
+	"farron/internal/engine"
+	"farron/internal/engine/wire"
+)
+
+// ListenAndServe binds addr and runs a worker daemon until the listener
+// fails. This is the `-serve :port` entry point: one process, one bound
+// socket, serving any number of parents over its lifetime. It never returns
+// nil — a daemon has no natural end short of being killed.
+func ListenAndServe(addr string, exps []engine.Experiment) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	log.Printf("cluster: worker daemon listening on %s (%d registry entries)", ln.Addr(), len(exps))
+	return Serve(ln, exps)
+}
+
+// Serve accepts parent connections from ln and speaks the worker side of
+// the frame protocol (wire.Serve) on each, concurrently. A per-connection
+// failure — protocol violation, registry mismatch, dropped parent — costs
+// that connection a log line and nothing else; the daemon stays up for the
+// next parent. Serve returns nil when ln is closed (the test harness's
+// shutdown path) and the accept error otherwise.
+func Serve(ln net.Listener, exps []engine.Experiment) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("cluster: accept: %w", err)
+		}
+		go func(conn net.Conn) {
+			// The session error is logged before the close so the two lines
+			// read in cause-then-cleanup order.
+			if err := wire.Serve(conn, conn, exps); err != nil {
+				log.Printf("cluster: session from %s: %v", conn.RemoteAddr(), err)
+			}
+			if err := conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("cluster: closing session from %s: %v", conn.RemoteAddr(), err)
+			}
+		}(conn)
+	}
+}

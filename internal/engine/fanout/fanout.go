@@ -2,11 +2,12 @@
 // execution engine: it fans registry entries out across N worker
 // subprocesses (re-execs of the current binary in the hidden -fanout-worker
 // mode), streams work orders and rendered results over stdin/stdout as
-// length-prefixed JSON frames, and merges what comes back in shard order.
-// The paper's vendor toolchain screens >1M production CPUs by distributing
-// testcases across many machines (§3); fan-out is the reproduction's
-// version of that scale-out, kept under the same determinism contract the
-// in-process pool guarantees:
+// length-prefixed JSON frames (internal/engine/wire), and merges what comes
+// back in shard order. The paper's vendor toolchain screens >1M production
+// CPUs by distributing testcases across many machines (§3); fan-out is the
+// reproduction's single-host version of that scale-out (its host-spanning
+// sibling is internal/engine/cluster, same frames over TCP), kept under the
+// same determinism contract the in-process pool guarantees:
 //
 //   - Workers rebuild the frozen context from the same seed, so a shard's
 //     substreams (Derive(purpose, ShardKey)) are identical wherever it runs.
@@ -38,10 +39,11 @@ import (
 
 	"farron/internal/engine"
 	"farron/internal/engine/wallclock"
+	"farron/internal/engine/wire"
 )
 
 // WorkerFlag is the hidden CLI flag that switches a re-exec'ed experiment
-// binary into worker mode (cliflags registers it; Serve implements it).
+// binary into worker mode (cliflags registers it; wire.Serve implements it).
 const WorkerFlag = "-fanout-worker"
 
 // Options configure a Coordinator.
@@ -98,11 +100,11 @@ func (c *Coordinator) Distribute(ctx *engine.Ctx, exps []engine.Experiment, sc e
 	for i, e := range exps {
 		names[i] = e.Name
 	}
-	h := hello{Schema: frameSchema, Seed: ctx.Seed, Workers: ctx.Workers, Scale: sc, Names: names}
+	h := wire.Hello{Schema: wire.Schema, Seed: ctx.Seed, Workers: ctx.Workers, Scale: sc, Names: names}
 
 	// results is slot-per-shard: worker goroutines fill disjoint indices,
 	// the dispenser hands each index out exactly once.
-	results := make([]*result, n)
+	results := make([]*wire.Result, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	var mu sync.Mutex // guards procStats
@@ -133,47 +135,15 @@ func (c *Coordinator) Distribute(ctx *engine.Ctx, exps []engine.Experiment, sc e
 	sort.Slice(procStats, func(i, j int) bool { return procStats[i].ID < procStats[j].ID })
 
 	// Recompute every shard no worker returned — crashed, timed out,
-	// mis-addressed or never dispatched. Entries are pure functions of
-	// (ctx, scale), so the local rerun is byte-identical to what the worker
-	// would have sent.
-	var lost []int
-	for i, r := range results {
-		if r == nil {
-			lost = append(lost, i)
-		}
-	}
-	if len(lost) > 0 {
-		log.Printf("fanout: recomputing %d lost shard(s) locally: %v", len(lost), lost)
-		pool := ctx.Pool()
-		pool.Run(len(lost), func(j int) {
-			i := lost[j]
-			r := runOne(ctx, exps[i], i, sc)
-			results[i] = &r
-		})
-	}
-
-	dr := &engine.DistResult{
-		Sections:   make([]engine.Section, n),
-		Entries:    make([]engine.ExperimentTiming, n),
-		Procs:      procStats,
-		Recomputed: len(lost),
-	}
-	for i, r := range results {
-		dr.Sections[i] = engine.Section{Name: r.Name, Body: r.Body}
-		dr.Entries[i] = engine.ExperimentTiming{
-			Name:        r.Name,
-			WallSeconds: r.WallSeconds,
-			OutputBytes: len(r.Body),
-			Error:       r.Err,
-		}
-	}
-	return dr, nil
+	// mis-addressed or never dispatched.
+	recomputed := wire.RecomputeLost("fanout", ctx, exps, sc, results)
+	return wire.Collect(results, procStats, recomputed), nil
 }
 
 // drain feeds shard indices to one worker until the dispenser runs dry or
 // the worker fails, and returns the worker's accounting. On failure the
 // in-flight shard stays unfilled in results; the caller recomputes it.
-func (c *Coordinator) drain(w *worker, exps []engine.Experiment, results []*result, next *atomic.Int64) engine.WorkerProc {
+func (c *Coordinator) drain(w *worker, exps []engine.Experiment, results []*wire.Result, next *atomic.Int64) engine.WorkerProc {
 	st := engine.WorkerProc{Pid: w.cmd.Process.Pid}
 	start := wallclock.Start()
 	clean := false
@@ -183,55 +153,29 @@ func (c *Coordinator) drain(w *worker, exps []engine.Experiment, results []*resu
 		}
 		st.WallSeconds = start.Seconds()
 	}()
-	n := len(exps)
-	for {
-		i := int(next.Add(1)) - 1
-		if i >= n {
-			clean = true
-			return st
-		}
-		res, err := w.roundTrip(i, c.opts.EntryTimeout)
-		if err != nil {
-			st.Lost++
-			st.ExitError = err.Error()
-			log.Printf("fanout: worker pid %d lost shard %d (%s): %v", st.Pid, i, exps[i].Name, err)
-			return st
-		}
-		if res.Index != i || res.Name != exps[i].Name {
-			st.Lost++
-			st.ExitError = fmt.Sprintf("protocol mismatch: got shard %d (%q), want %d (%q)",
-				res.Index, res.Name, i, exps[i].Name)
-			log.Printf("fanout: worker pid %d: %s", st.Pid, st.ExitError)
-			return st
-		}
-		results[i] = res
-		st.Entries++
-	}
+	clean = wire.Drain(fmt.Sprintf("fanout: worker pid %d", st.Pid), exps, results, next, &st,
+		func(i int) (*wire.Result, error) { return w.roundTrip(i, c.opts.EntryTimeout) })
+	return st
 }
 
-// runOne executes one registry entry and packages it as a result frame; it
-// is the single compute path shared by the worker loop and the parent's
-// lost-shard recompute, so both produce identical bytes.
-func runOne(ctx *engine.Ctx, e engine.Experiment, i int, sc engine.Scale) result {
-	start := wallclock.Start()
-	res, err := e.Run(ctx, sc)
-	if err != nil {
-		return result{Index: i, Name: e.Name, WallSeconds: start.Seconds(), Err: err.Error()}
-	}
-	return result{Index: i, Name: e.Name, Body: res.Render(), WallSeconds: start.Seconds()}
-}
-
-// worker is one live subprocess and its frame streams.
+// worker is one live subprocess and its frame streams. enc is the worker's
+// reusable frame encoder over stdin: one scratch buffer per worker, one
+// Write per frame.
 type worker struct {
 	cmd    *exec.Cmd
 	stdin  io.WriteCloser
 	stdout io.ReadCloser
+	enc    *wire.Encoder
 }
 
 // startWorker launches argv, wires the frame pipes and sends the hello.
 // The worker's stderr passes through to the parent's, so worker-side
-// failures surface in the parent's log.
-func startWorker(argv, env []string, h hello) (*worker, error) {
+// failures surface in the parent's log. Every early-exit path releases what
+// it already acquired: a failed StdoutPipe or Start closes the open pipe
+// ends (nothing to reap — the process never started), and a failed hello
+// shuts the spawned worker down, so a degraded spawn loop cannot bleed
+// descriptors across a long run.
+func startWorker(argv, env []string, h wire.Hello) (*worker, error) {
 	cmd := exec.Command(argv[0], argv[1:]...)
 	cmd.Stderr = os.Stderr
 	if len(env) > 0 {
@@ -243,13 +187,13 @@ func startWorker(argv, env []string, h hello) (*worker, error) {
 	}
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
-		return nil, err
+		return nil, errors.Join(err, stdin.Close())
 	}
 	if err := cmd.Start(); err != nil {
-		return nil, err
+		return nil, errors.Join(err, stdin.Close(), stdout.Close())
 	}
-	w := &worker{cmd: cmd, stdin: stdin, stdout: stdout}
-	if err := writeFrame(stdin, h); err != nil {
+	w := &worker{cmd: cmd, stdin: stdin, stdout: stdout, enc: wire.NewEncoder(stdin)}
+	if err := w.enc.Encode(h); err != nil {
 		err = fmt.Errorf("sending hello: %w", err)
 		if serr := w.shutdown(false); serr != nil {
 			err = errors.Join(err, serr)
@@ -261,21 +205,25 @@ func startWorker(argv, env []string, h hello) (*worker, error) {
 
 // roundTrip sends one single-shard order and reads its result. A non-zero
 // timeout arms a kill timer around the read: a worker that exceeds it is
-// killed, the read fails, and the shard is recomputed locally.
-func (w *worker) roundTrip(i int, timeout time.Duration) (*result, error) {
-	if err := writeFrame(w.stdin, order{Lo: i, Hi: i + 1}); err != nil {
+// killed, the read fails, and the shard is recomputed locally. When the
+// read succeeds at the same moment the timer fires (Stop returns false on
+// the boundary), the result in hand is valid and is kept — the kill only
+// costs the worker's remaining shards, never a completed one.
+func (w *worker) roundTrip(i int, timeout time.Duration) (*wire.Result, error) {
+	if err := w.enc.Encode(wire.Order{Lo: i, Hi: i + 1}); err != nil {
 		return nil, err
 	}
 	var timer *time.Timer
 	if timeout > 0 {
 		timer = time.AfterFunc(timeout, func() { _ = w.cmd.Process.Kill() })
 	}
-	var res result
-	err := readFrame(w.stdout, &res)
-	if timer != nil && !timer.Stop() {
-		return nil, fmt.Errorf("killed after exceeding the %v entry timeout", timeout)
-	}
+	var res wire.Result
+	err := wire.ReadFrame(w.stdout, &res)
+	timedOut := timer != nil && !timer.Stop()
 	if err != nil {
+		if timedOut {
+			return nil, fmt.Errorf("killed after exceeding the %v entry timeout", timeout)
+		}
 		return nil, err
 	}
 	return &res, nil

@@ -7,10 +7,11 @@ import (
 	"log"
 	"os"
 	"strconv"
-	"strings"
 	"testing"
+	"time"
 
 	"farron/internal/engine"
+	"farron/internal/engine/wire"
 )
 
 // ---- fixture registry --------------------------------------------------
@@ -67,7 +68,10 @@ func TestFanoutWorkerHelper(t *testing.T) {
 	if n, _ := strconv.Atoi(os.Getenv("FANOUT_HELPER_DIE_AFTER")); n > 0 {
 		out = &dyingWriter{w: os.Stdout, remaining: n}
 	}
-	if err := Serve(os.Stdin, out, exps); err != nil {
+	if os.Getenv("FANOUT_HELPER_STALL") != "" {
+		out = &stallWriter{w: out}
+	}
+	if err := wire.Serve(os.Stdin, out, exps); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -75,9 +79,9 @@ func TestFanoutWorkerHelper(t *testing.T) {
 	os.Exit(0)
 }
 
-// dyingWriter crashes the process after n writes. Serve emits exactly one
-// Write per result frame (writeFrame's single-Write property), so n counts
-// completed result frames.
+// dyingWriter crashes the process after n writes. wire.Serve emits exactly
+// one Write per result frame (the Encoder's single-Write property), so n
+// counts completed result frames.
 type dyingWriter struct {
 	w         io.Writer
 	remaining int
@@ -89,6 +93,18 @@ func (d *dyingWriter) Write(p []byte) (int, error) {
 	}
 	d.remaining--
 	return d.w.Write(p)
+}
+
+// stallWriter simulates a wedged worker: every result write sleeps far past
+// any test's entry timeout, so only the coordinator's kill timer can end
+// the round trip.
+type stallWriter struct {
+	w io.Writer
+}
+
+func (s *stallWriter) Write(p []byte) (int, error) {
+	time.Sleep(30 * time.Second)
+	return s.w.Write(p)
 }
 
 // helperOptions returns coordinator options that re-exec this test binary
@@ -109,75 +125,6 @@ func captureLog(t *testing.T) *bytes.Buffer {
 	log.SetOutput(&buf)
 	t.Cleanup(func() { log.SetOutput(prev) })
 	return &buf
-}
-
-// ---- frame protocol ----------------------------------------------------
-
-func TestFrameRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	in := hello{Schema: frameSchema, Seed: 42, Workers: 3, Scale: engine.QuickScale(), Names: []string{"a", "b"}}
-	if err := writeFrame(&buf, in); err != nil {
-		t.Fatal(err)
-	}
-	var out hello
-	if err := readFrame(&buf, &out); err != nil {
-		t.Fatal(err)
-	}
-	if out.Seed != in.Seed || out.Workers != in.Workers || len(out.Names) != 2 || out.Scale != in.Scale {
-		t.Errorf("round trip lost data: %+v", out)
-	}
-	// The drained stream yields a clean EOF, the worker's shutdown signal.
-	if err := readFrame(&buf, &out); err != io.EOF {
-		t.Errorf("empty stream read returned %v, want io.EOF", err)
-	}
-}
-
-func TestFrameTruncationIsUnexpectedEOF(t *testing.T) {
-	var buf bytes.Buffer
-	if err := writeFrame(&buf, order{Lo: 1, Hi: 2}); err != nil {
-		t.Fatal(err)
-	}
-	cut := buf.Bytes()[:buf.Len()-2]
-	var o order
-	if err := readFrame(bytes.NewReader(cut), &o); err != io.ErrUnexpectedEOF {
-		t.Errorf("truncated frame read returned %v, want io.ErrUnexpectedEOF", err)
-	}
-}
-
-func TestFrameLengthBound(t *testing.T) {
-	head := []byte{0xff, 0xff, 0xff, 0xff}
-	var o order
-	err := readFrame(bytes.NewReader(head), &o)
-	if err == nil || !strings.Contains(err.Error(), "exceeds") {
-		t.Errorf("oversized frame length returned %v, want a bound error", err)
-	}
-}
-
-// ---- worker-side handshake ---------------------------------------------
-
-func TestServeRefusesRegistryMismatch(t *testing.T) {
-	exps := fakeRegistry()
-	var in, out bytes.Buffer
-	h := hello{Schema: frameSchema, Seed: 7, Workers: 1, Scale: engine.QuickScale(),
-		Names: []string{"Not", "The", "Same", "Registry", "At", "All"}}
-	if err := writeFrame(&in, h); err != nil {
-		t.Fatal(err)
-	}
-	err := Serve(&in, &out, exps)
-	if err == nil || !strings.Contains(err.Error(), "registry mismatch") {
-		t.Fatalf("mismatched hello returned %v, want a registry mismatch error", err)
-	}
-}
-
-func TestServeRefusesWrongSchema(t *testing.T) {
-	var in, out bytes.Buffer
-	if err := writeFrame(&in, hello{Schema: "farron-fanout/v0"}); err != nil {
-		t.Fatal(err)
-	}
-	err := Serve(&in, &out, fakeRegistry())
-	if err == nil || !strings.Contains(err.Error(), "protocol") {
-		t.Fatalf("wrong schema returned %v, want a protocol error", err)
-	}
 }
 
 // ---- coordinator end to end --------------------------------------------
@@ -265,7 +212,7 @@ func TestDistributeWorkerKillRecomputesLocally(t *testing.T) {
 	if lost == 0 {
 		t.Error("no worker reported a lost shard")
 	}
-	if !strings.Contains(logs.String(), "recomputing") {
+	if !bytes.Contains(logs.Bytes(), []byte("recomputing")) {
 		t.Errorf("coordinator log lacks the recomputed-shard line:\n%s", logs)
 	}
 	t.Logf("coordinator log after worker kill:\n%s", logs)
@@ -293,7 +240,7 @@ func TestDistributeSpawnFailureDegradesToLocal(t *testing.T) {
 			t.Errorf("worker %d should carry a spawn error", p.ID)
 		}
 	}
-	if !strings.Contains(logs.String(), "failed to start") {
+	if !bytes.Contains(logs.Bytes(), []byte("failed to start")) {
 		t.Errorf("coordinator log lacks the spawn-failure line:\n%s", logs)
 	}
 }

@@ -1,0 +1,112 @@
+package fanout
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"farron/internal/engine"
+	"farron/internal/engine/wire"
+)
+
+// fixtureHello builds the hello the fixture registry expects.
+func fixtureHello(seed uint64) wire.Hello {
+	exps := fakeRegistry()
+	names := make([]string, len(exps))
+	for i, e := range exps {
+		names[i] = e.Name
+	}
+	return wire.Hello{Schema: wire.Schema, Seed: seed, Workers: 1, Scale: engine.QuickScale(), Names: names}
+}
+
+// countFDs counts this process's open file descriptors via /proc.
+func countFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("no /proc fd table on this platform: %v", err)
+	}
+	return len(ents)
+}
+
+// TestStartWorkerSpawnFailureLeaksNoPipes is the regression test for the
+// startWorker error paths: a spawn that fails after the stdin/stdout pipes
+// are created must close them. Before the fix, every failed spawn leaked
+// pipe descriptors, so a degraded run against a bad argv bled fds; the test
+// hammers the failure path and requires a stable fd count.
+func TestStartWorkerSpawnFailureLeaksNoPipes(t *testing.T) {
+	h := fixtureHello(7)
+	argv := []string{"/nonexistent/farron-fanout-worker"}
+	// One warm-up call so any lazily-created runtime fds (pipes for child
+	// reaping etc.) exist before the baseline is taken.
+	if _, err := startWorker(argv, nil, h); err == nil {
+		t.Fatal("startWorker succeeded with a nonexistent argv")
+	}
+	before := countFDs(t)
+	for i := 0; i < 32; i++ {
+		if _, err := startWorker(argv, nil, h); err == nil {
+			t.Fatal("startWorker succeeded with a nonexistent argv")
+		}
+	}
+	after := countFDs(t)
+	if after > before+2 {
+		t.Errorf("fd count grew from %d to %d across 32 failed spawns; pipes are leaking", before, after)
+	}
+}
+
+// TestRoundTripTimerExpiryKeepsCompletedResult is the regression test for
+// the kill-timer race: when the read has already succeeded but the entry
+// timer fires at the boundary, timer.Stop returns false — and the old code
+// discarded the valid result as a timeout, recomputing a shard it already
+// held. The test forces that exact interleaving: the result frame is
+// pre-buffered so the read succeeds instantly, while a 1ns timeout
+// guarantees the timer has expired before Stop is called.
+func TestRoundTripTimerExpiryKeepsCompletedResult(t *testing.T) {
+	opts := helperOptions("fake")
+	w, err := startWorker(opts.Command, opts.Env, fixtureHello(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = w.shutdown(false) })
+
+	// Pre-buffer a complete, matching result frame: the transport read
+	// returns it immediately, long after the 1ns timer expired.
+	var buf bytes.Buffer
+	want := wire.Result{Index: 0, Name: "Fix A", Body: "held result\n"}
+	if err := wire.WriteFrame(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	w.stdout = io.NopCloser(&buf)
+
+	res, err := w.roundTrip(0, time.Nanosecond)
+	if err != nil {
+		t.Fatalf("roundTrip discarded a completed result as a timeout: %v", err)
+	}
+	if res.Index != want.Index || res.Name != want.Name || res.Body != want.Body {
+		t.Errorf("roundTrip returned %+v, want %+v", res, want)
+	}
+}
+
+// TestRoundTripTimeoutStillKillsStalledWorker: the race fix must not weaken
+// the timeout itself — a worker that never answers is killed, the read
+// fails when the dead worker's pipe closes, and the error names the
+// timeout, not the bare EOF.
+func TestRoundTripTimeoutStillKillsStalledWorker(t *testing.T) {
+	opts := helperOptions("fake", "FANOUT_HELPER_STALL=1")
+	w, err := startWorker(opts.Command, opts.Env, fixtureHello(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = w.shutdown(false) })
+
+	_, err = w.roundTrip(0, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("stalled roundTrip returned a result")
+	}
+	if !strings.Contains(err.Error(), "timeout") {
+		t.Errorf("stalled roundTrip failed with %q, want a timeout error", err)
+	}
+}

@@ -30,14 +30,18 @@ type ExperimentTiming struct {
 	Error string `json:"error,omitempty"`
 }
 
-// WorkerProc is the accounting of one fan-out worker subprocess: how many
-// registry entries it returned, how many it was assigned but lost (crash,
-// timeout, protocol error — the parent recomputes those locally), how long
-// it lived and how it exited.
+// WorkerProc is the accounting of one distributed worker — a fan-out
+// subprocess (identified by Pid) or a cluster daemon connection (identified
+// by Host): how many registry entries it returned, how many it was assigned
+// but lost (crash, timeout, protocol error — the parent recomputes those
+// locally), how long it lived and how it exited.
 type WorkerProc struct {
-	ID      int `json:"id"`
-	Pid     int `json:"pid"`
-	Entries int `json:"entries"`
+	ID int `json:"id"`
+	// Pid is the subprocess id (fan-out workers); zero for cluster workers.
+	Pid int `json:"pid,omitempty"`
+	// Host is the daemon address (cluster workers); empty for subprocesses.
+	Host    string `json:"host,omitempty"`
+	Entries int    `json:"entries"`
 	// Lost counts entries assigned to this worker that never came back;
 	// each one is recomputed locally, so losses cost wall time, never
 	// correctness.

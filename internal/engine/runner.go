@@ -18,12 +18,15 @@ type RunOptions struct {
 	Workers int
 	// Cache is the content-addressed result cache; nil disables caching.
 	Cache *cache.Cache
-	// Fanout is the worker-subprocess count; values below 2 run in-process.
+	// Fanout is the worker-process count (subprocesses or cluster daemon
+	// connections); values below 2 run in-process unless a Distributor is
+	// set at Fanout 1 (a single-host cluster run still distributes).
 	Fanout int
-	// Distributor is the transport a fan-out run moves shards over,
-	// required when Fanout > 1. It lives behind an interface so the one
-	// package allowed to spawn subprocesses (internal/engine/fanout, policed
-	// by sdclint) stays out of the engine's import graph.
+	// Distributor is the transport a distributed run moves shards over,
+	// required when Fanout > 1. It lives behind an interface so the only
+	// packages allowed to spawn subprocesses or dial sockets
+	// (internal/engine/fanout and internal/engine/cluster, policed by
+	// sdclint) stay out of the engine's import graph.
 	Distributor Distributor
 }
 
@@ -88,7 +91,11 @@ func (r *Runner) Run(exps []Experiment, sc Scale) ([]Section, *RunReport, error)
 	for i := range exps {
 		rep.Experiments[i].Name = exps[i].Name
 	}
-	if r.opts.Fanout > 1 {
+	// Distribution is in play above one worker process, or at exactly one
+	// when a Distributor is configured — a single-host `-hosts` run still
+	// ships its shards over the transport rather than computing locally.
+	distributed := r.opts.Fanout > 1 || (r.opts.Fanout == 1 && r.opts.Distributor != nil)
+	if distributed {
 		rep.Fanout = r.opts.Fanout
 	}
 
@@ -123,7 +130,7 @@ func (r *Runner) Run(exps []Experiment, sc Scale) ([]Section, *RunReport, error)
 	switch {
 	case len(pending) == 0:
 		// Everything served from cache.
-	case r.opts.Fanout > 1:
+	case distributed:
 		if r.opts.Distributor == nil {
 			rep.finish()
 			return nil, rep, errors.New("engine: RunOptions.Fanout > 1 requires a Distributor (internal/engine/fanout)")

@@ -1,0 +1,135 @@
+// Package wire is the shard-distribution frame protocol shared by the
+// engine's two transports: the multi-process fan-out
+// (internal/engine/fanout, frames over a subprocess's stdin/stdout) and the
+// TCP cluster fleet (internal/engine/cluster, the same frames over a
+// socket). It holds everything both coordinators and both worker ends agree
+// on — the frame encoding, the hello/order/result message types, the
+// worker-side serve loop, and the coordinator-side drain/recompute/merge
+// helpers — so the transports differ only in how bytes move, never in what
+// they mean. The package itself opens no pipes and no sockets; it reads and
+// writes through plain io.Reader/io.Writer, which is what keeps it outside
+// both the os/exec and the net lint quarantines.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"farron/internal/engine"
+)
+
+// Wire protocol: every message is a frame — a 4-byte big-endian length
+// followed by that many bytes of JSON. The parent opens a worker's stream
+// with one hello frame, then sends order frames; the worker answers each
+// order with one result frame per entry. Closing the stream toward the
+// worker (stdin for a subprocess, the connection for a daemon) is the
+// shutdown signal.
+
+const (
+	// Schema names the protocol version. The hello frame carries it so a
+	// parent and a mismatched worker binary fail loudly at the handshake
+	// instead of exchanging garbage.
+	Schema = "farron-fanout/v1"
+	// MaxFrame bounds a frame body. Rendered sections are kilobytes; a
+	// length beyond this is a corrupt or hostile stream, not a big report.
+	MaxFrame = 64 << 20
+)
+
+// Hello is the stream-opening frame: everything a worker needs to rebuild
+// the parent's frozen context (seed, worker budget) and run its shards at
+// the parent's scale. Names echoes the parent's registry entry names so a
+// worker running a different registry refuses the stream at the handshake.
+type Hello struct {
+	Schema  string       `json:"schema"`
+	Seed    uint64       `json:"seed"`
+	Workers int          `json:"workers"`
+	Scale   engine.Scale `json:"scale"`
+	Names   []string     `json:"names"`
+}
+
+// Order assigns the shard range [Lo, Hi) of registry entries to a worker.
+type Order struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Result carries one rendered entry back: the shard index and name (echoed
+// for mismatch detection), the rendered body and the compute timing, or the
+// driver's error.
+type Result struct {
+	Index       int     `json:"index"`
+	Name        string  `json:"name"`
+	Body        string  `json:"body"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Err         string  `json:"err,omitempty"`
+}
+
+// Encoder emits frames to one stream through a reusable scratch buffer, so
+// the steady state of a long run allocates no header+body staging per frame.
+// Each frame still leaves through a single Write call — a frame boundary
+// never splits across writes, which the worker-kill tests count on to equate
+// writes with completed frames. An Encoder is not safe for concurrent use;
+// coordinators hold one per worker stream and workers one per connection,
+// which is exactly the protocol's one-writer-per-stream shape.
+type Encoder struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewEncoder returns an encoder writing frames to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Encode marshals v and emits one frame.
+func (e *Encoder) Encode(v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: %d-byte frame exceeds the %d-byte bound", len(body), MaxFrame)
+	}
+	need := 4 + len(body)
+	if cap(e.buf) < need {
+		e.buf = make([]byte, need)
+	}
+	buf := e.buf[:need]
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	_, err = e.w.Write(buf)
+	return err
+}
+
+// WriteFrame marshals v and emits one frame through a throwaway encoder —
+// the one-shot convenience for handshakes and tests; hot paths hold an
+// Encoder instead.
+func WriteFrame(w io.Writer, v any) error {
+	return NewEncoder(w).Encode(v)
+}
+
+// ReadFrame reads one frame into v. A clean end of stream between frames
+// surfaces as io.EOF; an end of stream inside a frame — mid-header or
+// mid-body — as io.ErrUnexpectedEOF. The body is read through a growing
+// buffer bounded by what actually arrives, so a lying length prefix on a
+// truncated stream cannot commit the reader to a giant allocation.
+func ReadFrame(r io.Reader, v any) error {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(head[:])
+	if n > MaxFrame {
+		return fmt.Errorf("wire: %d-byte frame exceeds the %d-byte bound", n, MaxFrame)
+	}
+	var body bytes.Buffer
+	m, err := io.Copy(&body, io.LimitReader(r, int64(n)))
+	if err != nil {
+		return err
+	}
+	if m < int64(n) {
+		return io.ErrUnexpectedEOF
+	}
+	return json.Unmarshal(body.Bytes(), v)
+}

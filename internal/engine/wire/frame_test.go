@@ -1,0 +1,192 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"farron/internal/engine"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Hello{Schema: Schema, Seed: 42, Workers: 3, Scale: engine.QuickScale(), Names: []string{"a", "b"}}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out Hello
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seed != in.Seed || out.Workers != in.Workers || len(out.Names) != 2 || out.Scale != in.Scale {
+		t.Errorf("round trip lost data: %+v", out)
+	}
+	// The drained stream yields a clean EOF, the worker's shutdown signal.
+	if err := ReadFrame(&buf, &out); err != io.EOF {
+		t.Errorf("empty stream read returned %v, want io.EOF", err)
+	}
+}
+
+func TestFrameLengthBound(t *testing.T) {
+	head := []byte{0xff, 0xff, 0xff, 0xff}
+	var o Order
+	err := ReadFrame(bytes.NewReader(head), &o)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversized frame length returned %v, want a bound error", err)
+	}
+}
+
+// TestReadFrameEOFClassification pins the decoder's end-of-stream contract:
+// a stream that ends cleanly between frames is io.EOF (the shutdown
+// signal), a stream that ends inside a frame — mid-header or mid-body — is
+// io.ErrUnexpectedEOF (a loss). The coordinators branch on exactly this
+// distinction, so it is pinned as a table.
+func TestReadFrameEOFClassification(t *testing.T) {
+	var full bytes.Buffer
+	if err := WriteFrame(&full, Order{Lo: 1, Hi: 2}); err != nil {
+		t.Fatal(err)
+	}
+	frame := full.Bytes()
+	cases := []struct {
+		name  string
+		input []byte
+		want  error
+	}{
+		{"empty stream", nil, io.EOF},
+		{"one header byte", frame[:1], io.ErrUnexpectedEOF},
+		{"three header bytes", frame[:3], io.ErrUnexpectedEOF},
+		{"header only", frame[:4], io.ErrUnexpectedEOF},
+		{"body cut mid-way", frame[:len(frame)-2], io.ErrUnexpectedEOF},
+		{"body one byte short", frame[:len(frame)-1], io.ErrUnexpectedEOF},
+		{"complete frame", frame, nil},
+	}
+	for _, c := range cases {
+		var o Order
+		if err := ReadFrame(bytes.NewReader(c.input), &o); err != c.want {
+			t.Errorf("%s: ReadFrame returned %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+// TestReadFrameRejectsNonJSONBody: a frame whose body is not valid JSON is
+// a decode error, not a panic and not a silent zero value.
+func TestReadFrameRejectsNonJSONBody(t *testing.T) {
+	body := []byte("}{ not json")
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	var o Order
+	if err := ReadFrame(bytes.NewReader(buf), &o); err == nil {
+		t.Error("non-JSON frame body decoded without error")
+	}
+}
+
+// countingWriter counts Write calls — the frame-boundary contract says one
+// frame is exactly one Write.
+type countingWriter struct {
+	writes int
+	bytes  bytes.Buffer
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.writes++
+	return c.bytes.Write(p)
+}
+
+// TestEncoderSingleWritePerFrame pins the contract the worker-kill tests
+// count on: every frame leaves through exactly one Write call, scratch
+// buffer reuse notwithstanding.
+func TestEncoderSingleWritePerFrame(t *testing.T) {
+	var cw countingWriter
+	enc := NewEncoder(&cw)
+	const frames = 5
+	for i := 0; i < frames; i++ {
+		if err := enc.Encode(Result{Index: i, Name: "x", Body: strings.Repeat("b", 100*i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cw.writes != frames {
+		t.Errorf("%d frames took %d writes, want one write per frame", frames, cw.writes)
+	}
+	for i := 0; i < frames; i++ {
+		var r Result
+		if err := ReadFrame(&cw.bytes, &r); err != nil {
+			t.Fatalf("frame %d unreadable: %v", i, err)
+		}
+		if r.Index != i {
+			t.Errorf("frame %d decoded with index %d", i, r.Index)
+		}
+	}
+}
+
+// TestEncoderReusesScratch pins the hot-path property the per-worker
+// encoder exists for: once warm, encoding a same-sized frame performs no
+// header+body staging allocation (the json.Marshal body is measured apart).
+func TestEncoderReusesScratch(t *testing.T) {
+	enc := NewEncoder(io.Discard)
+	frame := Result{Index: 1, Name: "warm", Body: strings.Repeat("b", 4<<10)}
+	if err := enc.Encode(frame); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	marshal := testing.AllocsPerRun(50, func() {
+		if _, err := json.Marshal(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	encode := testing.AllocsPerRun(50, func() {
+		if err := enc.Encode(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// A warm Encode may allocate only what Marshal itself allocates; the
+	// 4+len(body) staging buffer must come from the scratch.
+	if encode > marshal {
+		t.Errorf("warm Encode allocates %.1f/op vs %.1f/op for bare Marshal; staging buffer is not reused", encode, marshal)
+	}
+}
+
+// FuzzReadFrame drives the length-prefix decoder with arbitrary streams:
+// truncated headers, lying lengths, non-JSON bodies. The decoder must never
+// panic, and any complete well-formed frame must survive a re-encode round
+// trip.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 2, '{'})             // body shorter than the prefix
+	f.Add([]byte{0, 0, 0, 2, 'n', 'o'})        // non-JSON body
+	f.Add([]byte{0x7f, 0xff, 0xff, 0xff, 'x'}) // huge length, tiny stream
+	var valid bytes.Buffer
+	if err := WriteFrame(&valid, Result{Index: 3, Name: "seed", Body: "corpus"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var raw json.RawMessage
+		err := ReadFrame(bytes.NewReader(data), &raw)
+		if err != nil {
+			return
+		}
+		// A frame the decoder accepted must re-encode into a frame the
+		// decoder accepts again with the same body.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, raw); err != nil {
+			t.Fatalf("re-encoding accepted frame: %v", err)
+		}
+		var again json.RawMessage
+		if err := ReadFrame(&buf, &again); err != nil {
+			t.Fatalf("re-decoding re-encoded frame: %v", err)
+		}
+		// Re-encoding compacts, so compare compact forms.
+		var want bytes.Buffer
+		if err := json.Compact(&want, raw); err != nil {
+			t.Fatalf("compacting accepted frame: %v", err)
+		}
+		if !bytes.Equal(want.Bytes(), again) {
+			t.Fatalf("frame body changed across a round trip: %q vs %q", want.Bytes(), again)
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"farron/internal/engine"
+	"farron/internal/engine/wallclock"
+)
+
+// Serve runs the worker side of the protocol: it reads the hello and then
+// work orders from in, executes the ordered registry entries, and writes
+// one result frame per entry to out. exps must be the same registry slice
+// the parent runs (same binary, same group filter); the hello's name echo
+// verifies that and Serve refuses a mismatched stream, which the parent
+// absorbs by recomputing locally. Both transports end here: the fan-out
+// worker serves its stdin/stdout, a cluster daemon serves each accepted
+// connection.
+//
+// The worker rebuilds the frozen context from the hello's seed and worker
+// budget — context construction is deterministic, so the rebuilt context
+// matches the parent's and every shard substream is identical wherever the
+// shard runs. Serve returns nil on a clean shutdown (EOF on in).
+func Serve(in io.Reader, out io.Writer, exps []engine.Experiment) error {
+	var h Hello
+	if err := ReadFrame(in, &h); err != nil {
+		return fmt.Errorf("worker: reading hello: %w", err)
+	}
+	if h.Schema != Schema {
+		return fmt.Errorf("worker: protocol %q, want %q", h.Schema, Schema)
+	}
+	if len(h.Names) != len(exps) {
+		return fmt.Errorf("worker: parent runs %d entries, this binary has %d — registry mismatch",
+			len(h.Names), len(exps))
+	}
+	for i, name := range h.Names {
+		if exps[i].Name != name {
+			return fmt.Errorf("worker: entry %d is %q here but %q in the parent — registry mismatch",
+				i, exps[i].Name, name)
+		}
+	}
+	ctx := engine.NewCtxWorkers(h.Seed, h.Workers)
+	enc := NewEncoder(out)
+	for {
+		var o Order
+		if err := ReadFrame(in, &o); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("worker: reading order: %w", err)
+		}
+		if o.Lo < 0 || o.Hi > len(exps) || o.Lo >= o.Hi {
+			return fmt.Errorf("worker: order [%d,%d) out of range", o.Lo, o.Hi)
+		}
+		for i := o.Lo; i < o.Hi; i++ {
+			if err := enc.Encode(RunOne(ctx, exps[i], i, h.Scale)); err != nil {
+				return fmt.Errorf("worker: writing result: %w", err)
+			}
+		}
+	}
+}
+
+// RunOne executes one registry entry and packages it as a result frame; it
+// is the single compute path shared by the worker loop and the parents'
+// lost-shard recompute, so both produce identical bytes.
+func RunOne(ctx *engine.Ctx, e engine.Experiment, i int, sc engine.Scale) Result {
+	start := wallclock.Start()
+	res, err := e.Run(ctx, sc)
+	if err != nil {
+		return Result{Index: i, Name: e.Name, WallSeconds: start.Seconds(), Err: err.Error()}
+	}
+	return Result{Index: i, Name: e.Name, Body: res.Render(), WallSeconds: start.Seconds()}
+}

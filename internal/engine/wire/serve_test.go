@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"farron/internal/engine"
+)
+
+type textResult string
+
+func (r textResult) Render() string { return string(r) }
+
+// wireRegistry is a pure-function fixture registry: the same contract the
+// real registry satisfies, small enough for handshake tests.
+func wireRegistry() []engine.Experiment {
+	mk := func(name string) engine.Experiment {
+		return engine.Experiment{
+			Name: name, Desc: "wire fixture", Groups: []string{engine.GroupStudy},
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				rng := ctx.Rng.Derive("wire-fixture", name)
+				return textResult(fmt.Sprintf("%s seed=%d draw=%d\n", name, ctx.Seed, rng.Uint64())), nil
+			},
+		}
+	}
+	return []engine.Experiment{mk("Wire A"), mk("Wire B")}
+}
+
+func TestServeRefusesRegistryMismatch(t *testing.T) {
+	exps := wireRegistry()
+	var in, out bytes.Buffer
+	h := Hello{Schema: Schema, Seed: 7, Workers: 1, Scale: engine.QuickScale(),
+		Names: []string{"Not", "The Same Registry"}}
+	if err := WriteFrame(&in, h); err != nil {
+		t.Fatal(err)
+	}
+	err := Serve(&in, &out, exps)
+	if err == nil || !strings.Contains(err.Error(), "registry mismatch") {
+		t.Fatalf("mismatched hello returned %v, want a registry mismatch error", err)
+	}
+}
+
+func TestServeRefusesWrongSchema(t *testing.T) {
+	var in, out bytes.Buffer
+	if err := WriteFrame(&in, Hello{Schema: "farron-fanout/v0"}); err != nil {
+		t.Fatal(err)
+	}
+	err := Serve(&in, &out, wireRegistry())
+	if err == nil || !strings.Contains(err.Error(), "protocol") {
+		t.Fatalf("wrong schema returned %v, want a protocol error", err)
+	}
+}
+
+// TestServeAnswersOrders drives a full in-memory session: hello, two
+// single-shard orders, EOF — and checks each result frame echoes its shard
+// and renders the same bytes a local run produces.
+func TestServeAnswersOrders(t *testing.T) {
+	exps := wireRegistry()
+	sc := engine.QuickScale()
+	var in, out bytes.Buffer
+	names := []string{"Wire A", "Wire B"}
+	h := Hello{Schema: Schema, Seed: 7, Workers: 1, Scale: sc, Names: names}
+	for _, v := range []any{h, Order{Lo: 1, Hi: 2}, Order{Lo: 0, Hi: 1}} {
+		if err := WriteFrame(&in, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Serve(&in, &out, exps); err != nil {
+		t.Fatalf("clean session returned %v", err)
+	}
+	ctx := engine.NewCtxWorkers(7, 1)
+	for _, wantIdx := range []int{1, 0} {
+		var res Result
+		if err := ReadFrame(&out, &res); err != nil {
+			t.Fatal(err)
+		}
+		want := RunOne(ctx, exps[wantIdx], wantIdx, sc)
+		if res.Index != want.Index || res.Name != want.Name || res.Body != want.Body {
+			t.Errorf("shard %d: served %+v, want %+v", wantIdx, res, want)
+		}
+	}
+}
+
+func TestServeRefusesOutOfRangeOrder(t *testing.T) {
+	exps := wireRegistry()
+	var in, out bytes.Buffer
+	h := Hello{Schema: Schema, Seed: 7, Workers: 1, Scale: engine.QuickScale(),
+		Names: []string{"Wire A", "Wire B"}}
+	for _, v := range []any{h, Order{Lo: 1, Hi: 9}} {
+		if err := WriteFrame(&in, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := Serve(&in, &out, exps)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range order returned %v, want a range error", err)
+	}
+}

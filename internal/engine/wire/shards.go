@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"farron/internal/engine"
+)
+
+// Coordinator-side helpers shared by both transports. A coordinator fans
+// registry entries out by handing each worker stream a Drain loop over one
+// common dispenser, then heals whatever the fleet failed to return with
+// RecomputeLost and packages the slot-indexed results with Collect. The
+// shape guarantees the determinism contract regardless of transport:
+// results land in slots indexed by shard, losses degrade to local compute,
+// and the merge is shard-ordered, never arrival-ordered.
+
+// Drain feeds shard indices from the dispenser to one worker stream until
+// the dispenser runs dry or the transport fails, recording the worker's
+// accounting in st. rt round-trips a single shard index through the
+// transport. On failure the in-flight shard stays unfilled in results (the
+// caller recomputes it) and Drain returns false; draining the dispenser
+// returns true — the transport's clean-shutdown signal. label prefixes the
+// loss log lines ("fanout: worker pid 4242", "cluster: worker host:port").
+func Drain(label string, exps []engine.Experiment, results []*Result, next *atomic.Int64, st *engine.WorkerProc, rt func(i int) (*Result, error)) bool {
+	n := len(exps)
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			return true
+		}
+		res, err := rt(i)
+		if err != nil {
+			st.Lost++
+			st.ExitError = err.Error()
+			log.Printf("%s lost shard %d (%s): %v", label, i, exps[i].Name, err)
+			return false
+		}
+		if res.Index != i || res.Name != exps[i].Name {
+			st.Lost++
+			st.ExitError = fmt.Sprintf("protocol mismatch: got shard %d (%q), want %d (%q)",
+				res.Index, res.Name, i, exps[i].Name)
+			log.Printf("%s: %s", label, st.ExitError)
+			return false
+		}
+		results[i] = res
+		st.Entries++
+	}
+}
+
+// RecomputeLost fills every nil result slot by running the entry locally on
+// the parent's pool and returns how many it recomputed. Entries are pure
+// functions of (ctx, scale), so the local rerun is byte-identical to what a
+// worker would have sent — distribution degrades to slower, never to wrong.
+// prefix names the transport in the log line CI greps ("fanout",
+// "cluster").
+func RecomputeLost(prefix string, ctx *engine.Ctx, exps []engine.Experiment, sc engine.Scale, results []*Result) int {
+	var lost []int
+	for i, r := range results {
+		if r == nil {
+			lost = append(lost, i)
+		}
+	}
+	if len(lost) == 0 {
+		return 0
+	}
+	log.Printf("%s: recomputing %d lost shard(s) locally: %v", prefix, len(lost), lost)
+	pool := ctx.Pool()
+	pool.Run(len(lost), func(j int) {
+		i := lost[j]
+		r := RunOne(ctx, exps[i], i, sc)
+		results[i] = &r
+	})
+	return len(lost)
+}
+
+// Collect packages fully-populated results (every slot non-nil, i.e. after
+// RecomputeLost) as the engine's merged distribution outcome.
+func Collect(results []*Result, procs []engine.WorkerProc, recomputed int) *engine.DistResult {
+	dr := &engine.DistResult{
+		Sections:   make([]engine.Section, len(results)),
+		Entries:    make([]engine.ExperimentTiming, len(results)),
+		Procs:      procs,
+		Recomputed: recomputed,
+	}
+	for i, r := range results {
+		dr.Sections[i] = engine.Section{Name: r.Name, Body: r.Body}
+		dr.Entries[i] = engine.ExperimentTiming{
+			Name:        r.Name,
+			WallSeconds: r.WallSeconds,
+			OutputBytes: len(r.Body),
+			Error:       r.Err,
+		}
+	}
+	return dr
+}

@@ -15,7 +15,7 @@ import (
 // a "reproducible" result unreproducible — the repo's own flavour of a
 // silent data corruption.
 //
-// Three quarantines exist. internal/engine/wallclock wraps time.Now for
+// Four quarantines exist. internal/engine/wallclock wraps time.Now for
 // run-duration accounting (bench reports measure real elapsed time by
 // definition), so the wall-clock rules are waived inside that package.
 // In exchange, importing it is itself policed: only the engine layer and
@@ -24,13 +24,17 @@ import (
 // subprocess quarantine: the fan-out transport re-execs the current binary
 // to distribute shards, so os/exec is permitted there and nowhere else —
 // simulation code that shells out answers to the environment, not to its
-// seed. internal/serve is the network quarantine: the continuous screening
-// service's status API is the module's one transport edge, so net/http is
+// seed. internal/serve is the HTTP quarantine: the continuous screening
+// service's status API is the module's one HTTP edge, so net/http is
 // importable there and nowhere else — handlers read published snapshots,
-// never feed the simulation, and no other layer may grow a socket.
+// never feed the simulation. Raw sockets (package net) are confined the
+// same way to the two transport edges that legitimately own one:
+// internal/engine/cluster (the TCP shard transport's dialer and daemon
+// listener) and internal/serve (the status API's bound listener). No other
+// layer may grow a network dependency.
 var Detrand = &Analyzer{
 	Name: "detrand",
-	Doc:  "forbid math/rand, crypto/rand, wall-clock reads, and os/exec or net/http outside their quarantines; randomness must flow through simrand.Source",
+	Doc:  "forbid math/rand, crypto/rand, wall-clock reads, and os/exec, net or net/http outside their quarantines; randomness must flow through simrand.Source",
 	Run:  runDetrand,
 }
 
@@ -93,6 +97,27 @@ func isServePkg(path string) bool {
 	return path == servePkgSuffix || strings.HasSuffix(path, "/"+servePkgSuffix)
 }
 
+// netPkgPath is the raw-socket import; clusterPkgSuffix identifies the TCP
+// shard transport, one of the two packages allowed to use it. Exactly net
+// is restricted — its subpackages split across the other quarantines
+// (net/http is the serve rule above) or carry no socket (net/netip).
+const (
+	netPkgPath       = "net"
+	clusterPkgSuffix = "internal/engine/cluster"
+)
+
+// isClusterPkg reports whether path is the TCP transport quarantine itself.
+func isClusterPkg(path string) bool {
+	return path == clusterPkgSuffix || strings.HasSuffix(path, "/"+clusterPkgSuffix)
+}
+
+// mayImportNet reports whether a package at path is a sanctioned transport
+// edge: the cluster shard transport or the screening service's status API
+// (whose listener binds ephemeral ports via net.Listen).
+func mayImportNet(path string) bool {
+	return isClusterPkg(path) || isServePkg(path)
+}
+
 // mayImportWallclock reports whether a package at path sits in a layer
 // allowed to measure real elapsed time: the engine (orchestration) subtree
 // or a command. Simulation packages must stay off the wall clock entirely.
@@ -127,6 +152,9 @@ func runDetrand(pass *Pass) {
 			}
 			if isHTTPPkg(path) && !isServePkg(pass.Pkg.ImportPath) {
 				pass.Reportf(imp.Pos(), "import of %s is restricted to %s; the network is a transport-edge concern of the screening service, simulation results must never depend on it", path, servePkgSuffix)
+			}
+			if path == netPkgPath && !mayImportNet(pass.Pkg.ImportPath) {
+				pass.Reportf(imp.Pos(), "import of %s is restricted to %s and %s; raw sockets belong to the transport edges, nothing else may dial or listen", netPkgPath, clusterPkgSuffix, servePkgSuffix)
 			}
 		}
 		if inWallclock {

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDetrandNetPolicy checks the raw-socket quarantine: only the two
+// transport edges — the cluster shard transport and the screening service's
+// status API — may import net. The cmd layer is included in the ban, like
+// the os/exec and net/http policies, because commands delegate their
+// sockets to those packages.
+func TestDetrandNetPolicy(t *testing.T) {
+	base := filepath.Join("testdata", "src", "netq")
+	cases := []struct {
+		dir  string
+		want []string // substrings of expected messages, in order
+	}{
+		{filepath.Join(base, "internal", "engine", "cluster"), nil},
+		{filepath.Join(base, "internal", "serve"), nil},
+		{filepath.Join(base, "internal", "sim"), []string{"restricted to internal/engine/cluster and internal/serve"}},
+		{filepath.Join(base, "cmd", "tool"), []string{"restricted to internal/engine/cluster and internal/serve"}},
+	}
+	for _, c := range cases {
+		pkgs, err := Load(".", c.dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", c.dir, err)
+		}
+		diags := Run(pkgs, []*Analyzer{Detrand})
+		if len(diags) != len(c.want) {
+			t.Errorf("%s: got %d findings (%v), want %d", c.dir, len(diags), diags, len(c.want))
+			continue
+		}
+		for i, sub := range c.want {
+			if !strings.Contains(diags[i].Message, sub) {
+				t.Errorf("%s: finding %q does not mention %q", c.dir, diags[i].Message, sub)
+			}
+		}
+	}
+}
+
+func TestIsClusterPkg(t *testing.T) {
+	cases := map[string]bool{
+		"farron/internal/engine/cluster":        true,
+		"internal/engine/cluster":               true,
+		"farron/internal/engine/cluster/deeper": false,
+		"farron/internal/engine/fanout":         false,
+		"farron/internal/serve":                 false,
+		"farron/cmd/sdcfleet":                   false,
+	}
+	for path, want := range cases {
+		if got := isClusterPkg(path); got != want {
+			t.Errorf("isClusterPkg(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestMayImportNet pins the exact net rule: only package net itself is
+// restricted — subpackages either have their own quarantine (net/http) or
+// carry no socket (net/netip) — and both transport edges are sanctioned.
+func TestMayImportNet(t *testing.T) {
+	edges := map[string]bool{
+		"farron/internal/engine/cluster": true,
+		"farron/internal/serve":          true,
+		"farron/internal/engine/fanout":  false,
+		"farron/internal/sim":            false,
+	}
+	for path, want := range edges {
+		if got := mayImportNet(path); got != want {
+			t.Errorf("mayImportNet(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -66,6 +66,13 @@ func TestDetrandGolden(t *testing.T) { runGolden(t, Detrand, "detrand") }
 func TestDetrandHTTPGolden(t *testing.T) {
 	runGolden(t, Detrand, "httpq", "internal/serve", "internal/sim", "cmd/tool")
 }
+
+// TestDetrandNetGolden pins the raw-socket quarantine's exact diagnostics
+// across all four policy positions (both sanctioned transport edges,
+// simulation code, cmd layer) in one load, golden-style.
+func TestDetrandNetGolden(t *testing.T) {
+	runGolden(t, Detrand, "netq", "internal/engine/cluster", "internal/serve", "internal/sim", "cmd/tool")
+}
 func TestMapOrderGolden(t *testing.T)  { runGolden(t, MapOrder, "maporder") }
 func TestGlobalMutGolden(t *testing.T) { runGolden(t, GlobalMut, "globalmut") }
 func TestSrcShareGolden(t *testing.T)  { runGolden(t, SrcShare, "srcshare") }

@@ -1,0 +1,12 @@
+// Command tool sits in the cmd layer — which may NOT import raw net: like
+// os/exec and net/http, the socket quarantine is stricter than the
+// wallclock one. Commands delegate dialing to internal/engine/cluster and
+// listening to internal/serve.
+package main
+
+import "net"
+
+func main() {
+	ln, _ := net.Listen("tcp", ":0")
+	_ = ln
+}

@@ -1,0 +1,9 @@
+// Package cluster is the TCP shard-transport quarantine: the cluster
+// coordinator dials worker daemons and the daemon binds its listener, so
+// raw net is permitted here.
+package cluster
+
+import "net"
+
+// Dial opens a worker-daemon connection.
+func Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }

@@ -1,0 +1,8 @@
+// Package serve is the status API's transport edge: its listener binds
+// ephemeral ports via net.Listen, so raw net is permitted here too.
+package serve
+
+import "net"
+
+// Listen binds the status API's address.
+func Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }

@@ -1,0 +1,9 @@
+// Package sim is simulation code: importing raw net from here is
+// forbidden, even without opening a socket — a simulation result must
+// never depend on the network.
+package sim
+
+import "net"
+
+// Resolve would make a simulation result depend on the resolver.
+func Resolve(host string) ([]net.IP, error) { return net.LookupIP(host) }
