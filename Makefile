@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint lint-json lint-fast bench bench-cached bench-fanout bench-quick serve serve-smoke cluster-smoke check
+.PHONY: build test race vet fmt lint lint-json lint-fast bench bench-cached bench-fanout bench-quick serve serve-smoke cluster-smoke screeners-smoke check
 
 ## build: compile every package
 build:
@@ -96,6 +96,20 @@ cluster-smoke:
 	diff /tmp/fleet-serial.txt /tmp/fleet-dead.txt
 	grep -q recomputing /tmp/fleet-dead.log
 	@echo "cluster-smoke: cluster bytes identical; daemon loss degraded to local recompute"
+
+## screeners-smoke: screening-strategy determinism check — every -screener
+## strategy double-runs at quick scale and each pair must be byte-identical
+## (the evolving-corpus and inline strategies are deterministic too, not
+## just the fixed kits)
+screeners-smoke:
+	$(GO) build -o /tmp/sdcfleet ./cmd/sdcfleet
+	@for s in farron baseline silifuzz ithica; do \
+		echo "screeners-smoke: $$s"; \
+		/tmp/sdcfleet -quick -seed 7 -workers 1 -screener $$s > /tmp/fleet-$$s-a.txt || exit 1; \
+		/tmp/sdcfleet -quick -seed 7 -workers 4 -screener $$s > /tmp/fleet-$$s-b.txt || exit 1; \
+		cmp /tmp/fleet-$$s-a.txt /tmp/fleet-$$s-b.txt || exit 1; \
+	done
+	@echo "screeners-smoke: all strategies byte-identical across double runs"
 
 ## check: everything CI runs — the one-command tier-1 verify
 check: build vet fmt test race lint

@@ -42,7 +42,7 @@ func BenchmarkContextSetup(b *testing.B) {
 func BenchmarkTable1TestTimings(b *testing.B) {
 	var total float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table1(benchCtx, benchPopulation)
+		res, err := experiments.Table1(benchCtx, benchPopulation, "")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -54,7 +54,7 @@ func BenchmarkTable1TestTimings(b *testing.B) {
 func BenchmarkTable2MicroArch(b *testing.B) {
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table2(benchCtx, benchPopulation)
+		res, err := experiments.Table2(benchCtx, benchPopulation, "")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,7 +162,7 @@ func BenchmarkObs9Reproducibility(b *testing.B) {
 func BenchmarkObs11Ineffective(b *testing.B) {
 	var ineffective int
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Obs11(benchCtx, 40_000)
+		res, err := experiments.Obs11(benchCtx, 40_000, "")
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	farronctl [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-fanout n] [-hosts a:p,b:p] [-online duration]
+//	farronctl [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-fanout n] [-hosts a:p,b:p] [-screener strategy] [-online duration]
 package main
 
 import (

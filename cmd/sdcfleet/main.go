@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sdcfleet [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-fanout n] [-hosts a:p,b:p] [-n population] [-sub subpopulation]
+//	sdcfleet [-seed seed] [-workers n] [-quick] [-cache] [-cache-dir dir] [-fanout n] [-hosts a:p,b:p] [-screener strategy] [-n population] [-sub subpopulation]
 //	sdcfleet -serve host:port   (run as a cluster worker daemon for -hosts parents)
 package main
 

@@ -14,7 +14,7 @@
 //
 // Usage:
 //
-//	sdcserve [-seed s] [-workers n] [-quick] [-cache] [-fanout n] [-n population]
+//	sdcserve [-seed s] [-workers n] [-quick] [-cache] [-fanout n] [-screener strategy] [-n population]
 //	         [-serve-addr host:port] [-campaign-period d] [-sim-speed v]
 //	         [-steps n] [-history count] [-history-out path]
 package main

@@ -19,6 +19,7 @@ import (
 	"farron/internal/engine/cluster"
 	"farron/internal/engine/fanout"
 	"farron/internal/engine/wire"
+	"farron/internal/fleet"
 )
 
 // RunConfig is the shared experiment flag set: every experiment CLI gets
@@ -31,6 +32,11 @@ type RunConfig struct {
 	Quick    bool
 	Cache    bool
 	CacheDir string
+	// Screener is the -screener screening strategy fleet experiments run
+	// under (one of fleet.Strategies). It rides engine.Scale into every
+	// cache key and fan-out hello; a cluster daemon (-serve) pins it and
+	// refuses parents running a different strategy.
+	Screener string
 	// Fanout is the worker-subprocess count of -fanout; values below 2 run
 	// in-process.
 	Fanout int
@@ -53,11 +59,6 @@ type RunConfig struct {
 	MemProfile string
 }
 
-// Common is the pre-Runner name of the shared flag set.
-//
-// Deprecated: use RunConfig.
-type Common = RunConfig
-
 // DefaultCacheDir is where -cache keeps entries unless -cache-dir says
 // otherwise.
 const DefaultCacheDir = ".farron-cache"
@@ -75,6 +76,8 @@ func Register(fs *flag.FlagSet) *RunConfig {
 		"reuse experiment results from the content-addressed result cache; warm output is byte-identical to cold")
 	fs.StringVar(&c.CacheDir, "cache-dir", DefaultCacheDir,
 		"result cache directory used by -cache")
+	fs.StringVar(&c.Screener, "screener", engine.DefaultStrategy,
+		"screening strategy for fleet experiments: farron, baseline, silifuzz or ithica")
 	fs.IntVar(&c.Fanout, "fanout", 0,
 		"distribute experiments across this many worker subprocesses; output is byte-identical to -workers=1")
 	fs.StringVar(&c.Hosts, "hosts", "",
@@ -197,11 +200,23 @@ func (c *RunConfig) ServeWorker(exps []engine.Experiment) error {
 func (c *RunConfig) DaemonMode() bool { return c.Serve != "" }
 
 // ServeDaemon binds the -serve address and serves the frame protocol over
-// TCP until killed. The registry slice must match each parent's (it does
-// when fleet hosts deploy the same binary); a skew is refused per
-// connection at the handshake and that parent recomputes locally.
+// TCP until killed, pinned to the daemon's own -screener strategy. The
+// registry slice must match each parent's (it does when fleet hosts deploy
+// the same binary); a registry or strategy skew is refused per connection
+// at the handshake and that parent recomputes locally.
 func (c *RunConfig) ServeDaemon(exps []engine.Experiment) error {
-	return cluster.ListenAndServe(c.Serve, exps)
+	if err := c.validScreener(); err != nil {
+		return err
+	}
+	return cluster.ListenAndServe(c.Serve, exps, fleet.NormalizeStrategy(c.Screener))
+}
+
+// validScreener rejects unknown -screener values before any run starts.
+func (c *RunConfig) validScreener() error {
+	if !fleet.ValidStrategy(c.Screener) {
+		return fmt.Errorf("cliflags: unknown -screener %q (want one of %v)", c.Screener, fleet.Strategies())
+	}
+	return nil
 }
 
 // Runner builds the engine.Runner for the flagged configuration: the seed
@@ -209,6 +224,9 @@ func (c *RunConfig) ServeDaemon(exps []engine.Experiment) error {
 // distributor under -fanout, and the cluster distributor under -hosts (one
 // daemon connection per listed host).
 func (c *RunConfig) Runner() (*engine.Runner, error) {
+	if err := c.validScreener(); err != nil {
+		return nil, err
+	}
 	rc, err := c.ResultCache()
 	if err != nil {
 		return nil, err
@@ -230,21 +248,15 @@ func (c *RunConfig) Runner() (*engine.Runner, error) {
 	return engine.NewRunner(opts), nil
 }
 
-// Context builds the engine context at the flagged seed and worker budget.
-//
-// Deprecated: use Runner (whose Ctx method exposes the same context); kept
-// for callers that need a bare context without a run.
-func (c *RunConfig) Context() *engine.Ctx {
-	return engine.NewCtxWorkers(c.Seed, c.Workers)
-}
-
 // Scale returns the run scale selected by the flags: QuickScale under
-// -quick, DefaultScale otherwise.
+// -quick, DefaultScale otherwise, carrying the -screener strategy.
 func (c *RunConfig) Scale() engine.Scale {
+	sc := engine.DefaultScale()
 	if c.Quick {
-		return engine.QuickScale()
+		sc = engine.QuickScale()
 	}
-	return engine.DefaultScale()
+	sc.Strategy = fleet.NormalizeStrategy(c.Screener)
+	return sc
 }
 
 // ResultCache opens the result cache selected by the flags, or returns nil

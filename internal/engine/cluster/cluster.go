@@ -1,6 +1,6 @@
 // Package cluster is the host-spanning shard-distribution layer of the
 // execution engine: long-lived worker daemons (`<cli> -serve :port`) accept
-// TCP connections and speak the exact farron-fanout/v1 hello/order/result
+// TCP connections and speak the exact farron-fanout/v2 hello/order/result
 // frame protocol (internal/engine/wire) the single-host fan-out speaks over
 // stdin/stdout, and a parent-side Coordinator (selected by `-hosts
 // a:port,b:port`) implements engine.Distributor over those connections. The

@@ -61,7 +61,7 @@ func startDaemon(t *testing.T, exps []engine.Experiment) string {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = ln.Close() })
-	go func() { _ = Serve(ln, exps) }()
+	go func() { _ = Serve(ln, exps, "") }()
 	return ln.Addr().String()
 }
 
@@ -444,7 +444,7 @@ func TestRunnerWarmCacheDistributesZero(t *testing.T) {
 	}
 	t.Cleanup(func() { _ = ln.Close() })
 	cl := &countingListener{Listener: ln}
-	go func() { _ = Serve(cl, exps) }()
+	go func() { _ = Serve(cl, exps, "") }()
 
 	rc, err := cache.Open(t.TempDir())
 	if err != nil {

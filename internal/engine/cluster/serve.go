@@ -13,23 +13,36 @@ import (
 // ListenAndServe binds addr and runs a worker daemon until the listener
 // fails. This is the `-serve :port` entry point: one process, one bound
 // socket, serving any number of parents over its lifetime. It never returns
-// nil — a daemon has no natural end short of being killed.
-func ListenAndServe(addr string, exps []engine.Experiment) error {
+// nil — a daemon has no natural end short of being killed. The daemon pins
+// the screening strategy it was started with (empty accepts any): a parent
+// running a different -screener is refused at the handshake, because a
+// daemon fleet of mixed strategies would otherwise hand one run results
+// from different screening regimes.
+func ListenAndServe(addr string, exps []engine.Experiment, strategy string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("cluster: %w", err)
 	}
-	log.Printf("cluster: worker daemon listening on %s (%d registry entries)", ln.Addr(), len(exps))
-	return Serve(ln, exps)
+	log.Printf("cluster: worker daemon listening on %s (%d registry entries, strategy %s)",
+		ln.Addr(), len(exps), strategyLabel(strategy))
+	return Serve(ln, exps, strategy)
+}
+
+// strategyLabel renders the pinned strategy for the startup log line.
+func strategyLabel(strategy string) string {
+	if strategy == "" {
+		return "any"
+	}
+	return strategy
 }
 
 // Serve accepts parent connections from ln and speaks the worker side of
-// the frame protocol (wire.Serve) on each, concurrently. A per-connection
-// failure — protocol violation, registry mismatch, dropped parent — costs
-// that connection a log line and nothing else; the daemon stays up for the
-// next parent. Serve returns nil when ln is closed (the test harness's
-// shutdown path) and the accept error otherwise.
-func Serve(ln net.Listener, exps []engine.Experiment) error {
+// the frame protocol (wire.ServeStrategy) on each, concurrently. A
+// per-connection failure — protocol violation, registry mismatch, strategy
+// skew, dropped parent — costs that connection a log line and nothing else;
+// the daemon stays up for the next parent. Serve returns nil when ln is
+// closed (the test harness's shutdown path) and the accept error otherwise.
+func Serve(ln net.Listener, exps []engine.Experiment, strategy string) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -41,7 +54,7 @@ func Serve(ln net.Listener, exps []engine.Experiment) error {
 		go func(conn net.Conn) {
 			// The session error is logged before the close so the two lines
 			// read in cause-then-cleanup order.
-			if err := wire.Serve(conn, conn, exps); err != nil {
+			if err := wire.ServeStrategy(conn, conn, exps, strategy); err != nil {
 				log.Printf("cluster: session from %s: %v", conn.RemoteAddr(), err)
 			}
 			if err := conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {

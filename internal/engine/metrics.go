@@ -83,8 +83,14 @@ type RunReport struct {
 	// makespan the pool's schedule achieves over this run's measured entry
 	// costs at each worker count — how parallel speedups get *measured*
 	// into BENCH_*.json even on a single-core benchmark host.
-	ShardBench  []ShardPoint       `json:"shard_bench,omitempty"`
-	Experiments []ExperimentTiming `json:"experiments"`
+	ShardBench []ShardPoint `json:"shard_bench,omitempty"`
+	// StrategyBench is the per-screening-strategy cost accounting parsed
+	// from the strategy sweep's registry entries (StrategyRows), and
+	// SweepShardBench the ShardBench ladder over just those entries — the
+	// sweep's simulated parallel makespan across strategies.
+	StrategyBench   []StrategyBench    `json:"strategy_bench,omitempty"`
+	SweepShardBench []ShardPoint       `json:"sweep_shard_bench,omitempty"`
+	Experiments     []ExperimentTiming `json:"experiments"`
 
 	start        wallclock.Stamp
 	startMemised bool

@@ -17,11 +17,29 @@ type Result interface {
 	Render() string
 }
 
+// DefaultStrategy names the screening strategy assumed when a Scale omits
+// one: the paper's Farron tool. The strategy vocabulary itself lives in
+// internal/fleet (Strategies); the engine only needs the default so the
+// transport layers can normalize empty values without importing fleet.
+const DefaultStrategy = "farron"
+
+// SweepNamePrefix prefixes the per-strategy entries of the strategy-sweep
+// experiment ("Strategy sweep [farron]", …). It is the naming convention
+// shared between internal/experiments (which registers the entries) and the
+// bench report (which extracts per-strategy cost rows from entries named
+// this way) — a string contract, so neither package imports the other.
+const SweepNamePrefix = "Strategy sweep ["
+
 // Scale bundles every experiment's size knobs so one registry entry can be
 // driven at paper scale, CLI-flag scale or quick smoke scale.
 type Scale struct {
 	// Population is the fleet size for Table 1 / Table 2 (paper: >1e6).
 	Population int
+	// Strategy is the screening strategy fleet experiments run under
+	// (-screener; empty means DefaultStrategy). It is part of the Scale
+	// so it hashes into every cache key and rides the fan-out hello to
+	// remote workers.
+	Strategy string
 	// SubPopulation is the Observation 11 detailed-log sub-fleet.
 	SubPopulation int
 	// Records is the SDC record count per datatype for Figures 4-5.
@@ -46,6 +64,7 @@ type Scale struct {
 func DefaultScale() Scale {
 	return Scale{
 		Population:       1_000_000,
+		Strategy:         DefaultStrategy,
 		SubPopulation:    40_000,
 		Records:          10_000,
 		Fig6Records:      500,
@@ -65,6 +84,7 @@ func DefaultScale() Scale {
 func QuickScale() Scale {
 	return Scale{
 		Population:       60_000,
+		Strategy:         DefaultStrategy,
 		SubPopulation:    20_000,
 		Records:          1500,
 		Fig6Records:      120,

@@ -42,7 +42,7 @@ func sectionsEqual(a, b []Section) bool {
 
 func mustRun(t *testing.T, ctx *Ctx, exps []Experiment, sc Scale, rc *cache.Cache) ([]Section, *RunReport) {
 	t.Helper()
-	sections, rep, err := RunExperimentsCached(ctx, exps, sc, rc)
+	sections, rep, err := NewRunnerCtx(ctx, RunOptions{Cache: rc}).Run(exps, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestRunReportNamesAndErrorsOnFailure(t *testing.T) {
 		},
 	})
 	ctx := NewCtxWorkers(7, 2)
-	_, rep, err := RunExperimentsCached(ctx, exps, QuickScale(), nil)
+	_, rep, err := NewRunnerCtx(ctx, RunOptions{}).Run(exps, QuickScale())
 	if err == nil {
 		t.Fatal("run with a broken entry did not fail")
 	}

@@ -50,8 +50,8 @@ type DistResult struct {
 }
 
 // Runner executes registry entries against a shared frozen context under
-// one RunOptions bundle. It subsumes the RunExperiments/RunExperimentsCached
-// pair: cache and fan-out are options, not separate entry points.
+// one RunOptions bundle: cache and fan-out are options, not separate entry
+// points.
 type Runner struct {
 	opts RunOptions
 	ctx  *Ctx
@@ -209,26 +209,13 @@ func (r *Runner) Run(exps []Experiment, sc Scale) ([]Section, *RunReport, error)
 	return sections, rep, nil
 }
 
-// RunExperiments executes the registry entries concurrently (bounded by
-// ctx.Workers) against the shared frozen context and returns the rendered
-// sections in registry order, together with the run's accounting.
-//
-// Deprecated: construct a Runner instead; this wrapper remains so existing
-// callers migrate incrementally.
-func RunExperiments(ctx *Ctx, exps []Experiment, sc Scale) ([]Section, *RunReport, error) {
-	return RunExperimentsCached(ctx, exps, sc, nil)
-}
-
-// RunExperimentsCached is RunExperiments consulting a content-addressed
-// result cache (nil disables caching); see RunOptions.Cache and the cache
-// package for the key discipline.
-//
-// Deprecated: construct a Runner instead; this wrapper remains so existing
-// callers migrate incrementally.
-func RunExperimentsCached(ctx *Ctx, exps []Experiment, sc Scale, rc *cache.Cache) ([]Section, *RunReport, error) {
-	r := &Runner{
-		opts: RunOptions{Seed: ctx.Seed, Workers: ctx.Workers, Cache: rc},
-		ctx:  ctx,
-	}
-	return r.Run(exps, sc)
+// NewRunnerCtx builds a runner over a prebuilt context — the entry point
+// for contexts a plain seed cannot reconstruct, such as a reference context
+// pinning naive implementations or a test context with an adjusted worker
+// budget. Seed and worker budget come from the context; opts supplies the
+// rest (cache, fan-out).
+func NewRunnerCtx(ctx *Ctx, opts RunOptions) *Runner {
+	opts.Seed = ctx.Seed
+	opts.Workers = ctx.Workers
+	return &Runner{opts: opts, ctx: ctx}
 }

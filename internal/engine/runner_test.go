@@ -150,13 +150,15 @@ func TestRunnerCacheHitsSkipDistribution(t *testing.T) {
 	}
 }
 
-// TestRunnerMatchesDeprecatedWrappers: the wrappers are thin shims over
-// Runner, so both paths must produce identical sections and accounting.
-func TestRunnerMatchesDeprecatedWrappers(t *testing.T) {
+// TestNewRunnerCtxMatchesNewRunner: a runner over a prebuilt context must
+// produce identical sections and accounting to one built from the same
+// seed and worker budget — NewRunnerCtx only changes who constructs the
+// context, never what runs.
+func TestNewRunnerCtxMatchesNewRunner(t *testing.T) {
 	exps := fakeExps()
 	sc := QuickScale()
 	ctx := NewCtxWorkers(7, 2)
-	wrapped, wrappedRep, err := RunExperiments(ctx, exps, sc)
+	wrapped, wrappedRep, err := NewRunnerCtx(ctx, RunOptions{}).Run(exps, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,10 +168,10 @@ func TestRunnerMatchesDeprecatedWrappers(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !sectionsEqual(wrapped, direct) {
-		t.Error("Runner sections differ from RunExperiments sections")
+		t.Error("NewRunnerCtx sections differ from NewRunner sections")
 	}
 	if wrappedRep.Seed != directRep.Seed || wrappedRep.Workers != directRep.Workers {
-		t.Errorf("report identity differs: wrapper seed=%d workers=%d, runner seed=%d workers=%d",
+		t.Errorf("report identity differs: ctx-runner seed=%d workers=%d, runner seed=%d workers=%d",
 			wrappedRep.Seed, wrappedRep.Workers, directRep.Seed, directRep.Workers)
 	}
 }

@@ -87,3 +87,58 @@ func (r *RunReport) EntryCosts() []float64 {
 	}
 	return costs
 }
+
+// StrategyBench is one screening strategy's measured cost in a run — the
+// accounting of its "Strategy sweep [<name>]" registry entry, so the
+// strategy-sweep cost comparison lands in BENCH_*.json as committed data.
+type StrategyBench struct {
+	Strategy    string  `json:"strategy"`
+	WallSeconds float64 `json:"wall_seconds"`
+	OutputBytes int     `json:"output_bytes"`
+	CacheHit    bool    `json:"cache_hit"`
+}
+
+// StrategyRows extracts the per-strategy sweep rows of a run by the
+// SweepNamePrefix naming contract, in entry (registry) order. Empty when
+// the run's scale filtered the sweep out.
+func (r *RunReport) StrategyRows() []StrategyBench {
+	var rows []StrategyBench
+	for i := range r.Experiments {
+		e := &r.Experiments[i]
+		name, ok := sweepStrategy(e.Name)
+		if !ok {
+			continue
+		}
+		rows = append(rows, StrategyBench{
+			Strategy:    name,
+			WallSeconds: e.WallSeconds,
+			OutputBytes: e.OutputBytes,
+			CacheHit:    e.CacheHit,
+		})
+	}
+	return rows
+}
+
+// SweepCosts is the cost vector of the sweep's per-strategy entries alone —
+// the ladder input for SweepShardBench, so the sweep's parallel makespan is
+// simulated from measured costs even on a single-core benchmark host.
+func (r *RunReport) SweepCosts() []float64 {
+	var costs []float64
+	for i := range r.Experiments {
+		if _, ok := sweepStrategy(r.Experiments[i].Name); ok {
+			costs = append(costs, r.Experiments[i].WallSeconds)
+		}
+	}
+	return costs
+}
+
+// sweepStrategy parses a registry entry name against the sweep's naming
+// contract ("Strategy sweep [<strategy>]"), returning the strategy name.
+func sweepStrategy(name string) (string, bool) {
+	if len(name) <= len(SweepNamePrefix)+1 ||
+		name[:len(SweepNamePrefix)] != SweepNamePrefix ||
+		name[len(name)-1] != ']' {
+		return "", false
+	}
+	return name[len(SweepNamePrefix) : len(name)-1], true
+}

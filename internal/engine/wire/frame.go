@@ -31,8 +31,10 @@ import (
 const (
 	// Schema names the protocol version. The hello frame carries it so a
 	// parent and a mismatched worker binary fail loudly at the handshake
-	// instead of exchanging garbage.
-	Schema = "farron-fanout/v1"
+	// instead of exchanging garbage. v2 added Scale.Strategy: a v1 worker
+	// would silently drop the strategy and compute default-strategy
+	// results for a silifuzz parent, so the version fences it off.
+	Schema = "farron-fanout/v2"
 	// MaxFrame bounds a frame body. Rendered sections are kilobytes; a
 	// length beyond this is a corrupt or hostile stream, not a big report.
 	MaxFrame = 64 << 20

@@ -22,13 +22,32 @@ import (
 // budget — context construction is deterministic, so the rebuilt context
 // matches the parent's and every shard substream is identical wherever the
 // shard runs. Serve returns nil on a clean shutdown (EOF on in).
+//
+// Serve accepts any screening strategy the hello's scale names — the
+// fan-out path, where the worker is a re-exec of the same binary and runs
+// whatever the parent runs. Long-lived cluster daemons pin their flagged
+// strategy through ServeStrategy instead, so a fleet of -screener=farron
+// daemons refuses a silifuzz parent at the handshake rather than mixing
+// strategies across a run (the parent absorbs the refusal by recomputing
+// locally — degraded, never skewed).
 func Serve(in io.Reader, out io.Writer, exps []engine.Experiment) error {
+	return ServeStrategy(in, out, exps, "")
+}
+
+// ServeStrategy is Serve pinned to one screening strategy; empty accepts
+// any. Strategy names are compared after normalization (an empty hello
+// strategy means engine.DefaultStrategy).
+func ServeStrategy(in io.Reader, out io.Writer, exps []engine.Experiment, strategy string) error {
 	var h Hello
 	if err := ReadFrame(in, &h); err != nil {
 		return fmt.Errorf("worker: reading hello: %w", err)
 	}
 	if h.Schema != Schema {
 		return fmt.Errorf("worker: protocol %q, want %q", h.Schema, Schema)
+	}
+	if strategy != "" && normalizeStrategy(h.Scale.Strategy) != normalizeStrategy(strategy) {
+		return fmt.Errorf("worker: parent runs strategy %q, this daemon is pinned to %q — strategy skew",
+			normalizeStrategy(h.Scale.Strategy), normalizeStrategy(strategy))
 	}
 	if len(h.Names) != len(exps) {
 		return fmt.Errorf("worker: parent runs %d entries, this binary has %d — registry mismatch",
@@ -59,6 +78,15 @@ func Serve(in io.Reader, out io.Writer, exps []engine.Experiment) error {
 			}
 		}
 	}
+}
+
+// normalizeStrategy maps an empty strategy name to the engine default so
+// pinning and hello values compare by meaning, not spelling.
+func normalizeStrategy(s string) string {
+	if s == "" {
+		return engine.DefaultStrategy
+	}
+	return s
 }
 
 // RunOne executes one registry entry and packages it as a result frame; it

@@ -83,6 +83,46 @@ func TestServeAnswersOrders(t *testing.T) {
 	}
 }
 
+// TestServeStrategyPinsScreeningStrategy: a pinned daemon refuses a parent
+// running a different screening strategy at the handshake (mixed-strategy
+// fleets must degrade to local recompute, never skew results), accepts a
+// matching parent, and treats the empty hello strategy as the default.
+func TestServeStrategyPinsScreeningStrategy(t *testing.T) {
+	exps := wireRegistry()
+	names := []string{"Wire A", "Wire B"}
+	hello := func(strategy string) Hello {
+		sc := engine.QuickScale()
+		sc.Strategy = strategy
+		return Hello{Schema: Schema, Seed: 7, Workers: 1, Scale: sc, Names: names}
+	}
+
+	var in, out bytes.Buffer
+	if err := WriteFrame(&in, hello("silifuzz")); err != nil {
+		t.Fatal(err)
+	}
+	err := ServeStrategy(&in, &out, exps, engine.DefaultStrategy)
+	if err == nil || !strings.Contains(err.Error(), "strategy skew") {
+		t.Fatalf("skewed hello returned %v, want a strategy-skew error", err)
+	}
+
+	// A matching strategy — and an empty hello strategy against a daemon
+	// pinned to the default — both serve cleanly to EOF.
+	for _, h := range []Hello{hello("silifuzz"), hello("")} {
+		pin := h.Scale.Strategy
+		if pin == "" {
+			pin = engine.DefaultStrategy
+		}
+		in.Reset()
+		out.Reset()
+		if err := WriteFrame(&in, h); err != nil {
+			t.Fatal(err)
+		}
+		if err := ServeStrategy(&in, &out, exps, pin); err != nil {
+			t.Fatalf("matching hello (strategy %q) returned %v", h.Scale.Strategy, err)
+		}
+	}
+}
+
 func TestServeRefusesOutOfRangeOrder(t *testing.T) {
 	exps := wireRegistry()
 	var in, out bytes.Buffer

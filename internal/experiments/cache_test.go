@@ -23,7 +23,7 @@ func TestCacheColdWarmByteEquality(t *testing.T) {
 
 	run := func() ([]engine.Section, *engine.RunReport) {
 		ctx := NewContext(20260805)
-		sections, rep, err := engine.RunExperimentsCached(ctx, exps, sc, rc)
+		sections, rep, err := engine.NewRunnerCtx(ctx, engine.RunOptions{Cache: rc}).Run(exps, sc)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -28,7 +28,7 @@ func TestContextComposition(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
-	res, err := Table1(sharedCtx, 300_000)
+	res, err := Table1(sharedCtx, 300_000, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	res, err := Table2(sharedCtx, 400_000)
+	res, err := Table2(sharedCtx, 400_000, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +309,7 @@ func TestObs9Reproducibility(t *testing.T) {
 }
 
 func TestObs11Ineffective(t *testing.T) {
-	res, err := Obs11(sharedCtx, 40_000)
+	res, err := Obs11(sharedCtx, 40_000, "")
 	if err != nil {
 		t.Fatal(err)
 	}

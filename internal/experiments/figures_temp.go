@@ -352,12 +352,14 @@ type Obs11Result struct {
 	PaperIneffective int
 }
 
-// Obs11 screens a sub-fleet and counts testcases that never fired.
-func Obs11(ctx *Context, population int) (*Obs11Result, error) {
+// Obs11 screens a sub-fleet under the given screening strategy ("" means
+// the default) and counts testcases that never fired.
+func Obs11(ctx *Context, population int, strategy string) (*Obs11Result, error) {
 	cfg := fleet.DefaultConfig()
 	cfg.Processors = population
 	cfg.Seed = ctx.Seed
 	cfg.Workers = ctx.Workers
+	cfg.Strategy = strategy
 	sim, err := fleet.NewSimulator(cfg, ctx.Suite)
 	if err != nil {
 		return nil, err

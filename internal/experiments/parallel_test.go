@@ -20,7 +20,7 @@ func parallelTestScale() engine.Scale {
 // rendered output of a run must be byte-identical at -workers=1 and
 // -workers=8. It covers one experiment per layer the refactor touched — the
 // fleet pipeline (Table 1), an experiment sweep (Figure 4) and the
-// mitigation evaluation (Observation 12) — and, through RunExperiments,
+// mitigation evaluation (Observation 12) — and, through the engine runner,
 // the registry's own concurrent dispatch.
 func TestWorkerCountDoesNotChangeResults(t *testing.T) {
 	names := map[string]bool{"Table 1": true, "Figure 4": true, "Observation 12": true}
@@ -37,7 +37,7 @@ func TestWorkerCountDoesNotChangeResults(t *testing.T) {
 	run := func(workers int) map[string]string {
 		ctx := NewContext(7)
 		ctx.Workers = workers
-		sections, _, err := engine.RunExperiments(ctx, exps, parallelTestScale())
+		sections, _, err := engine.NewRunnerCtx(ctx, engine.RunOptions{}).Run(exps, parallelTestScale())
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -17,7 +17,7 @@ func TestCompiledMatchesReference(t *testing.T) {
 	sc := parallelTestScale()
 
 	run := func(ctx *Context, label string) map[string]string {
-		sections, _, err := engine.RunExperiments(ctx, exps, sc)
+		sections, _, err := engine.NewRunnerCtx(ctx, engine.RunOptions{}).Run(exps, sc)
 		if err != nil {
 			t.Fatalf("%s: %v", label, err)
 		}

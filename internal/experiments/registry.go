@@ -13,17 +13,17 @@ func Registry() []engine.Experiment {
 	study := []string{engine.GroupStudy}
 	fl := []string{engine.GroupFleet}
 	mit := []string{engine.GroupMitigation}
-	return []engine.Experiment{
+	entries := []engine.Experiment{
 		{
 			Name: "Table 1", Desc: "failure rate by test timing", Groups: fl,
 			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
-				return Table1(ctx, sc.Population)
+				return Table1(ctx, sc.Population, sc.Strategy)
 			},
 		},
 		{
 			Name: "Table 2", Desc: "failure rate by micro-architecture", Groups: fl,
 			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
-				return Table2(ctx, sc.Population)
+				return Table2(ctx, sc.Population, sc.Strategy)
 			},
 		},
 		{
@@ -89,7 +89,7 @@ func Registry() []engine.Experiment {
 		{
 			Name: "Observation 11", Desc: "ineffective testcases in production", Groups: fl,
 			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
-				return Obs11(ctx, sc.SubPopulation)
+				return Obs11(ctx, sc.SubPopulation, sc.Strategy)
 			},
 		},
 		{
@@ -147,4 +147,5 @@ func Registry() []engine.Experiment {
 			},
 		},
 	}
+	return append(entries, sweepEntries(mit)...)
 }

@@ -1,0 +1,138 @@
+// The strategy sweep: the Table 4 / Figure 11 cost-vs-detection question
+// re-asked across every pluggable screening strategy instead of just
+// Farron vs baseline. Each strategy screens the same sub-fleet — identical
+// generated defect population, independent detection randomness — and
+// reports what it caught, what escaped, and what the screening cost in
+// machine time. One registry entry per strategy (plus a header entry), so
+// each strategy's result is cached under its own content address and a
+// rerun that adds a strategy recomputes only the new row.
+
+package experiments
+
+import (
+	"fmt"
+
+	"farron/internal/engine"
+	"farron/internal/fleet"
+	"farron/internal/model"
+)
+
+// sweepCols lays out the sweep table; header and rows render in separate
+// registry entries, so both must share one format. Neither ends in a
+// newline: the section writer terminates every body, so a trailing newline
+// here would open a blank line between the table's rows.
+const (
+	sweepHeadFmt = "%-9s %9s %7s %8s %8s %8s %8s %8s %12s %10s %12s"
+	sweepRowFmt  = "%-9s %9d %7d %8d %8d %8d %8d %7.2f%% %12.1f %9.4f%% %11.3fx"
+)
+
+// SweepHeader is the sweep's title entry: the strategy rows render beneath
+// it in registry order, forming one aligned table in the group CLIs.
+type SweepHeader struct {
+	Population int
+}
+
+// Render draws the sweep title and column header.
+func (r *SweepHeader) Render() string {
+	return fmt.Sprintf("Strategy sweep — cost vs detection across screening strategies (%d CPUs)\n", r.Population) +
+		fmt.Sprintf(sweepHeadFmt,
+			"strategy", "pop", "faulty", "det", "pre", "reg", "esc", "rate",
+			"min/round", "overhead", "vs-baseline")
+}
+
+// SweepResult is one strategy's sweep row.
+type SweepResult struct {
+	Strategy   string
+	Population int
+	Faulty     int
+	// Detected splits into pre-production and regular-round catches;
+	// Escaped is what nothing caught.
+	Detected        int
+	PreDetected     int
+	RegularDetected int
+	Escaped         int
+	// RoundCostMinutes is the strategy's dedicated test time per CPU per
+	// regular round; OverheadFraction is the Table 4 metric (round cost
+	// over the regular period, plus any always-on inline overhead);
+	// RelativeCost is that overhead against the toolchain baseline's.
+	RoundCostMinutes float64
+	OverheadFraction float64
+	RelativeCost     float64
+}
+
+// StrategySweep screens a sub-fleet under one strategy and packages the
+// cost-vs-detection row. All strategies screen the same generated defect
+// population (profiles derive from serials, not from the strategy), so
+// rows differ only in what the strategy caught and what it cost.
+func StrategySweep(ctx *Context, population int, strategy string) (*SweepResult, error) {
+	cfg := fleet.DefaultConfig()
+	cfg.Processors = population
+	cfg.Seed = ctx.Seed
+	cfg.Workers = ctx.Workers
+	cfg.Strategy = strategy
+	sim, err := fleet.NewSimulator(cfg, ctx.Suite)
+	if err != nil {
+		return nil, err
+	}
+	res := sim.Run()
+	out := &SweepResult{
+		Strategy:   res.Strategy,
+		Population: res.Population,
+		Faulty:     res.FaultyTotal,
+		Detected:   res.DetectedTotal(),
+		Escaped:    res.Escaped,
+	}
+	for _, s := range model.AllStages() {
+		if s.PreProduction() {
+			out.PreDetected += res.DetectedByStage[s]
+		}
+	}
+	out.RegularDetected = out.Detected - out.PreDetected
+
+	cost := sim.Screener().Cost()
+	out.RoundCostMinutes = cost.RoundMinutes
+	out.OverheadFraction = cost.OverheadFraction(cfg.RegularPeriodMin)
+	// The cost yardstick: the full equal-allocation kit round (Table 4's
+	// published 0.488% baseline overhead).
+	baseline := fleet.CostModel{RoundMinutes: sim.KitRoundMinutes()}.OverheadFraction(cfg.RegularPeriodMin)
+	if baseline > 0 {
+		out.RelativeCost = out.OverheadFraction / baseline
+	}
+	return out, nil
+}
+
+// Render draws the strategy's table row.
+func (r *SweepResult) Render() string {
+	rate := 0.0
+	if r.Faulty > 0 {
+		rate = float64(r.Detected) / float64(r.Faulty)
+	}
+	return fmt.Sprintf(sweepRowFmt,
+		r.Strategy, r.Population, r.Faulty, r.Detected, r.PreDetected,
+		r.RegularDetected, r.Escaped, rate*100,
+		r.RoundCostMinutes, r.OverheadFraction*100, r.RelativeCost)
+}
+
+// sweepEntries builds the sweep's registry entries: the header, then one
+// entry per strategy named under engine.SweepNamePrefix — the naming
+// contract the bench report's per-strategy cost rows parse.
+func sweepEntries(groups []string) []engine.Experiment {
+	entries := []engine.Experiment{{
+		Name: "Strategy sweep", Desc: "cost vs detection across screening strategies", Groups: groups,
+		Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+			return &SweepHeader{Population: sc.SubPopulation}, nil
+		},
+	}}
+	for _, strategy := range fleet.Strategies() {
+		strategy := strategy
+		entries = append(entries, engine.Experiment{
+			Name:   engine.SweepNamePrefix + strategy + "]",
+			Desc:   "strategy sweep row: " + strategy,
+			Groups: groups,
+			Run: func(ctx *engine.Ctx, sc engine.Scale) (engine.Result, error) {
+				return StrategySweep(ctx, sc.SubPopulation, strategy)
+			},
+		})
+	}
+	return entries
+}

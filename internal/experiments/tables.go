@@ -35,13 +35,15 @@ func paperTable1() map[model.Stage]float64 {
 	}
 }
 
-// Table1 runs the fleet pipeline at the given population size and measures
-// the per-stage detection rates.
-func Table1(ctx *Context, population int) (*Table1Result, error) {
+// Table1 runs the fleet pipeline at the given population size under the
+// given screening strategy ("" means the default) and measures the
+// per-stage detection rates.
+func Table1(ctx *Context, population int, strategy string) (*Table1Result, error) {
 	cfg := fleet.DefaultConfig()
 	cfg.Processors = population
 	cfg.Seed = ctx.Seed
 	cfg.Workers = ctx.Workers
+	cfg.Strategy = strategy
 	sim, err := fleet.NewSimulator(cfg, ctx.Suite)
 	if err != nil {
 		return nil, err
@@ -98,12 +100,14 @@ func paperTable2() map[model.MicroArch]float64 {
 	}
 }
 
-// Table2 measures per-architecture detected failure rates.
-func Table2(ctx *Context, population int) (*Table2Result, error) {
+// Table2 measures per-architecture detected failure rates under the given
+// screening strategy ("" means the default).
+func Table2(ctx *Context, population int, strategy string) (*Table2Result, error) {
 	cfg := fleet.DefaultConfig()
 	cfg.Processors = population
 	cfg.Seed = ctx.Seed
 	cfg.Workers = ctx.Workers
+	cfg.Strategy = strategy
 	sim, err := fleet.NewSimulator(cfg, ctx.Suite)
 	if err != nil {
 		return nil, err

@@ -102,6 +102,15 @@ type Config struct {
 	// TrueFaultScale multiplies Mix fault rates to convert detected
 	// rates (what Table 2 reports) into true underlying rates.
 	TrueFaultScale float64
+	// Strategy selects the screening strategy for the regular
+	// in-production rounds (one of Strategies; "" means StrategyFarron).
+	// Pre-production gates are strategy-independent.
+	Strategy string
+	// RegularPeriodMin is the production time between regular rounds in
+	// minutes (values <= 0 mean DefaultRegularPeriodMin, the quarterly
+	// cadence). It scales always-on strategies' detection exposure and
+	// converts round costs into Table 4 overhead fractions.
+	RegularPeriodMin float64
 	// Seed drives all randomness.
 	Seed uint64
 	// Workers bounds the screening goroutines. Results are identical at
@@ -110,15 +119,21 @@ type Config struct {
 	Workers int
 }
 
+// DefaultRegularPeriodMin is the quarterly regular-testing cadence in
+// minutes (90 days — the study's ~10 rounds over 32 months).
+const DefaultRegularPeriodMin = 90 * 24 * 60
+
 // DefaultConfig returns the paper-scale configuration.
 func DefaultConfig() Config {
 	return Config{
-		Processors:     1_000_000,
-		Mix:            DefaultMix(),
-		Stages:         DefaultStages(),
-		RegularRounds:  10,
-		TrueFaultScale: DefaultTrueFaultScale,
-		Seed:           1,
+		Processors:       1_000_000,
+		Mix:              DefaultMix(),
+		Stages:           DefaultStages(),
+		RegularRounds:    10,
+		TrueFaultScale:   DefaultTrueFaultScale,
+		Strategy:         StrategyFarron,
+		RegularPeriodMin: DefaultRegularPeriodMin,
+		Seed:             1,
 	}
 }
 
@@ -126,6 +141,8 @@ func DefaultConfig() Config {
 type Result struct {
 	// Population is the simulated processor count.
 	Population int
+	// Strategy is the screening strategy the fleet ran under.
+	Strategy string
 	// FaultyTotal is how many processors carry defects.
 	FaultyTotal int
 	// DetectedByStage counts first detections per stage.
@@ -187,6 +204,7 @@ type Simulator struct {
 	cfg   Config
 	suite *testkit.Suite
 	rng   *simrand.Source
+	scr   Screener
 }
 
 // NewSimulator builds a simulator; the suite is used to derive per-defect
@@ -208,25 +226,38 @@ func NewSimulator(cfg Config, suite *testkit.Suite) (*Simulator, error) {
 	if len(cfg.Stages) == 0 {
 		return nil, fmt.Errorf("fleet: no stages")
 	}
-	return &Simulator{cfg: cfg, suite: suite, rng: simrand.New(cfg.Seed).Derive("fleet")}, nil
+	cfg.Strategy = NormalizeStrategy(cfg.Strategy)
+	if cfg.RegularPeriodMin <= 0 {
+		cfg.RegularPeriodMin = DefaultRegularPeriodMin
+	}
+	s := &Simulator{cfg: cfg, suite: suite, rng: simrand.New(cfg.Seed).Derive("fleet")}
+	scr, err := newScreener(s, cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	s.scr = scr
+	return s, nil
 }
 
-// screening is one faulty CPU's pipeline outcome.
-type screening struct {
-	archIdx  int
-	profile  *defect.Profile
-	stage    model.Stage
-	tcID     string
-	detected bool
-}
+// Screener returns the simulator's screening strategy.
+func (s *Simulator) Screener() Screener { return s.scr }
 
 // Run executes the simulation. Faulty-CPU screening is sharded per CPU:
 // each processor's profile and pipeline randomness derive from its serial,
 // so the result is identical at any Workers value. Healthy processors are
 // counted, never executed.
+//
+// The loop is round-major so feedback-driven strategies work: screens are
+// built and pre-produced in parallel, then each regular round sweeps the
+// whole fleet in parallel, feeds the round's detections to the screener in
+// serial merge order, and lets it evolve (EndRound) before the next round
+// begins. For per-CPU-substream strategies this draws the exact sequence
+// the old CPU-major loop drew, so the default strategy's results are
+// byte-identical to the pre-interface simulator.
 func (s *Simulator) Run() *Result {
 	res := &Result{
 		Population:         s.cfg.Processors,
+		Strategy:           s.scr.Strategy(),
 		ByArch:             map[model.MicroArch]*ArchResult{},
 		EffectiveTestcases: map[string]bool{},
 	}
@@ -267,28 +298,50 @@ func (s *Simulator) Run() *Result {
 		}
 	}
 
-	// Parallel screening: the CPU's serial keys both its generated profile
-	// and its pipeline substream.
+	// Parallel screen construction and pre-production: the CPU's serial
+	// keys both its generated profile and its screening substream.
 	pool := engine.NewPool(s.cfg.Workers)
-	outcomes := engine.MapPlain(pool, len(jobs), func(j int) screening {
-		jb := jobs[j]
-		p := defect.FleetFaulty(s.rng, jb.serial, s.cfg.Mix[jb.archIdx].Arch)
-		crng := s.rng.Derive("screen", jb.serial)
-		stage, tcID, detected := s.screen(crng, p)
-		return screening{jb.archIdx, p, stage, tcID, detected}
+	screens := engine.MapPlain(pool, len(jobs), func(j int) Screen {
+		return s.scr.NewScreen(jobs[j].serial, s.cfg.Mix[jobs[j].archIdx].Arch)
 	})
+	pool.Run(len(screens), func(j int) { screens[j].PreProduction() })
 
-	// Deterministic merge in serial order (arch order, then serial).
-	for _, o := range outcomes {
-		if !o.detected {
+	// Regular rounds, fleet-wide: parallel sweep, then the round's
+	// detections to the screener in serial merge order (arch order, then
+	// serial), then the strategy's evolution step. Detected screens'
+	// later RegularRound calls are draw-free no-ops.
+	for round := 0; round < s.cfg.RegularRounds; round++ {
+		hits := engine.MapPlain(pool, len(screens), func(j int) bool {
+			return screens[j].RegularRound()
+		})
+		for j, hit := range hits {
+			if !hit {
+				continue
+			}
+			o := screens[j].Outcome()
+			s.scr.Observe(Detection{
+				Serial:     jobs[j].serial,
+				Arch:       s.cfg.Mix[jobs[j].archIdx].Arch,
+				Stage:      o.Stage,
+				TestcaseID: o.TestcaseID,
+				Round:      round,
+			})
+		}
+		s.scr.EndRound(round)
+	}
+
+	// Deterministic merge in serial order.
+	for j := range screens {
+		o := screens[j].Outcome()
+		if !o.Detected {
 			res.Escaped++
 			continue
 		}
-		res.DetectedByStage[o.stage]++
-		res.ByArch[s.cfg.Mix[o.archIdx].Arch].Detected++
-		res.FaultyProfiles = append(res.FaultyProfiles, o.profile)
-		if o.tcID != "" {
-			res.EffectiveTestcases[o.tcID] = true
+		res.DetectedByStage[o.Stage]++
+		res.ByArch[s.cfg.Mix[jobs[j].archIdx].Arch].Detected++
+		res.FaultyProfiles = append(res.FaultyProfiles, o.Profile)
+		if o.TestcaseID != "" {
+			res.EffectiveTestcases[o.TestcaseID] = true
 		}
 	}
 	return res

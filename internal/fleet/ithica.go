@@ -1,0 +1,164 @@
+// The ITHICA-style strategy: no dedicated test rounds at all. Every
+// duplicable instruction of the production stream executes twice inside
+// the same thread and the results are compared, so a defect that fires
+// during real work is caught at its first miscompare. The model follows
+// the paper's framing: detection happens at *production* operating
+// conditions (an inline checker cannot heat the package to a burn-in
+// profile or force adversarial data patterns), continuously over the whole
+// period between campaign boundaries, at a large always-on throughput
+// overhead derived analytically below instead of by golden recompute.
+//
+// What inline duplication structurally cannot catch: consistency-class
+// defects. Re-executing an instruction in the same thread reproduces the
+// same cache-coherence interleaving, so a cross-thread consistency
+// violation compares equal — only computation-class defects are checkable.
+// High-MinTempC defects also escape, because production silicon never
+// reaches the triggering temperature a re-installation burn-in would.
+
+package fleet
+
+import (
+	"math"
+
+	"farron/internal/defect"
+	"farron/internal/model"
+	"farron/internal/testkit"
+)
+
+// The overhead coefficient: overhead = δ · (1 + c) · (1 − η).
+const (
+	// ithicaDupFraction (δ) is the duplicable fraction of the dynamic
+	// instruction stream — loads, stores and serializing operations
+	// cannot be re-executed in place.
+	ithicaDupFraction = 0.85
+	// ithicaCheckCost (c) is the extra compare-and-branch work per
+	// duplicated instruction.
+	ithicaCheckCost = 0.25
+	// ithicaAbsorb (η) is the share of duplicate micro-ops absorbed by
+	// spare superscalar issue slots — duplicated work that costs no
+	// wall time because the pipeline had idle bandwidth anyway.
+	ithicaAbsorb = 0.65
+)
+
+// Production operating conditions the inline checker runs under.
+const (
+	// ithicaProdTempC / ithicaProdSpreadC model the per-period mean core
+	// temperature of production service — well below every test stage's
+	// burn-in profile.
+	ithicaProdTempC   = 52.0
+	ithicaProdSpreadC = 4.0
+	// ithicaDuty is the fleet's production utilization: the fraction of
+	// the period a CPU spends executing checked work.
+	ithicaDuty = 0.70
+	// ithicaStressScale scales a defect's dedicated-test stress down to
+	// what ordinary production instruction mixes exercise: test kits
+	// concentrate adversarial patterns on the defective unit; production
+	// code touches it incidentally.
+	ithicaStressScale = 0.05
+)
+
+// ITHICAOverhead returns the modeled always-on throughput overhead of
+// inline duplicate execution: δ·(1+c)·(1−η) ≈ 0.37 — the strategy's whole
+// cost story. Exported so the strategy-sweep table and DESIGN.md quote the
+// same number.
+func ITHICAOverhead() float64 {
+	return ithicaDupFraction * (1 + ithicaCheckCost) * (1 - ithicaAbsorb)
+}
+
+// ithicaCheck is one compiled inline-check setting: a checkable defect,
+// its best defective core, and the production-mix stress it is exercised
+// at.
+type ithicaCheck struct {
+	d      *defect.Defect
+	core   int
+	stress float64
+}
+
+type ithicaScreener struct {
+	sim *Simulator
+}
+
+func newITHICAScreener(s *Simulator) *ithicaScreener { return &ithicaScreener{sim: s} }
+
+func (t *ithicaScreener) Strategy() string { return StrategyITHICA }
+
+func (t *ithicaScreener) NewScreen(serial string, arch model.MicroArch) Screen {
+	p := defect.FleetFaulty(t.sim.rng, serial, arch)
+	cs := t.sim.newScreenState(serial, arch, p, t.sim.screenRng(StrategyITHICA, serial))
+	is := &ithicaScreen{CPUScreen: cs, scr: t}
+	// Compile the checkable settings once per CPU, like the detection
+	// plan: computation-class defects only, at the mean production-mix
+	// stress over the testcases that exercise the defect (the proxy for
+	// how often production code touches the defective unit).
+	for _, d := range p.Defects {
+		if d.Class != model.ClassComputation {
+			continue
+		}
+		sum, n := 0.0, 0
+		for _, tc := range cs.failing {
+			if !testkit.DetectableBy(tc, d) {
+				continue
+			}
+			sum += testkit.SettingStress(tc, d)
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		is.checks = append(is.checks, ithicaCheck{
+			d:      d,
+			core:   bestCore(d, p.TotalPCores),
+			stress: sum / float64(n) * ithicaStressScale,
+		})
+	}
+	return is
+}
+
+func (t *ithicaScreener) Observe(Detection) {}
+func (t *ithicaScreener) EndRound(int)      {}
+
+func (t *ithicaScreener) Cost() CostModel {
+	return CostModel{AlwaysOnOverhead: ITHICAOverhead()}
+}
+
+// ithicaScreen is one CPU under inline checking. Pre-production runs the
+// standard kit gates through the embedded CPUScreen (the manufacturing
+// pipeline is strategy-independent); a "regular round" models the whole
+// production period since the last campaign boundary under continuous
+// duplicate execution.
+type ithicaScreen struct {
+	*CPUScreen
+	scr    *ithicaScreener
+	checks []ithicaCheck
+}
+
+// RegularRound draws the period's mean production temperature, then one
+// detection draw per checkable defect over the period's checked machine
+// time (period × duty × δ). TestcaseID stays empty on detection: the
+// signal is a duplicate-execution miscompare, not a testcase.
+func (is *ithicaScreen) RegularRound() bool {
+	cs := is.CPUScreen
+	if cs.Detected {
+		return false
+	}
+	if _, ok := cs.sim.RegularStage(); !ok {
+		return false
+	}
+	cs.Rounds++
+	temp := cs.rng.Norm(ithicaProdTempC, ithicaProdSpreadC)
+	exposure := cs.sim.cfg.RegularPeriodMin * ithicaDuty * ithicaDupFraction
+	for i := range is.checks {
+		ck := &is.checks[i]
+		rate := ck.d.RatePerMin(ck.core, temp, ck.stress)
+		if rate <= 0 {
+			continue
+		}
+		pDetect := 1 - math.Exp(-rate*exposure)
+		if cs.rng.Bool(pDetect) {
+			cs.Detected = true
+			cs.Stage = model.StageRegular
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,312 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"farron/internal/model"
+	"farron/internal/simrand"
+	"farron/internal/testkit"
+)
+
+// resultFingerprint flattens everything a Result asserts — counts, stage
+// split, per-arch aggregates in mix order, effective testcases, profile
+// identities in merge order — into one comparable string, so two runs are
+// byte-equal iff their fingerprints match.
+func resultFingerprint(cfg Config, res *Result) string {
+	s := fmt.Sprintf("pop=%d strat=%s faulty=%d escaped=%d|",
+		res.Population, res.Strategy, res.FaultyTotal, res.Escaped)
+	for st := model.Stage(0); int(st) < model.NumStages; st++ {
+		s += fmt.Sprintf("s%d=%d|", st, res.DetectedByStage[st])
+	}
+	for _, m := range cfg.Mix {
+		ar := res.ByArch[m.Arch]
+		s += fmt.Sprintf("%s=%d/%d/%d|", m.Arch, ar.Population, ar.Faulty, ar.Detected)
+	}
+	var eff []string
+	for id := range res.EffectiveTestcases {
+		eff = append(eff, id)
+	}
+	sort.Strings(eff)
+	for _, id := range eff {
+		s += id + ","
+	}
+	s += "|"
+	for _, p := range res.FaultyProfiles {
+		s += string(p.Arch) + ":" + p.CPUID + ","
+	}
+	return s
+}
+
+// TestStrategiesByteIdenticalAcrossWorkers pins the interface's central
+// determinism contract: every screening strategy — including the
+// feedback-driven evolving corpus — produces byte-identical results at any
+// worker count, because all per-CPU draws come from serial-keyed substreams
+// and corpus evolution happens only at serial round boundaries.
+func TestStrategiesByteIdenticalAcrossWorkers(t *testing.T) {
+	for _, strategy := range Strategies() {
+		t.Run(strategy, func(t *testing.T) {
+			cfg := smallConfig(23)
+			cfg.Processors = 100_000
+			cfg.Strategy = strategy
+
+			cfg.Workers = 1
+			serial := resultFingerprint(cfg, newSim(t, cfg).Run())
+			cfg.Workers = 4
+			parallel := resultFingerprint(cfg, newSim(t, cfg).Run())
+			if serial != parallel {
+				t.Errorf("%s: workers=1 and workers=4 runs differ:\n%s\nvs\n%s",
+					strategy, serial, parallel)
+			}
+		})
+	}
+}
+
+// TestStrategiesScreenSameDefectPopulation: profiles derive from serials
+// through the unsalted stream, so every strategy screens the same generated
+// faulty population — rows of the strategy sweep differ in detection, never
+// in what there was to detect.
+func TestStrategiesScreenSameDefectPopulation(t *testing.T) {
+	cfg := smallConfig(24)
+	cfg.Processors = 100_000
+	var faulty []int
+	for _, strategy := range Strategies() {
+		cfg.Strategy = strategy
+		res := newSim(t, cfg).Run()
+		faulty = append(faulty, res.FaultyTotal)
+	}
+	for i := 1; i < len(faulty); i++ {
+		if faulty[i] != faulty[0] {
+			t.Errorf("strategy %s generated %d faulty CPUs, %s generated %d — populations must match",
+				Strategies()[i], faulty[i], Strategies()[0], faulty[0])
+		}
+	}
+}
+
+// runStepped re-enacts Simulator.Run through the exported Screener API,
+// serially, one round at a time — the call pattern of the continuous
+// screening service (internal/serve), which steps campaigns individually
+// instead of batching the horizon.
+func runStepped(sim *Simulator) *Result {
+	res := &Result{
+		Population:         sim.cfg.Processors,
+		Strategy:           sim.scr.Strategy(),
+		ByArch:             map[model.MicroArch]*ArchResult{},
+		EffectiveTestcases: map[string]bool{},
+	}
+	for _, m := range sim.cfg.Mix {
+		res.ByArch[m.Arch] = &ArchResult{}
+	}
+	counts := apportion(sim.cfg.Processors, sim.cfg.Mix)
+	type job struct {
+		arch   model.MicroArch
+		serial string
+	}
+	var jobs []job
+	for i, m := range sim.cfg.Mix {
+		ar := res.ByArch[m.Arch]
+		ar.Population = counts[i]
+		arng := sim.rng.Derive("arch", string(m.Arch))
+		scale := sim.cfg.TrueFaultScale
+		if scale <= 0 {
+			scale = 1
+		}
+		n := arng.Poisson(float64(counts[i]) * m.FaultyRate * scale)
+		ar.Faulty = n
+		res.FaultyTotal += n
+		for f := 0; f < n; f++ {
+			jobs = append(jobs, job{m.Arch, faultySerial(m.Arch, f)})
+		}
+	}
+	scr := sim.Screener()
+	screens := make([]Screen, len(jobs))
+	for j := range jobs {
+		screens[j] = scr.NewScreen(jobs[j].serial, jobs[j].arch)
+		screens[j].PreProduction()
+	}
+	for round := 0; round < sim.cfg.RegularRounds; round++ {
+		for j := range screens {
+			if !screens[j].RegularRound() {
+				continue
+			}
+			o := screens[j].Outcome()
+			scr.Observe(Detection{Serial: jobs[j].serial, Arch: jobs[j].arch,
+				Stage: o.Stage, TestcaseID: o.TestcaseID, Round: round})
+		}
+		scr.EndRound(round)
+	}
+	for j := range screens {
+		o := screens[j].Outcome()
+		if !o.Detected {
+			res.Escaped++
+			continue
+		}
+		res.DetectedByStage[o.Stage]++
+		res.ByArch[jobs[j].arch].Detected++
+		res.FaultyProfiles = append(res.FaultyProfiles, o.Profile)
+		if o.TestcaseID != "" {
+			res.EffectiveTestcases[o.TestcaseID] = true
+		}
+	}
+	return res
+}
+
+// TestSiliFuzzSteppedMatchesOneShot: the evolving corpus draws the same
+// sequence whether the fleet runs batched through Simulator.Run on a pool
+// or stepped serially round by round through the Screener API — corpus
+// evolution depends only on the round index and the merge-ordered
+// detections, never on scheduling. The corpus fingerprints and generation
+// counters must agree, not just the aggregate outcome.
+func TestSiliFuzzSteppedMatchesOneShot(t *testing.T) {
+	cfg := smallConfig(25)
+	cfg.Processors = 100_000
+	cfg.Strategy = StrategySiliFuzz
+	cfg.Workers = 4
+
+	batch := newSim(t, cfg)
+	batchFP := resultFingerprint(cfg, batch.Run())
+	bf := batch.Screener().(*siliFuzzScreener)
+
+	stepped := newSim(t, cfg)
+	steppedFP := resultFingerprint(cfg, runStepped(stepped))
+	sf := stepped.Screener().(*siliFuzzScreener)
+
+	if batchFP != steppedFP {
+		t.Errorf("batch and stepped silifuzz runs differ:\n%s\nvs\n%s", batchFP, steppedFP)
+	}
+	if bf.Generations() != sf.Generations() {
+		t.Errorf("generations differ: batch %d, stepped %d", bf.Generations(), sf.Generations())
+	}
+	if bf.CorpusFingerprint() != sf.CorpusFingerprint() {
+		t.Errorf("corpus fingerprints differ: batch %s, stepped %s",
+			bf.CorpusFingerprint(), sf.CorpusFingerprint())
+	}
+	if bf.Generations() != cfg.RegularRounds {
+		t.Errorf("generations = %d, want one per regular round (%d)",
+			bf.Generations(), cfg.RegularRounds)
+	}
+}
+
+// TestSiliFuzzCorpusEvolves: a full run must change the seeded corpus
+// composition — at minimum the stale-decay path replaces entries that went
+// siliStaleRounds rounds without catching anything, so a fingerprint frozen
+// across ten rounds means evolution is dead code.
+func TestSiliFuzzCorpusEvolves(t *testing.T) {
+	cfg := smallConfig(26)
+	cfg.Processors = 100_000
+	cfg.Strategy = StrategySiliFuzz
+
+	sim := newSim(t, cfg)
+	f := sim.Screener().(*siliFuzzScreener)
+	seedFP := f.CorpusFingerprint()
+	sim.Run()
+	if f.Generations() != cfg.RegularRounds {
+		t.Errorf("generations = %d, want %d", f.Generations(), cfg.RegularRounds)
+	}
+	if f.CorpusFingerprint() == seedFP {
+		t.Error("corpus fingerprint unchanged after a full run")
+	}
+}
+
+// TestSiliFuzzFeedbackPromotesAndMutates drives the evolution step directly:
+// a detection through a corpus entry must promote it (hit counted, idle
+// reset) and spawn a stress-sharpened child over a stale slot, and the
+// catching entry must survive the stale sweep that reaps everything else.
+func TestSiliFuzzFeedbackPromotesAndMutates(t *testing.T) {
+	cfg := smallConfig(29)
+	cfg.Processors = 1000
+	cfg.Strategy = StrategySiliFuzz
+	f := newSim(t, cfg).Screener().(*siliFuzzScreener)
+
+	caught := f.corpus[0].tc.ID
+	f.Observe(Detection{Serial: "M1-flt-00000", Arch: "M1", Stage: model.StageRegular,
+		TestcaseID: caught, Round: 0})
+	f.EndRound(0)
+
+	if f.corpus[0].hits != 1 || f.corpus[0].idle != 0 {
+		t.Errorf("catching entry hits=%d idle=%d, want 1/0", f.corpus[0].hits, f.corpus[0].idle)
+	}
+	mutants := 0
+	for i := range f.corpus {
+		if f.corpus[i].tc.ID == caught && f.corpus[i].boost > 1 {
+			mutants++
+			if f.corpus[i].boost < siliBoostLo || f.corpus[i].boost > siliBoostHi {
+				t.Errorf("first-generation mutant boost %v outside [%v,%v]",
+					f.corpus[i].boost, siliBoostLo, siliBoostHi)
+			}
+		}
+	}
+	if mutants != 1 {
+		t.Errorf("found %d sharpened mutants of the catching entry, want 1", mutants)
+	}
+
+	// Pre-production detections carry no testcase and must not feed back.
+	f.Observe(Detection{Serial: "M1-flt-00001", Arch: "M1", Stage: model.StageReinstall})
+	if len(f.pending) != 0 {
+		t.Error("testcase-less detection queued for evolution")
+	}
+}
+
+// TestStrategyValidation pins the name surface: every listed strategy
+// constructs, the empty string is the default, junk is refused.
+func TestStrategyValidation(t *testing.T) {
+	if got := NormalizeStrategy(""); got != StrategyFarron {
+		t.Errorf("NormalizeStrategy(\"\") = %q, want %q", got, StrategyFarron)
+	}
+	if ValidStrategy("no-such-screener") {
+		t.Error("junk strategy validated")
+	}
+	cfg := smallConfig(27)
+	cfg.Processors = 1000
+	for _, strategy := range Strategies() {
+		cfg.Strategy = strategy
+		sim := newSim(t, cfg)
+		if got := sim.Screener().Strategy(); got != strategy {
+			t.Errorf("Screener().Strategy() = %q, want %q", got, strategy)
+		}
+	}
+	cfg.Strategy = "no-such-screener"
+	if _, err := NewSimulator(cfg, testkit.NewSuite(simrand.New(cfg.Seed))); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+// TestCostModels pins each strategy's cost shape: the kit strategies bill
+// dedicated round minutes (farron about a tenth of the baseline, Figure
+// 11's 1.02 h vs 10.55 h), the inline checker bills an always-on fraction
+// and no rounds at all.
+func TestCostModels(t *testing.T) {
+	cfg := smallConfig(28)
+	cfg.Processors = 1000
+	costs := map[string]CostModel{}
+	for _, strategy := range Strategies() {
+		cfg.Strategy = strategy
+		costs[strategy] = newSim(t, cfg).Screener().Cost()
+	}
+	base := costs[StrategyBaseline]
+	if base.RoundMinutes != 633 { // 633 testcases × 1 min (Table 4's 10.55 h round)
+		t.Errorf("baseline round = %v min, want 633", base.RoundMinutes)
+	}
+	far := costs[StrategyFarron]
+	if far.RoundMinutes <= 0 || far.RoundMinutes >= base.RoundMinutes/9 {
+		t.Errorf("farron round = %v min, want about a tenth of baseline's %v",
+			far.RoundMinutes, base.RoundMinutes)
+	}
+	sili := costs[StrategySiliFuzz]
+	if sili.RoundMinutes != far.RoundMinutes {
+		t.Errorf("silifuzz round = %v min, want farron's cost point %v",
+			sili.RoundMinutes, far.RoundMinutes)
+	}
+	ith := costs[StrategyITHICA]
+	if ith.RoundMinutes != 0 || ith.AlwaysOnOverhead != ITHICAOverhead() {
+		t.Errorf("ithica cost = %+v, want always-on %v and no rounds", ith, ITHICAOverhead())
+	}
+	// OverheadFraction folds both shapes into the Table 4 metric.
+	if got := base.OverheadFraction(DefaultRegularPeriodMin); got <= 0 || got > 0.006 {
+		t.Errorf("baseline overhead = %v, want near the paper's 0.488%%", got)
+	}
+	if got := ith.OverheadFraction(DefaultRegularPeriodMin); got != ITHICAOverhead() {
+		t.Errorf("ithica overhead = %v, want the always-on %v", got, ITHICAOverhead())
+	}
+}

@@ -56,11 +56,14 @@ type LifecycleState struct {
 // budgets. The headless determinism test diffs two runs' marshalled
 // histories byte for byte.
 type CampaignRecord struct {
-	Index        int           `json:"index"`
-	VirtualTime  time.Duration `json:"virtual_time_ns"`
-	Period       time.Duration `json:"period_ns"`
-	FleetSize    int           `json:"fleet_size"`
-	ActiveFaulty int           `json:"active_faulty"`
+	Index       int           `json:"index"`
+	VirtualTime time.Duration `json:"virtual_time_ns"`
+	Period      time.Duration `json:"period_ns"`
+	// Strategy is the screening strategy the campaign ran under
+	// (-screener; constant for a service's lifetime).
+	Strategy     string `json:"strategy"`
+	FleetSize    int    `json:"fleet_size"`
+	ActiveFaulty int    `json:"active_faulty"`
 	// Detected is this campaign's detections (regular rounds plus
 	// pre-production catches of the window's births).
 	Detected    int `json:"detected"`
@@ -69,8 +72,9 @@ type CampaignRecord struct {
 	// Ripeness is the defect-development histogram over the still-tracked
 	// fleet: four quarter buckets plus the ripe bucket.
 	Ripeness [ripenessBuckets]int `json:"ripeness"`
-	// TestCostMinutes is the campaign's test budget: every live processor
-	// runs the full suite at the regular stage's per-testcase allocation.
+	// TestCostMinutes is the campaign's screening budget under the
+	// strategy's cost model: per-CPU round minutes plus any always-on
+	// overhead taken over the campaign period.
 	TestCostMinutes float64          `json:"test_cost_minutes"`
 	Arches          []ArchCampaign   `json:"arches"`
 	Lifecycle       []LifecycleState `json:"lifecycle"`
@@ -92,6 +96,7 @@ func (s *Service) HistoryJSON() ([]byte, error) {
 type Status struct {
 	Seed            uint64        `json:"seed"`
 	Workers         int           `json:"workers"`
+	Strategy        string        `json:"strategy"`
 	FleetSize       int           `json:"fleet_size"`
 	CampaignPeriod  time.Duration `json:"campaign_period_ns"`
 	Campaigns       int           `json:"campaigns"`
@@ -110,6 +115,7 @@ func (s *Service) StatusSnapshot() Status {
 	st := Status{
 		Seed:           s.runner.Ctx().Seed,
 		Workers:        s.runner.Ctx().Workers,
+		Strategy:       s.sim.Screener().Strategy(),
 		FleetSize:      s.cfg.FleetSize,
 		CampaignPeriod: s.cfg.CampaignPeriod,
 		Campaigns:      s.dropped + len(s.history),
@@ -166,8 +172,8 @@ type renderFleet struct{ rec *CampaignRecord }
 
 func (r renderFleet) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "campaign %d at %v: fleet %d, %d tracked faulty, %d detected (cum %d, escaped %d)\n",
-		r.rec.Index, r.rec.VirtualTime, r.rec.FleetSize, r.rec.ActiveFaulty,
+	fmt.Fprintf(&b, "campaign %d [%s] at %v: fleet %d, %d tracked faulty, %d detected (cum %d, escaped %d)\n",
+		r.rec.Index, r.rec.Strategy, r.rec.VirtualTime, r.rec.FleetSize, r.rec.ActiveFaulty,
 		r.rec.Detected, r.rec.CumDetected, r.rec.CumEscaped)
 	fmt.Fprintf(&b, "%-5s %10s %7s %5s %7s %6s %9s\n",
 		"arch", "pop", "faulty", "ripe", "det", "cum", "rate")

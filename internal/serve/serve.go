@@ -31,7 +31,6 @@ import (
 	"farron/internal/model"
 	"farron/internal/sched"
 	"farron/internal/simrand"
-	"farron/internal/testkit"
 )
 
 // Config sizes and paces the service. The zero value of any field takes
@@ -110,10 +109,12 @@ func (c Config) withDefaults() Config {
 }
 
 // trackedCPU is one live faulty processor: its resumable screening state
-// plus the service-level lifetime bookkeeping (when it was born, when its
-// defect ripens, when it leaves the fleet).
+// (under the service's configured strategy) plus the service-level lifetime
+// bookkeeping (when it was born, when its defect ripens, when it leaves the
+// fleet).
 type trackedCPU struct {
-	screen *fleet.CPUScreen
+	serial string
+	screen fleet.Screen
 	birth  time.Duration
 	onset  time.Duration // age at which the defect becomes detectable
 	life   time.Duration // age at decommission
@@ -166,8 +167,7 @@ type Service struct {
 	rng    *simrand.Source // root "serve" stream (distinct from the fleet sim's)
 	arches []*archState
 	cohort []*experiments.LifecycleStepper
-	fp     string  // config fingerprint woven into campaign entry names
-	perMin float64 // regular-stage per-testcase minutes
+	fp     string // config fingerprint woven into campaign entry names
 
 	campaigns int
 	err       error
@@ -190,12 +190,13 @@ func New(runner *engine.Runner, cfg Config) (*Service, error) {
 	fcfg.Mix = cfg.Mix
 	fcfg.Seed = ctx.Seed
 	fcfg.Workers = ctx.Workers
+	fcfg.Strategy = cfg.Scale.Strategy
+	fcfg.RegularPeriodMin = cfg.CampaignPeriod.Minutes()
 	sim, err := fleet.NewSimulator(fcfg, ctx.Suite)
 	if err != nil {
 		return nil, err
 	}
-	reg, ok := sim.RegularStage()
-	if !ok {
+	if _, ok := sim.RegularStage(); !ok {
 		return nil, errors.New("serve: fleet pipeline has no regular stage")
 	}
 	s := &Service{
@@ -205,7 +206,6 @@ func New(runner *engine.Runner, cfg Config) (*Service, error) {
 		clock:  sched.NewClock(),
 		rng:    simrand.New(ctx.Seed).Derive("serve"),
 		cohort: experiments.LifecycleCohort(ctx, cfg.LifecycleRounds),
-		perMin: reg.PerTestcaseMin,
 	}
 	s.fp = s.fingerprint()
 
@@ -233,7 +233,8 @@ func New(runner *engine.Runner, cfg Config) (*Service, error) {
 // configured services never collide.
 func (s *Service) fingerprint() string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%d|%v|%v|%v|%v", s.runner.Ctx().Seed, s.cfg.FleetSize,
+	fmt.Fprintf(h, "%d|%d|%s|%v|%v|%v|%v", s.runner.Ctx().Seed, s.cfg.FleetSize,
+		s.sim.Screener().Strategy(),
 		s.cfg.CampaignPeriod, s.cfg.MeanLifetime, s.cfg.MeanOnset, s.cfg.BornFaultyShare)
 	for _, m := range s.cfg.Mix {
 		fmt.Fprintf(h, "|%s:%v:%v", m.Arch, m.Share, m.FaultyRate)
@@ -254,13 +255,14 @@ func (s *Service) birth(a *archState, now time.Duration) {
 
 	crng := s.rng.Derive("cpu", serial)
 	t := &trackedCPU{
-		birth: now,
-		life:  time.Duration(crng.Range(0.5, 1.5) * float64(s.cfg.MeanLifetime)),
+		serial: serial,
+		birth:  now,
+		life:   time.Duration(crng.Range(0.5, 1.5) * float64(s.cfg.MeanLifetime)),
 	}
 	if crng.Float64() >= s.cfg.BornFaultyShare {
 		t.onset = time.Duration(crng.Range(0, 2) * float64(s.cfg.MeanOnset))
 	}
-	t.screen = s.sim.NewCPUScreen(serial, a.arch)
+	t.screen = s.sim.Screener().NewScreen(serial, a.arch)
 	if t.onset > 0 {
 		// The defect ripens in the field: pre-production ran, there was
 		// nothing there to catch yet.
@@ -277,7 +279,7 @@ func (s *Service) birth(a *archState, now time.Duration) {
 		t.gone = true
 		a.pendDecommissions++
 		a.cumDecommissions++
-		if !t.screen.Detected {
+		if !t.screen.Outcome().Detected {
 			a.pendEscapes++
 			a.cumEscapes++
 		}
@@ -307,10 +309,12 @@ func (s *Service) campaignTick(now time.Duration) {
 	// Screening: one regular round for every live, ripe, undetected
 	// processor. Detection retires the unit (its slot is refilled by a
 	// healthy replacement), so its decommission event dies with it.
+	scr := s.sim.Screener()
 	rec := CampaignRecord{
 		Index:       s.campaigns,
 		VirtualTime: now,
 		Period:      s.cfg.CampaignPeriod,
+		Strategy:    scr.Strategy(),
 	}
 	for _, a := range s.arches {
 		ac := ArchCampaign{Arch: string(a.arch), Population: a.pop}
@@ -324,6 +328,14 @@ func (s *Service) campaignTick(now time.Duration) {
 				ac.Ripe++
 			}
 			if r >= 1 && t.screen.RegularRound() {
+				o := t.screen.Outcome()
+				scr.Observe(fleet.Detection{
+					Serial:     t.serial,
+					Arch:       a.arch,
+					Stage:      o.Stage,
+					TestcaseID: o.TestcaseID,
+					Round:      s.campaigns,
+				})
 				ac.Detected++
 				a.cumDetected++
 				t.gone = true
@@ -360,9 +372,17 @@ func (s *Service) campaignTick(now time.Duration) {
 		rec.CumDetected += ac.CumDetected
 		rec.CumEscaped += ac.CumEscaped
 	}
-	// Test-cost budget: every live processor runs the full suite once per
-	// campaign at the regular stage's per-testcase allocation.
-	rec.TestCostMinutes = float64(rec.FleetSize) * float64(testkit.SuiteSize) * s.perMin
+	// The campaign's detections are all observed: the strategy may now
+	// evolve its suite for the next campaign (a serial step, keyed on the
+	// campaign index).
+	scr.EndRound(s.campaigns)
+
+	// Test-cost budget under the configured strategy: each live processor's
+	// dedicated round time plus any always-on overhead over the campaign
+	// period (inline checkers screen by taxing production itself).
+	cost := scr.Cost()
+	rec.TestCostMinutes = float64(rec.FleetSize) *
+		(cost.RoundMinutes + cost.AlwaysOnOverhead*s.cfg.CampaignPeriod.Minutes())
 
 	// Defect evolution: the lifecycle cohort advances one regular period.
 	for _, st := range s.cohort {
