@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint lint-json lint-fast bench bench-cached bench-fanout bench-quick serve serve-smoke cluster-smoke screeners-smoke check
+.PHONY: build test race vet fmt lint lint-json lint-fast bench bench-cached bench-fanout bench-quick bench-compare alloc-pins serve serve-smoke cluster-smoke screeners-smoke check
 
 ## build: compile every package
 build:
@@ -62,6 +62,36 @@ bench-fanout:
 ## path — the fast schema/regression probe CI runs on every push
 bench-quick:
 	$(GO) run ./cmd/sdcbench -quick -o /dev/null -jsonpath bench_quick.json
+
+## bench-compare: hot-path micro-benchmarks at BASE (default HEAD~1, via a
+## throwaway worktree) vs the working tree, compared with benchstat when
+## installed, side by side otherwise
+BASE ?= HEAD~1
+BENCHES ?= BenchmarkRunnerStep|BenchmarkRunTestcase|BenchmarkScreenCPU|BenchmarkStatsColumnar
+bench-compare:
+	@rm -rf /tmp/farron-bench-base
+	git worktree add -q --detach /tmp/farron-bench-base $(BASE)
+	cd /tmp/farron-bench-base && $(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -count 6 \
+		./internal/testkit ./internal/fleet ./internal/stats > /tmp/farron-bench-old.txt 2>/dev/null || \
+		$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -count 6 \
+		./internal/testkit ./internal/fleet > /tmp/farron-bench-old.txt
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -count 6 \
+		./internal/testkit ./internal/fleet ./internal/stats > /tmp/farron-bench-new.txt
+	git worktree remove --force /tmp/farron-bench-base
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat /tmp/farron-bench-old.txt /tmp/farron-bench-new.txt; \
+	else \
+		echo "benchstat not installed; raw results:"; \
+		echo "--- old ($(BASE)) ---"; grep '^Benchmark' /tmp/farron-bench-old.txt; \
+		echo "--- new (worktree) ---"; grep '^Benchmark' /tmp/farron-bench-new.txt; \
+	fi
+
+## alloc-pins: the zero-allocation regression pins (run twice to shake out
+## warm-up effects) — the compiled run path, the per-round screening walk
+## and the columnar stats reductions must stay allocation-free
+alloc-pins:
+	$(GO) test -run 'TestRunStepAllocs|TestScreenCPUAllocs|TestStatsColumnarAllocs|TestPlanDetectAllocs' \
+		-count=2 ./internal/testkit ./internal/fleet ./internal/stats
 
 ## serve: run the continuous screening service with its status API on
 ## :8731, one virtual day per wall second (ctrl-C shuts down cleanly)

@@ -99,10 +99,20 @@ func (r *RoundReport) absorb(res testkit.RunResult) {
 	}
 	if res.Failed {
 		r.DetectedTestcases[res.TestcaseID] = true
-		for _, rec := range res.Records {
-			r.FailedCores[rec.Core] = true
+		// Compiled runs expose the columnar form: scan the contiguous
+		// core column instead of striding through row structs.
+		if cols := res.Columns; cols != nil {
+			for _, c := range cols.Core {
+				r.FailedCores[c] = true
+			}
+		} else {
+			for _, rec := range res.Records {
+				r.FailedCores[rec.Core] = true
+			}
 		}
 	}
+	// Row values are copied out of the run's arena, so the report owns
+	// its records.
 	r.Records = append(r.Records, res.Records...)
 }
 

@@ -28,6 +28,15 @@ type ExperimentTiming struct {
 	// Error is the entry's failure, empty on success. Failed entries keep
 	// their measured wall time so partial accounting stays meaningful.
 	Error string `json:"error,omitempty"`
+	// AllocBytes / Mallocs are the process-wide heap-allocation deltas
+	// (runtime.MemStats cumulative counters) measured around this entry's
+	// in-process execution. Exact at Workers=1; at higher worker budgets
+	// concurrent entries' allocations bleed into each other's windows, so
+	// the values are attribution hints, not per-entry truth (the run-level
+	// totals in RunReport stay exact either way). Zero for cache hits and
+	// distributed entries, whose allocations happen elsewhere.
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
+	Mallocs    uint64 `json:"mallocs,omitempty"`
 }
 
 // WorkerProc is the accounting of one distributed worker — a fan-out

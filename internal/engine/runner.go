@@ -158,6 +158,9 @@ func (r *Runner) Run(exps []Experiment, sc Scale) ([]Section, *RunReport, error)
 		pool.Run(len(pending), func(j int) {
 			i := pending[j]
 			e := exps[i]
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			startAlloc, startMallocs := ms.TotalAlloc, ms.Mallocs
 			start := stampStart()
 			res, err := e.Run(ctx, sc)
 			if err != nil {
@@ -167,10 +170,13 @@ func (r *Runner) Run(exps []Experiment, sc Scale) ([]Section, *RunReport, error)
 				return
 			}
 			body := res.Render()
+			runtime.ReadMemStats(&ms)
 			rep.Experiments[i] = ExperimentTiming{
 				Name:        e.Name,
 				WallSeconds: start.Seconds(),
 				OutputBytes: len(body),
+				AllocBytes:  ms.TotalAlloc - startAlloc,
+				Mallocs:     ms.Mallocs - startMallocs,
 			}
 			sections[i] = Section{Name: e.Name, Body: body}
 		})

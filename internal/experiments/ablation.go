@@ -94,20 +94,32 @@ func coldPrioritizedRound(r *testkit.Runner, p *defect.Profile, active []string)
 			per = time.Second
 		}
 		for _, c := range cores {
-			res := r.Run(alloc.Testcase, testkit.RunOpts{Core: c, Duration: per})
-			rep.Duration += res.Duration
-			if res.MaxTempC > rep.MaxTempC {
-				rep.MaxTempC = res.MaxTempC
-			}
-			if res.Failed {
-				rep.DetectedTestcases[res.TestcaseID] = true
-				for _, rec := range res.Records {
-					rep.FailedCores[rec.Core] = true
-				}
-			}
+			absorbAblation(rep, r.Run(alloc.Testcase, testkit.RunOpts{Core: c, Duration: per}))
 		}
 	}
 	return rep
+}
+
+// absorbAblation folds one run into an ablation round report, scanning the
+// columnar core column when the compiled path provides it.
+func absorbAblation(rep *core.RoundReport, res testkit.RunResult) {
+	rep.Duration += res.Duration
+	if res.MaxTempC > rep.MaxTempC {
+		rep.MaxTempC = res.MaxTempC
+	}
+	if !res.Failed {
+		return
+	}
+	rep.DetectedTestcases[res.TestcaseID] = true
+	if cols := res.Columns; cols != nil {
+		for _, c := range cols.Core {
+			rep.FailedCores[c] = true
+		}
+		return
+	}
+	for _, rec := range res.Records {
+		rep.FailedCores[rec.Core] = true
+	}
 }
 
 // equalDurationRound spends roughly Farron's one-hour budget spread equally
@@ -121,20 +133,10 @@ func equalDurationRound(r *testkit.Runner, cfg core.Config) *core.RoundReport {
 	per := time.Hour / time.Duration(testkit.SuiteSize)
 	cores := r.Processor().ActiveCores()
 	for _, tc := range r.Suite().Testcases {
-		res := r.RunParallel(tc, cores, testkit.RunOpts{
+		absorbAblation(rep, r.RunParallel(tc, cores, testkit.RunOpts{
 			Duration: per,
 			BurnIn:   !cfg.DisableBurnIn,
-		})
-		rep.Duration += res.Duration
-		if res.MaxTempC > rep.MaxTempC {
-			rep.MaxTempC = res.MaxTempC
-		}
-		if res.Failed {
-			rep.DetectedTestcases[res.TestcaseID] = true
-			for _, rec := range res.Records {
-				rep.FailedCores[rec.Core] = true
-			}
-		}
+		}))
 	}
 	return rep
 }

@@ -168,9 +168,11 @@ func Attribution(ctx *Context) *AttributionResult {
 		runner := newRunnerFor(ctx, probe.id, "attrib")
 		var results []testkit.RunResult
 		for _, tc := range ctx.Suite.ByFeature(probe.feature) {
+			// Clone: results are read after later runs reset the
+			// runner's arena.
 			results = append(results, runner.Run(tc, testkit.RunOpts{
 				Core: probe.core, Duration: 8 * time.Minute, FixedTempC: &hot,
-			}))
+			}).Clone())
 		}
 		row := AttributionRow{
 			ProcessorID:   probe.id,

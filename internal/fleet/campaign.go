@@ -133,14 +133,10 @@ func (cs *CPUScreen) RegularRound() bool {
 	return cs.round(sp)
 }
 
-// RegularStage returns the configured regular-testing stage profile.
+// RegularStage returns the configured regular-testing stage profile,
+// cached at construction (stages are frozen once the simulator is built).
 func (s *Simulator) RegularStage() (StageProfile, bool) {
-	for _, sp := range s.cfg.Stages {
-		if sp.Stage == model.StageRegular {
-			return sp, true
-		}
-	}
-	return StageProfile{}, false
+	return s.regularSP, s.hasRegular
 }
 
 // Mix returns the simulator's micro-architecture composition.

@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"testing"
+
+	"farron/internal/simrand"
+	"farron/internal/testkit"
+)
+
+// newRefSim builds a Simulator over a reference suite, which routes every
+// screen through the retained naive round implementations.
+func newRefSim(t *testing.T, cfg Config) *Simulator {
+	t.Helper()
+	suite := testkit.NewReferenceSuite(simrand.New(cfg.Seed))
+	sim, err := NewSimulator(cfg, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestCompiledStrategiesMatchReferenceSuite cross-checks every strategy's
+// compiled round against the retained naive implementation at full
+// simulation scope: a compiled-suite run and a reference-suite run at the
+// same seed must be fingerprint-identical. For the evolving corpus this
+// also proves the mutation-keyed plan cache tracks corpus composition
+// exactly — one stale plan entry would shift every later draw and fork the
+// whole run.
+func TestCompiledStrategiesMatchReferenceSuite(t *testing.T) {
+	for _, strategy := range Strategies() {
+		t.Run(strategy, func(t *testing.T) {
+			cfg := smallConfig(30)
+			cfg.Processors = 100_000
+			cfg.Strategy = strategy
+
+			compiled := newSim(t, cfg)
+			compiledFP := resultFingerprint(cfg, compiled.Run())
+			ref := newRefSim(t, cfg)
+			refFP := resultFingerprint(cfg, ref.Run())
+			if compiledFP != refFP {
+				t.Errorf("compiled and reference runs differ:\n%s\nvs\n%s",
+					compiledFP, refFP)
+			}
+			if strategy == StrategySiliFuzz {
+				cf := compiled.Screener().(*siliFuzzScreener)
+				rf := ref.Screener().(*siliFuzzScreener)
+				if cf.CorpusFingerprint() != rf.CorpusFingerprint() {
+					t.Errorf("corpus fingerprints differ: compiled %s, reference %s",
+						cf.CorpusFingerprint(), rf.CorpusFingerprint())
+				}
+			}
+		})
+	}
+}
+
+// screenStateOf unwraps a strategy Screen to the embedded CPUScreen (every
+// strategy in this package builds on it).
+func screenStateOf(t *testing.T, sc Screen) *CPUScreen {
+	t.Helper()
+	switch s := sc.(type) {
+	case *CPUScreen:
+		return s
+	case *siliScreen:
+		return s.CPUScreen
+	case *ithicaScreen:
+		return s.CPUScreen
+	}
+	t.Fatalf("unknown screen type %T", sc)
+	return nil
+}
+
+// TestScreenCPUAllocs pins the per-round screening walk at zero heap
+// allocations for every compiled strategy: the kit plan compiles at screen
+// construction, the ithica checks at screen construction, and the silifuzz
+// corpus plan once per corpus mutation — steady-state rounds only draw and
+// walk cached entries. The measured round is forced to re-walk the full
+// plan by clearing the detection latch each iteration.
+func TestScreenCPUAllocs(t *testing.T) {
+	for _, strategy := range []string{StrategyFarron, StrategySiliFuzz, StrategyITHICA} {
+		t.Run(strategy, func(t *testing.T) {
+			cfg := smallConfig(31)
+			cfg.Processors = 1000
+			cfg.Strategy = strategy
+			sim := newSim(t, cfg)
+
+			// Find a serial whose compiled plan is non-empty so the
+			// measured walk is not vacuous.
+			var sc Screen
+			var cs *CPUScreen
+			for f := 0; f < 50 && sc == nil; f++ {
+				cand := sim.Screener().NewScreen(faultySerial("M8", f), "M8")
+				ccs := screenStateOf(t, cand)
+				ccs.PassPreProduction()
+				cand.RegularRound() // warm: compiles the corpus plan lazily
+				entries := 0
+				switch s := cand.(type) {
+				case *CPUScreen:
+					entries = len(s.plan.entries)
+				case *siliScreen:
+					entries = len(s.plan.entries)
+				case *ithicaScreen:
+					entries = len(s.plan.entries)
+				}
+				if entries > 0 {
+					sc, cs = cand, ccs
+				}
+			}
+			if sc == nil {
+				t.Fatal("no serial with a non-empty compiled plan in 50 tries")
+			}
+
+			allocs := testing.AllocsPerRun(100, func() {
+				cs.Detected = false
+				sc.RegularRound()
+			})
+			if allocs != 0 {
+				t.Errorf("%s RegularRound allocates %v objects, want 0", strategy, allocs)
+			}
+		})
+	}
+}

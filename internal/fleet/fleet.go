@@ -205,6 +205,12 @@ type Simulator struct {
 	suite *testkit.Suite
 	rng   *simrand.Source
 	scr   Screener
+	// regularSP caches the regular-testing stage profile (hasRegular
+	// false when none is configured): every screen consults it every
+	// round, and cfg.Stages is frozen after NewSimulator, so the
+	// per-round linear scan is hoisted here.
+	regularSP  StageProfile
+	hasRegular bool
 }
 
 // NewSimulator builds a simulator; the suite is used to derive per-defect
@@ -231,6 +237,12 @@ func NewSimulator(cfg Config, suite *testkit.Suite) (*Simulator, error) {
 		cfg.RegularPeriodMin = DefaultRegularPeriodMin
 	}
 	s := &Simulator{cfg: cfg, suite: suite, rng: simrand.New(cfg.Seed).Derive("fleet")}
+	for _, sp := range cfg.Stages {
+		if sp.Stage == model.StageRegular {
+			s.regularSP, s.hasRegular = sp, true
+			break
+		}
+	}
 	scr, err := newScreener(s, cfg.Strategy)
 	if err != nil {
 		return nil, err
@@ -309,10 +321,13 @@ func (s *Simulator) Run() *Result {
 	// Regular rounds, fleet-wide: parallel sweep, then the round's
 	// detections to the screener in serial merge order (arch order, then
 	// serial), then the strategy's evolution step. Detected screens'
-	// later RegularRound calls are draw-free no-ops.
+	// later RegularRound calls are draw-free no-ops. The hit vector is
+	// allocated once and rewritten per round (every slot is assigned
+	// every round, so no clearing is needed).
+	hits := make([]bool, len(screens))
 	for round := 0; round < s.cfg.RegularRounds; round++ {
-		hits := engine.MapPlain(pool, len(screens), func(j int) bool {
-			return screens[j].RegularRound()
+		pool.Run(len(screens), func(j int) {
+			hits[j] = screens[j].RegularRound()
 		})
 		for j, hit := range hits {
 			if !hit {

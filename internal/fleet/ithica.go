@@ -76,9 +76,23 @@ type ithicaCheck struct {
 
 type ithicaScreener struct {
 	sim *Simulator
+	// prodSP is the synthetic production-conditions stage profile every
+	// round detects under: the production temperature distribution in
+	// place of a burn-in profile, and the period's checked machine time
+	// (period × duty × δ) in place of a per-testcase slice. Every factor
+	// is a config or model constant, so it is compiled once here — the
+	// old per-round exposure recomputation was loop-invariant waste.
+	prodSP StageProfile
 }
 
-func newITHICAScreener(s *Simulator) *ithicaScreener { return &ithicaScreener{sim: s} }
+func newITHICAScreener(s *Simulator) *ithicaScreener {
+	return &ithicaScreener{sim: s, prodSP: StageProfile{
+		Stage:          model.StageRegular,
+		PerTestcaseMin: s.cfg.RegularPeriodMin * ithicaDuty * ithicaDupFraction,
+		MeanTempC:      ithicaProdTempC,
+		TempSpreadC:    ithicaProdSpreadC,
+	}}
+}
 
 func (t *ithicaScreener) Strategy() string { return StrategyITHICA }
 
@@ -111,6 +125,27 @@ func (t *ithicaScreener) NewScreen(serial string, arch model.MicroArch) Screen {
 			stress: sum / float64(n) * ithicaStressScale,
 		})
 	}
+	// Compiled suites further lower the checks into detection-plan entry
+	// form so a round is one detectionPlan.detect walk. Dropped checks —
+	// zero best-core multiplier, non-positive production stress — had an
+	// identically-zero naive rate, so the draw sequence is untouched. The
+	// tcID stays empty: a hit is a duplicate-execution miscompare, not a
+	// testcase.
+	if !t.sim.suite.Reference() {
+		entries := make([]planEntry, 0, len(is.checks))
+		for _, ck := range is.checks {
+			m := ck.d.CoreMultiplier(ck.core)
+			if m == 0 || ck.stress <= 0 {
+				continue
+			}
+			entries = append(entries, planEntry{
+				bm: ck.d.BaseFreqPerMin * m, stress: ck.stress,
+				minTempC: ck.d.MinTempC, slope: ck.d.TempSlope,
+				sat: ck.d.EffectiveSatDecades(),
+			})
+		}
+		is.plan = detectionPlan{entries: entries}
+	}
 	return is
 }
 
@@ -130,6 +165,10 @@ type ithicaScreen struct {
 	*CPUScreen
 	scr    *ithicaScreener
 	checks []ithicaCheck
+	// plan is the checks lowered into detection-plan entries (compiled
+	// suites only); the retained naive walk over checks serves reference
+	// suites.
+	plan detectionPlan
 }
 
 // RegularRound draws the period's mean production temperature, then one
@@ -145,15 +184,29 @@ func (is *ithicaScreen) RegularRound() bool {
 		return false
 	}
 	cs.Rounds++
+	if cs.sim.suite.Reference() {
+		return is.naiveRound()
+	}
+	if _, hit := is.plan.detect(cs.rng, is.scr.prodSP); hit {
+		cs.Detected = true
+		cs.Stage = model.StageRegular
+		return true
+	}
+	return false
+}
+
+// naiveRound is the retained reference-suite round: the per-check
+// RatePerMin walk the compiled plan reproduces draw-for-draw.
+func (is *ithicaScreen) naiveRound() bool {
+	cs := is.CPUScreen
 	temp := cs.rng.Norm(ithicaProdTempC, ithicaProdSpreadC)
-	exposure := cs.sim.cfg.RegularPeriodMin * ithicaDuty * ithicaDupFraction
 	for i := range is.checks {
 		ck := &is.checks[i]
 		rate := ck.d.RatePerMin(ck.core, temp, ck.stress)
 		if rate <= 0 {
 			continue
 		}
-		pDetect := 1 - math.Exp(-rate*exposure)
+		pDetect := 1 - math.Exp(-rate*is.scr.prodSP.PerTestcaseMin)
 		if cs.rng.Bool(pDetect) {
 			cs.Detected = true
 			cs.Stage = model.StageRegular

@@ -61,6 +61,12 @@ type siliFuzzScreener struct {
 	pending []string
 	// generations counts EndRound evolutions applied so far.
 	generations int
+	// mutations counts EndRound steps that actually changed the corpus
+	// composition (a spawned mutant or a stale-decay replacement). Screens
+	// key their compiled per-CPU plans on it: generations advances every
+	// round, but a plan only goes stale when an entry's testcase or boost
+	// changed.
+	mutations int
 	// perEntryMin is the test time per corpus entry per round: the
 	// farron-sized round budget spread over the corpus, so silifuzz
 	// competes at farron's cost point with evolved (not fixed) coverage.
@@ -91,7 +97,11 @@ func (f *siliFuzzScreener) Strategy() string { return StrategySiliFuzz }
 func (f *siliFuzzScreener) NewScreen(serial string, arch model.MicroArch) Screen {
 	p := defect.FleetFaulty(f.sim.rng, serial, arch)
 	cs := f.sim.newScreenState(serial, arch, p, f.sim.screenRng(StrategySiliFuzz, serial))
-	return &siliScreen{CPUScreen: cs, scr: f}
+	ss := &siliScreen{CPUScreen: cs, scr: f, planGen: -1}
+	if !f.sim.suite.Reference() {
+		ss.compileCoefs()
+	}
+	return ss
 }
 
 func (f *siliFuzzScreener) Observe(d Detection) {
@@ -128,6 +138,7 @@ func (f *siliFuzzScreener) EndRound(round int) {
 		}
 		if w := f.weakest(); w >= 0 {
 			f.corpus[w] = child
+			f.mutations++
 		}
 	}
 	f.pending = f.pending[:0]
@@ -135,6 +146,7 @@ func (f *siliFuzzScreener) EndRound(round int) {
 	for i := range f.corpus {
 		if f.corpus[i].idle >= siliStaleRounds {
 			f.corpus[i] = siliEntry{tc: tcs[rng.Intn(len(tcs))], boost: 1}
+			f.mutations++
 		}
 	}
 	f.generations++
@@ -199,6 +211,71 @@ func (f *siliFuzzScreener) CorpusFingerprint() string {
 type siliScreen struct {
 	*CPUScreen
 	scr *siliFuzzScreener
+	// coefs are the profile's temperature-independent per-defect rate
+	// coefficients (best-core leading factor and saturation), compiled
+	// once per CPU so re-compiling the corpus plan after an evolution
+	// never re-derives them. Compiled-suite path only.
+	coefs []siliDefectCoef
+	// plan is the live corpus compiled against this CPU's profile into
+	// the kit detection plan's entry form (plan.go); planGen is the
+	// screener mutation count it was compiled at. The corpus is frozen
+	// while a round's screens run, so the plan only goes stale when
+	// EndRound actually changes corpus composition — idle rounds re-walk
+	// the cached entries without touching DetectableBy or SettingStress.
+	plan    detectionPlan
+	planGen int
+}
+
+// siliDefectCoef is one profile defect's compiled rate coefficients: bm is
+// BaseFreqPerMin·CoreMultiplier(bestCore), exactly planEntry's leading
+// factor.
+type siliDefectCoef struct {
+	d   *defect.Defect
+	bm  float64
+	sat float64
+}
+
+// compileCoefs builds the per-defect coefficient table, dropping defects
+// whose best-core multiplier is zero (their naive rate is identically zero
+// at any temperature and stress, so they never consumed a draw).
+func (ss *siliScreen) compileCoefs() {
+	p := ss.Profile
+	ss.coefs = make([]siliDefectCoef, 0, len(p.Defects))
+	for _, d := range p.Defects {
+		m := d.CoreMultiplier(bestCore(d, p.TotalPCores))
+		if m == 0 {
+			continue
+		}
+		ss.coefs = append(ss.coefs, siliDefectCoef{
+			d: d, bm: d.BaseFreqPerMin * m, sat: d.EffectiveSatDecades(),
+		})
+	}
+}
+
+// compilePlan compiles the current corpus against the screen's profile, in
+// the naive draw order (corpus slots outer, defects inner). Every dropped
+// setting — undetectable pair, non-positive boosted stress — had an
+// identically-zero naive rate, so the compiled walk consumes the same
+// draws. prev recycles the previous compilation's backing array.
+func (ss *siliScreen) compilePlan(prev []planEntry) detectionPlan {
+	entries := prev[:0]
+	for i := range ss.scr.corpus {
+		e := &ss.scr.corpus[i]
+		for _, c := range ss.coefs {
+			if !testkit.DetectableBy(e.tc, c.d) {
+				continue
+			}
+			stress := testkit.SettingStress(e.tc, c.d) * e.boost
+			if stress <= 0 {
+				continue
+			}
+			entries = append(entries, planEntry{
+				tcID: e.tc.ID, bm: c.bm, stress: stress,
+				minTempC: c.d.MinTempC, slope: c.d.TempSlope, sat: c.sat,
+			})
+		}
+	}
+	return detectionPlan{entries: entries}
 }
 
 // RegularRound executes the current corpus against the processor: one
@@ -206,7 +283,9 @@ type siliScreen struct {
 // draw at the entry's boosted stress over the per-entry time slice. Draw
 // order is corpus slot order (a fuzzing run executes its corpus in order),
 // defects inner — deterministic because the corpus is frozen for the
-// round.
+// round. The compiled path evaluates the cached plan through
+// detectionPlan.detect under a synthetic profile carrying the per-entry
+// time slice; a reference suite runs the retained naive walk.
 func (ss *siliScreen) RegularRound() bool {
 	cs := ss.CPUScreen
 	if cs.Detected {
@@ -217,6 +296,31 @@ func (ss *siliScreen) RegularRound() bool {
 		return false
 	}
 	cs.Rounds++
+	if cs.sim.suite.Reference() {
+		return ss.naiveRound(sp)
+	}
+	if ss.planGen != ss.scr.mutations {
+		ss.plan = ss.compilePlan(ss.plan.entries)
+		ss.planGen = ss.scr.mutations
+	}
+	tcID, hit := ss.plan.detect(cs.rng, StageProfile{
+		Stage:          sp.Stage,
+		PerTestcaseMin: ss.scr.perEntryMin,
+		MeanTempC:      sp.MeanTempC,
+		TempSpreadC:    sp.TempSpreadC,
+	})
+	if hit {
+		cs.Detected = true
+		cs.Stage = sp.Stage
+		cs.TestcaseID = tcID
+	}
+	return hit
+}
+
+// naiveRound is the retained reference-suite round: the per-pair
+// RatePerMin walk the compiled plan reproduces draw-for-draw.
+func (ss *siliScreen) naiveRound(sp StageProfile) bool {
+	cs := ss.CPUScreen
 	temp := cs.rng.Norm(sp.MeanTempC, sp.TempSpreadC)
 	for i := range ss.scr.corpus {
 		e := &ss.scr.corpus[i]

@@ -1,0 +1,141 @@
+package model
+
+import "time"
+
+// RecordColumns is the structure-of-arrays form of []SDCRecord: one
+// parallel slice per field, index i across all slices describing record i.
+// The compiled run path appends records here natively so the stats
+// pipeline can aggregate over contiguous columns (sum a []float64, count a
+// []bool) instead of striding through 96-byte row structs; the row form
+// remains the interchange representation — reference implementations,
+// JSON output, and the wire/cache schema all stay row-oriented (see
+// DESIGN.md "Arenas & columnar records").
+//
+// A RecordColumns is reusable: Reset truncates every column in place,
+// keeping capacity, so an arena-held instance reaches zero steady-state
+// allocations once warmed.
+type RecordColumns struct {
+	ProcessorID  []string
+	Core         []int
+	TestcaseID   []string
+	DataType     []DataType
+	Expected     []uint64
+	Actual       []uint64
+	ExpectedHi   []uint16
+	ActualHi     []uint16
+	Temperature  []float64
+	When         []time.Duration
+	Consistency  []bool
+	HasContext   []bool
+	ContextInstr []InstrID
+}
+
+// Len returns the number of records held.
+func (c *RecordColumns) Len() int { return len(c.Core) }
+
+// Reset truncates all columns to length zero, retaining capacity.
+func (c *RecordColumns) Reset() {
+	c.ProcessorID = c.ProcessorID[:0]
+	c.Core = c.Core[:0]
+	c.TestcaseID = c.TestcaseID[:0]
+	c.DataType = c.DataType[:0]
+	c.Expected = c.Expected[:0]
+	c.Actual = c.Actual[:0]
+	c.ExpectedHi = c.ExpectedHi[:0]
+	c.ActualHi = c.ActualHi[:0]
+	c.Temperature = c.Temperature[:0]
+	c.When = c.When[:0]
+	c.Consistency = c.Consistency[:0]
+	c.HasContext = c.HasContext[:0]
+	c.ContextInstr = c.ContextInstr[:0]
+}
+
+// Append adds one record to every column.
+func (c *RecordColumns) Append(r *SDCRecord) {
+	c.ProcessorID = append(c.ProcessorID, r.ProcessorID)
+	c.Core = append(c.Core, r.Core)
+	c.TestcaseID = append(c.TestcaseID, r.TestcaseID)
+	c.DataType = append(c.DataType, r.DataType)
+	c.Expected = append(c.Expected, r.Expected)
+	c.Actual = append(c.Actual, r.Actual)
+	c.ExpectedHi = append(c.ExpectedHi, r.ExpectedHi)
+	c.ActualHi = append(c.ActualHi, r.ActualHi)
+	c.Temperature = append(c.Temperature, r.Temperature)
+	c.When = append(c.When, r.When)
+	c.Consistency = append(c.Consistency, r.Consistency)
+	c.HasContext = append(c.HasContext, r.HasContext)
+	c.ContextInstr = append(c.ContextInstr, r.ContextInstr)
+}
+
+// AppendColumns bulk-appends every record of src.
+func (c *RecordColumns) AppendColumns(src *RecordColumns) {
+	c.ProcessorID = append(c.ProcessorID, src.ProcessorID...)
+	c.Core = append(c.Core, src.Core...)
+	c.TestcaseID = append(c.TestcaseID, src.TestcaseID...)
+	c.DataType = append(c.DataType, src.DataType...)
+	c.Expected = append(c.Expected, src.Expected...)
+	c.Actual = append(c.Actual, src.Actual...)
+	c.ExpectedHi = append(c.ExpectedHi, src.ExpectedHi...)
+	c.ActualHi = append(c.ActualHi, src.ActualHi...)
+	c.Temperature = append(c.Temperature, src.Temperature...)
+	c.When = append(c.When, src.When...)
+	c.Consistency = append(c.Consistency, src.Consistency...)
+	c.HasContext = append(c.HasContext, src.HasContext...)
+	c.ContextInstr = append(c.ContextInstr, src.ContextInstr...)
+}
+
+// Row materializes record i back into row form.
+func (c *RecordColumns) Row(i int) SDCRecord {
+	return SDCRecord{
+		ProcessorID:  c.ProcessorID[i],
+		Core:         c.Core[i],
+		TestcaseID:   c.TestcaseID[i],
+		DataType:     c.DataType[i],
+		Expected:     c.Expected[i],
+		Actual:       c.Actual[i],
+		ExpectedHi:   c.ExpectedHi[i],
+		ActualHi:     c.ActualHi[i],
+		Temperature:  c.Temperature[i],
+		When:         c.When[i],
+		Consistency:  c.Consistency[i],
+		HasContext:   c.HasContext[i],
+		ContextInstr: c.ContextInstr[i],
+	}
+}
+
+// AppendRowsTo materializes every record into dst in row form and returns
+// the extended slice (append semantics).
+func (c *RecordColumns) AppendRowsTo(dst []SDCRecord) []SDCRecord {
+	for i := 0; i < c.Len(); i++ {
+		dst = append(dst, c.Row(i))
+	}
+	return dst
+}
+
+// Mask returns the bitflip mask of record i (Expected XOR Actual), the
+// columnar counterpart of SDCRecord.Mask.
+func (c *RecordColumns) Mask(i int) uint64 { return c.Expected[i] ^ c.Actual[i] }
+
+// Clone returns a deep copy with exactly-sized columns, for callers that
+// retain results past the owning arena's next reset.
+func (c *RecordColumns) Clone() *RecordColumns {
+	if c == nil {
+		return nil
+	}
+	d := &RecordColumns{
+		ProcessorID:  append([]string(nil), c.ProcessorID...),
+		Core:         append([]int(nil), c.Core...),
+		TestcaseID:   append([]string(nil), c.TestcaseID...),
+		DataType:     append([]DataType(nil), c.DataType...),
+		Expected:     append([]uint64(nil), c.Expected...),
+		Actual:       append([]uint64(nil), c.Actual...),
+		ExpectedHi:   append([]uint16(nil), c.ExpectedHi...),
+		ActualHi:     append([]uint16(nil), c.ActualHi...),
+		Temperature:  append([]float64(nil), c.Temperature...),
+		When:         append([]time.Duration(nil), c.When...),
+		Consistency:  append([]bool(nil), c.Consistency...),
+		HasContext:   append([]bool(nil), c.HasContext...),
+		ContextInstr: append([]InstrID(nil), c.ContextInstr...),
+	}
+	return d
+}

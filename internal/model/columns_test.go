@@ -1,0 +1,105 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sampleRecords() []SDCRecord {
+	return []SDCRecord{
+		{
+			ProcessorID: "cpu-1", Core: 3, TestcaseID: "MIX1",
+			DataType: DTInt32, Expected: 0xDEAD, Actual: 0xBEEF,
+			Temperature: 61.5, When: 90 * time.Second,
+		},
+		{
+			ProcessorID: "cpu-2", Core: 0, TestcaseID: "FPU2",
+			DataType: DTFloat64x, Expected: 1, Actual: 2,
+			ExpectedHi: 0x7FFF, ActualHi: 0x7FFE,
+			Temperature: 48.0, When: time.Minute,
+			HasContext: true, ContextInstr: InstrID{Class: InstrIntArith, Variant: 1},
+		},
+		{
+			ProcessorID: "cpu-1", Core: 3, TestcaseID: "CNST1",
+			Consistency: true, Temperature: 55.25, When: 2 * time.Hour,
+		},
+	}
+}
+
+// TestColumnsRoundTrip pins that Append → Row/AppendRowsTo is a lossless
+// round trip for every SDCRecord field.
+func TestColumnsRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var c RecordColumns
+	for i := range recs {
+		c.Append(&recs[i])
+	}
+	if c.Len() != len(recs) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(recs))
+	}
+	for i := range recs {
+		if got := c.Row(i); !reflect.DeepEqual(got, recs[i]) {
+			t.Fatalf("Row(%d) = %+v, want %+v", i, got, recs[i])
+		}
+	}
+	back := c.AppendRowsTo(nil)
+	if !reflect.DeepEqual(back, recs) {
+		t.Fatalf("AppendRowsTo = %+v, want %+v", back, recs)
+	}
+	if c.Mask(0) != recs[0].Mask() {
+		t.Fatalf("Mask(0) = %#x, want %#x", c.Mask(0), recs[0].Mask())
+	}
+}
+
+// TestColumnsStayParallel fails if SDCRecord grows a field RecordColumns
+// doesn't carry: the round trip above checks values, this checks shape.
+func TestColumnsStayParallel(t *testing.T) {
+	rowFields := reflect.TypeOf(SDCRecord{}).NumField()
+	colFields := reflect.TypeOf(RecordColumns{}).NumField()
+	if rowFields != colFields {
+		t.Fatalf("SDCRecord has %d fields but RecordColumns has %d columns; keep them parallel", rowFields, colFields)
+	}
+}
+
+func TestColumnsResetKeepsCapacity(t *testing.T) {
+	recs := sampleRecords()
+	var c RecordColumns
+	for i := range recs {
+		c.Append(&recs[i])
+	}
+	capBefore := cap(c.Core)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", c.Len())
+	}
+	if cap(c.Core) != capBefore {
+		t.Fatalf("Reset dropped capacity: %d -> %d", capBefore, cap(c.Core))
+	}
+	c.Append(&recs[0])
+	if !reflect.DeepEqual(c.Row(0), recs[0]) {
+		t.Fatal("append after Reset corrupted data")
+	}
+}
+
+func TestColumnsAppendColumnsAndClone(t *testing.T) {
+	recs := sampleRecords()
+	var a, b RecordColumns
+	a.Append(&recs[0])
+	for i := 1; i < len(recs); i++ {
+		b.Append(&recs[i])
+	}
+	a.AppendColumns(&b)
+	if !reflect.DeepEqual(a.AppendRowsTo(nil), recs) {
+		t.Fatal("AppendColumns lost records")
+	}
+	cl := a.Clone()
+	a.Reset()
+	if !reflect.DeepEqual(cl.AppendRowsTo(nil), recs) {
+		t.Fatal("Clone aliased the source columns")
+	}
+	var nilCols *RecordColumns
+	if nilCols.Clone() != nil {
+		t.Fatal("Clone of nil should be nil")
+	}
+}

@@ -1,0 +1,162 @@
+package simrand
+
+import "testing"
+
+// TestUint64BlockMatchesStepped pins the batched-draw contract: one
+// Uint64Block call consumes exactly the draw sequence N scalar Uint64
+// calls would, and the source state afterwards is identical.
+func TestUint64BlockMatchesStepped(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 257} {
+		a := New(42)
+		b := New(42)
+		want := make([]uint64, n)
+		for i := range want {
+			want[i] = a.Uint64()
+		}
+		got := make([]uint64, n)
+		b.Uint64Block(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: block[%d] = %#x, stepped = %#x", n, i, got[i], want[i])
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: state diverged after block fill", n)
+		}
+	}
+}
+
+func TestFloatBlockMatchesStepped(t *testing.T) {
+	a := New(99)
+	b := New(99)
+	want := make([]float64, 100)
+	for i := range want {
+		want[i] = a.Float64()
+	}
+	got := make([]float64, 100)
+	b.FloatBlock(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("block[%d] = %v, stepped = %v", i, got[i], want[i])
+		}
+	}
+	if a.Float64() != b.Float64() {
+		t.Fatal("state diverged after float block fill")
+	}
+}
+
+// TestSetBlockSequenceIdentical runs a mixed draw script (every scalar
+// draw kind plus interleaved block fills) against a buffered and an
+// unbuffered source and requires the observed values to match exactly:
+// buffered mode must be invisible to consumers.
+func TestSetBlockSequenceIdentical(t *testing.T) {
+	script := func(s *Source) []float64 {
+		var out []float64
+		for i := 0; i < 200; i++ {
+			switch i % 7 {
+			case 0:
+				out = append(out, float64(s.Uint64()>>32))
+			case 1:
+				out = append(out, s.Float64())
+			case 2:
+				if s.Bool(0.4) {
+					out = append(out, 1)
+				} else {
+					out = append(out, 0)
+				}
+			case 3:
+				out = append(out, float64(s.Intn(1000)))
+			case 4:
+				out = append(out, s.Norm(10, 3))
+			case 5:
+				out = append(out, float64(s.Poisson(4.5)))
+			default:
+				blk := make([]float64, 5)
+				s.FloatBlock(blk)
+				out = append(out, blk...)
+			}
+		}
+		return out
+	}
+	plain := New(7)
+	buffered := New(7)
+	buffered.SetBlock(make([]uint64, 32))
+	want := script(plain)
+	got := script(buffered)
+	if len(got) != len(want) {
+		t.Fatalf("length mismatch: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d: buffered %v, plain %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSetBlockClearedByDerive pins that DeriveInto resets buffered mode
+// (the struct is overwritten wholesale), so a reused scratch source
+// cannot leak one run's pre-drawn tail into the next derivation.
+func TestSetBlockClearedByDerive(t *testing.T) {
+	parent := New(3)
+	var scratch Source
+	parent.DeriveInto(&scratch, "a")
+	scratch.SetBlock(make([]uint64, 16))
+	_ = scratch.Uint64() // force a refill so the buffer holds live values
+
+	var fresh Source
+	parent.DeriveInto(&fresh, "b")
+	parent.DeriveInto(&scratch, "b")
+	if scratch.block != nil {
+		t.Fatal("DeriveInto left the block buffer attached")
+	}
+	for i := 0; i < 10; i++ {
+		if scratch.Uint64() != fresh.Uint64() {
+			t.Fatalf("draw %d diverged after re-derivation", i)
+		}
+	}
+}
+
+// TestDeriveIntoBytesMatchesDeriveInto pins that the byte-tail variant
+// hashes exactly like DeriveInto with the tail as a final string key.
+func TestDeriveIntoBytesMatchesDeriveInto(t *testing.T) {
+	parent := New(12345)
+	cases := []struct {
+		keys []string
+		tail string
+	}{
+		{[]string{"run", "cpu-7", "tc-3"}, "1m30s"},
+		{[]string{"run"}, ""},
+		{nil, "5s"},
+		{[]string{"a", "b"}, "µ±ß"}, // multi-byte UTF-8 in the tail
+	}
+	for _, c := range cases {
+		var a, b Source
+		parent.DeriveInto(&a, append(append([]string{}, c.keys...), c.tail)...)
+		parent.DeriveIntoBytes(&b, []byte(c.tail), c.keys...)
+		for i := 0; i < 8; i++ {
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("keys=%v tail=%q: draw %d diverged", c.keys, c.tail, i)
+			}
+		}
+	}
+}
+
+func BenchmarkUint64Block(b *testing.B) {
+	s := New(1)
+	buf := make([]uint64, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Uint64Block(buf)
+	}
+}
+
+func BenchmarkUint64Stepped(b *testing.B) {
+	s := New(1)
+	buf := make([]uint64, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range buf {
+			buf[j] = s.Uint64()
+		}
+	}
+}

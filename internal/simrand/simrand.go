@@ -26,6 +26,12 @@ type Source struct {
 	// transform.
 	spare    float64
 	hasSpare bool
+	// block, when non-nil, buffers pre-drawn Uint64 values (see SetBlock):
+	// Uint64 serves block[bpos:] and refills the buffer in one tight loop
+	// when it runs dry. The observed sequence is identical to unbuffered
+	// draws; only the raw generator state runs ahead by the unserved tail.
+	block []uint64
+	bpos  int
 }
 
 // New returns a Source seeded with seed.
@@ -38,11 +44,90 @@ const golden = 0x9E3779B97F4A7C15
 
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Source) Uint64() uint64 {
+	if s.block != nil {
+		if s.bpos == len(s.block) {
+			s.fillRaw(s.block)
+			s.bpos = 0
+		}
+		v := s.block[s.bpos]
+		s.bpos++
+		return v
+	}
 	s.state += golden
 	z := s.state
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	return z ^ (z >> 31)
+}
+
+// fillRaw fills dst with successive SplitMix64 outputs, hoisting the state
+// into a local for the whole block. It bypasses any block buffer — it IS
+// the refill primitive.
+func (s *Source) fillRaw(dst []uint64) {
+	st := s.state
+	for i := range dst {
+		st += golden
+		z := st
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		dst[i] = z ^ (z >> 31)
+	}
+	s.state = st
+}
+
+// Uint64Block fills dst with the next len(dst) values of the stream —
+// exactly the sequence len(dst) successive Uint64 calls would produce —
+// amortizing per-call overhead by keeping the generator state in a
+// register across the block.
+func (s *Source) Uint64Block(dst []uint64) {
+	if s.block != nil {
+		// Buffered mode: serve through the buffer so the observed
+		// sequence stays aligned with interleaved scalar draws.
+		for i := range dst {
+			dst[i] = s.Uint64()
+		}
+		return
+	}
+	s.fillRaw(dst)
+}
+
+// FloatBlock fills dst with the next len(dst) uniform values in [0, 1),
+// consuming exactly the draws len(dst) successive Float64 calls would.
+func (s *Source) FloatBlock(dst []float64) {
+	if s.block != nil {
+		for i := range dst {
+			dst[i] = s.Float64()
+		}
+		return
+	}
+	st := s.state
+	for i := range dst {
+		st += golden
+		z := st
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		dst[i] = float64((z^(z>>31))>>11) / (1 << 53)
+	}
+	s.state = st
+}
+
+// SetBlock puts the Source into buffered mode using buf as scratch: draws
+// are served from buf and the buffer is refilled len(buf) values at a time
+// via one tight loop. The sequence every consumer observes is identical to
+// unbuffered operation; the only difference is that up to len(buf)-1
+// pre-drawn values are discarded when the Source is re-derived or
+// abandoned, so buffered mode is ONLY for discard-after-use streams (a
+// per-run substream that is re-derived before its next use), never for a
+// persistent stream whose future draws matter. SetBlock(nil) returns the
+// Source to unbuffered mode. Re-deriving into the Source (DeriveInto)
+// clears the buffer; callers re-apply SetBlock after each derivation.
+func (s *Source) SetBlock(buf []uint64) {
+	if len(buf) == 0 {
+		s.block, s.bpos = nil, 0
+		return
+	}
+	s.block = buf
+	s.bpos = len(buf) // empty: first draw triggers a refill
 }
 
 // Derive returns an independent substream keyed by the given strings. The
@@ -72,6 +157,32 @@ func (s *Source) DeriveInto(dst *Source, keys ...string) {
 	}
 	// Run the mixed hash through one SplitMix64 step so poor keys still
 	// yield well-distributed states.
+	*dst = Source{state: h}
+	dst.state = dst.Uint64()
+	dst.seed = dst.state
+}
+
+// DeriveIntoBytes is DeriveInto with one additional trailing key supplied
+// as raw bytes, so a caller that formats the final key into a reusable
+// buffer (the runner's virtual-clock stamp) avoids the string allocation.
+// The produced stream is identical to
+// DeriveInto(dst, append(keys, string(tail))...).
+func (s *Source) DeriveIntoBytes(dst *Source, tail []byte, keys ...string) {
+	h := s.seed ^ 0x51_7C_C1_B7_27_22_0A_95
+	for _, k := range keys {
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= 0x100000001B3
+		}
+		h ^= 0xFF
+		h *= 0x100000001B3
+	}
+	for i := 0; i < len(tail); i++ {
+		h ^= uint64(tail[i])
+		h *= 0x100000001B3
+	}
+	h ^= 0xFF
+	h *= 0x100000001B3
 	*dst = Source{state: h}
 	dst.state = dst.Uint64()
 	dst.seed = dst.state

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"testing"
+
+	"farron/internal/simrand"
+)
+
+func TestSumMatchesMean(t *testing.T) {
+	rng := simrand.New(41)
+	xs := make([]float64, 501)
+	for i := range xs {
+		xs[i] = rng.Range(-5, 5)
+	}
+	if got, want := Sum(xs), Mean(xs)*float64(len(xs)); got != want {
+		t.Errorf("Sum = %v, Mean*n = %v", got, want)
+	}
+	if Sum(nil) != 0 {
+		t.Errorf("Sum(nil) = %v", Sum(nil))
+	}
+}
+
+func TestCountTrue(t *testing.T) {
+	if got := CountTrue([]bool{true, false, true, true, false}); got != 3 {
+		t.Errorf("CountTrue = %d, want 3", got)
+	}
+	if got := CountTrue(nil); got != 0 {
+		t.Errorf("CountTrue(nil) = %d", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, _, ok := MinMax(nil); ok {
+		t.Error("MinMax(nil) reported ok")
+	}
+	lo, hi, ok := MinMax([]float64{3, -1, 7, 0.5})
+	if !ok || lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v/%v/%v, want -1/7/true", lo, hi, ok)
+	}
+	lo, hi, ok = MinMax([]float64{42})
+	if !ok || lo != 42 || hi != 42 {
+		t.Errorf("MinMax single = %v/%v/%v", lo, hi, ok)
+	}
+}
+
+// TestStatsColumnarAllocs pins the columnar reductions at zero heap
+// allocations: they are the per-run aggregation primitives of the
+// column-oriented record pipeline and must not add per-call garbage on top
+// of the arena-backed columns they consume.
+func TestStatsColumnarAllocs(t *testing.T) {
+	rng := simrand.New(43)
+	xs := make([]float64, 4096)
+	bs := make([]bool, 4096)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		bs[i] = rng.Bool(0.5)
+	}
+	var sink float64
+	var n int
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = Sum(xs)
+		n = CountTrue(bs)
+		lo, hi, _ := MinMax(xs)
+		sink += lo + hi
+	})
+	if allocs != 0 {
+		t.Errorf("columnar reductions allocate %v objects, want 0", allocs)
+	}
+	_ = sink
+	_ = n
+}
+
+func BenchmarkStatsColumnar(b *testing.B) {
+	rng := simrand.New(44)
+	xs := make([]float64, 4096)
+	bs := make([]bool, 4096)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		bs[i] = rng.Bool(0.5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Sum(xs)
+		sink += float64(CountTrue(bs))
+		lo, hi, _ := MinMax(xs)
+		sink += lo + hi
+	}
+	_ = sink
+}

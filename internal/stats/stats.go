@@ -19,11 +19,7 @@ func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, x := range xs {
-		sum += x
-	}
-	return sum / float64(len(xs))
+	return Sum(xs) / float64(len(xs))
 }
 
 // Variance returns the unbiased (n-1) sample variance, or 0 when fewer than

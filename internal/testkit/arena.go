@@ -1,0 +1,175 @@
+package testkit
+
+import (
+	"time"
+
+	"farron/internal/model"
+)
+
+// runRNGBlock is the block-buffer size (in uint64 draws) the compiled run
+// paths attach to their per-run substream. Runs draw tens to a few hundred
+// values; 64 amortizes the per-draw call overhead while bounding the
+// discarded tail (at most 63 pre-drawn values die with the substream when
+// the run ends — the substream is re-derived before its next use, so the
+// observed sequence is unaffected).
+const runRNGBlock = 64
+
+// runArena is the per-Runner reusable storage behind the compiled run
+// paths: every slice and map a run needs is kept here and reset — not
+// reallocated — between runs, which is what drives TestRunStepAllocs to
+// zero. A Runner is owned by one goroutine, so the arena needs no locking.
+//
+// Reset contract: a RunResult returned by Run/RunParallel aliases the
+// arena (Records, Columns, InstrCounts); it is valid until the next
+// Run/RunParallel call on the same Runner. Callers that retain results
+// across runs must Clone them. The reference paths (runReference,
+// runParallelReference) never touch the arena — they allocate fresh
+// storage every run, so the compiled-vs-reference equality tests would
+// catch any aliasing bug in the compiled paths.
+type runArena struct {
+	// counts accumulates per-flat-mix-entry instruction executions.
+	counts []float64
+	// plan holds the run's compiled defect entries (see compileRun).
+	plan []runDefect
+	// rows is the row-form record storage RunResult.Records points into.
+	rows []model.SDCRecord
+	// cols is the columnar record storage, built natively during the run.
+	cols model.RecordColumns
+	// instrs is the InstrCounts map, cleared (not reallocated) per run.
+	instrs map[model.InstrID]float64
+	// keyBuf holds the formatted virtual-clock stamp for substream
+	// derivation (see appendDuration).
+	keyBuf []byte
+	// rngBuf is the block buffer attached to the run substream.
+	rngBuf []uint64
+}
+
+// floatCounts returns a zeroed float64 slice of length n backed by the
+// arena.
+func (a *runArena) floatCounts(n int) []float64 {
+	if cap(a.counts) < n {
+		a.counts = make([]float64, n)
+	}
+	a.counts = a.counts[:n]
+	for i := range a.counts {
+		a.counts[i] = 0
+	}
+	return a.counts
+}
+
+// instrCounts fills the arena's InstrCounts map from the flat mix and the
+// accumulated per-entry counts, reusing the map's buckets across runs.
+func (a *runArena) instrCounts(flat []InstrUsage, counts []float64) map[model.InstrID]float64 {
+	if a.instrs == nil {
+		a.instrs = make(map[model.InstrID]float64, len(flat))
+	} else {
+		clear(a.instrs)
+	}
+	for i := range flat {
+		a.instrs[flat[i].Instr] = counts[i]
+	}
+	return a.instrs
+}
+
+// appendDuration appends time.Duration(d).String() to dst byte-for-byte
+// without allocating. Run/RunParallel key their per-run substream on the
+// virtual-clock stamp; the stdlib String call was the last per-run string
+// allocation, and the derivation hash is byte-sensitive, so this must
+// reproduce the stdlib format exactly (TestAppendDurationMatchesStdlib
+// pins it against the real String over a structured + randomized sweep).
+func appendDuration(dst []byte, d time.Duration) []byte {
+	var buf [32]byte
+	w := len(buf)
+	u := uint64(d)
+	neg := d < 0
+	if neg {
+		u = -u
+	}
+	if u < uint64(time.Second) {
+		// Sub-second: value scaled to a leading unit of ns/µs/ms.
+		if u == 0 {
+			return append(dst, '0', 's')
+		}
+		var prec int
+		w--
+		buf[w] = 's'
+		w--
+		switch {
+		case u < uint64(time.Microsecond):
+			prec = 0
+			buf[w] = 'n'
+		case u < uint64(time.Millisecond):
+			prec = 3
+			// U+00B5 'µ' is two bytes.
+			w--
+			copy(buf[w:], "µ")
+		default:
+			prec = 6
+			buf[w] = 'm'
+		}
+		w, u = fmtFrac(buf[:w], u, prec)
+		w = fmtInt(buf[:w], u)
+	} else {
+		w--
+		buf[w] = 's'
+		w, u = fmtFrac(buf[:w], u, 9)
+		w = fmtInt(buf[:w], u%60)
+		u /= 60
+		if u > 0 {
+			w--
+			buf[w] = 'm'
+			w = fmtInt(buf[:w], u%60)
+			u /= 60
+			if u > 0 {
+				w--
+				buf[w] = 'h'
+				w = fmtInt(buf[:w], u)
+			}
+		}
+	}
+	if neg {
+		w--
+		buf[w] = '-'
+	}
+	return append(dst, buf[w:]...)
+}
+
+// fmtFrac writes the prec trailing decimal digits of v (with leading '.')
+// into the tail of buf, omitting trailing zeros — and the '.' when the
+// whole fraction is zero. It returns the new write index and v scaled
+// down by 10^prec.
+func fmtFrac(buf []byte, v uint64, prec int) (nw int, nv uint64) {
+	w := len(buf)
+	printed := false
+	for i := 0; i < prec; i++ {
+		digit := v % 10
+		printed = printed || digit != 0
+		if printed {
+			w--
+			buf[w] = byte(digit) + '0'
+		}
+		v /= 10
+	}
+	if printed {
+		w--
+		buf[w] = '.'
+	}
+	return w, v
+}
+
+// fmtInt writes v in decimal into the tail of buf and returns the new
+// write index.
+func fmtInt(buf []byte, v uint64) int {
+	w := len(buf)
+	if v == 0 {
+		w--
+		buf[w] = '0'
+		return w
+	}
+	for v > 0 {
+		w--
+		buf[w] = byte(v%10) + '0'
+		v /= 10
+	}
+	return w
+}

@@ -1,0 +1,133 @@
+package testkit
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"farron/internal/simrand"
+)
+
+// TestAppendDurationMatchesStdlib pins appendDuration byte-for-byte
+// against time.Duration.String: the per-run substream keys hash these
+// bytes, so any divergence silently changes every draw of the run.
+func TestAppendDurationMatchesStdlib(t *testing.T) {
+	structured := []time.Duration{
+		0, 1, -1, 999, 1000, 1001, 999_999, 1_000_000, 1_000_001,
+		999_999_999, time.Second, time.Second + 1,
+		1500 * time.Millisecond, 59 * time.Second, time.Minute,
+		time.Minute + 30*time.Second, 61 * time.Minute, time.Hour,
+		90*time.Minute + 12*time.Second + 345*time.Nanosecond,
+		26 * time.Hour, 1000 * time.Hour, 5 * time.Microsecond,
+		-5 * time.Microsecond, -90 * time.Minute,
+		time.Duration(math.MaxInt64), time.Duration(math.MinInt64),
+	}
+	for _, d := range structured {
+		got := string(appendDuration(nil, d))
+		if want := d.String(); got != want {
+			t.Errorf("appendDuration(%d) = %q, want %q", int64(d), got, want)
+		}
+	}
+	// Randomized sweep across magnitudes (log-uniform so sub-second
+	// formats get coverage too).
+	rng := simrand.New(1234)
+	for i := 0; i < 20000; i++ {
+		mag := rng.LogUniform(1, float64(math.MaxInt64)/2)
+		d := time.Duration(int64(mag))
+		if rng.Bool(0.5) {
+			d = -d
+		}
+		got := string(appendDuration(nil, d))
+		if want := d.String(); got != want {
+			t.Fatalf("appendDuration(%d) = %q, want %q", int64(d), got, want)
+		}
+	}
+	// Appending must preserve the prefix.
+	if got := string(appendDuration([]byte("x:"), time.Second)); got != "x:1s" {
+		t.Errorf("prefix append = %q", got)
+	}
+}
+
+// TestRunResultAliasesArenaUntilNextRun pins the arena reset contract:
+// a compiled result's Records/Columns/InstrCounts alias the Runner's
+// arena and are rewritten by the next run, while Clone detaches them.
+func TestRunResultAliasesArenaUntilNextRun(t *testing.T) {
+	tb, tc := benchRunner(t)
+	hot := 85.0
+	opts := RunOpts{Core: 8, Duration: time.Hour, FixedTempC: &hot}
+
+	first := tb.Run(tc, opts)
+	if !first.Failed || first.Columns == nil {
+		t.Fatalf("fixture run produced no records (failed=%v cols=%v)", first.Failed, first.Columns)
+	}
+	snapshot := first.Clone()
+	if !reflect.DeepEqual(snapshot.Records, first.Records) {
+		t.Fatal("Clone changed record content")
+	}
+	if snapshot.Columns.Len() != first.Columns.Len() {
+		t.Fatal("Clone changed column length")
+	}
+
+	second := tb.Run(tc, opts)
+	// The arena was reset: both results alias the same storage.
+	if len(first.Records) > 0 && len(second.Records) > 0 &&
+		&first.Records[0] != &second.Records[0] {
+		t.Fatal("expected compiled results to share the arena's record storage")
+	}
+	// The clone survived.
+	if !reflect.DeepEqual(snapshot.Records, snapshot.Columns.AppendRowsTo(nil)) {
+		t.Fatal("cloned rows and columns disagree after arena reset")
+	}
+	for i := range snapshot.Records {
+		if snapshot.Records[i].TestcaseID != tc.ID {
+			t.Fatal("cloned record corrupted by subsequent run")
+		}
+	}
+}
+
+// TestColumnsMatchRows verifies the compiled path's columnar records are
+// exactly its row records, for both Run and RunParallel.
+func TestColumnsMatchRows(t *testing.T) {
+	tb, tc := benchRunner(t)
+	hot := 85.0
+	res := tb.Run(tc, RunOpts{Core: 8, Duration: time.Hour, FixedTempC: &hot})
+	if res.Columns == nil {
+		t.Fatal("compiled Run returned nil Columns")
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("fixture run produced no records; the equality check would be vacuous")
+	}
+	if got := res.Columns.AppendRowsTo(nil); !reflect.DeepEqual(got, res.Records) {
+		t.Fatalf("Run columns != rows: %d vs %d records", len(got), len(res.Records))
+	}
+	resP := tb.RunParallel(tc, []int{2, 8, 9}, RunOpts{Duration: time.Hour, FixedTempC: &hot})
+	if resP.Columns == nil {
+		t.Fatal("compiled RunParallel returned nil Columns")
+	}
+	if got := resP.Columns.AppendRowsTo(nil); !reflect.DeepEqual(got, resP.Records) {
+		t.Fatalf("RunParallel columns != rows: %d vs %d records", len(got), len(resP.Records))
+	}
+}
+
+// TestPatternProbMemoized pins the hoisted setting pattern probability:
+// the cached per-(testcase, defect) value must equal a fresh derivation —
+// the substream is keyed only on loop-invariant IDs and never advances
+// the parent, so memoizing it across runs is draw-sequence-neutral.
+func TestPatternProbMemoized(t *testing.T) {
+	tb, tc := benchRunner(t)
+	p := tb.planFor(tc)
+	if len(p.defects) == 0 {
+		t.Fatal("fixture testcase compiled to an empty plan")
+	}
+	for i := range p.defects {
+		e := &p.defects[i]
+		if fresh := e.d.SettingPatternProb(tc.ID, tb.suite.rng); e.patProb != fresh {
+			t.Errorf("defect %s: cached patProb %v != fresh %v", e.d.ID, e.patProb, fresh)
+		}
+	}
+	// And the cache returns the same plan on re-lookup.
+	if tb.planFor(tc) != p {
+		t.Error("planFor rebuilt a cached plan")
+	}
+}

@@ -113,9 +113,11 @@ func TestAttributeSuspectsFindsArctangent(t *testing.T) {
 	var results []RunResult
 	hot := 60.0
 	for _, tc := range f.suite.ByFeature(model.FeatureFPU) {
+		// Clone: accumulated results must survive later runs' arena
+		// resets.
 		results = append(results, r.Run(tc, RunOpts{
 			Core: 0, Duration: 3 * time.Minute, FixedTempC: &hot,
-		}))
+		}).Clone())
 	}
 	rep := AttributeSuspects(results)
 	if rep.FailingCount == 0 {

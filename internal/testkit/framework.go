@@ -98,10 +98,11 @@ func (f *Framework) Execute(spec Spec, rng *simrand.Source) []RunResult {
 	}
 	results := make([]RunResult, 0, len(tcs))
 	for _, tc := range tcs {
+		// Clone: each result must survive the arena reset of the next run.
 		results = append(results, f.runner.RunParallel(tc, cores, RunOpts{
 			Duration: spec.PerTestcase,
 			BurnIn:   spec.BurnIn,
-		}))
+		}).Clone())
 	}
 	return results
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"farron/internal/model"
+	"farron/internal/stats"
 )
 
 // SuspectReport is the output of the statistical instruction-attribution
@@ -189,6 +190,20 @@ func RankSuspects(results []RunResult, topK int) []SuspectScore {
 func ContextSuspects(results []RunResult) []model.InstrID {
 	counts := map[model.InstrID]int{}
 	for _, res := range results {
+		// Compiled-path results carry columns: scan the two relevant
+		// columns instead of walking whole records, skipping results with
+		// no preserved context at all in one flat pass.
+		if cols := res.Columns; cols != nil {
+			if stats.CountTrue(cols.HasContext) == 0 {
+				continue
+			}
+			for i, has := range cols.HasContext {
+				if has {
+					counts[cols.ContextInstr[i]]++
+				}
+			}
+			continue
+		}
 		for _, rec := range res.Records {
 			if rec.HasContext {
 				counts[rec.ContextInstr]++

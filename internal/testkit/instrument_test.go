@@ -78,6 +78,35 @@ func TestContextSuspects(t *testing.T) {
 	}
 }
 
+// TestContextSuspectsColumnarMatchesRows runs the compiled path (which
+// carries both row and columnar record forms) and checks the columnar
+// ContextSuspects branch agrees with the row walk on the same result.
+func TestContextSuspectsColumnarMatchesRows(t *testing.T) {
+	f := newFixture(t)
+	r := f.runner(t, "SIMD1")
+	failing := f.suite.FailingTestcases(f.profiles["SIMD1"])
+	hot := 60.0
+	res := r.Run(failing[0], RunOpts{Core: 5, Duration: 10 * time.Minute, FixedTempC: &hot})
+	if res.Columns == nil || res.Columns.Len() == 0 {
+		t.Fatal("compiled run produced no columns")
+	}
+	viaCols := ContextSuspects([]RunResult{res})
+	rows := res
+	rows.Columns = nil
+	viaRows := ContextSuspects([]RunResult{rows})
+	if len(viaCols) != len(viaRows) {
+		t.Fatalf("columnar %v vs rows %v", viaCols, viaRows)
+	}
+	for i := range viaCols {
+		if viaCols[i] != viaRows[i] {
+			t.Fatalf("columnar %v vs rows %v", viaCols, viaRows)
+		}
+	}
+	if len(viaCols) == 0 {
+		t.Error("no context suspects from a SIMD1 run")
+	}
+}
+
 func TestContextRecordsProduced(t *testing.T) {
 	// SIMD1 has ContextProb 0.9: most of its records must carry the
 	// incorrect-instruction context, and the context must be a truly

@@ -1,6 +1,7 @@
 package testkit
 
 import (
+	"maps"
 	"math"
 	"time"
 
@@ -31,10 +32,20 @@ type RunOpts struct {
 }
 
 // RunResult is the outcome of one testcase execution.
+//
+// Results of the compiled paths (Run/RunParallel on a non-reference suite)
+// alias the Runner's arena: Records, Columns and InstrCounts are valid
+// until the next Run/RunParallel call on the same Runner. Callers that
+// retain results across runs must Clone them first. Reference-suite
+// results are freshly allocated and never invalidated.
 type RunResult struct {
 	TestcaseID string
 	Core       int
 	Records    []model.SDCRecord
+	// Columns is the columnar (structure-of-arrays) form of Records,
+	// built natively by the compiled run paths for the stats pipeline.
+	// It is nil on the reference paths, which stay row-oriented.
+	Columns *model.RecordColumns
 	// Failed is true when at least one SDC was observed.
 	Failed bool
 	// MeanTempC and MaxTempC summarize the core temperature during the
@@ -44,6 +55,17 @@ type RunResult struct {
 	// InstrCounts is the Pin-style instrumentation: executions per
 	// virtual instruction during the run (Section 4.1).
 	InstrCounts map[model.InstrID]float64
+}
+
+// Clone returns a deep copy that stays valid after the owning Runner's
+// arena is reset by its next run.
+func (res RunResult) Clone() RunResult {
+	if res.Records != nil {
+		res.Records = append([]model.SDCRecord(nil), res.Records...)
+	}
+	res.InstrCounts = maps.Clone(res.InstrCounts)
+	res.Columns = res.Columns.Clone()
+	return res
 }
 
 // Runner executes testcases on a processor with a thermal model.
@@ -56,6 +78,13 @@ type Runner struct {
 	// into (one derivation per run, no allocation). A Runner is owned by
 	// one goroutine, so reuse is safe.
 	scratch simrand.Source
+	// plans caches the per-testcase compiled defect plans (everything
+	// about a (testcase, defect) pair that is independent of run options
+	// and package utilization). Keyed by testcase pointer: suite
+	// testcases are frozen after construction.
+	plans map[*Testcase]*tcPlan
+	// arena is the reusable per-run storage (see runArena).
+	arena runArena
 }
 
 // NewRunner creates a runner. The thermal package must have at least as
@@ -64,7 +93,7 @@ func NewRunner(suite *Suite, proc *cpu.Processor, pkg *thermal.Package) *Runner 
 	if pkg.NCores() < proc.PhysCores {
 		panic("testkit: thermal package smaller than processor")
 	}
-	return &Runner{suite: suite, proc: proc, pkg: pkg}
+	return &Runner{suite: suite, proc: proc, pkg: pkg, plans: map[*Testcase]*tcPlan{}}
 }
 
 // Suite returns the runner's testcase suite.
@@ -138,13 +167,13 @@ func commonDataTypes(tc *Testcase, d *defect.Defect) []model.DataType {
 
 // runDefect is one compiled per-run defect entry: the defects that can
 // consume a draw this run (detectable by the testcase, positive effective
-// stress, a positive core multiplier on some run core), with the
+// stress, a positive core multiplier on some processor core), with the
 // temperature-independent rate factors and the per-record lookups
 // (common datatypes, context instructions, the setting's pattern
-// probability) hoisted out of the step loop. bms[i] is
-// BaseFreqPerMin·CoreMultiplier(cores[i]) — the leading factor of
-// Defect.RatePerMin in its exact association, so compiled rates are
-// bit-identical to naive ones.
+// probability) hoisted out of the step loop. bms[c] is
+// BaseFreqPerMin·CoreMultiplier(c) indexed by physical core id — the
+// leading factor of Defect.RatePerMin in its exact association, so
+// compiled rates are bit-identical to naive ones.
 type runDefect struct {
 	d         *defect.Defect
 	bms       []float64
@@ -157,61 +186,119 @@ type runDefect struct {
 	patProb   float64
 }
 
-// compileDefects builds the run's defect plan for the listed cores. The
-// simrand draw sequence is untouched: every dropped defect had an
-// identically-zero rate on every run core at any temperature, and the
-// naive loop never drew for zero rates (Poisson(0) consumes nothing).
-// Effective stress folds in the package utilization, which is constant for
-// the whole run — loads are configured before the step loop and only
-// cleared after it.
-func (r *Runner) compileDefects(tc *Testcase, cores []int) []runDefect {
-	util := r.pkg.MeanUtil()
+// tcDefect is the cached, utilization-independent part of a runDefect:
+// everything determined by the (testcase, defect) pair alone. The
+// per-run compileRun pass only folds in the package utilization.
+type tcDefect struct {
+	d          *defect.Defect
+	bms        []float64 // BaseFreqPerMin·CoreMultiplier(c) per phys core
+	baseStress float64   // SettingStress(tc, d), before the util factor
+	utilGain   float64
+	minTempC   float64
+	slope      float64
+	sat        float64
+	dts        []model.DataType
+	ctxInstrs  []model.InstrID
+	patProb    float64
+}
+
+// tcPlan is the per-testcase compiled defect plan a Runner caches across
+// runs.
+type tcPlan struct {
+	defects []tcDefect
+}
+
+// planFor returns the cached compiled plan for tc, building it on first
+// use. Dropped defects can never consume a draw for this testcase on this
+// processor: not detectable, identically-zero setting stress, or a zero
+// core multiplier on every physical core — the naive loop never drew for
+// their zero rates (Poisson(0) consumes nothing), so caching is
+// draw-sequence-neutral.
+//
+// Caching also fixes a shardkey-adjacent waste: the old per-run compile
+// re-derived the ("setting-patprob", defect, testcase) substream on every
+// run even though its keys — and therefore its value — are loop-invariant
+// across runs (derivation never advances the parent stream).
+// TestPatternProbMemoized pins the hoisted value against a fresh
+// derivation.
+func (r *Runner) planFor(tc *Testcase) *tcPlan {
+	if p, ok := r.plans[tc]; ok {
+		return p
+	}
 	defects := r.proc.Defects()
-	plan := make([]runDefect, 0, len(defects))
+	p := &tcPlan{defects: make([]tcDefect, 0, len(defects))}
 	for _, d := range defects {
 		if !DetectableBy(tc, d) {
 			continue
 		}
-		stress := SettingStress(tc, d) * (1 + d.UtilGain*util)
-		if stress <= 0 {
+		base := SettingStress(tc, d)
+		if base == 0 {
 			continue
 		}
-		bms := make([]float64, len(cores))
+		bms := make([]float64, r.proc.PhysCores)
 		detectableCore := false
-		for i, c := range cores {
+		for c := 0; c < r.proc.PhysCores; c++ {
 			if m := d.CoreMultiplier(c); m > 0 {
-				bms[i] = d.BaseFreqPerMin * m
+				bms[c] = d.BaseFreqPerMin * m
 				detectableCore = true
 			}
 		}
 		if !detectableCore {
 			continue
 		}
-		rd := runDefect{
-			d: d, bms: bms, stress: stress,
+		e := tcDefect{
+			d: d, bms: bms, baseStress: base, utilGain: d.UtilGain,
 			minTempC: d.MinTempC, slope: d.TempSlope, sat: d.EffectiveSatDecades(),
 			patProb: d.SettingPatternProb(tc.ID, r.suite.rng),
 		}
 		if d.Class == model.ClassComputation {
-			rd.dts = commonDataTypes(tc, d)
+			e.dts = commonDataTypes(tc, d)
 		}
 		if d.ContextProb > 0 {
 			for _, id := range d.SortedInstrs() {
 				if tc.UsesInstr(id) {
-					rd.ctxInstrs = append(rd.ctxInstrs, id)
+					e.ctxInstrs = append(e.ctxInstrs, id)
 				}
 			}
 		}
-		plan = append(plan, rd)
+		p.defects = append(p.defects, e)
 	}
+	r.plans[tc] = p
+	return p
+}
+
+// compileRun builds the run's defect plan in the arena from the cached
+// per-testcase plan: only the effective stress depends on the run, via the
+// package utilization — constant for the whole run, since loads are
+// configured before the step loop and only cleared after it. Entries whose
+// effective stress is non-positive are skipped exactly as the naive loop
+// skips their zero rates.
+func (r *Runner) compileRun(tc *Testcase) []runDefect {
+	p := r.planFor(tc)
+	util := r.pkg.MeanUtil()
+	plan := r.arena.plan[:0]
+	for i := range p.defects {
+		e := &p.defects[i]
+		stress := e.baseStress * (1 + e.utilGain*util)
+		if stress <= 0 {
+			continue
+		}
+		plan = append(plan, runDefect{
+			d: e.d, bms: e.bms, stress: stress,
+			minTempC: e.minTempC, slope: e.slope, sat: e.sat,
+			dts: e.dts, ctxInstrs: e.ctxInstrs, patProb: e.patProb,
+		})
+	}
+	r.arena.plan = plan
 	return plan
 }
 
 // sampleEvents draws the step's SDC event count for one compiled defect on
-// one core — Poisson at the exact naive rate, no draw when the rate is
-// zero (temperature below the trigger, or this core not defective).
-func (rd *runDefect) sampleEvents(rng *simrand.Source, coreIdx int, coreTemp, minutes float64) int {
-	bm := rd.bms[coreIdx]
+// one physical core — Poisson at the exact naive rate, no draw when the
+// rate is zero (temperature below the trigger, or this core not
+// defective).
+func (rd *runDefect) sampleEvents(rng *simrand.Source, core int, coreTemp, minutes float64) int {
+	bm := rd.bms[core]
 	if bm == 0 || coreTemp < rd.minTempC {
 		return 0
 	}
@@ -243,10 +330,17 @@ func (r *Runner) Run(tc *Testcase, opts RunOpts) RunResult {
 		Core:       opts.Core,
 		Duration:   opts.Duration,
 	}
+	a := &r.arena
 	rng := &r.scratch
-	r.suite.rng.DeriveInto(rng, "run", r.proc.ID, tc.ID,
-		// Distinct runs of the same setting must differ.
-		time.Duration(r.now).String())
+	// Distinct runs of the same setting must differ: key on the virtual
+	// clock, formatted into the arena (byte-identical to the stdlib
+	// Duration string the naive path hashes).
+	a.keyBuf = appendDuration(a.keyBuf[:0], r.now)
+	r.suite.rng.DeriveIntoBytes(rng, a.keyBuf, "run", r.proc.ID, tc.ID)
+	if a.rngBuf == nil {
+		a.rngBuf = make([]uint64, runRNGBlock)
+	}
+	rng.SetBlock(a.rngBuf)
 
 	r.pkg.ClearLoads()
 	r.pkg.SetLoad(opts.Core, 1, tc.HeatIntensity)
@@ -264,8 +358,10 @@ func (r *Runner) Run(tc *Testcase, opts RunOpts) RunResult {
 	}
 
 	flat := tc.FlatMix()
-	counts := make([]float64, len(flat))
-	plan := r.compileDefects(tc, []int{opts.Core})
+	counts := a.floatCounts(len(flat))
+	plan := r.compileRun(tc)
+	a.cols.Reset()
+	a.rows = a.rows[:0]
 
 	var tempSum float64
 	steps := 0
@@ -298,10 +394,11 @@ func (r *Runner) Run(tc *Testcase, opts RunOpts) RunResult {
 		minutes := slice.Minutes()
 		for pi := range plan {
 			rd := &plan[pi]
-			n := rd.sampleEvents(rng, 0, coreTemp, minutes)
+			n := rd.sampleEvents(rng, opts.Core, coreTemp, minutes)
 			for i := 0; i < n; i++ {
-				res.Records = append(res.Records,
-					r.makeRecordFast(rng, tc, rd, opts.Core, coreTemp, r.now+elapsed))
+				rec := r.makeRecordFast(rng, tc, rd, opts.Core, coreTemp, r.now+elapsed)
+				a.cols.Append(&rec)
+				a.rows = append(a.rows, rec)
 			}
 		}
 	}
@@ -310,10 +407,11 @@ func (r *Runner) Run(tc *Testcase, opts RunOpts) RunResult {
 	if steps > 0 {
 		res.MeanTempC = tempSum / float64(steps)
 	}
-	res.InstrCounts = make(map[model.InstrID]float64, len(flat))
-	for i := range flat {
-		res.InstrCounts[flat[i].Instr] = counts[i]
+	res.InstrCounts = a.instrCounts(flat, counts)
+	if len(a.rows) > 0 {
+		res.Records = a.rows
 	}
+	res.Columns = &a.cols
 	res.Failed = len(res.Records) > 0
 	return res
 }
@@ -507,8 +605,14 @@ func (r *Runner) RunParallel(tc *Testcase, cores []int, opts RunOpts) RunResult 
 		Core:       cores[0],
 		Duration:   opts.Duration,
 	}
+	a := &r.arena
 	rng := &r.scratch
-	r.suite.rng.DeriveInto(rng, "runp", r.proc.ID, tc.ID, time.Duration(r.now).String())
+	a.keyBuf = appendDuration(a.keyBuf[:0], r.now)
+	r.suite.rng.DeriveIntoBytes(rng, a.keyBuf, "runp", r.proc.ID, tc.ID)
+	if a.rngBuf == nil {
+		a.rngBuf = make([]uint64, runRNGBlock)
+	}
+	rng.SetBlock(a.rngBuf)
 
 	r.pkg.ClearLoads()
 	for _, c := range cores {
@@ -521,8 +625,10 @@ func (r *Runner) RunParallel(tc *Testcase, cores []int, opts RunOpts) RunResult 
 	}
 
 	flat := tc.FlatMix()
-	counts := make([]float64, len(flat))
-	plan := r.compileDefects(tc, cores)
+	counts := a.floatCounts(len(flat))
+	plan := r.compileRun(tc)
+	a.cols.Reset()
+	a.rows = a.rows[:0]
 
 	var tempSum float64
 	steps := 0
@@ -538,7 +644,7 @@ func (r *Runner) RunParallel(tc *Testcase, cores []int, opts RunOpts) RunResult 
 		}
 		var hottest float64
 		minutes := slice.Minutes()
-		for ci, c := range cores {
+		for _, c := range cores {
 			coreTemp := r.pkg.CoreTempC(c)
 			if opts.FixedTempC != nil {
 				coreTemp = *opts.FixedTempC
@@ -548,10 +654,11 @@ func (r *Runner) RunParallel(tc *Testcase, cores []int, opts RunOpts) RunResult 
 			}
 			for pi := range plan {
 				rd := &plan[pi]
-				n := rd.sampleEvents(rng, ci, coreTemp, minutes)
+				n := rd.sampleEvents(rng, c, coreTemp, minutes)
 				for i := 0; i < n; i++ {
-					res.Records = append(res.Records,
-						r.makeRecordFast(rng, tc, rd, c, coreTemp, r.now+elapsed))
+					rec := r.makeRecordFast(rng, tc, rd, c, coreTemp, r.now+elapsed)
+					a.cols.Append(&rec)
+					a.rows = append(a.rows, rec)
 				}
 			}
 		}
@@ -570,10 +677,11 @@ func (r *Runner) RunParallel(tc *Testcase, cores []int, opts RunOpts) RunResult 
 	if steps > 0 {
 		res.MeanTempC = tempSum / float64(steps)
 	}
-	res.InstrCounts = make(map[model.InstrID]float64, len(flat))
-	for i := range flat {
-		res.InstrCounts[flat[i].Instr] = counts[i]
+	res.InstrCounts = a.instrCounts(flat, counts)
+	if len(a.rows) > 0 {
+		res.Records = a.rows
 	}
+	res.Columns = &a.cols
 	res.Failed = len(res.Records) > 0
 	return res
 }
@@ -665,9 +773,10 @@ func (r *Runner) runParallelReference(tc *Testcase, cores []int, opts RunOpts) R
 func (r *Runner) RunAll(core int, perTestcase time.Duration, burnIn bool) []RunResult {
 	results := make([]RunResult, 0, len(r.suite.Testcases))
 	for _, tc := range r.suite.Testcases {
+		// Clone: each result must survive the arena reset of the next run.
 		results = append(results, r.Run(tc, RunOpts{
 			Core: core, Duration: perTestcase, BurnIn: burnIn,
-		}))
+		}).Clone())
 	}
 	return results
 }
